@@ -1,0 +1,441 @@
+// Benchmarks regenerating the paper's evaluation artifacts as testing.B
+// targets, one group per table/figure, plus the ablation benches called out
+// in DESIGN.md §4. The per-op metric corresponds to one data transfer (or
+// one cold start for Fig. 2a). Payloads are bench-scaled; use
+// cmd/roadrunner-bench -full for the paper's axes.
+package roadrunner_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	roadrunner "github.com/polaris-slo-cloud/roadrunner-go"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/baseline"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+const benchPayload = 1 << 20 // 1 MiB per transfer
+
+// ---- Fig. 2a: cold start -----------------------------------------------------
+
+func BenchmarkFig2aColdStartContainer(b *testing.B) {
+	k := kernel.New("node")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := baseline.NewRunCFunction("c", k, baseline.ContainerImageBytes, nil)
+		if f.ColdStart() <= 0 {
+			b.Fatal("no cold start")
+		}
+		f.Close()
+	}
+}
+
+func BenchmarkFig2aColdStartWasm(b *testing.B) {
+	k := kernel.New("node")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := baseline.NewWasmEdgeFunction("w", k, guest.Module(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// ---- Fig. 2b / Fig. 7: intra-node transfer paths ------------------------------
+
+func BenchmarkFig7RoadrunnerUserSpace(b *testing.B) {
+	p := roadrunner.New(roadrunner.WithNodes("node"))
+	defer p.Close()
+	a, err := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "node"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "node", ShareVMWith: a})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _, err := p.Transfer(a, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7RoadrunnerKernelSpace(b *testing.B) {
+	p := roadrunner.New(roadrunner.WithNodes("node"))
+	defer p.Close()
+	a, err := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "node"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "node"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _, err := p.Transfer(a, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7RunC(b *testing.B) {
+	k := kernel.New("node")
+	src := baseline.NewRunCFunction("a", k, baseline.ContainerImageBytes, nil)
+	dst := baseline.NewRunCFunction("b", k, baseline.ContainerImageBytes, nil)
+	defer src.Close()
+	defer dst.Close()
+	src.Produce(benchPayload)
+	env := baseline.TransferEnv{Link: netsim.DefaultLoopback(), Flows: 1}
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := src.Transfer(dst, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7WasmEdge(b *testing.B) {
+	k := kernel.New("node")
+	src, err := baseline.NewWasmEdgeFunction("a", k, guest.Module(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := baseline.NewWasmEdgeFunction("b", k, guest.Module(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	defer dst.Close()
+	if err := src.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	env := baseline.TransferEnv{Link: netsim.DefaultLoopback(), Flows: 1}
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, _, _, err := src.Transfer(dst, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(ptr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 6 / Fig. 8: inter-node transfer paths --------------------------------
+// Modeled network time is excluded from the hot loop (it is an analytic
+// quantity); these benches measure the CPU-side cost of each path.
+
+func BenchmarkFig8RoadrunnerNetwork(b *testing.B) {
+	p := roadrunner.New()
+	defer p.Close()
+	a, err := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "edge"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "cloud"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _, err := p.Transfer(a, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8RunC(b *testing.B) {
+	k1, k2 := kernel.New("edge"), kernel.New("cloud")
+	src := baseline.NewRunCFunction("a", k1, baseline.ContainerImageBytes, nil)
+	dst := baseline.NewRunCFunction("b", k2, baseline.ContainerImageBytes, nil)
+	defer src.Close()
+	defer dst.Close()
+	src.Produce(benchPayload)
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := src.Transfer(dst, baseline.TransferEnv{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8WasmEdge(b *testing.B) {
+	k1, k2 := kernel.New("edge"), kernel.New("cloud")
+	src, err := baseline.NewWasmEdgeFunction("a", k1, guest.Module(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := baseline.NewWasmEdgeFunction("b", k2, guest.Module(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	defer dst.Close()
+	if err := src.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, _, _, err := src.Transfer(dst, baseline.TransferEnv{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(ptr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 9 / Fig. 10: fan-out ---------------------------------------------------
+
+func benchmarkFanout(b *testing.B, degree int, remote bool) {
+	p := roadrunner.New(roadrunner.WithLink(100*roadrunner.Mbps, time.Millisecond))
+	defer p.Close()
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "src", Node: "edge"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := "edge"
+	if remote {
+		node = "cloud"
+	}
+	targets := make([]*roadrunner.Function, degree)
+	for i := range targets {
+		if targets[i], err = p.Deploy(roadrunner.FunctionSpec{
+			Name: fmt.Sprintf("t%d", i), Node: node,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := src.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(degree) * benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, dst := range targets {
+			ref, _, err := p.Transfer(src, dst, roadrunner.WithFlows(degree))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Release(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig9FanoutIntra8(b *testing.B)  { benchmarkFanout(b, 8, false) }
+func BenchmarkFig10FanoutInter8(b *testing.B) { benchmarkFanout(b, 8, true) }
+
+// ---- Ablations (DESIGN.md §4) ------------------------------------------------------
+
+// newNetworkPair builds a two-node Roadrunner deployment at the core layer,
+// where the ablation switches live.
+func newNetworkPair(b *testing.B) (*core.Function, *core.Function, func()) {
+	b.Helper()
+	k1, k2 := kernel.New("edge"), kernel.New("cloud")
+	wf := core.Workflow{Name: "bench", Tenant: "bench"}
+	s1, err := core.NewShim(core.ShimConfig{Name: "s1", Workflow: wf, Kernel: k1, Module: guest.Module()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, err := core.NewShim(core.ShimConfig{Name: "s2", Workflow: wf, Kernel: k2, Module: guest.Module()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fa, err := s1.AddFunction("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb, err := s2.AddFunction("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fa.CallPacked(guest.ExportProduce, uint64(benchPayload)); err != nil {
+		b.Fatal(err)
+	}
+	return fa, fb, func() { s1.Close(); s2.Close() }
+}
+
+func benchNetworkTransfer(b *testing.B, opts core.NetworkOptions) {
+	fa, fb, cleanup := newNetworkPair(b)
+	defer cleanup()
+	b.SetBytes(benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _, err := core.NetworkTransfer(fa, fb, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fb.View().Deallocate(ref.Ptr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationZeroCopyHose vs BenchmarkAblationCopyHose quantify the
+// near-zero-copy win: identical path, page-reference movement vs plain
+// write/read copies.
+func BenchmarkAblationZeroCopyHose(b *testing.B) {
+	benchNetworkTransfer(b, core.NetworkOptions{})
+}
+
+func BenchmarkAblationCopyHose(b *testing.B) {
+	benchNetworkTransfer(b, core.NetworkOptions{ForceCopyPath: true})
+}
+
+// BenchmarkAblationSerializeFirst re-enables the in-guest codec on
+// Roadrunner's network path, quantifying the serialization-free win.
+func BenchmarkAblationSerializeFirst(b *testing.B) {
+	benchNetworkTransfer(b, core.NetworkOptions{SerializeFirst: true})
+}
+
+// BenchmarkAblationWASIStaging quantifies the WASI staging copy's share of
+// the WasmEdge baseline (DisableStagingCopy removes it).
+func BenchmarkAblationWASIStaging(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "staging-on"
+		if disable {
+			name = "staging-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			k := kernel.New("node")
+			src, err := baseline.NewWasmEdgeFunction("a", k, guest.Module(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst, err := baseline.NewWasmEdgeFunction("b", k, guest.Module(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer src.Close()
+			defer dst.Close()
+			src.WASI().DisableStagingCopy = disable
+			dst.WASI().DisableStagingCopy = disable
+			if err := src.Produce(benchPayload); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(benchPayload)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ptr, _, _, err := src.Transfer(dst, baseline.TransferEnv{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dst.Release(ptr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- End-to-end workflow benches ----------------------------------------------------
+
+func BenchmarkChainThreeModes(b *testing.B) {
+	p := roadrunner.New()
+	defer p.Close()
+	a, err := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "edge"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b2, err := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "edge", ShareVMWith: a})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := p.Deploy(roadrunner.FunctionSpec{Name: "c", Node: "edge"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := p.Deploy(roadrunner.FunctionSpec{Name: "d", Node: "cloud"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 256 << 10
+	b.SetBytes(3 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Chain(n, a, b2, c, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBatchedSyscalls quantifies the §9 syscall-batching
+// extension against the plain Algorithm-1 path.
+func BenchmarkAblationBatchedSyscalls(b *testing.B) {
+	benchNetworkTransfer(b, core.NetworkOptions{BatchSyscalls: true})
+}
+
+// BenchmarkMulticast8 vs BenchmarkFig10FanoutInter8: the tee(2)-based
+// multicast extension amortizes the source pipeline across targets.
+func BenchmarkMulticast8(b *testing.B) {
+	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
+	defer p.Close()
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "src", Node: "edge"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := make([]*roadrunner.Function, 8)
+	for i := range targets {
+		if targets[i], err = p.Deploy(roadrunner.FunctionSpec{
+			Name: fmt.Sprintf("t%d", i), Node: "cloud",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := src.Produce(benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 * benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs, _, err := p.Multicast(src, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, dst := range targets {
+			if err := dst.Release(refs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

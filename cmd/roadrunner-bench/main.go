@@ -1,0 +1,108 @@
+// Command roadrunner-bench regenerates the paper's evaluation tables and
+// figures (Fig. 2, 6, 7, 8, 9, 10) on the simulated testbed.
+//
+// Usage:
+//
+//	roadrunner-bench                     # every experiment, scaled axes
+//	roadrunner-bench -exp fig7,fig8      # selected experiments
+//	roadrunner-bench -full               # the paper's axes (1–500 MB, degree 100)
+//	roadrunner-bench -sizes 1,10,50      # custom payload sweep (MB)
+//	roadrunner-bench -degrees 1,10,100   # custom fan-out degrees
+//	roadrunner-bench -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "roadrunner-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("roadrunner-bench", flag.ContinueOnError)
+	var (
+		expFlag     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		fullFlag    = fs.Bool("full", false, "use the paper's full axes (slow: minutes)")
+		sizesFlag   = fs.String("sizes", "", "payload sizes in MB for fig7/fig8 sweeps, e.g. 1,10,50")
+		degreesFlag = fs.String("degrees", "", "fan-out degrees for fig9/fig10, e.g. 1,10,100")
+		fanoutMB    = fs.Int("fanout-mb", 0, "per-transfer payload (MB) in fan-out experiments")
+		fig6MB      = fs.Int("fig6-mb", 0, "payload (MB) for the fig6 breakdown")
+		runsFlag    = fs.Int("runs", 0, "repetitions per data point (mean reported)")
+		listFlag    = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{}
+	if *fullFlag {
+		opts = experiments.Full()
+	}
+	var err error
+	if opts.SizesMB, err = overrideInts(*sizesFlag, opts.SizesMB); err != nil {
+		return fmt.Errorf("-sizes: %w", err)
+	}
+	if opts.FanoutDegrees, err = overrideInts(*degreesFlag, opts.FanoutDegrees); err != nil {
+		return fmt.Errorf("-degrees: %w", err)
+	}
+	if *fanoutMB > 0 {
+		opts.FanoutPayloadMB = *fanoutMB
+	}
+	if *fig6MB > 0 {
+		opts.Fig6PayloadMB = *fig6MB
+	}
+	if *runsFlag > 0 {
+		opts.Runs = *runsFlag
+	}
+
+	ids := experiments.IDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		res, err := runner(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		res.Print(os.Stdout)
+	}
+	return nil
+}
+
+func overrideInts(flagValue string, def []int) ([]int, error) {
+	if flagValue == "" {
+		return def, nil
+	}
+	parts := strings.Split(flagValue, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

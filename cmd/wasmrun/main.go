@@ -1,0 +1,143 @@
+// Command wasmrun inspects and executes WebAssembly modules under the
+// Roadrunner shim ABI using the repo's pure-Go runtime.
+//
+// Usage:
+//
+//	wasmrun -dump                        # write the canonical guest module to guest.wasm
+//	wasmrun module.wasm                  # list exports
+//	wasmrun module.wasm hello            # call an export
+//	wasmrun module.wasm consume 1024 64  # call with integer arguments
+//	wasmrun -guest produce 4096          # run an export of the built-in guest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/abi"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasi"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wasmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wasmrun", flag.ContinueOnError)
+	var (
+		dumpFlag   = fs.Bool("dump", false, "write the canonical guest module to guest.wasm and exit")
+		guestFlag  = fs.Bool("guest", false, "operate on the built-in guest module instead of a file")
+		disasmFlag = fs.Bool("disasm", false, "print the module in WAT-like form and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+
+	if *dumpFlag {
+		if err := os.WriteFile("guest.wasm", guest.Module(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote guest.wasm (%d bytes)\n", len(guest.Module()))
+		return nil
+	}
+
+	var bin []byte
+	if *guestFlag {
+		bin = guest.Module()
+	} else {
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: wasmrun [-guest|-dump] [module.wasm] [export args...]")
+		}
+		var err error
+		if bin, err = os.ReadFile(rest[0]); err != nil {
+			return err
+		}
+		rest = rest[1:]
+	}
+
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if *disasmFlag {
+		text, err := wasm.Disassemble(m)
+		if err != nil {
+			return fmt.Errorf("disassemble: %w", err)
+		}
+		fmt.Print(text)
+		return nil
+	}
+
+	// Host environment: a scratch kernel process with WASI + shim imports.
+	k := kernel.New("wasmrun")
+	proc := k.NewProc("module", nil)
+	defer proc.CloseAll()
+	host := wasi.NewHost(proc, nil)
+	imports := wasm.Imports{}
+	host.AddImports(imports)
+	imports.Add(abi.ImportModule, abi.ImportSendToHost, abi.SendToHostImport(func(ptr, n uint32) {
+		fmt.Printf("send_to_host(ptr=%d, len=%d)\n", ptr, n)
+	}))
+
+	inst, err := wasm.Instantiate(m, imports, nil)
+	if err != nil {
+		return fmt.Errorf("instantiate: %w", err)
+	}
+
+	if len(rest) == 0 {
+		return listExports(m, inst)
+	}
+
+	export := rest[0]
+	callArgs := make([]uint64, 0, len(rest)-1)
+	for _, a := range rest[1:] {
+		v, err := strconv.ParseUint(a, 0, 64)
+		if err != nil {
+			return fmt.Errorf("argument %q: %w", a, err)
+		}
+		callArgs = append(callArgs, v)
+	}
+	results, err := inst.Call(export, callArgs...)
+	if err != nil {
+		return fmt.Errorf("call %s: %w", export, err)
+	}
+	for i, r := range results {
+		fmt.Printf("result[%d] = %d (0x%x)\n", i, r, r)
+	}
+	if len(results) == 0 {
+		fmt.Println("ok (no results)")
+	}
+	return nil
+}
+
+func listExports(m *wasm.Module, inst *wasm.Instance) error {
+	fmt.Printf("module: %d types, %d imports, %d functions, %d exports\n",
+		len(m.Types), len(m.Imports), len(m.FuncTypes), len(m.Exports))
+	for _, imp := range m.Imports {
+		fmt.Printf("  import %s.%s\n", imp.Module, imp.Name)
+	}
+	for _, e := range inst.Exports() {
+		switch e.Kind {
+		case wasm.ExternFunc:
+			ft, err := m.FuncType(e.Index)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  export func %s%v -> %v\n", e.Name, ft.Params, ft.Results)
+		case wasm.ExternMemory:
+			fmt.Printf("  export memory %s (%d bytes)\n", e.Name, inst.Memory().Size())
+		case wasm.ExternGlobal:
+			fmt.Printf("  export global %s\n", e.Name)
+		}
+	}
+	return nil
+}

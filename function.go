@@ -1,0 +1,216 @@
+package roadrunner
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+// Name returns the function name.
+func (f *Function) Name() string { return f.inner.Name() }
+
+// Node returns the node the function is placed on.
+func (f *Function) Node() string { return f.node }
+
+// Workflow returns the function's trusted context.
+func (f *Function) Workflow() Workflow { return f.workflow }
+
+// ColdStart reports the shim's accumulated sandbox + VM initialization time.
+func (f *Function) ColdStart() time.Duration { return f.inner.Shim().ColdStart() }
+
+// SharesVMWith reports whether two functions live in the same Wasm VM (and
+// therefore qualify for user-space transfers).
+func (f *Function) SharesVMWith(o *Function) bool {
+	return f.inner.Shim() == o.inner.Shim()
+}
+
+// Produce runs the guest payload generator, making an n-byte deterministic
+// payload the function's current output.
+func (f *Function) Produce(n int) error {
+	_, err := f.inner.CallPacked(guest.ExportProduce, uint64(n))
+	return err
+}
+
+// Output returns the function's current output region.
+func (f *Function) Output() (DataRef, error) {
+	out, err := f.inner.Output()
+	if err != nil {
+		return DataRef{}, err
+	}
+	return DataRef{Ptr: out.Ptr, Len: out.Len}, nil
+}
+
+// SetOutput registers delivered data as the function's output, enabling the
+// next hop of a chained workflow.
+func (f *Function) SetOutput(ref DataRef) error {
+	if _, err := f.inner.Call(guest.ExportSetOutput, uint64(ref.Ptr), uint64(ref.Len)); err != nil {
+		return err
+	}
+	// Re-announce so the shim registers the region as readable.
+	_, err := f.inner.Locate()
+	return err
+}
+
+// Checksum digests a delivered region inside the guest; it matches
+// ExpectedChecksum for payloads created by Produce.
+func (f *Function) Checksum(ref DataRef) (uint64, error) {
+	res, err := f.inner.Call(guest.ExportConsume, uint64(ref.Ptr), uint64(ref.Len))
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// Release returns delivered data to the guest allocator
+// (deallocate_memory), rewinding the bump heap when the region is the most
+// recent live allocation. Long-running functions release inbound payloads
+// between invocations to keep linear memory bounded.
+func (f *Function) Release(ref DataRef) error {
+	return f.inner.View().Deallocate(ref.Ptr)
+}
+
+// Call invokes any guest export directly (see internal/guest for the
+// canonical module's surface).
+func (f *Function) Call(export string, args ...uint64) ([]uint64, error) {
+	return f.inner.Call(export, args...)
+}
+
+// ResizeHalf runs the guest's 2×2 box-filter downsample over a delivered
+// grayscale image, returning the output region.
+func (f *Function) ResizeHalf(ref DataRef, w, h int) (DataRef, error) {
+	if uint32(w*h) != ref.Len {
+		return DataRef{}, fmt.Errorf("roadrunner: resize %dx%d does not match %d delivered bytes", w, h, ref.Len)
+	}
+	out, err := f.inner.CallPacked(guest.ExportResizeHalf, uint64(ref.Ptr), uint64(w), uint64(h))
+	if err != nil {
+		return DataRef{}, err
+	}
+	return DataRef{Ptr: out.Ptr, Len: out.Len}, nil
+}
+
+// ExpectedChecksum returns the digest Checksum yields for an n-byte payload
+// created by Produce — the end-to-end integrity oracle used by the examples
+// and tests.
+func ExpectedChecksum(n int) uint64 {
+	return guest.ReferenceChecksum(guest.ReferenceProduce(n))
+}
+
+// Chain produces an n-byte payload at the first function and forwards it hop
+// by hop through the rest (the sequential invocation pattern of §6.1),
+// selecting the transfer mode per hop by locality. It returns the merged
+// report and the final delivery.
+func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
+	if len(fns) < 2 {
+		return DataRef{}, Report{}, fmt.Errorf("roadrunner: chain needs at least 2 functions, got %d", len(fns))
+	}
+	if err := fns[0].Produce(n); err != nil {
+		return DataRef{}, Report{}, err
+	}
+	var (
+		total Report
+		ref   DataRef
+	)
+	for i := 0; i+1 < len(fns); i++ {
+		if i > 0 {
+			if err := fns[i].SetOutput(ref); err != nil {
+				return DataRef{}, Report{}, err
+			}
+		}
+		var (
+			rep Report
+			err error
+		)
+		ref, rep, err = p.Transfer(fns[i], fns[i+1])
+		if err != nil {
+			return DataRef{}, Report{}, fmt.Errorf("hop %s->%s: %w", fns[i].Name(), fns[i+1].Name(), err)
+		}
+		if i == 0 {
+			total = rep
+		} else {
+			total = total.Merge(rep)
+		}
+	}
+	return ref, total, nil
+}
+
+// Multicast delivers src's current output to every (remote) target in a
+// single pass over the virtual data hose, duplicating page references with
+// tee(2) semantics instead of re-reading the source per target — the
+// zero-copy fan-out extension of Algorithm 1. All targets must be on nodes
+// other than the source's. One report per target is returned.
+func (p *Platform) Multicast(src *Function, targets []*Function) ([]DataRef, []Report, error) {
+	inner := make([]*core.Function, len(targets))
+	for i, t := range targets {
+		inner[i] = t.inner
+	}
+	var link *netsim.Link
+	for _, t := range targets {
+		if t.node != src.node {
+			link = p.topo.LinkBetween(src.node, t.node)
+			break
+		}
+	}
+	refs, reps, err := core.MulticastTransfer(src.inner, inner, core.NetworkOptions{
+		Link:  link,
+		Flows: len(targets),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	outRefs := make([]DataRef, len(refs))
+	outReps := make([]Report, len(reps))
+	for i := range refs {
+		outRefs[i] = DataRef{Ptr: refs[i].Ptr, Len: refs[i].Len}
+		outReps[i] = fromReport(reps[i])
+	}
+	return outRefs, outReps, nil
+}
+
+// Fanout produces an n-byte payload at src and delivers it to every target
+// (the fan-out pattern of §6.4). Network transfers are modeled with all
+// targets' flows sharing the link. It returns one report per target.
+func (p *Platform) Fanout(src *Function, targets []*Function, n int) ([]Report, error) {
+	if err := src.Produce(n); err != nil {
+		return nil, err
+	}
+	reports := make([]Report, 0, len(targets))
+	for _, dst := range targets {
+		_, rep, err := p.Transfer(src, dst, WithFlows(len(targets)))
+		if err != nil {
+			return nil, fmt.Errorf("fanout to %s: %w", dst.Name(), err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// SaveState snapshots the function's current output under a named key in
+// the platform's shim-side state store — the function state management the
+// paper lists as future work (§9). Entries are scoped to the function's
+// workflow and tenant.
+func (f *Function) SaveState(key string) error {
+	return f.platform.state.Put(f.inner, key)
+}
+
+// LoadState delivers a previously saved payload back into the function's
+// linear memory. Only the saving workflow/tenant can see the entry.
+func (f *Function) LoadState(key string) (DataRef, error) {
+	ref, err := f.platform.state.Get(f.inner, key)
+	if err != nil {
+		return DataRef{}, err
+	}
+	return DataRef{Ptr: ref.Ptr, Len: ref.Len}, nil
+}
+
+// DeleteState removes a state entry of the function's workflow.
+func (f *Function) DeleteState(key string) {
+	f.platform.state.Delete(core.Workflow{Name: f.workflow.Name, Tenant: f.workflow.Tenant}, key)
+}
+
+// StateKeys lists the state entries visible to the function's workflow.
+func (f *Function) StateKeys() []string {
+	return f.platform.state.Keys(core.Workflow{Name: f.workflow.Name, Tenant: f.workflow.Tenant})
+}

@@ -1,0 +1,62 @@
+// Package baseline implements the two comparison systems of the paper's
+// evaluation (§6.2): RunC — native-speed container functions exchanging
+// serialized payloads over HTTP — and WasmEdge — Wasm functions doing the
+// same through WASI-mediated sockets. Both run on the identical simulated
+// kernel and network substrate as Roadrunner, so every difference in the
+// results comes from the data path, not the harness.
+package baseline
+
+import (
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+// Cold-start model (Fig. 2a). Image distribution and sandbox provisioning
+// cannot be measured inside a single-process simulation, so they are modeled
+// with explicit constants; VM/module instantiation is measured for real.
+const (
+	// RegistryBandwidth models image pull throughput.
+	RegistryBandwidth = 50 << 20 // 50 MiB/s
+	// ExtractBandwidth models layer extraction/unpacking throughput.
+	ExtractBandwidth = 200 << 20 // 200 MiB/s
+	// RunCInitTime models namespace/cgroup/rootfs provisioning for a
+	// container sandbox.
+	RunCInitTime = 300 * time.Millisecond
+	// WasmShimInitTime models the lightweight shim bootstrap for a Wasm
+	// sandbox.
+	WasmShimInitTime = 5 * time.Millisecond
+)
+
+// Paper-reported artifact sizes (Fig. 2a): Docker images ≈ 77 MB, Wasm
+// binaries ≈ 3.19 MB.
+const (
+	ContainerImageBytes = 76_900_000
+	WasmBinaryBytes     = 3_190_000
+)
+
+// PullTime models fetching and extracting an image/binary of the given size.
+func PullTime(bytes int64) time.Duration {
+	pull := time.Duration(float64(bytes) / RegistryBandwidth * float64(time.Second))
+	extract := time.Duration(float64(bytes) / ExtractBandwidth * float64(time.Second))
+	return pull + extract
+}
+
+// TransferEnv bundles the shared substrate a baseline transfer runs on.
+type TransferEnv struct {
+	// Link models the network between the two functions' nodes (use the
+	// topology loopback for co-located functions). nil attributes no
+	// network time.
+	Link *netsim.Link
+	// Flows is the number of concurrent flows sharing the link.
+	Flows int
+}
+
+func (e TransferEnv) networkTime(bytes int64) time.Duration {
+	if e.Link == nil {
+		return 0
+	}
+	return e.Link.TransferTime(bytes, e.Flows)
+}
+
+var _ = netsim.Mbps // keep the dependency explicit for doc references

@@ -1,0 +1,211 @@
+package baseline_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/baseline"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+func TestPullTimeScalesWithSize(t *testing.T) {
+	small := baseline.PullTime(1 << 20)
+	big := baseline.PullTime(100 << 20)
+	if big <= small {
+		t.Fatalf("pull time not monotone: %v vs %v", small, big)
+	}
+	// 77 MB container image pull+extract lands in the seconds range.
+	cont := baseline.PullTime(baseline.ContainerImageBytes)
+	if cont < 500*time.Millisecond || cont > 10*time.Second {
+		t.Fatalf("container pull = %v", cont)
+	}
+}
+
+func TestRunCColdStartExceedsWasm(t *testing.T) {
+	k := kernel.New("n")
+	rc := baseline.NewRunCFunction("c", k, baseline.ContainerImageBytes, nil)
+	defer rc.Close()
+	we, err := baseline.NewWasmEdgeFunction("w", k, guest.Module(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer we.Close()
+	if rc.ColdStart() <= we.ColdStart() {
+		t.Fatalf("container cold start %v <= wasm %v", rc.ColdStart(), we.ColdStart())
+	}
+}
+
+func TestRunCTransferDeliversPayload(t *testing.T) {
+	k := kernel.New("n")
+	src := baseline.NewRunCFunction("a", k, baseline.ContainerImageBytes, nil)
+	dst := baseline.NewRunCFunction("b", k, baseline.ContainerImageBytes, nil)
+	defer src.Close()
+	defer dst.Close()
+
+	const n = 250_000
+	src.Produce(n)
+	got, report, err := src.Transfer(dst, baseline.TransferEnv{Link: netsim.DefaultLoopback(), Flows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Checksum(got) != guest.ReferenceChecksum(guest.ReferenceProduce(n)) {
+		t.Fatal("payload corrupted over RunC HTTP path")
+	}
+	if report.Mode != "runc-http" {
+		t.Fatalf("mode = %s", report.Mode)
+	}
+	// The HTTP+codec path must pay serialization time and kernel copies.
+	if report.Breakdown.Serialization <= 0 {
+		t.Fatal("serialization not measured")
+	}
+	if report.Usage.KernelCopyBytes < 2*n {
+		t.Fatalf("kernel copies = %d, want >= %d", report.Usage.KernelCopyBytes, 2*n)
+	}
+	// Wire bytes exceed the raw payload (framing + escaping).
+	if report.Bytes <= n {
+		t.Fatalf("wire bytes = %d", report.Bytes)
+	}
+}
+
+func TestRunCHello(t *testing.T) {
+	k := kernel.New("n")
+	f := baseline.NewRunCFunction("c", k, baseline.ContainerImageBytes, nil)
+	defer f.Close()
+	if f.Hello() != 42 {
+		t.Fatal("hello != 42")
+	}
+}
+
+func TestRunCResizeMatchesGuest(t *testing.T) {
+	k := kernel.New("n")
+	f := baseline.NewRunCFunction("c", k, baseline.ContainerImageBytes, nil)
+	defer f.Close()
+	src := guest.ReferenceProduce(64 * 64)
+	out := f.ResizeHalf(src, 64, 64)
+	if len(out) != 32*32 {
+		t.Fatalf("resize output %d bytes", len(out))
+	}
+}
+
+func TestWasmEdgeTransferDeliversPayload(t *testing.T) {
+	k := kernel.New("n")
+	src, err := baseline.NewWasmEdgeFunction("a", k, guest.Module(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := baseline.NewWasmEdgeFunction("b", k, guest.Module(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	const n = 120_000
+	if err := src.Produce(n); err != nil {
+		t.Fatal(err)
+	}
+	ptr, m, report, err := src.Transfer(dst, baseline.TransferEnv{Link: netsim.DefaultLoopback(), Flows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(m) != n {
+		t.Fatalf("delivered %d bytes, want %d", m, n)
+	}
+	sum, err := dst.Checksum(ptr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != guest.ReferenceChecksum(guest.ReferenceProduce(n)) {
+		t.Fatal("payload corrupted over WasmEdge path")
+	}
+	if report.Mode != "wasmedge-http" {
+		t.Fatalf("mode = %s", report.Mode)
+	}
+	if report.Breakdown.Serialization <= 0 {
+		t.Fatal("in-sandbox serialization not measured")
+	}
+	// WASI staging copies on top of the kernel boundary copies.
+	if report.Usage.UserCopyBytes < int64(report.Bytes) {
+		t.Fatalf("user copies = %d, want >= %d (WASI staging)", report.Usage.UserCopyBytes, report.Bytes)
+	}
+}
+
+func TestWasmEdgeSerializationDominates(t *testing.T) {
+	// The paper's core motivation (§2.2): serialization is a far larger
+	// share of transfer cost on the Wasm runtime than in containers.
+	k := kernel.New("n")
+	ws, err := baseline.NewWasmEdgeFunction("wa", k, guest.Module(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := baseline.NewWasmEdgeFunction("wb", k, guest.Module(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := baseline.NewRunCFunction("ra", k, baseline.ContainerImageBytes, nil)
+	rd := baseline.NewRunCFunction("rb", k, baseline.ContainerImageBytes, nil)
+	defer func() { ws.Close(); wd.Close(); rs.Close(); rd.Close() }()
+
+	const n = 1 << 20
+	if err := ws.Produce(n); err != nil {
+		t.Fatal(err)
+	}
+	rs.Produce(n)
+	_, _, wreport, err := ws.Transfer(wd, baseline.TransferEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rreport, err := rs.Transfer(rd, baseline.TransferEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wreport.Breakdown.Serialization <= rreport.Breakdown.Serialization {
+		t.Fatalf("wasm serialization %v <= native %v", wreport.Breakdown.Serialization, rreport.Breakdown.Serialization)
+	}
+	wShare := float64(wreport.Breakdown.Serialization) / float64(wreport.Latency()-wreport.Breakdown.Network)
+	rShare := float64(rreport.Breakdown.Serialization) / float64(rreport.Latency()-rreport.Breakdown.Network)
+	if wShare <= rShare {
+		t.Fatalf("serialization share: wasm %.2f <= native %.2f", wShare, rShare)
+	}
+}
+
+func TestWasmEdgeHelloAndResize(t *testing.T) {
+	k := kernel.New("n")
+	f, err := baseline.NewWasmEdgeFunction("w", k, guest.Module(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	v, err := f.Hello()
+	if err != nil || v != 42 {
+		t.Fatalf("hello = %d, %v", v, err)
+	}
+	img := guest.ReferenceProduce(128 * 128)
+	d, err := f.ResizeHalf(img, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("resize duration not measured")
+	}
+}
+
+func TestTransferEnvNetworkAttribution(t *testing.T) {
+	k1, k2 := kernel.New("n1"), kernel.New("n2")
+	src := baseline.NewRunCFunction("a", k1, baseline.ContainerImageBytes, nil)
+	dst := baseline.NewRunCFunction("b", k2, baseline.ContainerImageBytes, nil)
+	defer src.Close()
+	defer dst.Close()
+	src.Produce(1_000_000)
+	link := netsim.NewLink(100*netsim.Mbps, time.Millisecond)
+	_, report, err := src.Transfer(dst, baseline.TransferEnv{Link: link, Flows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1 MB (plus framing) over 100 Mbps ≈ 80+ ms.
+	if report.Breakdown.Network < 70*time.Millisecond {
+		t.Fatalf("network time = %v", report.Breakdown.Network)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/pagebuf"
+)
+
+// MulticastTransfer delivers the source's output to several remote targets
+// from a single pass over the virtual data hose — an extension of
+// Algorithm 1 for the paper's fan-out pattern (§6.4). Instead of re-running
+// the source pipeline per target, each hose chunk is vmspliced once and then
+// tee(2)-duplicated into every target's socket (the last target takes the
+// pages by splice): page references are shared, so the source side still
+// performs zero payload copies regardless of fan-out degree.
+//
+// All targets must live on nodes different from the source's; network time
+// is modeled with all targets' flows sharing the source's links.
+func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]InboundRef, []metrics.TransferReport, error) {
+	if len(dsts) == 0 {
+		return nil, nil, fmt.Errorf("core: multicast requires targets")
+	}
+	srcShim := src.shim
+	for _, dst := range dsts {
+		if dst.shim == srcShim {
+			return nil, nil, ErrSameVM
+		}
+		if dst.shim.Kernel() == srcShim.Kernel() {
+			return nil, nil, ErrSameNode
+		}
+	}
+	beforeSrc := srcShim.acct.Snapshot()
+	beforeDst := make([]metrics.Usage, len(dsts))
+	for i, dst := range dsts {
+		beforeDst[i] = dst.shim.acct.Snapshot()
+	}
+
+	// Source: locate + zero-copy view (Wasm IO).
+	swIO := metrics.NewStopwatch(srcShim.now)
+	out, err := src.locateQuiet()
+	if err != nil {
+		return nil, nil, err
+	}
+	view, err := src.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcWasmIO := swIO.Lap()
+	srcShim.acct.CPU(metrics.User, srcWasmIO)
+
+	// One connection per target.
+	swT := metrics.NewStopwatch(srcShim.now)
+	cfds := make([]int, len(dsts))
+	sfds := make([]int, len(dsts))
+	for i, dst := range dsts {
+		cfds[i], sfds[i] = kernelConnect(srcShim, dst.shim)
+	}
+
+	// Single hose, chunk-by-chunk: tee to all but the last target, splice
+	// to the last.
+	rfd, wfd := srcShim.proc.PipeSized(srcShim.hoseCap)
+	for off := 0; off < len(view); {
+		chunk := len(view) - off
+		if chunk > srcShim.hoseCap {
+			chunk = srcShim.hoseCap
+		}
+		if _, err := srcShim.proc.Vmsplice(wfd, view[off:off+chunk]); err != nil {
+			return nil, nil, fmt.Errorf("multicast vmsplice: %w", err)
+		}
+		for i := 0; i < len(dsts)-1; i++ {
+			// tee(2) does not consume the pipe, so one call covers the
+			// whole (fully queued) chunk; a short clone would duplicate
+			// its prefix again and must be treated as a fault.
+			n, err := srcShim.proc.Tee(rfd, cfds[i], chunk)
+			if err != nil {
+				return nil, nil, fmt.Errorf("multicast tee to %s: %w", dsts[i].name, err)
+			}
+			if n != chunk {
+				return nil, nil, fmt.Errorf("multicast tee to %s: short clone %d of %d", dsts[i].name, n, chunk)
+			}
+		}
+		last := len(dsts) - 1
+		for moved := 0; moved < chunk; {
+			n, err := srcShim.proc.Splice(rfd, cfds[last], chunk-moved)
+			if err != nil {
+				return nil, nil, fmt.Errorf("multicast splice to %s: %w", dsts[last].name, err)
+			}
+			moved += n
+		}
+		off += chunk
+	}
+	_ = srcShim.proc.Close(rfd)
+	_ = srcShim.proc.Close(wfd)
+	for _, fd := range cfds {
+		_ = srcShim.proc.Close(fd)
+	}
+	sendT := swT.Lap()
+	srcShim.acct.CPU(metrics.Kernel, sendT)
+	srcUsage := srcShim.acct.Snapshot().Sub(beforeSrc)
+	// The source-side cost is shared across targets.
+	perTargetSend := sendT / time.Duration(len(dsts))
+
+	refs := make([]InboundRef, len(dsts))
+	reports := make([]metrics.TransferReport, len(dsts))
+	for i, dst := range dsts {
+		ref, bd, err := receiveFromHose(dst, sfds[i], out.Len)
+		if err != nil {
+			return nil, nil, fmt.Errorf("multicast receive at %s: %w", dst.name, err)
+		}
+		refs[i] = ref
+		usage := dst.shim.acct.Snapshot().Sub(beforeDst[i])
+		if i == 0 {
+			usage = usage.Add(srcUsage) // attribute source work once
+		}
+		bd.Transfer += perTargetSend + srcShim.Kernel().SyscallTime(usage.Syscalls)
+		bd.WasmIO += srcWasmIO / time.Duration(len(dsts))
+		if opts.Link != nil {
+			flows := opts.Flows
+			if flows < len(dsts) {
+				flows = len(dsts)
+			}
+			bd.Network = opts.Link.TransferTime(int64(out.Len), flows)
+		}
+		reports[i] = metrics.TransferReport{
+			Bytes:     int64(out.Len),
+			Breakdown: bd,
+			Usage:     usage,
+			Mode:      "network-multicast",
+		}
+	}
+	return refs, reports, nil
+}
+
+// receiveFromHose runs the target half of Algorithm 1: socket → target hose
+// → linear memory.
+func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Breakdown, error) {
+	dstShim := dst.shim
+	var bd metrics.Breakdown
+
+	swIO := metrics.NewStopwatch(dstShim.now)
+	dstPtr, err := dst.view.Allocate(n)
+	if err != nil {
+		return InboundRef{}, bd, err
+	}
+	wv, err := dst.view.WritableView(dstPtr, n)
+	if err != nil {
+		return InboundRef{}, bd, err
+	}
+	allocT := swIO.Lap()
+	dstShim.acct.CPU(metrics.User, allocT)
+	bd.WasmIO += allocT
+
+	trfd, twfd := dstShim.proc.PipeSized(dstShim.hoseCap)
+	received := 0
+	swR := metrics.NewStopwatch(dstShim.now)
+	for received < int(n) {
+		chunk := int(n) - received
+		if chunk > dstShim.hoseCap {
+			chunk = dstShim.hoseCap
+		}
+		for moved := 0; moved < chunk; {
+			m, err := dstShim.proc.Splice(sfd, twfd, chunk-moved)
+			if err != nil {
+				return InboundRef{}, bd, fmt.Errorf("splice in: %w", err)
+			}
+			moved += m
+		}
+		kernelT := swR.Lap()
+		dstShim.acct.CPU(metrics.Kernel, kernelT)
+		bd.Transfer += kernelT
+
+		swW := metrics.NewStopwatch(dstShim.now)
+		hoseRefs, err := dstShim.proc.ReadRefs(trfd, chunk)
+		if err != nil {
+			return InboundRef{}, bd, fmt.Errorf("drain hose: %w", err)
+		}
+		off := received
+		for _, ref := range hoseRefs {
+			off += copy(wv[off:], ref.Bytes())
+		}
+		pagebuf.ReleaseAll(hoseRefs)
+		dstShim.acct.Copy(metrics.User, off-received)
+		received = off
+		wIO := swW.Lap()
+		dstShim.acct.CPU(metrics.User, wIO)
+		bd.WasmIO += wIO
+		swR = metrics.NewStopwatch(dstShim.now)
+	}
+	_ = dstShim.proc.Close(trfd)
+	_ = dstShim.proc.Close(twfd)
+	_ = dstShim.proc.Close(sfd)
+	return InboundRef{Ptr: dstPtr, Len: n}, bd, nil
+}
+
+// kernelConnect opens a TCP-like connection between two shims' sandboxes.
+func kernelConnect(src, dst *Shim) (int, int) {
+	return kernel.Connect(src.proc, dst.proc)
+}

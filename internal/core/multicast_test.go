@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+func TestMulticastDeliversToAllTargets(t *testing.T) {
+	kSrc := kernel.New("edge")
+	sSrc := newShim(t, "src", kSrc)
+	src := addFn(t, sSrc, "src")
+
+	const degree, n = 3, 1_500_000
+	dsts := make([]*core.Function, degree)
+	for i := range dsts {
+		kd := kernel.New(fmt.Sprintf("cloud-%d", i))
+		sd := newShim(t, fmt.Sprintf("s%d", i), kd)
+		dsts[i] = addFn(t, sd, fmt.Sprintf("t%d", i))
+	}
+	if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	link := netsim.NewLink(100*netsim.Mbps, 0)
+	refs, reports, err := core.MulticastTransfer(src, dsts, core.NetworkOptions{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != degree || len(reports) != degree {
+		t.Fatalf("got %d refs, %d reports", len(refs), len(reports))
+	}
+	for i, dst := range dsts {
+		verifyDelivery(t, dst, refs[i], n)
+		if reports[i].Mode != "network-multicast" {
+			t.Fatalf("mode = %s", reports[i].Mode)
+		}
+		// Zero kernel-boundary copies on every path.
+		if reports[i].Usage.KernelCopyBytes != 0 {
+			t.Fatalf("target %d: %d kernel copy bytes", i, reports[i].Usage.KernelCopyBytes)
+		}
+		// Each flow models link sharing across the fan-out.
+		if reports[i].Breakdown.Network <= 0 {
+			t.Fatalf("target %d: no network time", i)
+		}
+	}
+}
+
+// TestMulticastSourceCostIndependentOfDegree pins the tee(2) property: the
+// source reads its guest memory once and performs zero payload copies no
+// matter how many targets receive the data.
+func TestMulticastSourceCostIndependentOfDegree(t *testing.T) {
+	sourceUsage := func(degree int) (syscalls int64, copies int64) {
+		kSrc := kernel.New("edge")
+		sSrc := newShim(t, "src", kSrc)
+		src := addFn(t, sSrc, "src")
+		dsts := make([]*core.Function, degree)
+		for i := range dsts {
+			kd := kernel.New(fmt.Sprintf("cloud-%d", i))
+			sd := newShim(t, fmt.Sprintf("s%d", i), kd)
+			dsts[i] = addFn(t, sd, fmt.Sprintf("t%d", i))
+		}
+		const n = 1 << 20
+		if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+			t.Fatal(err)
+		}
+		before := sSrc.Account().Snapshot()
+		if _, _, err := core.MulticastTransfer(src, dsts, core.NetworkOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		delta := sSrc.Account().Snapshot().Sub(before)
+		return delta.Syscalls, delta.TotalCopyBytes()
+	}
+	sys1, cp1 := sourceUsage(1)
+	sys8, cp8 := sourceUsage(8)
+	if cp1 != 0 || cp8 != 0 {
+		t.Fatalf("source copied bytes: %d / %d", cp1, cp8)
+	}
+	// Extra targets cost one tee + one connect + one close each — far less
+	// than re-running the whole source pipeline per target.
+	perTarget := float64(sys8-sys1) / 7
+	if perTarget > 4 {
+		t.Fatalf("per-target source syscalls = %.1f, want <= 4", perTarget)
+	}
+}
+
+func TestMulticastValidations(t *testing.T) {
+	k1 := kernel.New("n1")
+	s1 := newShim(t, "s1", k1)
+	src := addFn(t, s1, "src")
+	if _, _, err := core.MulticastTransfer(src, nil, core.NetworkOptions{}); err == nil {
+		t.Fatal("empty target list accepted")
+	}
+	sameVM := addFn(t, s1, "same-vm")
+	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameVM}, core.NetworkOptions{}); !errors.Is(err, core.ErrSameVM) {
+		t.Fatalf("same-VM target = %v", err)
+	}
+	s2 := newShim(t, "s2", k1)
+	sameNode := addFn(t, s2, "same-node")
+	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameNode}, core.NetworkOptions{}); !errors.Is(err, core.ErrSameNode) {
+		t.Fatalf("same-node target = %v", err)
+	}
+}
+
+func TestMulticastSingleTargetEqualsUnicast(t *testing.T) {
+	k1, k2 := kernel.New("edge"), kernel.New("cloud")
+	s1, s2 := newShim(t, "s1", k1), newShim(t, "s2", k2)
+	src, dst := addFn(t, s1, "a"), addFn(t, s2, "b")
+	const n = 300_000
+	if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	refs, reports, err := core.MulticastTransfer(src, []*core.Function{dst}, core.NetworkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDelivery(t, dst, refs[0], n)
+	if reports[0].Usage.UserCopyBytes != n {
+		t.Fatalf("user copies = %d", reports[0].Usage.UserCopyBytes)
+	}
+}
+
+func TestKernelTeeSemantics(t *testing.T) {
+	k := kernel.New("n")
+	p := k.NewProc("p", nil)
+	defer p.CloseAll()
+	rfd, wfd := p.PipeSized(1 << 20)
+	r2, w2 := p.PipeSized(1 << 20)
+	payload := []byte("tee leaves the source readable")
+	if _, err := p.Vmsplice(wfd, payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Tee(rfd, w2, len(payload))
+	if err != nil || n != len(payload) {
+		t.Fatalf("tee = %d, %v", n, err)
+	}
+	// Both pipes now hold the payload.
+	buf := make([]byte, len(payload))
+	if _, err := p.Read(r2, buf); err != nil || string(buf) != string(payload) {
+		t.Fatalf("clone read = %q, %v", buf, err)
+	}
+	if _, err := p.Read(rfd, buf); err != nil || string(buf) != string(payload) {
+		t.Fatalf("original read after tee = %q, %v", buf, err)
+	}
+	// tee from a non-pipe fails.
+	k2 := kernel.New("n2")
+	q := k2.NewProc("q", nil)
+	defer q.CloseAll()
+	cfd, _ := kernel.Connect(p, q)
+	if _, err := p.Tee(cfd, w2, 1); !errors.Is(err, kernel.ErrNotSupported) {
+		t.Fatalf("tee from socket = %v", err)
+	}
+	if _, err := p.Tee(rfd, w2, 0); !errors.Is(err, kernel.ErrInvalid) {
+		t.Fatalf("tee n=0 = %v", err)
+	}
+}

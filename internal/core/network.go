@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/pagebuf"
+)
+
+// NetworkOptions tunes a network-mode transfer.
+type NetworkOptions struct {
+	// Link is the modeled network path between the two nodes; nil means
+	// no network time is attributed (testing).
+	Link *netsim.Link
+	// Flows is the number of concurrent flows sharing the link
+	// (fan-out degree); values < 1 mean 1.
+	Flows int
+	// ForceCopyPath disables vmsplice/splice and moves the payload with
+	// plain write/read syscalls — the ablation quantifying the
+	// near-zero-copy win in isolation (DESIGN.md §4.1).
+	ForceCopyPath bool
+	// SerializeFirst re-enables the codec inside the guest before
+	// transmission — the ablation quantifying the serialization-free win
+	// (DESIGN.md §4.2).
+	SerializeFirst bool
+	// BatchSyscalls submits the per-chunk vmsplice/splice operations as
+	// io_uring-style batches (one kernel entry per side), implementing the
+	// syscall-batching extension of the paper's future work (§9).
+	BatchSyscalls bool
+}
+
+// NetworkTransfer implements Algorithm 1: the source shim maps the guest's
+// output pages into a dedicated pipe (the virtual data hose) with vmsplice,
+// splices them into a socket towards the target node, and the target shim
+// splices them back out of its socket and writes them into the target
+// function's linear memory. No user↔kernel payload copies occur on the wire
+// path; the only copy is the final write into the target VM's memory —
+// the paper's "near-zero copy" (§7).
+func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metrics.TransferReport, error) {
+	if src.shim == dst.shim {
+		return InboundRef{}, metrics.TransferReport{}, ErrSameVM
+	}
+	if src.shim.Kernel() == dst.shim.Kernel() {
+		return InboundRef{}, metrics.TransferReport{}, ErrSameNode
+	}
+	srcShim, dstShim := src.shim, dst.shim
+	beforeSrc := srcShim.acct.Snapshot()
+	beforeDst := dstShim.acct.Snapshot()
+	var breakdown metrics.Breakdown
+
+	// FunctionA side (Algorithm 1 lines 1-4): locate the output region.
+	swIO := metrics.NewStopwatch(srcShim.now)
+	out, err := src.locateQuiet()
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	locT := swIO.Lap()
+	srcShim.acct.CPU(metrics.User, locT)
+	breakdown.WasmIO += locT
+
+	// Optional ablation: re-enable in-guest serialization.
+	if opts.SerializeFirst {
+		swSer := metrics.NewStopwatch(srcShim.now)
+		encOut, err := src.CallPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
+		if err != nil {
+			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("serialize ablation: %w", err)
+		}
+		breakdown.Serialization += swSer.Lap()
+		out = encOut
+	}
+
+	// read_memory_host: zero-copy view of the source region.
+	swIO2 := metrics.NewStopwatch(srcShim.now)
+	view, err := src.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	viewT := swIO2.Lap()
+	srcShim.acct.CPU(metrics.User, viewT)
+	breakdown.WasmIO += viewT
+
+	// network_data_transfer_source (Algorithm 1 lines 6-13).
+	swT := metrics.NewStopwatch(srcShim.now)
+	cfd, sfd := kernel.Connect(srcShim.proc, dstShim.proc)
+	defer func() { _ = dstShim.proc.Close(sfd) }()
+	if opts.ForceCopyPath {
+		if _, err := srcShim.proc.Write(cfd, view); err != nil {
+			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path send: %w", err)
+		}
+	} else {
+		if opts.BatchSyscalls {
+			srcShim.proc.BeginBatch()
+		}
+		rfd, wfd := srcShim.proc.PipeSized(srcShim.hoseCap) // create_virtual_data_hose
+		for off := 0; off < len(view); {
+			chunk := len(view) - off
+			if chunk > srcShim.hoseCap {
+				chunk = srcShim.hoseCap
+			}
+			// vmsplice(vdh, address, length): gift the guest pages into
+			// the hose without copying.
+			if _, err := srcShim.proc.Vmsplice(wfd, view[off:off+chunk]); err != nil {
+				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("vmsplice: %w", err)
+			}
+			// splice(vdh, socket, length): move page references to the
+			// socket.
+			for moved := 0; moved < chunk; {
+				n, err := srcShim.proc.Splice(rfd, cfd, chunk-moved)
+				if err != nil {
+					return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("splice out: %w", err)
+				}
+				moved += n
+			}
+			off += chunk
+		}
+		_ = srcShim.proc.Close(rfd)
+		_ = srcShim.proc.Close(wfd)
+		_ = srcShim.proc.Close(cfd) // close_all()
+		if opts.BatchSyscalls {
+			srcShim.proc.EndBatch()
+		}
+	}
+	if !opts.ForceCopyPath {
+		cfd = -1 // already closed inside the hose path
+	}
+	if cfd >= 0 {
+		_ = srcShim.proc.Close(cfd) // close_all()
+	}
+	sendT := swT.Lap()
+	srcShim.acct.CPU(metrics.Kernel, sendT)
+	breakdown.Transfer += sendT
+
+	// FunctionB side (Algorithm 1 lines 15-19): allocate target memory.
+	swIO3 := metrics.NewStopwatch(dstShim.now)
+	dstPtr, err := dst.view.Allocate(out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	wv, err := dst.view.WritableView(dstPtr, out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	allocT := swIO3.Lap()
+	dstShim.acct.CPU(metrics.User, allocT)
+	breakdown.WasmIO += allocT
+
+	// network_data_transfer_target (Algorithm 1 lines 21-29).
+	swR := metrics.NewStopwatch(dstShim.now)
+	if opts.ForceCopyPath {
+		for off := 0; off < len(wv); {
+			n, err := dstShim.proc.Read(sfd, wv[off:])
+			if err != nil {
+				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path recv: %w", err)
+			}
+			off += n
+		}
+		recvT := swR.Lap()
+		dstShim.acct.CPU(metrics.Kernel, recvT)
+		breakdown.Transfer += recvT
+	} else {
+		if opts.BatchSyscalls {
+			dstShim.proc.BeginBatch()
+		}
+		trfd, twfd := dstShim.proc.PipeSized(dstShim.hoseCap) // target_vdh
+		received := 0
+		for received < int(out.Len) {
+			chunk := int(out.Len) - received
+			if chunk > dstShim.hoseCap {
+				chunk = dstShim.hoseCap
+			}
+			// splice(socket_fd, target_vdh, length).
+			for moved := 0; moved < chunk; {
+				n, err := dstShim.proc.Splice(sfd, twfd, chunk-moved)
+				if err != nil {
+					return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("splice in: %w", err)
+				}
+				moved += n
+			}
+			kernelT := swR.Lap()
+			dstShim.acct.CPU(metrics.Kernel, kernelT)
+			breakdown.Transfer += kernelT
+
+			// write_memory_host: deposit the hose pages directly into
+			// the target VM's linear memory — the single unavoidable
+			// copy of the near-zero-copy path.
+			swW := metrics.NewStopwatch(dstShim.now)
+			refs, err := dstShim.proc.ReadRefs(trfd, chunk)
+			if err != nil {
+				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("drain hose: %w", err)
+			}
+			off := received
+			for _, ref := range refs {
+				off += copy(wv[off:], ref.Bytes())
+			}
+			pagebuf.ReleaseAll(refs)
+			dstShim.acct.Copy(metrics.User, off-received)
+			received = off
+			wIO := swW.Lap()
+			dstShim.acct.CPU(metrics.User, wIO)
+			breakdown.WasmIO += wIO
+			swR = metrics.NewStopwatch(dstShim.now)
+		}
+		_ = dstShim.proc.Close(trfd)
+		_ = dstShim.proc.Close(twfd)
+		if opts.BatchSyscalls {
+			dstShim.proc.EndBatch()
+		}
+	}
+
+	// Ablation follow-up: decode in the target guest.
+	resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}
+	if opts.SerializeFirst {
+		swDe := metrics.NewStopwatch(dstShim.now)
+		decOut, err := dst.CallPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
+		if err != nil {
+			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("deserialize ablation: %w", err)
+		}
+		breakdown.Serialization += swDe.Lap()
+		resultRef = InboundRef{Ptr: decOut.Ptr, Len: decOut.Len}
+	}
+
+	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
+	breakdown.Transfer += srcShim.Kernel().SyscallTime(usage.Syscalls)
+
+	// Modeled wire time: the payload crossed the inter-node link once.
+	if opts.Link != nil {
+		breakdown.Network = opts.Link.TransferTime(int64(out.Len), opts.Flows)
+	}
+
+	report := metrics.TransferReport{
+		Bytes:     int64(out.Len),
+		Breakdown: breakdown,
+		Usage:     usage,
+		Mode:      "network",
+	}
+	return resultRef, report, nil
+}

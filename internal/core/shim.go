@@ -1,0 +1,269 @@
+// Package core implements Roadrunner itself: the sidecar shim that manages
+// Wasm VM lifecycles (§3.2.5), the data-access model of §3.1, and the three
+// inter-function data-transfer mechanisms of §4 — user space (same Wasm VM),
+// kernel space (co-located sandboxes over IPC) and network (the
+// vmsplice/splice virtual data hose of Algorithm 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/abi"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasi"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+)
+
+// Transfer-mode and trust errors.
+var (
+	ErrDifferentVM      = errors.New("core: user-space transfer requires functions in the same Wasm VM")
+	ErrWorkflowMismatch = errors.New("core: functions belong to different workflows/tenants")
+	ErrDifferentNode    = errors.New("core: kernel-space transfer requires co-located functions")
+	ErrSameNode         = errors.New("core: network transfer connects functions on different nodes")
+	ErrNoOutput         = errors.New("core: source function has not produced an output")
+)
+
+// Workflow identifies a trusted execution context: only functions of the
+// same workflow and tenant may share a Wasm VM (§3.1 "Shared Memory").
+type Workflow struct {
+	Name   string
+	Tenant string
+}
+
+// Bundle is the OCI-style runtime-bundle metadata the shim packages each
+// Wasm VM with, enabling containerd-compatible deployment (§3.2.2).
+type Bundle struct {
+	SpecVersion string
+	ID          string
+	BinaryBytes int
+	Annotations map[string]string
+}
+
+// ShimConfig configures one sidecar shim.
+type ShimConfig struct {
+	// Name identifies the shim (and its sandbox process).
+	Name string
+	// Workflow is the trusted context functions in this shim belong to.
+	Workflow Workflow
+	// Kernel is the host kernel of the node the shim is placed on.
+	Kernel *kernel.Kernel
+	// Module is the guest binary loaded into each function.
+	Module []byte
+	// Now injects a clock (nil = time.Now).
+	Now func() time.Time
+	// DataHoseBytes sizes the shim's virtual-data-hose pipes
+	// (0 = 4 MiB, set via the simulated F_SETPIPE_SZ).
+	DataHoseBytes int
+}
+
+// Shim is the Roadrunner sidecar: it owns one sandbox process and one Wasm
+// VM, loads function modules into the VM, and mediates every data movement
+// in and out of linear memory (§3.2).
+type Shim struct {
+	name     string
+	workflow Workflow
+	proc     *kernel.Proc
+	acct     *metrics.Account
+	wasiHost *wasi.Host
+	bundle   Bundle
+	now      func() time.Time
+	hoseCap  int
+
+	module    []byte
+	functions []*Function
+	coldStart time.Duration
+}
+
+// NewShim creates the shim's sandbox and prepares the Wasm runtime. The
+// measured duration (sandbox creation + runtime configuration) counts toward
+// cold start, as in Fig. 2a.
+func NewShim(cfg ShimConfig) (*Shim, error) {
+	if cfg.Kernel == nil {
+		return nil, errors.New("core: shim requires a kernel")
+	}
+	if len(cfg.Module) == 0 {
+		return nil, errors.New("core: shim requires a guest module binary")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	hose := cfg.DataHoseBytes
+	if hose <= 0 {
+		hose = 4 << 20
+	}
+	sw := metrics.NewStopwatch(now)
+	acct := &metrics.Account{}
+	proc := cfg.Kernel.NewProc(cfg.Name, acct)
+	s := &Shim{
+		name:     cfg.Name,
+		workflow: cfg.Workflow,
+		proc:     proc,
+		acct:     acct,
+		wasiHost: wasi.NewHost(proc, acct),
+		now:      now,
+		hoseCap:  hose,
+		module:   cfg.Module,
+		bundle: Bundle{
+			SpecVersion: "1.0.2",
+			ID:          "roadrunner-" + cfg.Name,
+			BinaryBytes: len(cfg.Module),
+			Annotations: map[string]string{
+				"io.roadrunner.workflow": cfg.Workflow.Name,
+				"io.roadrunner.tenant":   cfg.Workflow.Tenant,
+			},
+		},
+	}
+	s.coldStart = sw.Lap()
+	return s, nil
+}
+
+// AddFunction loads the shim's module into the Wasm VM as a new function
+// instance (Fig. 4a: one VM may hold several modules of the same workflow).
+// Instantiation time is added to the shim's cold start.
+func (s *Shim) AddFunction(name string) (*Function, error) {
+	sw := metrics.NewStopwatch(s.now)
+	m, err := wasm.Decode(s.module)
+	if err != nil {
+		return nil, fmt.Errorf("decode module for %s: %w", name, err)
+	}
+
+	f := &Function{name: name, shim: s}
+	imports := wasm.Imports{}
+	s.wasiHost.AddImports(imports)
+	imports.Add(abi.ImportModule, abi.ImportSendToHost, abi.SendToHostImport(func(ptr, n uint32) {
+		if f.view != nil {
+			f.view.RegisterOutput(ptr, n)
+			f.out = &OutputRef{Ptr: ptr, Len: n}
+		}
+	}))
+
+	inst, err := wasm.Instantiate(m, imports, &wasm.Config{
+		MemoryResizeHook: func(delta int64) { s.acct.Allocate(delta) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instantiate %s: %w", name, err)
+	}
+	view, err := abi.NewView(inst, s.acct)
+	if err != nil {
+		return nil, fmt.Errorf("bind ABI for %s: %w", name, err)
+	}
+	f.inst = inst
+	f.view = view
+	s.functions = append(s.functions, f)
+	d := sw.Lap()
+	s.coldStart += d
+	s.acct.CPU(metrics.User, d)
+	return f, nil
+}
+
+// Name returns the shim name.
+func (s *Shim) Name() string { return s.name }
+
+// Workflow returns the shim's trusted workflow context.
+func (s *Shim) Workflow() Workflow { return s.workflow }
+
+// Kernel returns the node kernel the shim runs on.
+func (s *Shim) Kernel() *kernel.Kernel { return s.proc.Kernel() }
+
+// Proc returns the shim's sandbox process.
+func (s *Shim) Proc() *kernel.Proc { return s.proc }
+
+// Account returns the shim's resource account (the per-sandbox "cgroup").
+func (s *Shim) Account() *metrics.Account { return s.acct }
+
+// WASI returns the shim's WASI host (used to preload files for guests).
+func (s *Shim) WASI() *wasi.Host { return s.wasiHost }
+
+// Bundle returns the shim's OCI-style bundle metadata.
+func (s *Shim) Bundle() Bundle { return s.bundle }
+
+// ColdStart reports the accumulated sandbox + VM initialization time.
+func (s *Shim) ColdStart() time.Duration { return s.coldStart }
+
+// Close tears down the sandbox and every descriptor it holds.
+func (s *Shim) Close() { s.proc.CloseAll() }
+
+// OutputRef is a guest-announced (pointer, length) output region.
+type OutputRef struct {
+	Ptr uint32
+	Len uint32
+}
+
+// Function is one Wasm function instance managed by a shim.
+type Function struct {
+	name string
+	shim *Shim
+	inst *wasm.Instance
+	view *abi.View
+	out  *OutputRef
+}
+
+// Name returns the function name.
+func (f *Function) Name() string { return f.name }
+
+// Shim returns the managing shim.
+func (f *Function) Shim() *Shim { return f.shim }
+
+// View exposes the shim's mediated memory view (for advanced embedders).
+func (f *Function) View() *abi.View { return f.view }
+
+// Instance returns the function's Wasm instance.
+func (f *Function) Instance() *wasm.Instance { return f.inst }
+
+// Output returns the function's current output region.
+func (f *Function) Output() (OutputRef, error) {
+	if f.out == nil {
+		return OutputRef{}, fmt.Errorf("%s: %w", f.name, ErrNoOutput)
+	}
+	return *f.out, nil
+}
+
+// call runs a guest export, measuring its duration as user CPU.
+func (f *Function) call(name string, args ...uint64) ([]uint64, error) {
+	sw := metrics.NewStopwatch(f.shim.now)
+	res, err := f.inst.Call(name, args...)
+	f.shim.acct.CPU(metrics.User, sw.Lap())
+	return res, err
+}
+
+// CallPacked invokes a packed-result guest export (produce/serialize style),
+// registering and recording the output region.
+func (f *Function) CallPacked(name string, args ...uint64) (OutputRef, error) {
+	sw := metrics.NewStopwatch(f.shim.now)
+	ptr, n, err := f.view.CallPacked(name, args...)
+	f.shim.acct.CPU(metrics.User, sw.Lap())
+	if err != nil {
+		return OutputRef{}, fmt.Errorf("%s: %s: %w", f.name, name, err)
+	}
+	f.out = &OutputRef{Ptr: ptr, Len: n}
+	return *f.out, nil
+}
+
+// Call invokes any guest export, charging guest time as user CPU.
+func (f *Function) Call(name string, args ...uint64) ([]uint64, error) {
+	return f.call(name, args...)
+}
+
+// Locate asks the guest for its output region (locate_memory_region),
+// step 1 of every transfer (Fig. 4).
+func (f *Function) Locate() (OutputRef, error) {
+	sw := metrics.NewStopwatch(f.shim.now)
+	out, err := f.locateQuiet()
+	f.shim.acct.CPU(metrics.User, sw.Lap())
+	return out, err
+}
+
+// locateQuiet performs Locate without charging CPU; the transfer paths
+// measure and charge the surrounding window themselves.
+func (f *Function) locateQuiet() (OutputRef, error) {
+	ptr, n, err := f.view.Locate()
+	if err != nil {
+		return OutputRef{}, err
+	}
+	f.out = &OutputRef{Ptr: ptr, Len: n}
+	return *f.out, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+)
+
+// ErrNoState is returned when a state key does not exist for the requesting
+// workflow.
+var ErrNoState = errors.New("core: no such state entry")
+
+// StateStore implements the function state management the paper lists as
+// future work (§9 "we aim to introduce function state management"): a
+// shim-side short-term store that lets stateless functions persist named
+// byte payloads across invocations — the GoldFish/Faasm-style pattern the
+// related work discusses — without a remote storage service.
+//
+// Isolation follows the paper's trust model (§3.1): entries are scoped to
+// (workflow, tenant), and all access is mediated by the shim through the
+// same registered-region discipline as inter-function transfers, so a
+// function can never read another workflow's state.
+type StateStore struct {
+	mu      sync.Mutex
+	entries map[stateKey][]byte
+}
+
+type stateKey struct {
+	workflow Workflow
+	name     string
+}
+
+// NewStateStore returns an empty store.
+func NewStateStore() *StateStore {
+	return &StateStore{entries: make(map[stateKey][]byte)}
+}
+
+// Put snapshots the function's current output region under the given key.
+// The payload is copied out of linear memory (the guest heap is transient
+// between invocations), charged as one user-space copy to the function's
+// sandbox.
+func (s *StateStore) Put(f *Function, name string) error {
+	out, err := f.locateQuiet()
+	if err != nil {
+		return fmt.Errorf("state put %q: %w", name, err)
+	}
+	view, err := f.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return fmt.Errorf("state put %q: %w", name, err)
+	}
+	snapshot := make([]byte, len(view))
+	copy(snapshot, view)
+	f.shim.acct.Copy(metrics.User, len(snapshot))
+	f.shim.acct.Allocate(int64(len(snapshot)))
+
+	key := stateKey{workflow: f.shim.workflow, name: name}
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		f.shim.acct.Allocate(int64(-len(old)))
+	}
+	s.entries[key] = snapshot
+	s.mu.Unlock()
+	return nil
+}
+
+// Get delivers a stored payload into the function's linear memory
+// (allocate_memory + write_memory_host) and returns its location. Only
+// entries of the function's own workflow/tenant are visible.
+func (s *StateStore) Get(f *Function, name string) (InboundRef, error) {
+	key := stateKey{workflow: f.shim.workflow, name: name}
+	s.mu.Lock()
+	data, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return InboundRef{}, fmt.Errorf("%q in workflow %q: %w", name, f.shim.workflow.Name, ErrNoState)
+	}
+	ptr, err := f.view.Allocate(uint32(len(data)))
+	if err != nil {
+		return InboundRef{}, fmt.Errorf("state get %q: %w", name, err)
+	}
+	if err := f.view.Write(data, ptr); err != nil {
+		return InboundRef{}, fmt.Errorf("state get %q: %w", name, err)
+	}
+	return InboundRef{Ptr: ptr, Len: uint32(len(data))}, nil
+}
+
+// Delete removes an entry; deleting a missing key is a no-op.
+func (s *StateStore) Delete(wf Workflow, name string) {
+	s.mu.Lock()
+	delete(s.entries, stateKey{workflow: wf, name: name})
+	s.mu.Unlock()
+}
+
+// Keys lists the entry names visible to a workflow, sorted.
+func (s *StateStore) Keys(wf Workflow) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for k := range s.entries {
+		if k.workflow == wf {
+			names = append(names, k.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size reports total stored bytes across all workflows.
+func (s *StateStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, data := range s.entries {
+		n += int64(len(data))
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+)
+
+func TestStateStorePutGetRoundTrip(t *testing.T) {
+	k := kernel.New("n")
+	s := newShim(t, "s", k)
+	f := addFn(t, s, "f")
+	store := core.NewStateStore()
+
+	const n = 100_000
+	if _, err := f.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(f, "frame"); err != nil {
+		t.Fatal(err)
+	}
+	// New invocation: the guest heap is rewound (transient state is gone).
+	out, _ := f.Output()
+	if err := f.View().Deallocate(out.Ptr); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := store.Get(f, "frame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDelivery(t, f, ref, n)
+	if store.Size() != n {
+		t.Fatalf("store size = %d", store.Size())
+	}
+}
+
+func TestStateStoreWorkflowIsolation(t *testing.T) {
+	k := kernel.New("n")
+	store := core.NewStateStore()
+
+	mkFn := func(name string, wf core.Workflow) *core.Function {
+		s, err := core.NewShim(core.ShimConfig{Name: name, Workflow: wf, Kernel: k, Module: guest.Module()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return addFn(t, s, name)
+	}
+	wfA := core.Workflow{Name: "wf-a", Tenant: "t1"}
+	wfB := core.Workflow{Name: "wf-b", Tenant: "t1"}
+	wfA2 := core.Workflow{Name: "wf-a", Tenant: "t2"} // same name, other tenant
+
+	fa := mkFn("a", wfA)
+	fb := mkFn("b", wfB)
+	fa2 := mkFn("a2", wfA2)
+
+	if _, err := fa.CallPacked(guest.ExportProduce, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(fa, "secret"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another workflow cannot see the entry.
+	if _, err := store.Get(fb, "secret"); !errors.Is(err, core.ErrNoState) {
+		t.Fatalf("cross-workflow get = %v", err)
+	}
+	// Same workflow name but another tenant cannot either.
+	if _, err := store.Get(fa2, "secret"); !errors.Is(err, core.ErrNoState) {
+		t.Fatalf("cross-tenant get = %v", err)
+	}
+	// The owner can.
+	if _, err := store.Get(fa, "secret"); err != nil {
+		t.Fatalf("owner get = %v", err)
+	}
+	if keys := store.Keys(wfA); len(keys) != 1 || keys[0] != "secret" {
+		t.Fatalf("keys(wfA) = %v", keys)
+	}
+	if keys := store.Keys(wfB); len(keys) != 0 {
+		t.Fatalf("keys(wfB) = %v", keys)
+	}
+}
+
+func TestStateStoreOverwriteAndDelete(t *testing.T) {
+	k := kernel.New("n")
+	s := newShim(t, "s", k)
+	f := addFn(t, s, "f")
+	store := core.NewStateStore()
+
+	if _, err := f.CallPacked(guest.ExportProduce, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(f, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CallPacked(guest.ExportProduce, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(f, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Size() != 200 {
+		t.Fatalf("size after overwrite = %d", store.Size())
+	}
+	store.Delete(s.Workflow(), "x")
+	if _, err := store.Get(f, "x"); !errors.Is(err, core.ErrNoState) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	store.Delete(s.Workflow(), "x") // idempotent
+}
+
+func TestStateStorePutWithoutOutput(t *testing.T) {
+	k := kernel.New("n")
+	s := newShim(t, "s", k)
+	f := addFn(t, s, "f")
+	store := core.NewStateStore()
+	// No produce: locate yields an empty region; storing zero bytes is
+	// legal and Get returns a zero-length delivery.
+	if err := store.Put(f, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := store.Get(f, "empty")
+	if err != nil || ref.Len != 0 {
+		t.Fatalf("empty get = %+v, %v", ref, err)
+	}
+}

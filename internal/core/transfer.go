@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+)
+
+// ErrSameVM signals a kernel/network transfer attempted between functions of
+// one VM, where user-space transfer applies instead.
+var ErrSameVM = fmt.Errorf("core: functions share a Wasm VM; use user-space transfer")
+
+// InboundRef locates data the shim delivered into a target function's linear
+// memory.
+type InboundRef struct {
+	Ptr uint32
+	Len uint32
+}
+
+// UserSpaceTransfer moves the source function's current output into the
+// target function within the same Wasm VM (§4.1, Fig. 4a):
+//
+//  1. locate_memory_region on the source,
+//  2. read_output through the shim's zero-copy view,
+//  3. allocate_memory in the target,
+//  4. write_output into the target's linear memory.
+//
+// One user-space copy total, no serialization, no kernel involvement.
+func UserSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, error) {
+	if src.shim != dst.shim {
+		return InboundRef{}, metrics.TransferReport{}, ErrDifferentVM
+	}
+	if src.shim.workflow != dst.shim.workflow {
+		return InboundRef{}, metrics.TransferReport{}, ErrWorkflowMismatch
+	}
+	s := src.shim
+	before := s.acct.Snapshot()
+	sw := metrics.NewStopwatch(s.now)
+
+	out, err := src.locateQuiet()
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	view, err := src.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	dstPtr, err := dst.view.Allocate(out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	if err := dst.view.Write(view, dstPtr); err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+
+	elapsed := sw.Lap()
+	s.acct.CPU(metrics.User, elapsed)
+	report := metrics.TransferReport{
+		Bytes:     int64(out.Len),
+		Breakdown: metrics.Breakdown{WasmIO: elapsed},
+		Usage:     s.acct.Snapshot().Sub(before),
+		Mode:      "user",
+	}
+	return InboundRef{Ptr: dstPtr, Len: out.Len}, report, nil
+}
+
+// KernelSpaceTransfer moves the source's output to a function in a different
+// sandbox on the same host via Unix-socket IPC (§4.2, Fig. 4b; §5 uses Unix
+// sockets as the IPC mechanism). The payload crosses the kernel exactly
+// twice — copy_from_user on send, copy directly into the target's linear
+// memory on receive — with no serialization.
+func KernelSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, error) {
+	if src.shim == dst.shim {
+		return InboundRef{}, metrics.TransferReport{}, ErrSameVM
+	}
+	if src.shim.Kernel() != dst.shim.Kernel() {
+		return InboundRef{}, metrics.TransferReport{}, ErrDifferentNode
+	}
+	srcShim, dstShim := src.shim, dst.shim
+	beforeSrc := srcShim.acct.Snapshot()
+	beforeDst := dstShim.acct.Snapshot()
+
+	// Step 1-2: locate + zero-copy read of the source region (Wasm IO).
+	swIO := metrics.NewStopwatch(srcShim.now)
+	out, err := src.locateQuiet()
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	view, err := src.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	wasmIO := swIO.Lap()
+	srcShim.acct.CPU(metrics.User, wasmIO)
+
+	// Step 3: IPC channel between the two shims.
+	swT := metrics.NewStopwatch(srcShim.now)
+	fdA, fdB, err := kernel.SocketPair(srcShim.proc, dstShim.proc)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc channel: %w", err)
+	}
+	defer func() {
+		_ = srcShim.proc.Close(fdA)
+		_ = dstShim.proc.Close(fdB)
+	}()
+	if _, err := srcShim.proc.Write(fdA, view); err != nil {
+		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc send: %w", err)
+	}
+	transfer := swT.Lap()
+	srcShim.acct.CPU(metrics.Kernel, transfer)
+
+	// Steps 4-6: allocate in the target and receive straight into its
+	// linear memory.
+	swIO2 := metrics.NewStopwatch(dstShim.now)
+	dstPtr, err := dst.view.Allocate(out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	allocT := swIO2.Lap()
+	dstShim.acct.CPU(metrics.User, allocT)
+	wasmIO += allocT
+	swR := metrics.NewStopwatch(dstShim.now)
+	wv, err := dst.view.WritableView(dstPtr, out.Len)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	for off := 0; off < len(wv); {
+		n, err := dstShim.proc.Read(fdB, wv[off:])
+		if err != nil {
+			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc recv: %w", err)
+		}
+		off += n
+	}
+	recvT := swR.Lap()
+	dstShim.acct.CPU(metrics.Kernel, recvT)
+	transfer += recvT
+
+	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
+	// Modeled mode-switch overhead for the syscalls this path issued.
+	sysT := srcShim.Kernel().SyscallTime(usage.Syscalls)
+	transfer += sysT
+
+	report := metrics.TransferReport{
+		Bytes:     int64(out.Len),
+		Breakdown: metrics.Breakdown{WasmIO: wasmIO, Transfer: transfer},
+		Usage:     usage,
+		Mode:      "kernel",
+	}
+	return InboundRef{Ptr: dstPtr, Len: out.Len}, report, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// Fig6 regenerates the inter-node transfer breakdown at a fixed payload
+// (Fig. 6a–c; paper: 100 MB): per-system latency components (transfer,
+// serialization, Wasm VM I/O, network), the serialization-only comparison,
+// and the normalized latency distribution.
+func Fig6(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := opts.Fig6PayloadMB * MB
+	res := &Result{
+		ID:     "fig6",
+		Title:  fmt.Sprintf("Inter-node transfer breakdown, %d MB payload", opts.Fig6PayloadMB),
+		XLabel: "size(MB)",
+	}
+	pts, err := interNodePoints(float64(opts.Fig6PayloadMB), n, 1)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = pts
+
+	// Fig. 6a: component decomposition.
+	for _, p := range pts {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"components %s: transfer=%.4gs serialization=%.4gs wasmIO=%.4gs network=%.4gs",
+			p.System,
+			p.Breakdown.Transfer.Seconds(),
+			p.Breakdown.Serialization.Seconds(),
+			p.Breakdown.WasmIO.Seconds(),
+			p.Breakdown.Network.Seconds()))
+	}
+
+	// Fig. 6c: normalized non-network latency share, showing where each
+	// system spends its CPU-side time (the paper normalizes against total
+	// latency; network dominates all three, so the CPU-side distribution
+	// carries the signal).
+	for _, p := range pts {
+		total := p.Latency
+		if total <= 0 {
+			continue
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"normalized %s: serialization=%.2f%% wasmIO=%.2f%% transfer=%.2f%% network=%.2f%%",
+			p.System,
+			pct(p.Breakdown.Serialization, total),
+			pct(p.Breakdown.WasmIO, total),
+			pct(p.Breakdown.Transfer, total),
+			pct(p.Breakdown.Network, total)))
+	}
+
+	// Fig. 6b headline: serialization overhead reduction.
+	by := map[string]int{}
+	for i, p := range pts {
+		by[p.System] = i
+	}
+	if rr, ok := by[SysRRNetwork]; ok {
+		if w, ok := by[SysWasmEdge]; ok {
+			res.Notes = append(res.Notes, headline("serialization overhead",
+				SysRRNetwork, SysWasmEdge, pts[rr].SerLatency, pts[w].SerLatency))
+		}
+		if r, ok := by[SysRunC]; ok {
+			res.Notes = append(res.Notes, headline("serialization overhead",
+				SysRRNetwork, SysRunC, pts[rr].SerLatency, pts[r].SerLatency))
+			res.Notes = append(res.Notes, headline("total latency",
+				SysRRNetwork, SysRunC, pts[rr].Latency, pts[r].Latency))
+		}
+	}
+	return res, nil
+}
+
+func pct(part, total interface{ Seconds() float64 }) float64 {
+	t := total.Seconds()
+	if t == 0 {
+		return 0
+	}
+	return part.Seconds() / t * 100
+}

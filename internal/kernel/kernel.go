@@ -1,0 +1,394 @@
+// Package kernel simulates the host-kernel mechanisms Roadrunner relies on:
+// processes with file-descriptor tables, pipes (the paper's "virtual data
+// hose"), Unix-domain and TCP-style stream sockets, and the splice(2) /
+// vmsplice(2) zero-copy primitives (§4.3, Algorithm 1).
+//
+// All payload movement is real — bytes are genuinely copied, or genuinely
+// moved by page reference — and every copy, syscall and context switch is
+// charged to the calling process's metrics.Account. This substitutes for the
+// Linux kernel of the paper's testbed while making the quantities the paper
+// argues about (copy counts, user↔kernel crossings) exact and assertable.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/pagebuf"
+)
+
+// Kernel errors mirror their errno counterparts.
+var (
+	ErrBadFD        = errors.New("kernel: bad file descriptor (EBADF)")
+	ErrInvalid      = errors.New("kernel: invalid argument (EINVAL)")
+	ErrClosed       = errors.New("kernel: connection closed (EPIPE)")
+	ErrNotSupported = errors.New("kernel: operation not supported on file (ENOTSUP)")
+)
+
+// Default buffer sizes.
+const (
+	// DefaultPipeCap matches the 16-page default Linux pipe buffer.
+	DefaultPipeCap = 16 * pagebuf.PageSize
+	// DefaultSocketCap is effectively unbounded: transfers in this
+	// simulation run to completion on the sender before the receiver
+	// drains, so socket buffers must absorb whole payloads. Memory held
+	// is still tracked through the page pool.
+	DefaultSocketCap = 1 << 62
+	// MaxSyscallChunk bounds the bytes one read/write syscall moves
+	// before the kernel would block or return short; used to derive
+	// realistic syscall counts for chunked operations.
+	MaxSyscallChunk = 1 << 20
+)
+
+// CostModel carries the modeled (non-measured) per-operation costs. Only
+// mode-switch overhead is modeled; all data movement is measured for real.
+type CostModel struct {
+	// SyscallOverhead is charged per syscall as kernel CPU time; it
+	// models the user→kernel→user mode switch that a function call in
+	// this simulation does not pay. Linux syscall entry/exit costs are
+	// on the order of hundreds of nanoseconds.
+	SyscallOverhead time.Duration
+}
+
+// DefaultCostModel returns the calibration used by the experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{SyscallOverhead: 400 * time.Nanosecond}
+}
+
+// Kernel is one simulated host kernel. Each cluster node has its own.
+type Kernel struct {
+	name  string
+	pool  *pagebuf.Pool
+	costs CostModel
+
+	mu    sync.Mutex
+	procs []*Proc
+}
+
+// New returns a kernel for the named node using the default cost model.
+func New(name string) *Kernel {
+	return &Kernel{name: name, pool: pagebuf.NewPool(), costs: DefaultCostModel()}
+}
+
+// Name returns the node name this kernel belongs to.
+func (k *Kernel) Name() string { return k.name }
+
+// Pool exposes the kernel page pool (for residency metrics).
+func (k *Kernel) Pool() *pagebuf.Pool { return k.pool }
+
+// Costs returns the kernel's cost model.
+func (k *Kernel) Costs() CostModel { return k.costs }
+
+// SetCosts replaces the cost model (used by ablation benchmarks).
+func (k *Kernel) SetCosts(c CostModel) { k.costs = c }
+
+// SyscallTime converts a syscall count into modeled mode-switch time; the
+// shim layers add it to the Transfer component of latency breakdowns.
+func (k *Kernel) SyscallTime(n int64) time.Duration {
+	return time.Duration(n) * k.costs.SyscallOverhead
+}
+
+// NewProc creates a process on this kernel charging work to acct. A nil
+// account is valid and discards charges.
+func (k *Kernel) NewProc(name string, acct *metrics.Account) *Proc {
+	p := &Proc{
+		k:    k,
+		name: name,
+		acct: acct,
+		fds:  make(map[int]file),
+		next: 3, // 0..2 reserved, as on a real system
+	}
+	k.mu.Lock()
+	k.procs = append(k.procs, p)
+	k.mu.Unlock()
+	return p
+}
+
+// file is the kernel-internal interface all FD-addressable objects satisfy.
+type file interface {
+	// writeRefs queues page references on the file (ownership transfers).
+	writeRefs(refs []pagebuf.Ref) error
+	// readRefs dequeues up to max payload bytes of page references.
+	readRefs(max int) ([]pagebuf.Ref, error)
+	// readInto copies queued bytes into b.
+	readInto(b []byte) (int, error)
+	// capacity reports the buffer capacity in bytes.
+	capacity() int
+	close() error
+}
+
+// Proc is a simulated process: the holder of a file-descriptor table and the
+// unit resource usage is charged to (the paper measures per-sandbox cgroups;
+// a Proc is a sandbox here).
+type Proc struct {
+	k    *Kernel
+	name string
+	acct *metrics.Account
+
+	mu   sync.Mutex
+	fds  map[int]file
+	next int
+
+	// batching state (io_uring-style submission, see BeginBatch).
+	batchMu    sync.Mutex
+	batching   bool
+	batchedOps int64
+}
+
+// syscall charges one syscall, or queues it when a submission batch is open.
+func (p *Proc) syscall() {
+	p.batchMu.Lock()
+	if p.batching {
+		p.batchedOps++
+		p.batchMu.Unlock()
+		return
+	}
+	p.batchMu.Unlock()
+	p.acct.Syscall()
+}
+
+// BeginBatch opens an io_uring-style submission batch: subsequent syscalls
+// on this process are queued and charged as a single kernel entry at
+// EndBatch. This implements the syscall-batching extension the paper lists
+// as future work (§9 "we aim to introduce … syscall batching").
+func (p *Proc) BeginBatch() {
+	p.batchMu.Lock()
+	p.batching = true
+	p.batchMu.Unlock()
+}
+
+// EndBatch submits the open batch, charging one syscall for the whole
+// submission, and returns the number of operations it covered.
+func (p *Proc) EndBatch() int64 {
+	p.batchMu.Lock()
+	ops := p.batchedOps
+	p.batching = false
+	p.batchedOps = 0
+	p.batchMu.Unlock()
+	if ops > 0 {
+		p.acct.Syscall()
+	}
+	return ops
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Account returns the process's resource account.
+func (p *Proc) Account() *metrics.Account { return p.acct }
+
+func (p *Proc) install(f file) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fd := p.next
+	p.next++
+	p.fds[fd] = f
+	return fd
+}
+
+func (p *Proc) lookup(fd int) (file, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("fd %d: %w", fd, ErrBadFD)
+	}
+	return f, nil
+}
+
+// Close closes a file descriptor.
+func (p *Proc) Close(fd int) error {
+	p.mu.Lock()
+	f, ok := p.fds[fd]
+	delete(p.fds, fd)
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fd %d: %w", fd, ErrBadFD)
+	}
+	p.syscall()
+	return f.close()
+}
+
+// CloseAll closes every open descriptor (process teardown).
+func (p *Proc) CloseAll() {
+	p.mu.Lock()
+	fds := p.fds
+	p.fds = make(map[int]file)
+	p.mu.Unlock()
+	for _, f := range fds {
+		_ = f.close()
+	}
+}
+
+// Write copies b from user space into the file's kernel buffer, exactly as
+// write(2) does: one syscall, one copy_from_user of the full payload. It
+// blocks until the buffer accepts all bytes.
+func (p *Proc) Write(fd int, b []byte) (int, error) {
+	f, err := p.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	p.syscall()
+	p.acct.Copy(metrics.Kernel, len(b))
+	refs := p.k.pool.Copy(b)
+	if err := f.writeRefs(refs); err != nil {
+		return 0, fmt.Errorf("write fd %d: %w", fd, err)
+	}
+	return len(b), nil
+}
+
+// Read copies up to len(b) queued bytes into b (copy_to_user): one syscall,
+// one boundary copy. It blocks until at least one byte is available.
+func (p *Proc) Read(fd int, b []byte) (int, error) {
+	f, err := p.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	p.syscall()
+	n, err := f.readInto(b)
+	p.acct.Copy(metrics.Kernel, n)
+	return n, err
+}
+
+// Vmsplice maps user memory into the file's buffer without copying, modeling
+// vmsplice(2) with SPLICE_F_GIFT: the pages of b are gifted to the kernel and
+// b must not be modified while in flight. One syscall, zero copies. The
+// destination must be a pipe, per the real syscall's contract.
+func (p *Proc) Vmsplice(fd int, b []byte) (int, error) {
+	f, err := p.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := f.(*pipeEnd); !ok {
+		return 0, fmt.Errorf("vmsplice fd %d: %w", fd, ErrNotSupported)
+	}
+	p.syscall()
+	if err := f.writeRefs(pagebuf.Gift(b)); err != nil {
+		return 0, fmt.Errorf("vmsplice fd %d: %w", fd, err)
+	}
+	return len(b), nil
+}
+
+// Splice moves up to n bytes of page references from one file's buffer to
+// another's without copying, modeling splice(2). One of the two descriptors
+// must be a pipe, per the real syscall's contract. One syscall, zero copies.
+// It returns the number of bytes moved (possibly short, like the syscall).
+func (p *Proc) Splice(infd, outfd int, n int) (int, error) {
+	in, err := p.lookup(infd)
+	if err != nil {
+		return 0, err
+	}
+	out, err := p.lookup(outfd)
+	if err != nil {
+		return 0, err
+	}
+	_, inPipe := in.(*pipeEnd)
+	_, outPipe := out.(*pipeEnd)
+	if !inPipe && !outPipe {
+		return 0, fmt.Errorf("splice fd %d->%d: %w", infd, outfd, ErrNotSupported)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("splice: n=%d: %w", n, ErrInvalid)
+	}
+	p.syscall()
+	refs, err := in.readRefs(n)
+	if err != nil {
+		return 0, err
+	}
+	moved := pagebuf.TotalLen(refs)
+	if err := out.writeRefs(refs); err != nil {
+		return moved, fmt.Errorf("splice fd %d->%d: %w", infd, outfd, err)
+	}
+	return moved, nil
+}
+
+// ReadRefs dequeues page references directly (the receive half of the data
+// hose: the shim takes pages from the kernel and writes them straight into
+// the target VM's linear memory). One syscall, zero copies here — the copy
+// into linear memory happens, and is charged, at the ABI layer.
+func (p *Proc) ReadRefs(fd int, max int) ([]pagebuf.Ref, error) {
+	f, err := p.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	p.syscall()
+	return f.readRefs(max)
+}
+
+// Pipe creates a pipe and returns (readFD, writeFD), as pipe(2) does.
+func (p *Proc) Pipe() (int, int) {
+	return p.PipeSized(DefaultPipeCap)
+}
+
+// PipeSized creates a pipe with an explicit capacity, modeling
+// fcntl(F_SETPIPE_SZ). Roadrunner's shim enlarges its data-hose pipes the
+// same way a real implementation would.
+func (p *Proc) PipeSized(capBytes int) (int, int) {
+	p.syscall()
+	pi := newPipe(capBytes)
+	rfd := p.install(&pipeEnd{pipe: pi, readable: true})
+	wfd := p.install(&pipeEnd{pipe: pi, writable: true})
+	return rfd, wfd
+}
+
+// SocketPair creates a connected pair of Unix-domain stream sockets inside
+// this kernel and returns one FD in each of the two processes, modeling the
+// socketpair(2)-style IPC channel the kernel-space mode uses (§5).
+func SocketPair(a, b *Proc) (int, int, error) {
+	if a.k != b.k {
+		return 0, 0, fmt.Errorf("socketpair across kernels %q and %q: %w", a.k.name, b.k.name, ErrInvalid)
+	}
+	a.acct.Syscall()
+	c1, c2 := newConnPair(DefaultSocketCap)
+	return a.install(c1), b.install(c2), nil
+}
+
+// Connect creates a connected stream-socket pair between two processes that
+// may live on different kernels, modeling a TCP connection. Wire time is not
+// simulated here — the caller attributes it from the netsim link between the
+// two nodes. The 3-way handshake is represented by one syscall on each side.
+func Connect(client, server *Proc) (int, int) {
+	client.acct.Syscall()
+	server.acct.Syscall()
+	c1, c2 := newConnPair(DefaultSocketCap)
+	return client.install(c1), server.install(c2)
+}
+
+// Tee duplicates up to n queued bytes from one pipe into a file without
+// consuming them, modeling tee(2): page references are retained and shared,
+// no payload bytes are copied. The input must be a pipe read end. Used by
+// the zero-copy multicast extension (one payload fanned out to many targets
+// from a single data hose).
+func (p *Proc) Tee(infd, outfd int, n int) (int, error) {
+	in, err := p.lookup(infd)
+	if err != nil {
+		return 0, err
+	}
+	out, err := p.lookup(outfd)
+	if err != nil {
+		return 0, err
+	}
+	pe, ok := in.(*pipeEnd)
+	if !ok || !pe.readable {
+		return 0, fmt.Errorf("tee fd %d: %w", infd, ErrNotSupported)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("tee: n=%d: %w", n, ErrInvalid)
+	}
+	p.syscall()
+	refs, err := pe.pipe.ring.Clone(n)
+	if err != nil {
+		return 0, err
+	}
+	cloned := pagebuf.TotalLen(refs)
+	if err := out.writeRefs(refs); err != nil {
+		return cloned, fmt.Errorf("tee fd %d->%d: %w", infd, outfd, err)
+	}
+	return cloned, nil
+}

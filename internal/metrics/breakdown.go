@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Breakdown decomposes one data-transfer latency into the components the
+// paper plots in Fig. 6a: raw transfer time (kernel + wire), serialization /
+// deserialization time, the Wasm VM I/O penalty Roadrunner pays to move data
+// in and out of linear memory, and the modeled network time.
+//
+// CPU-side components are measured wall-clock durations of real work; Network
+// is modeled from link bandwidth and RTT (see internal/netsim).
+type Breakdown struct {
+	Transfer      time.Duration // kernel-path time: syscalls, buffer moves, copies
+	Serialization time.Duration // encode + decode time (zero for Roadrunner paths)
+	WasmIO        time.Duration // linear-memory access through the shim ABI
+	Network       time.Duration // modeled wire time (bandwidth share + RTT)
+	Compute       time.Duration // guest function compute, when measured separately
+}
+
+// Total sums every component.
+func (b Breakdown) Total() time.Duration {
+	return b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
+}
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Transfer:      b.Transfer + o.Transfer,
+		Serialization: b.Serialization + o.Serialization,
+		WasmIO:        b.WasmIO + o.WasmIO,
+		Network:       b.Network + o.Network,
+		Compute:       b.Compute + o.Compute,
+	}
+}
+
+// Scale divides every component by n (for averaging repeated runs).
+func (b Breakdown) Scale(n int) Breakdown {
+	if n <= 1 {
+		return b
+	}
+	d := time.Duration(n)
+	return Breakdown{
+		Transfer:      b.Transfer / d,
+		Serialization: b.Serialization / d,
+		WasmIO:        b.WasmIO / d,
+		Network:       b.Network / d,
+		Compute:       b.Compute / d,
+	}
+}
+
+// String renders the non-zero components.
+func (b Breakdown) String() string {
+	var parts []string
+	add := func(name string, d time.Duration) {
+		if d != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", name, d))
+		}
+	}
+	add("transfer", b.Transfer)
+	add("serialization", b.Serialization)
+	add("wasmIO", b.WasmIO)
+	add("network", b.Network)
+	add("compute", b.Compute)
+	if len(parts) == 0 {
+		return "breakdown{}"
+	}
+	return "breakdown{" + strings.Join(parts, " ") + "}"
+}
+
+// TransferReport describes one completed data transfer between two functions:
+// how many bytes moved, the latency breakdown, and the resource usage charged
+// while it ran.
+type TransferReport struct {
+	Bytes     int64
+	Breakdown Breakdown
+	Usage     Usage
+	Mode      string // "user", "kernel", "network", "http", ...
+}
+
+// Latency is the end-to-end duration from send initiation at the source to
+// receipt at the target, matching the paper's latency metric (§6.1a).
+func (r TransferReport) Latency() time.Duration { return r.Breakdown.Total() }
+
+// Throughput extrapolates requests per second from a single transfer, as the
+// paper does for sub-second operations (§6.1b).
+func (r TransferReport) Throughput() float64 {
+	lat := r.Latency()
+	if lat <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(lat)
+}
+
+// Merge combines reports of transfers that ran in sequence.
+func (r TransferReport) Merge(o TransferReport) TransferReport {
+	return TransferReport{
+		Bytes:     r.Bytes + o.Bytes,
+		Breakdown: r.Breakdown.Add(o.Breakdown),
+		Usage:     r.Usage.Add(o.Usage),
+		Mode:      r.Mode,
+	}
+}
+
+// Stopwatch measures elapsed durations with an injectable clock so tests can
+// run deterministically (see the style guide's advice against mutable
+// globals: the clock is injected, not patched).
+type Stopwatch struct {
+	now   func() time.Time
+	start time.Time
+}
+
+// NewStopwatch returns a stopwatch using the given clock; nil means
+// time.Now.
+func NewStopwatch(now func() time.Time) *Stopwatch {
+	if now == nil {
+		now = time.Now
+	}
+	return &Stopwatch{now: now, start: now()}
+}
+
+// Lap returns the duration since the last Lap (or since creation) and
+// restarts the interval.
+func (s *Stopwatch) Lap() time.Duration {
+	t := s.now()
+	d := t.Sub(s.start)
+	s.start = t
+	return d
+}

@@ -1,0 +1,186 @@
+// Package metrics provides the accounting substrate for the Roadrunner
+// reproduction: per-sandbox counters for data copies, syscalls and context
+// switches, a user/kernel CPU-time split, memory residency, and the latency
+// breakdowns the paper's figures report (transfer, serialization, Wasm VM I/O
+// and network components).
+//
+// The paper measures CPU and RAM "directly from the cgroup" of each sandbox
+// (§6.1). This package plays the cgroup's role for the simulated kernel: the
+// kernel and shim layers charge work to an Account, and experiments read the
+// totals.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Space identifies where work is charged, mirroring the paper's split of
+// user-space vs kernel-space CPU consumption (Fig. 7f/7g and friends).
+type Space int
+
+// Work spaces.
+const (
+	User Space = iota + 1
+	Kernel
+)
+
+// String returns the lowercase space name.
+func (s Space) String() string {
+	switch s {
+	case User:
+		return "user"
+	case Kernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// Account accumulates resource usage for one sandbox (container, Wasm VM or
+// shim). The zero value is ready to use.
+type Account struct {
+	mu sync.Mutex
+
+	userCopyBytes   int64
+	kernelCopyBytes int64
+	syscalls        int64
+	ctxSwitches     int64
+	userCPU         time.Duration
+	kernelCPU       time.Duration
+	resident        int64
+	peakResident    int64
+}
+
+// Copy charges a data copy of n bytes to the given space.
+func (a *Account) Copy(space Space, n int) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if space == Kernel {
+		a.kernelCopyBytes += int64(n)
+	} else {
+		a.userCopyBytes += int64(n)
+	}
+	a.mu.Unlock()
+}
+
+// Syscall charges one system call and the pair of user↔kernel context
+// switches it entails.
+func (a *Account) Syscall() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.syscalls++
+	a.ctxSwitches += 2
+	a.mu.Unlock()
+}
+
+// CPU charges measured CPU time to the given space.
+func (a *Account) CPU(space Space, d time.Duration) {
+	if a == nil || d <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if space == Kernel {
+		a.kernelCPU += d
+	} else {
+		a.userCPU += d
+	}
+	a.mu.Unlock()
+}
+
+// Allocate records n resident bytes (e.g. a linear memory growth or a kernel
+// buffer allocation). Negative n releases.
+func (a *Account) Allocate(n int64) {
+	if a == nil || n == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.resident += n
+	if a.resident > a.peakResident {
+		a.peakResident = a.resident
+	}
+	a.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current totals.
+func (a *Account) Snapshot() Usage {
+	if a == nil {
+		return Usage{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Usage{
+		UserCopyBytes:   a.userCopyBytes,
+		KernelCopyBytes: a.kernelCopyBytes,
+		Syscalls:        a.syscalls,
+		ContextSwitches: a.ctxSwitches,
+		UserCPU:         a.userCPU,
+		KernelCPU:       a.kernelCPU,
+		ResidentBytes:   a.resident,
+		PeakResident:    a.peakResident,
+	}
+}
+
+// Reset zeroes all counters.
+func (a *Account) Reset() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	*a = Account{}
+	a.mu.Unlock()
+}
+
+// Usage is an immutable snapshot of an Account.
+type Usage struct {
+	UserCopyBytes   int64
+	KernelCopyBytes int64
+	Syscalls        int64
+	ContextSwitches int64
+	UserCPU         time.Duration
+	KernelCPU       time.Duration
+	ResidentBytes   int64
+	PeakResident    int64
+}
+
+// TotalCopyBytes sums user- and kernel-space copy volume.
+func (u Usage) TotalCopyBytes() int64 { return u.UserCopyBytes + u.KernelCopyBytes }
+
+// TotalCPU sums user- and kernel-space CPU time.
+func (u Usage) TotalCPU() time.Duration { return u.UserCPU + u.KernelCPU }
+
+// Sub returns the delta u - prev, for measuring one operation between two
+// snapshots.
+func (u Usage) Sub(prev Usage) Usage {
+	return Usage{
+		UserCopyBytes:   u.UserCopyBytes - prev.UserCopyBytes,
+		KernelCopyBytes: u.KernelCopyBytes - prev.KernelCopyBytes,
+		Syscalls:        u.Syscalls - prev.Syscalls,
+		ContextSwitches: u.ContextSwitches - prev.ContextSwitches,
+		UserCPU:         u.UserCPU - prev.UserCPU,
+		KernelCPU:       u.KernelCPU - prev.KernelCPU,
+		ResidentBytes:   u.ResidentBytes, // residency is a level, not a flow
+		PeakResident:    u.PeakResident,
+	}
+}
+
+// Add returns the sum of two usage snapshots (residency takes the max, since
+// it is a level rather than a flow).
+func (u Usage) Add(o Usage) Usage {
+	out := Usage{
+		UserCopyBytes:   u.UserCopyBytes + o.UserCopyBytes,
+		KernelCopyBytes: u.KernelCopyBytes + o.KernelCopyBytes,
+		Syscalls:        u.Syscalls + o.Syscalls,
+		ContextSwitches: u.ContextSwitches + o.ContextSwitches,
+		UserCPU:         u.UserCPU + o.UserCPU,
+		KernelCPU:       u.KernelCPU + o.KernelCPU,
+	}
+	out.ResidentBytes = max(u.ResidentBytes, o.ResidentBytes)
+	out.PeakResident = max(u.PeakResident, o.PeakResident)
+	return out
+}

@@ -1,0 +1,222 @@
+// Package minihttp implements the minimal HTTP/1.1 request/response framing
+// the baseline data paths use. The paper's baselines exchange payloads over
+// HTTP (§2.2, §6); net/http only speaks real OS sockets, so this package
+// speaks the same protocol over any io.ReadWriter — in particular the
+// simulated kernel's metered socket streams.
+//
+// Supported subset: one request or response per exchange, explicit
+// Content-Length bodies, no chunked encoding, no pipelining.
+package minihttp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Framing errors.
+var (
+	ErrMalformed   = errors.New("minihttp: malformed message")
+	ErrHeaderLimit = errors.New("minihttp: header section too large")
+	ErrBodyLimit   = errors.New("minihttp: body exceeds limit")
+)
+
+// Limits guard the parser against absurd inputs.
+const (
+	maxHeaderCount = 64
+	maxHeaderLine  = 8 << 10
+	// MaxBody bounds accepted body sizes (2 GiB, above the paper's
+	// largest 500 MB payloads).
+	MaxBody = 2 << 30
+)
+
+// Request is an HTTP/1.1 request with an in-memory body.
+type Request struct {
+	Method string
+	Path   string
+	Header map[string]string
+	Body   []byte
+}
+
+// Response is an HTTP/1.1 response with an in-memory body.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+// WriteRequest serializes a request to w, setting Content-Length from the
+// body.
+func WriteRequest(w io.Writer, req *Request) error {
+	var sb strings.Builder
+	method := req.Method
+	if method == "" {
+		method = "POST"
+	}
+	path := req.Path
+	if path == "" {
+		path = "/"
+	}
+	fmt.Fprintf(&sb, "%s %s HTTP/1.1\r\n", method, path)
+	writeHeaders(&sb, req.Header, len(req.Body))
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("minihttp: write request head: %w", err)
+	}
+	if len(req.Body) > 0 {
+		if _, err := w.Write(req.Body); err != nil {
+			return fmt.Errorf("minihttp: write request body: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteResponse serializes a response to w.
+func WriteResponse(w io.Writer, resp *Response) error {
+	status := resp.Status
+	if status == 0 {
+		status = 200
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", status, statusText(status))
+	writeHeaders(&sb, resp.Header, len(resp.Body))
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("minihttp: write response head: %w", err)
+	}
+	if len(resp.Body) > 0 {
+		if _, err := w.Write(resp.Body); err != nil {
+			return fmt.Errorf("minihttp: write response body: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeHeaders(sb *strings.Builder, hdr map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(hdr))
+	for k := range hdr {
+		if strings.EqualFold(k, "Content-Length") {
+			continue // always derived from the body
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s: %s\r\n", k, hdr[k])
+	}
+	fmt.Fprintf(sb, "Content-Length: %d\r\n\r\n", bodyLen)
+}
+
+// ReadRequest parses one request from r.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	hdr, body, err := readHeadersAndBody(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: parts[0], Path: parts[1], Header: hdr, Body: body}, nil
+}
+
+// ReadResponse parses one response from r.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	hdr, body, err := readHeadersAndBody(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: status, Header: hdr, Body: body}, nil
+}
+
+func readHeadersAndBody(r *bufio.Reader) (map[string]string, []byte, error) {
+	hdr := make(map[string]string)
+	contentLength := 0
+	for lines := 0; ; lines++ {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if line == "" {
+			break
+		}
+		if lines >= maxHeaderCount {
+			return nil, nil, ErrHeaderLimit
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		hdr[name] = value
+		if strings.EqualFold(name, "Content-Length") {
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("%w: content-length %q", ErrMalformed, value)
+			}
+			contentLength = n
+		}
+	}
+	if contentLength > MaxBody {
+		return nil, nil, ErrBodyLimit
+	}
+	var body []byte
+	if contentLength > 0 {
+		body = make([]byte, contentLength)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, nil, fmt.Errorf("minihttp: body: %w", err)
+		}
+	}
+	return hdr, body, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	var line []byte
+	for {
+		chunk, isPrefix, err := r.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		line = append(line, chunk...)
+		if len(line) > maxHeaderLine {
+			return "", ErrHeaderLimit
+		}
+		if !isPrefix {
+			return string(line), nil
+		}
+	}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}

@@ -1,0 +1,182 @@
+package minihttp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "POST",
+		Path:   "/invoke/b",
+		Header: map[string]string{"X-Workflow": "wf-1", "Content-Type": "application/rrs1"},
+		Body:   []byte("payload bytes \x00\x01"),
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "POST" || got.Path != "/invoke/b" {
+		t.Fatalf("request line = %s %s", got.Method, got.Path)
+	}
+	if got.Header["X-Workflow"] != "wf-1" {
+		t.Fatalf("header = %q", got.Header["X-Workflow"])
+	}
+	if !bytes.Equal(got.Body, req.Body) {
+		t.Fatal("body mismatch")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{Status: 200, Header: map[string]string{"Server": "roadrunner"}, Body: []byte("ok")}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != 200 || string(got.Body) != "ok" || got.Header["Server"] != "roadrunner" {
+		t.Fatalf("response = %+v", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "POST / HTTP/1.1\r\n") {
+		t.Fatalf("head = %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteResponse(&buf, &Response{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "HTTP/1.1 200 OK\r\n") {
+		t.Fatalf("head = %q", buf.String())
+	}
+}
+
+func TestContentLengthAlwaysDerived(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteRequest(&buf, &Request{
+		Header: map[string]string{"Content-Length": "999999"},
+		Body:   []byte("abc"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "Content-Length") != 1 {
+		t.Fatalf("duplicate content-length in %q", buf.String())
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != 3 {
+		t.Fatalf("body len = %d", len(got.Body))
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &Response{Status: 404}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != 404 || len(got.Body) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []string{
+		"not http at all\r\n\r\n",
+		"GET /\r\n\r\n",                                 // missing version
+		"HTTP/1.1 twohundred OK\r\n\r\n",                // bad status
+		"POST / HTTP/1.1\r\nNoColonHere\r\n\r\n",        // bad header
+		"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", // negative length
+	}
+	for _, in := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); err == nil {
+			t.Errorf("request %q accepted", in)
+		}
+	}
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader("HTTP/1.1 abc OK\r\n\r\n"))); err == nil {
+		t.Error("bad status accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	in := "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestHeaderCountLimit(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("POST / HTTP/1.1\r\n")
+	for i := 0; i < maxHeaderCount+1; i++ {
+		sb.WriteString("X-H: v\r\n")
+	}
+	sb.WriteString("\r\n")
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(sb.String()))); !errors.Is(err, ErrHeaderLimit) {
+		t.Fatalf("err = %v, want ErrHeaderLimit", err)
+	}
+}
+
+func TestHeaderLineLimit(t *testing.T) {
+	in := "POST / HTTP/1.1\r\nX-Big: " + strings.Repeat("a", maxHeaderLine+10) + "\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); !errors.Is(err, ErrHeaderLimit) {
+		t.Fatalf("err = %v, want ErrHeaderLimit", err)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	in := "POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"
+	_, err := ReadRequest(bufio.NewReader(strings.NewReader(in)))
+	if err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	for code, want := range map[int]string{200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error", 207: "Status"} {
+		if got := statusText(code); got != want {
+			t.Errorf("statusText(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// Property: request bodies survive framing for arbitrary bytes.
+func TestBodyRoundTripProperty(t *testing.T) {
+	f := func(body []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, &Request{Body: body}); err != nil {
+			return false
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

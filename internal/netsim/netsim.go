@@ -1,0 +1,211 @@
+// Package netsim models the network of the paper's testbed: two (or more)
+// nodes joined by a bandwidth-limited link (100 Mbps, 1 ms RTT in §6.2,
+// shaped with tc). Payload bytes move instantly inside the process; the time
+// they would have spent on the wire is computed analytically and reported as
+// the Network component of a latency breakdown.
+//
+// The model is fluid: concurrent flows on a link share its bandwidth equally,
+// so a flow of B bytes competing with F-1 identical flows completes in
+// RTT + B·F/bandwidth. This reproduces the regime the paper's inter-node
+// experiments sit in — network transfer dominates and fan-out degree divides
+// effective per-flow bandwidth — without real packet pacing.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Bandwidth is a link rate in bits per second.
+type Bandwidth int64
+
+// Common bandwidth units.
+const (
+	Kbps Bandwidth = 1_000
+	Mbps Bandwidth = 1_000_000
+	Gbps Bandwidth = 1_000_000_000
+)
+
+// String renders the bandwidth with a binary-free SI unit.
+func (b Bandwidth) String() string {
+	switch {
+	case b >= Gbps:
+		return fmt.Sprintf("%.3gGbps", float64(b)/float64(Gbps))
+	case b >= Mbps:
+		return fmt.Sprintf("%.3gMbps", float64(b)/float64(Mbps))
+	case b >= Kbps:
+		return fmt.Sprintf("%.3gKbps", float64(b)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(b))
+	}
+}
+
+// Link is a point-to-point connection with fixed bandwidth and round-trip
+// time. The zero value is unusable; construct with NewLink.
+type Link struct {
+	bw  Bandwidth
+	rtt time.Duration
+
+	mu      sync.Mutex
+	active  int   // flows currently open
+	carried int64 // total payload bytes ever carried
+}
+
+// NewLink returns a link with the given bandwidth and round-trip time.
+func NewLink(bw Bandwidth, rtt time.Duration) *Link {
+	if bw <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	return &Link{bw: bw, rtt: rtt}
+}
+
+// Bandwidth reports the link's configured rate.
+func (l *Link) Bandwidth() Bandwidth { return l.bw }
+
+// RTT reports the link's configured round-trip time.
+func (l *Link) RTT() time.Duration { return l.rtt }
+
+// Carried reports total payload bytes ever attributed to the link.
+func (l *Link) Carried() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.carried
+}
+
+// TransferTime models the wire time for moving `bytes` payload bytes while
+// `flows` identical flows share the link (flows < 1 is treated as 1):
+//
+//	RTT + bytes·8·flows / bandwidth
+//
+// One RTT accounts for connection establishment / first-byte latency, as in
+// the paper's observed stable 1 ms inter-node RTT.
+func (l *Link) TransferTime(bytes int64, flows int) time.Duration {
+	if flows < 1 {
+		flows = 1
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	l.mu.Lock()
+	l.carried += bytes
+	l.mu.Unlock()
+	wire := time.Duration(float64(bytes*8*int64(flows)) / float64(l.bw) * float64(time.Second))
+	return l.rtt + wire
+}
+
+// OpenFlow registers a live flow and returns its closer. Callers that do not
+// know their fan-out degree statically can use the live count via
+// ActiveFlows.
+func (l *Link) OpenFlow() func() {
+	l.mu.Lock()
+	l.active++
+	l.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.active--
+			l.mu.Unlock()
+		})
+	}
+}
+
+// ActiveFlows reports the number of currently open flows.
+func (l *Link) ActiveFlows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
+// Topology describes the nodes of a simulated cluster and the links between
+// them. Intra-node traffic uses the loopback link.
+type Topology struct {
+	mu       sync.Mutex
+	nodes    []string
+	index    map[string]int
+	links    map[[2]int]*Link
+	fallback *Link // used for node pairs without an explicit link
+	loopback *Link
+}
+
+// DefaultLoopback mirrors in-memory loopback: effectively unconstrained
+// bandwidth with a small fixed latency.
+func DefaultLoopback() *Link { return NewLink(20*Gbps, 50*time.Microsecond) }
+
+// NewTopology creates a topology whose inter-node pairs default to fallback
+// (the paper's 100 Mbps / 1 ms edge–cloud link when nil).
+func NewTopology(fallback *Link) *Topology {
+	if fallback == nil {
+		fallback = NewLink(100*Mbps, time.Millisecond)
+	}
+	return &Topology{
+		index:    make(map[string]int),
+		links:    make(map[[2]int]*Link),
+		fallback: fallback,
+		loopback: DefaultLoopback(),
+	}
+}
+
+// AddNode registers a node name, returning its index. Adding an existing
+// name returns the existing index.
+func (t *Topology) AddNode(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.index[name]; ok {
+		return i
+	}
+	i := len(t.nodes)
+	t.nodes = append(t.nodes, name)
+	t.index[name] = i
+	return i
+}
+
+// Nodes returns the registered node names in insertion order.
+func (t *Topology) Nodes() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.nodes))
+	copy(out, t.nodes)
+	return out
+}
+
+// SetLink installs a dedicated link between two nodes (order-insensitive).
+func (t *Topology) SetLink(a, b string, link *Link) {
+	ia, ib := t.AddNode(a), t.AddNode(b)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links[edge(ia, ib)] = link
+}
+
+// LinkBetween returns the link used for traffic between two nodes: the
+// loopback for a node and itself, an explicit link when one was set, or the
+// fallback link otherwise. Unknown node names get the fallback link too.
+func (t *Topology) LinkBetween(a, b string) *Link {
+	if a == b {
+		return t.loopback
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ia, oka := t.index[a]
+	ib, okb := t.index[b]
+	if oka && okb {
+		if l, ok := t.links[edge(ia, ib)]; ok {
+			return l
+		}
+	}
+	return t.fallback
+}
+
+// Loopback returns the intra-node link.
+func (t *Topology) Loopback() *Link { return t.loopback }
+
+// SetLoopback replaces the intra-node link (for ablations).
+func (t *Topology) SetLoopback(l *Link) { t.loopback = l }
+
+func edge(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

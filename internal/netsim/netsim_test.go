@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransferTimeBasic(t *testing.T) {
+	// 100 Mbps, 1 ms RTT: 100 MB should take 8 s wire time + RTT.
+	l := NewLink(100*Mbps, time.Millisecond)
+	got := l.TransferTime(100_000_000, 1)
+	want := 8*time.Second + time.Millisecond
+	if diff := got - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("transfer time = %v, want ~%v", got, want)
+	}
+}
+
+func TestTransferTimeFairSharing(t *testing.T) {
+	l := NewLink(100*Mbps, 0)
+	one := l.TransferTime(1_000_000, 1)
+	ten := l.TransferTime(1_000_000, 10)
+	ratio := float64(ten) / float64(one)
+	if ratio < 9.99 || ratio > 10.01 {
+		t.Fatalf("10-flow slowdown = %v, want 10x", ratio)
+	}
+}
+
+func TestTransferTimeDegenerateInputs(t *testing.T) {
+	l := NewLink(100*Mbps, time.Millisecond)
+	if got := l.TransferTime(0, 0); got != time.Millisecond {
+		t.Fatalf("zero bytes = %v, want RTT only", got)
+	}
+	if got := l.TransferTime(-5, 1); got != time.Millisecond {
+		t.Fatalf("negative bytes = %v, want RTT only", got)
+	}
+}
+
+func TestCarriedAccumulates(t *testing.T) {
+	l := NewLink(Gbps, 0)
+	l.TransferTime(100, 1)
+	l.TransferTime(200, 3)
+	if got := l.Carried(); got != 300 {
+		t.Fatalf("carried = %d", got)
+	}
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	l := NewLink(100*Mbps, time.Millisecond)
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return l.TransferTime(lo, 1) <= l.TransferTime(hi, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewLinkRejectsZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	NewLink(0, 0)
+}
+
+func TestOpenFlowTracking(t *testing.T) {
+	l := NewLink(Gbps, 0)
+	c1 := l.OpenFlow()
+	c2 := l.OpenFlow()
+	if got := l.ActiveFlows(); got != 2 {
+		t.Fatalf("active = %d", got)
+	}
+	c1()
+	c1() // idempotent
+	c2()
+	if got := l.ActiveFlows(); got != 0 {
+		t.Fatalf("active after close = %d", got)
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := map[Bandwidth]string{
+		100 * Mbps: "100Mbps",
+		2 * Gbps:   "2Gbps",
+		64 * Kbps:  "64Kbps",
+		500:        "500bps",
+	}
+	for bw, want := range cases {
+		if got := bw.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(bw), got, want)
+		}
+	}
+}
+
+func TestTopologyLinkSelection(t *testing.T) {
+	fallback := NewLink(100*Mbps, time.Millisecond)
+	topo := NewTopology(fallback)
+	topo.AddNode("edge")
+	topo.AddNode("cloud")
+
+	if got := topo.LinkBetween("edge", "edge"); got != topo.Loopback() {
+		t.Fatal("same-node traffic must use loopback")
+	}
+	if got := topo.LinkBetween("edge", "cloud"); got != fallback {
+		t.Fatal("unlinked pair must use fallback")
+	}
+	fast := NewLink(Gbps, 100*time.Microsecond)
+	topo.SetLink("edge", "cloud", fast)
+	if got := topo.LinkBetween("cloud", "edge"); got != fast {
+		t.Fatal("explicit link must be order-insensitive")
+	}
+	if got := topo.LinkBetween("edge", "mystery"); got != fallback {
+		t.Fatal("unknown nodes must fall back")
+	}
+}
+
+func TestTopologyDefaultFallback(t *testing.T) {
+	topo := NewTopology(nil)
+	l := topo.LinkBetween("a", "b")
+	if l.Bandwidth() != 100*Mbps || l.RTT() != time.Millisecond {
+		t.Fatalf("default fallback = %v/%v", l.Bandwidth(), l.RTT())
+	}
+}
+
+func TestTopologyAddNodeIdempotent(t *testing.T) {
+	topo := NewTopology(nil)
+	i := topo.AddNode("n1")
+	j := topo.AddNode("n1")
+	if i != j {
+		t.Fatalf("indices differ: %d vs %d", i, j)
+	}
+	if nodes := topo.Nodes(); len(nodes) != 1 || nodes[0] != "n1" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestSetLoopback(t *testing.T) {
+	topo := NewTopology(nil)
+	slow := NewLink(Mbps, time.Second)
+	topo.SetLoopback(slow)
+	if topo.LinkBetween("x", "x") != slow {
+		t.Fatal("loopback override not used")
+	}
+}

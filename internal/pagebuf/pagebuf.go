@@ -1,0 +1,202 @@
+// Package pagebuf provides the page-granular buffers that back the simulated
+// kernel's pipes and socket buffers.
+//
+// The central type is Ref, a reference-counted view of a page-sized chunk of
+// memory. Moving a Ref between buffers models what splice(2) does in Linux:
+// the kernel moves page references between pipe buffers instead of copying
+// payload bytes. Gifting user memory into a Ref without a copy models
+// vmsplice(2) with SPLICE_F_GIFT.
+//
+// pagebuf is a pure data-structure package: it performs real byte copies where
+// copies are required, but it does not meter them. The simulated kernel
+// (internal/kernel) is responsible for accounting.
+package pagebuf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the size of a simulated kernel page. It matches the 4 KiB pages
+// used by Linux pipe buffers, which the paper's vmsplice/splice data hose
+// moves by reference.
+const PageSize = 4096
+
+// ErrReleased is returned when a Ref is used after its page was released.
+var ErrReleased = errors.New("pagebuf: use of released page reference")
+
+// page is a reference-counted block of memory. A page may be pool-owned
+// (allocated by a Pool, returned to it when the count drops to zero) or
+// gifted (wrapping caller memory; simply dropped when released).
+type page struct {
+	data []byte // always len <= PageSize for pool pages; arbitrary for gifted
+	refs atomic.Int32
+	pool *Pool // nil for gifted pages
+}
+
+// Ref is a view of a sub-range of a page. Refs are the unit of zero-copy
+// movement: buffers pass Refs around instead of copying bytes.
+type Ref struct {
+	p   *page
+	off int
+	n   int
+}
+
+// Len reports the number of payload bytes the reference covers.
+func (r Ref) Len() int { return r.n }
+
+// Bytes returns the referenced byte range. The returned slice aliases the
+// page; callers must not retain it past Release.
+func (r Ref) Bytes() []byte {
+	if r.p == nil {
+		return nil
+	}
+	return r.p.data[r.off : r.off+r.n]
+}
+
+// Gifted reports whether the reference wraps caller-owned (vmspliced) memory
+// rather than a pool page.
+func (r Ref) Gifted() bool { return r.p != nil && r.p.pool == nil }
+
+// Retain increments the reference count, allowing the page to be shared by
+// another buffer (the tee(2) use case).
+func (r Ref) Retain() Ref {
+	if r.p != nil {
+		r.p.refs.Add(1)
+	}
+	return r
+}
+
+// Release drops the reference. Pool pages whose count reaches zero return to
+// their pool. Releasing an already-dead reference panics: it indicates a
+// refcounting bug in the kernel simulation, which tests must surface.
+func (r Ref) Release() {
+	if r.p == nil {
+		return
+	}
+	n := r.p.refs.Add(-1)
+	switch {
+	case n < 0:
+		panic(ErrReleased)
+	case n == 0 && r.p.pool != nil:
+		r.p.pool.put(r.p)
+	}
+}
+
+// Slice returns a sub-reference covering bytes [from, to) of r, sharing the
+// same page (reference count is incremented).
+func (r Ref) Slice(from, to int) Ref {
+	if from < 0 || to < from || to > r.n {
+		panic(fmt.Sprintf("pagebuf: slice [%d:%d) out of range for ref of %d bytes", from, to, r.n))
+	}
+	nr := Ref{p: r.p, off: r.off + from, n: to - from}
+	if nr.p != nil {
+		nr.p.refs.Add(1)
+	}
+	return nr
+}
+
+// Pool allocates and recycles pages, tracking resident bytes so the metrics
+// layer can report kernel-buffer memory usage.
+type Pool struct {
+	mu       sync.Mutex
+	free     []*page
+	resident atomic.Int64 // bytes currently held by live pool pages
+	peak     atomic.Int64
+}
+
+// NewPool returns an empty page pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Resident reports the number of bytes in live (referenced) pool pages.
+func (pl *Pool) Resident() int64 { return pl.resident.Load() }
+
+// PeakResident reports the maximum observed resident size.
+func (pl *Pool) PeakResident() int64 { return pl.peak.Load() }
+
+func (pl *Pool) get() *page {
+	pl.mu.Lock()
+	var p *page
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+	}
+	pl.mu.Unlock()
+	if p == nil {
+		p = &page{data: make([]byte, PageSize), pool: pl}
+	}
+	p.refs.Store(1)
+	res := pl.resident.Add(PageSize)
+	for {
+		peak := pl.peak.Load()
+		if res <= peak || pl.peak.CompareAndSwap(peak, res) {
+			break
+		}
+	}
+	return p
+}
+
+func (pl *Pool) put(p *page) {
+	pl.resident.Add(-PageSize)
+	pl.mu.Lock()
+	if len(pl.free) < 1024 { // bound the free list; excess pages go to GC
+		pl.free = append(pl.free, p)
+	}
+	pl.mu.Unlock()
+}
+
+// Copy copies b into freshly allocated pool pages and returns the references.
+// This models copy_from_user into kernel pages (e.g. a plain write(2) to a
+// pipe or socket). The copy is real; the caller meters it.
+func (pl *Pool) Copy(b []byte) []Ref {
+	if len(b) == 0 {
+		return nil
+	}
+	refs := make([]Ref, 0, (len(b)+PageSize-1)/PageSize)
+	for len(b) > 0 {
+		p := pl.get()
+		n := copy(p.data, b)
+		refs = append(refs, Ref{p: p, n: n})
+		b = b[n:]
+	}
+	return refs
+}
+
+// Gift wraps caller memory in page references without copying. This models
+// vmsplice(2) with SPLICE_F_GIFT: the caller cedes ownership of b and must
+// not modify it while the references are live. Chunking at PageSize keeps
+// downstream movement page-granular like the real syscall.
+func Gift(b []byte) []Ref {
+	if len(b) == 0 {
+		return nil
+	}
+	refs := make([]Ref, 0, (len(b)+PageSize-1)/PageSize)
+	for off := 0; off < len(b); off += PageSize {
+		end := off + PageSize
+		if end > len(b) {
+			end = len(b)
+		}
+		p := &page{data: b[off:end]}
+		p.refs.Store(1)
+		refs = append(refs, Ref{p: p, n: end - off})
+	}
+	return refs
+}
+
+// TotalLen sums the payload length of a reference run.
+func TotalLen(refs []Ref) int {
+	n := 0
+	for _, r := range refs {
+		n += r.n
+	}
+	return n
+}
+
+// ReleaseAll releases every reference in refs.
+func ReleaseAll(refs []Ref) {
+	for _, r := range refs {
+		r.Release()
+	}
+}

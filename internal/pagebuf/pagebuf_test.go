@@ -1,0 +1,372 @@
+package pagebuf
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCopyRoundTrip(t *testing.T) {
+	pool := NewPool()
+	for _, size := range []int{0, 1, PageSize - 1, PageSize, PageSize + 1, 3*PageSize + 17} {
+		src := make([]byte, size)
+		for i := range src {
+			src[i] = byte(i * 31)
+		}
+		refs := pool.Copy(src)
+		if got := TotalLen(refs); got != size {
+			t.Fatalf("size %d: TotalLen = %d", size, got)
+		}
+		var back []byte
+		for _, r := range refs {
+			back = append(back, r.Bytes()...)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+		ReleaseAll(refs)
+	}
+	if pool.Resident() != 0 {
+		t.Fatalf("resident after release = %d, want 0", pool.Resident())
+	}
+}
+
+func TestCopyDoesNotAliasSource(t *testing.T) {
+	pool := NewPool()
+	src := []byte("hello kernel")
+	refs := pool.Copy(src)
+	src[0] = 'X'
+	if got := string(refs[0].Bytes()); got != "hello kernel" {
+		t.Fatalf("copy aliased source: %q", got)
+	}
+	ReleaseAll(refs)
+}
+
+func TestGiftAliasesAndAvoidsCopy(t *testing.T) {
+	src := make([]byte, 2*PageSize+100)
+	refs := Gift(src)
+	if len(refs) != 3 {
+		t.Fatalf("gift chunks = %d, want 3", len(refs))
+	}
+	for _, r := range refs {
+		if !r.Gifted() {
+			t.Fatal("gift produced a non-gifted ref")
+		}
+	}
+	src[0] = 0xAB
+	if refs[0].Bytes()[0] != 0xAB {
+		t.Fatal("gifted ref does not alias source (a copy happened)")
+	}
+	ReleaseAll(refs)
+}
+
+func TestGiftEmpty(t *testing.T) {
+	if refs := Gift(nil); refs != nil {
+		t.Fatalf("Gift(nil) = %v, want nil", refs)
+	}
+}
+
+func TestRetainReleaseRefcount(t *testing.T) {
+	pool := NewPool()
+	refs := pool.Copy([]byte("abc"))
+	r := refs[0]
+	r2 := r.Retain()
+	r.Release()
+	if pool.Resident() == 0 {
+		t.Fatal("page freed while a retained ref is live")
+	}
+	if got := string(r2.Bytes()); got != "abc" {
+		t.Fatalf("retained ref bytes = %q", got)
+	}
+	r2.Release()
+	if pool.Resident() != 0 {
+		t.Fatalf("resident = %d after final release", pool.Resident())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	pool := NewPool()
+	refs := pool.Copy([]byte("x"))
+	refs[0].Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	refs[0].Release()
+}
+
+func TestSlice(t *testing.T) {
+	pool := NewPool()
+	refs := pool.Copy([]byte("0123456789"))
+	r := refs[0]
+	mid := r.Slice(2, 7)
+	if got := string(mid.Bytes()); got != "23456" {
+		t.Fatalf("slice bytes = %q", got)
+	}
+	r.Release()
+	if got := string(mid.Bytes()); got != "23456" {
+		t.Fatalf("slice bytes after parent release = %q", got)
+	}
+	mid.Release()
+	if pool.Resident() != 0 {
+		t.Fatalf("resident = %d", pool.Resident())
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	pool := NewPool()
+	refs := pool.Copy([]byte("abc"))
+	defer refs[0].Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice did not panic")
+		}
+	}()
+	refs[0].Slice(1, 99)
+}
+
+func TestPoolReusesPages(t *testing.T) {
+	pool := NewPool()
+	refs := pool.Copy(make([]byte, PageSize))
+	ReleaseAll(refs)
+	refs2 := pool.Copy(make([]byte, PageSize))
+	defer ReleaseAll(refs2)
+	if pool.PeakResident() != PageSize {
+		t.Fatalf("peak = %d, want one page", pool.PeakResident())
+	}
+}
+
+func TestPeakResident(t *testing.T) {
+	pool := NewPool()
+	a := pool.Copy(make([]byte, 4*PageSize))
+	b := pool.Copy(make([]byte, 2*PageSize))
+	ReleaseAll(a)
+	ReleaseAll(b)
+	if got, want := pool.PeakResident(), int64(6*PageSize); got != want {
+		t.Fatalf("peak = %d, want %d", got, want)
+	}
+	if pool.Resident() != 0 {
+		t.Fatalf("resident = %d", pool.Resident())
+	}
+}
+
+// Property: for any payload, Copy followed by concatenation of ref bytes is
+// the identity, and releasing returns the pool to zero residency.
+func TestCopyIdentityProperty(t *testing.T) {
+	pool := NewPool()
+	f := func(data []byte) bool {
+		refs := pool.Copy(data)
+		var back []byte
+		for _, r := range refs {
+			back = append(back, r.Bytes()...)
+		}
+		ok := bytes.Equal(back, data)
+		ReleaseAll(refs)
+		return ok && pool.Resident() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(0) // default capacity
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	if err := ring.Push(pool.Copy(want)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	n, err := ring.ReadInto(got)
+	if err != nil || n != len(want) {
+		t.Fatalf("ReadInto = (%d, %v)", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRingPopSplitsRefs(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(0)
+	if err := ring.Push(pool.Copy([]byte("abcdefgh"))); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ring.Pop(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalLen(first); got != 3 {
+		t.Fatalf("first pop = %d bytes", got)
+	}
+	rest, err := ring.Pop(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []byte
+	for _, r := range append(first, rest...) {
+		back = append(back, r.Bytes()...)
+	}
+	if string(back) != "abcdefgh" {
+		t.Fatalf("reassembled %q", back)
+	}
+	ReleaseAll(first)
+	ReleaseAll(rest)
+	if pool.Resident() != 0 {
+		t.Fatalf("resident = %d", pool.Resident())
+	}
+}
+
+func TestRingBlockingHandoff(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(2 * PageSize) // small: writer must block
+	payload := make([]byte, 64*PageSize)
+	rand.New(rand.NewSource(1)).Read(payload)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ring.Push(pool.Copy(payload)); err != nil {
+			t.Errorf("push: %v", err)
+		}
+		ring.Close()
+	}()
+
+	var got []byte
+	buf := make([]byte, 1000)
+	for {
+		n, err := ring.ReadInto(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	wg.Wait()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted through blocking ring")
+	}
+}
+
+func TestRingCloseUnblocksWriter(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(PageSize)
+	done := make(chan error, 1)
+	go func() {
+		done <- ring.Push(pool.Copy(make([]byte, 8*PageSize)))
+	}()
+	ring.Close()
+	if err := <-done; err != ErrClosedRing {
+		t.Fatalf("push after close = %v, want ErrClosedRing", err)
+	}
+}
+
+func TestRingEOFAfterDrain(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(0)
+	if err := ring.Push(pool.Copy([]byte("xy"))); err != nil {
+		t.Fatal(err)
+	}
+	ring.Close()
+	buf := make([]byte, 10)
+	n, err := ring.ReadInto(buf)
+	if n != 2 || err != nil {
+		t.Fatalf("first read = (%d, %v)", n, err)
+	}
+	if _, err := ring.ReadInto(buf); err != io.EOF {
+		t.Fatalf("second read err = %v, want io.EOF", err)
+	}
+}
+
+func TestRingTryPush(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(PageSize)
+	if err := ring.TryPush(pool.Copy(make([]byte, PageSize))); err != nil {
+		t.Fatalf("first TryPush: %v", err)
+	}
+	refs := pool.Copy([]byte("x"))
+	if err := ring.TryPush(refs); err != ErrWouldBlock {
+		t.Fatalf("full TryPush = %v, want ErrWouldBlock", err)
+	}
+	ReleaseAll(refs)
+	ring.Close()
+	if err := ring.TryPush(nil); err != ErrClosedRing {
+		t.Fatalf("closed TryPush = %v, want ErrClosedRing", err)
+	}
+}
+
+// Property: bytes flow through a ring unchanged and in order regardless of
+// push/pop chunking.
+func TestRingConservationProperty(t *testing.T) {
+	pool := NewPool()
+	f := func(data []byte, chunk uint8) bool {
+		ring := NewRing(1 << 30)
+		if err := ring.Push(pool.Copy(data)); err != nil {
+			return false
+		}
+		ring.Close()
+		step := int(chunk)%1000 + 1
+		var back []byte
+		buf := make([]byte, step)
+		for {
+			n, err := ring.ReadInto(buf)
+			back = append(back, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiftThroughRingZeroResidency(t *testing.T) {
+	pool := NewPool()
+	ring := NewRing(1 << 30)
+	payload := make([]byte, 10*PageSize)
+	if err := ring.Push(Gift(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Resident() != 0 {
+		t.Fatalf("gifted pages consumed pool residency: %d", pool.Resident())
+	}
+	refs, err := ring.Pop(len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalLen(refs) != len(payload) {
+		t.Fatalf("moved %d bytes", TotalLen(refs))
+	}
+	ReleaseAll(refs)
+}
+
+func BenchmarkPoolCopy64K(b *testing.B) {
+	pool := NewPool()
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		refs := pool.Copy(buf)
+		ReleaseAll(refs)
+	}
+}
+
+func BenchmarkGift64K(b *testing.B) {
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		refs := Gift(buf)
+		ReleaseAll(refs)
+	}
+}

@@ -1,0 +1,205 @@
+package pagebuf
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// Ring errors.
+var (
+	// ErrClosedRing is returned when writing to a closed ring (EPIPE).
+	ErrClosedRing = errors.New("pagebuf: ring closed")
+	// ErrWouldBlock is returned by non-blocking operations that cannot
+	// proceed (EAGAIN).
+	ErrWouldBlock = errors.New("pagebuf: operation would block")
+)
+
+// Ring is a bounded FIFO of page references with blocking semantics. It backs
+// both pipes (the paper's virtual data hose) and socket buffers in the
+// simulated kernel. Capacity is expressed in bytes, rounded to whole pages,
+// mirroring the fixed number of pipe buffers in Linux.
+type Ring struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	refs     []Ref
+	size     int // payload bytes queued
+	capacity int
+	closed   bool // write side closed; reads drain then return io.EOF
+}
+
+// NewRing returns a ring holding up to capacity payload bytes.
+// The default Linux pipe holds 16 pages (64 KiB).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 16 * PageSize
+	}
+	r := &Ring{capacity: capacity}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// Cap reports the ring's capacity in bytes.
+func (r *Ring) Cap() int { return r.capacity }
+
+// Len reports the number of payload bytes currently queued.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Close closes the write side. Queued data remains readable; once drained,
+// reads return io.EOF. Blocked writers fail with ErrClosedRing.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+}
+
+// Push queues page references, blocking while the ring is over capacity.
+// Ownership of the references transfers to the ring. Push accepts a run that
+// is larger than the remaining capacity by enqueueing it in page-sized steps,
+// exactly as a pipe write larger than the pipe buffer proceeds in chunks.
+func (r *Ring) Push(refs []Ref) error {
+	r.mu.Lock()
+	for i, ref := range refs {
+		for r.size >= r.capacity && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			// Drop the remainder; the caller observed EPIPE.
+			ReleaseAll(refs[i:])
+			return ErrClosedRing
+		}
+		r.refs = append(r.refs, ref)
+		r.size += ref.n
+		r.notEmpty.Signal()
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// TryPush is the non-blocking variant of Push: it enqueues the whole run if
+// at least one byte of capacity is free, otherwise returns ErrWouldBlock.
+func (r *Ring) TryPush(refs []Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosedRing
+	}
+	if r.size >= r.capacity {
+		return ErrWouldBlock
+	}
+	for _, ref := range refs {
+		r.refs = append(r.refs, ref)
+		r.size += ref.n
+	}
+	r.notEmpty.Broadcast()
+	return nil
+}
+
+// Pop dequeues up to max payload bytes as page references, blocking until at
+// least one byte is available or the ring is closed (then io.EOF). Ownership
+// of the returned references transfers to the caller. References are split as
+// needed so the returned run never exceeds max bytes.
+func (r *Ring) Pop(max int) ([]Ref, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.size == 0 {
+		if r.closed {
+			return nil, io.EOF
+		}
+		r.notEmpty.Wait()
+	}
+	var out []Ref
+	taken := 0
+	for taken < max && len(r.refs) > 0 {
+		ref := r.refs[0]
+		if taken+ref.n <= max {
+			r.refs = r.refs[1:]
+			out = append(out, ref)
+			taken += ref.n
+		} else {
+			want := max - taken
+			head := ref.Slice(0, want)
+			tail := ref.Slice(want, ref.n)
+			ref.Release()
+			r.refs[0] = tail
+			out = append(out, head)
+			taken += want
+		}
+	}
+	r.size -= taken
+	r.notFull.Broadcast()
+	return out, nil
+}
+
+// Clone returns retained references to the first max queued bytes without
+// dequeuing them — tee(2) semantics: the data remains readable from this
+// ring while the returned references can be pushed elsewhere. Blocks until
+// at least one byte is queued; returns io.EOF on a drained, closed ring.
+func (r *Ring) Clone(max int) ([]Ref, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.size == 0 {
+		if r.closed {
+			return nil, io.EOF
+		}
+		r.notEmpty.Wait()
+	}
+	var out []Ref
+	taken := 0
+	for _, ref := range r.refs {
+		if taken >= max {
+			break
+		}
+		if taken+ref.n <= max {
+			out = append(out, ref.Retain())
+			taken += ref.n
+		} else {
+			out = append(out, ref.Slice(0, max-taken))
+			taken = max
+		}
+	}
+	return out, nil
+}
+
+// ReadInto copies queued bytes into dst (copy_to_user), blocking until at
+// least one byte is available. It returns the number of bytes copied and
+// io.EOF once the ring is closed and drained. The copy is real; the caller
+// meters it.
+func (r *Ring) ReadInto(dst []byte) (int, error) {
+	refs, err := r.Pop(len(dst))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ref := range refs {
+		n += copy(dst[n:], ref.Bytes())
+		ref.Release()
+	}
+	return n, nil
+}
+
+// Drain removes and releases everything queued. Used on connection teardown.
+func (r *Ring) Drain() {
+	r.mu.Lock()
+	refs := r.refs
+	r.refs = nil
+	r.size = 0
+	r.mu.Unlock()
+	ReleaseAll(refs)
+	r.notFull.Broadcast()
+}

@@ -1,0 +1,36 @@
+package serial
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func mkPayload(n int) []byte {
+	out := make([]byte, n)
+	seed := uint64(0x243F6A8885A308D3)
+	for i := 0; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(out[i:], seed)
+		seed = seed*6364136223846793005 + 1442695040888963407
+	}
+	return out
+}
+
+func BenchmarkEncodeLCG1MB(b *testing.B) {
+	records := []Record{{Key: []byte("payload"), Value: mkPayload(1 << 20)}}
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		Encode(records)
+	}
+}
+
+func BenchmarkDecodeLCG1MB(b *testing.B) {
+	records := []Record{{Key: []byte("payload"), Value: mkPayload(1 << 20)}}
+	enc := Encode(records)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

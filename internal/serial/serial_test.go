@@ -1,0 +1,168 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][]Record{
+		nil,
+		{},
+		{{Key: []byte("k"), Value: []byte("v")}},
+		{{Key: nil, Value: nil}},
+		{{Key: []byte(""), Value: []byte{0x00}}},
+		{{Key: []byte("a"), Value: []byte{0x00, 0x01, 0x02, 0x00}}},
+		{
+			{Key: []byte("frame"), Value: bytes.Repeat([]byte{0x00, 0x01, 0xFF}, 100)},
+			{Key: []byte("meta"), Value: []byte("hello world")},
+		},
+	}
+	for i, records := range cases {
+		enc := Encode(records)
+		if len(enc) != EncodedSize(records) {
+			t.Fatalf("case %d: size mismatch: got %d, predicted %d", i, len(enc), EncodedSize(records))
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(dec) != len(records) {
+			t.Fatalf("case %d: record count = %d, want %d", i, len(dec), len(records))
+		}
+		for j := range records {
+			if !bytes.Equal(dec[j].Key, records[j].Key) || !bytes.Equal(dec[j].Value, records[j].Value) {
+				t.Fatalf("case %d record %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	enc := Encode([]Record{{Key: []byte("k"), Value: []byte("v")}})
+	enc[0] = 'X'
+	if _, err := Decode(enc); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := Encode([]Record{{Key: []byte("key"), Value: []byte("some value")}})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:len(enc)-cut]); err == nil {
+			t.Fatalf("truncation by %d bytes accepted", cut)
+		}
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("nil decode err = %v", err)
+	}
+}
+
+func TestDecodeRejectsBadEscape(t *testing.T) {
+	enc := Encode([]Record{{Key: nil, Value: []byte{0x00}}})
+	// The escaped zero is EscapeByte+EscapedZero just before the sentinel;
+	// corrupt the escape code.
+	enc[len(enc)-2] = 0x7F
+	if _, err := Decode(enc); !errors.Is(err, ErrBadEscape) {
+		t.Fatalf("err = %v, want ErrBadEscape", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	enc := Encode([]Record{{Key: []byte("k"), Value: []byte("v")}})
+	enc = append(enc, 0xEE)
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestEscapedLenGrowth(t *testing.T) {
+	plain := Record{Value: bytes.Repeat([]byte{0x42}, 64)}
+	nasty := Record{Value: bytes.Repeat([]byte{0x00}, 64)}
+	if EncodedSize([]Record{nasty}) != EncodedSize([]Record{plain})+64 {
+		t.Fatal("escape expansion not reflected in EncodedSize")
+	}
+}
+
+func TestDecodeCopiesOutOfInput(t *testing.T) {
+	enc := Encode([]Record{{Key: []byte("kk"), Value: []byte("vv")}})
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[9] = 'Z' // stomp the input buffer
+	if string(dec[0].Key) != "kk" {
+		t.Fatal("decoded key aliases input buffer")
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	a := []Record{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("b"), Value: []byte("2")}}
+	b := []Record{{Key: []byte("b"), Value: []byte("2")}, {Key: []byte("a"), Value: []byte("1")}}
+	if Checksum(a) == Checksum(b) {
+		t.Fatal("checksum is order-insensitive")
+	}
+	c := []Record{{Key: []byte("ab"), Value: []byte("")}, {Key: []byte(""), Value: []byte("ab")}}
+	d := []Record{{Key: []byte("a"), Value: []byte("b")}, {Key: []byte("a"), Value: []byte("b")}}
+	if Checksum(c) == Checksum(d) {
+		t.Fatal("checksum conflates key/value boundaries")
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary records.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(keys, values [][]byte) bool {
+		n := min(len(keys), len(values))
+		records := make([]Record, n)
+		for i := 0; i < n; i++ {
+			records[i] = Record{Key: keys[i], Value: values[i]}
+		}
+		dec, err := Decode(Encode(records))
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range records {
+			if !bytes.Equal(dec[i].Key, records[i].Key) || !bytes.Equal(dec[i].Value, records[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded size prediction is exact.
+func TestEncodedSizeProperty(t *testing.T) {
+	f := func(value []byte) bool {
+		records := []Record{{Key: []byte("k"), Value: value}}
+		return len(Encode(records)) == EncodedSize(records)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode1MB(b *testing.B) {
+	records := []Record{{Key: []byte("payload"), Value: bytes.Repeat([]byte("abcdefgh"), 128*1024)}}
+	b.SetBytes(int64(len(records[0].Value)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(records)
+	}
+}
+
+func BenchmarkDecode1MB(b *testing.B) {
+	records := []Record{{Key: []byte("payload"), Value: bytes.Repeat([]byte("abcdefgh"), 128*1024)}}
+	enc := Encode(records)
+	b.SetBytes(int64(len(records[0].Value)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// instr is one flattened instruction. Immediates are pre-decoded so the
+// interpreter never re-parses LEB128 on the hot path — the "decode once,
+// execute many" design the Wasm runtimes Roadrunner targets use.
+type instr struct {
+	op   byte
+	imm0 uint64
+	imm1 uint64
+	tbl  []uint32 // br_table depth vector
+}
+
+// compiledFunc is a function body ready for execution.
+type compiledFunc struct {
+	typeIdx    uint32
+	numParams  int
+	numLocals  int // params + declared locals
+	numResults int
+	code       []instr
+}
+
+// blockArity returns the number of result values a block type yields and
+// validates the encoding. MVP: empty (0x40) or one value type; type-index
+// block types are accepted when the referenced signature has no parameters.
+func blockArity(m *Module, bt int64) (int, error) {
+	switch {
+	case bt == -64: // 0x40 as signed 7-bit: empty block
+		return 0, nil
+	case bt == -1 || bt == -2 || bt == -3 || bt == -4:
+		// Signed encodings of 0x7F..0x7C (value types).
+		return 1, nil
+	case bt >= 0:
+		if int(bt) >= len(m.Types) {
+			return 0, fmt.Errorf("block type %d: %w", bt, errIndexOutOfRange)
+		}
+		ft := m.Types[bt]
+		if len(ft.Params) != 0 {
+			return 0, fmt.Errorf("block type with parameters: %w", ErrUnsupported)
+		}
+		return len(ft.Results), nil
+	default:
+		return 0, fmt.Errorf("block type %d: %w", bt, ErrMalformed)
+	}
+}
+
+// compileFunc flattens one function body into instrs, resolving the matching
+// else/end indices of structured control instructions:
+//
+//	block/loop: imm0 = arity, imm1 = index of matching end
+//	if:         imm0 = arity, imm1 = elseIdx<<32 | endIdx
+//	            (elseIdx = endIdx when the if has no else arm)
+//
+// Branch instructions keep their relative depth; the interpreter resolves
+// them against its runtime label stack.
+func compileFunc(m *Module, fnIdx int) (*compiledFunc, error) {
+	code := m.Codes[fnIdx]
+	ft := m.Types[m.FuncTypes[fnIdx]]
+	cf := &compiledFunc{
+		typeIdx:    m.FuncTypes[fnIdx],
+		numParams:  len(ft.Params),
+		numLocals:  len(ft.Params) + len(code.Locals),
+		numResults: len(ft.Results),
+	}
+
+	r := &reader{data: code.Body}
+	// openBlocks tracks indices of block/loop/if instrs awaiting their end.
+	var openBlocks []int
+	nFuncs := uint32(m.NumImportedFuncs + len(m.FuncTypes))
+	nGlobals := uint32(countGlobalImports(m) + len(m.Globals))
+
+	for !r.done() {
+		op, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		in := instr{op: op}
+		switch op {
+		case opBlock, opLoop, opIf:
+			bt, err := r.s33()
+			if err != nil {
+				return nil, err
+			}
+			arity, err := blockArity(m, bt)
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = uint64(arity)
+			openBlocks = append(openBlocks, len(cf.code))
+
+		case opElse:
+			if len(openBlocks) == 0 {
+				return nil, fmt.Errorf("else without if: %w", ErrMalformed)
+			}
+			owner := openBlocks[len(openBlocks)-1]
+			if cf.code[owner].op != opIf {
+				return nil, fmt.Errorf("else inside non-if block: %w", ErrMalformed)
+			}
+			// Temporarily record the else position in the if's imm1 high bits.
+			cf.code[owner].imm1 = uint64(len(cf.code)) << 32
+
+		case opEnd:
+			if len(openBlocks) > 0 {
+				owner := openBlocks[len(openBlocks)-1]
+				openBlocks = openBlocks[:len(openBlocks)-1]
+				endIdx := uint64(len(cf.code))
+				switch cf.code[owner].op {
+				case opIf:
+					elseIdx := cf.code[owner].imm1 >> 32
+					if elseIdx == 0 {
+						elseIdx = endIdx // no else arm: false jumps to end
+					}
+					cf.code[owner].imm1 = elseIdx<<32 | endIdx
+				default:
+					cf.code[owner].imm1 = endIdx
+				}
+			}
+			// The function's own terminating end is kept as a plain marker.
+
+		case opBr, opBrIf:
+			d, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = uint64(d)
+
+		case opBrTable:
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.tbl = make([]uint32, 0, n)
+			for i := uint32(0); i < n; i++ {
+				d, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				in.tbl = append(in.tbl, d)
+			}
+			def, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = uint64(def)
+
+		case opCall:
+			fi, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if fi >= nFuncs {
+				return nil, fmt.Errorf("call func %d: %w", fi, errIndexOutOfRange)
+			}
+			in.imm0 = uint64(fi)
+
+		case opCallIndirect:
+			ti, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(ti) >= len(m.Types) {
+				return nil, fmt.Errorf("call_indirect type %d: %w", ti, errIndexOutOfRange)
+			}
+			if tb, err := r.byte(); err != nil {
+				return nil, err
+			} else if tb != 0 {
+				return nil, fmt.Errorf("call_indirect table %d: %w", tb, ErrUnsupported)
+			}
+			in.imm0 = uint64(ti)
+
+		case opLocalGet, opLocalSet, opLocalTee:
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(idx) >= cf.numLocals {
+				return nil, fmt.Errorf("local %d of %d: %w", idx, cf.numLocals, errIndexOutOfRange)
+			}
+			in.imm0 = uint64(idx)
+
+		case opGlobalGet, opGlobalSet:
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if idx >= nGlobals {
+				return nil, fmt.Errorf("global %d of %d: %w", idx, nGlobals, errIndexOutOfRange)
+			}
+			in.imm0 = uint64(idx)
+
+		case opI32Const:
+			v, err := r.s32()
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = uint64(uint32(v))
+		case opI64Const:
+			v, err := r.s64()
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = uint64(v)
+		case opF32Const:
+			b, err := r.bytes(4)
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = uint64(binary.LittleEndian.Uint32(b))
+		case opF64Const:
+			b, err := r.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			in.imm0 = binary.LittleEndian.Uint64(b)
+
+		case opMemorySize, opMemoryGrow:
+			if mb, err := r.byte(); err != nil {
+				return nil, err
+			} else if mb != 0 {
+				return nil, fmt.Errorf("memory index %d: %w", mb, ErrUnsupported)
+			}
+
+		case opPrefixFC:
+			sub, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			switch sub {
+			case 10: // memory.copy
+				if _, err := r.bytes(2); err != nil { // two memory indices
+					return nil, err
+				}
+				in.op = opMemoryCopySyn
+			case 11: // memory.fill
+				if _, err := r.byte(); err != nil {
+					return nil, err
+				}
+				in.op = opMemoryFillSyn
+			default:
+				return nil, fmt.Errorf("0xFC opcode %d: %w", sub, ErrUnsupported)
+			}
+
+		default:
+			if op >= opI32Load && op <= opI64Store32 {
+				// memarg: alignment hint (discarded) + offset.
+				if _, err := r.u32(); err != nil {
+					return nil, err
+				}
+				off, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				in.imm0 = uint64(off)
+			} else if !knownOpcode(op) {
+				return nil, fmt.Errorf("opcode 0x%02x: %w", op, ErrUnsupported)
+			}
+		}
+		cf.code = append(cf.code, in)
+	}
+
+	if len(openBlocks) != 0 {
+		return nil, fmt.Errorf("%d unterminated blocks: %w", len(openBlocks), ErrMalformed)
+	}
+	if len(cf.code) == 0 || cf.code[len(cf.code)-1].op != opEnd {
+		return nil, fmt.Errorf("function body not terminated by end: %w", ErrMalformed)
+	}
+	return cf, nil
+}
+
+// knownOpcode reports whether the immediate-free opcode is implemented.
+func knownOpcode(op byte) bool {
+	switch op {
+	case opUnreachable, opNop, opReturn, opDrop, opSelect:
+		return true
+	}
+	switch {
+	case op >= opI32Eqz && op <= opI64Extend32S:
+		return true
+	default:
+		return false
+	}
+}

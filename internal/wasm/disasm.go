@@ -1,0 +1,324 @@
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a decoded module in WAT-like text form: section
+// summary plus every function body with structured indentation. It is a
+// diagnostic aid (cmd/wasmrun -disasm), not a spec-complete WAT emitter —
+// folded expressions are not reconstructed, each instruction appears on its
+// own line in stack order.
+func Disassemble(m *Module) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("(module\n")
+
+	for i, t := range m.Types {
+		fmt.Fprintf(&sb, "  (type %d %s)\n", i, watFuncType(t))
+	}
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case ExternFunc:
+			fmt.Fprintf(&sb, "  (import %q %q (func %s))\n", imp.Module, imp.Name, watFuncType(m.Types[imp.TypeIndex]))
+		case ExternMemory:
+			fmt.Fprintf(&sb, "  (import %q %q (memory %s))\n", imp.Module, imp.Name, watLimits(imp.Mem))
+		case ExternGlobal:
+			fmt.Fprintf(&sb, "  (import %q %q (global %s))\n", imp.Module, imp.Name, imp.GlobalType)
+		case ExternTable:
+			fmt.Fprintf(&sb, "  (import %q %q (table funcref))\n", imp.Module, imp.Name)
+		}
+	}
+	if m.Memory != nil {
+		fmt.Fprintf(&sb, "  (memory %s)\n", watLimits(*m.Memory))
+	}
+	if m.Table != nil {
+		fmt.Fprintf(&sb, "  (table %s funcref)\n", watLimits(*m.Table))
+	}
+	for i, g := range m.Globals {
+		mut := g.Type.String()
+		if g.Mutable {
+			mut = "(mut " + mut + ")"
+		}
+		fmt.Fprintf(&sb, "  (global %d %s (init 0x%x))\n", i, mut, g.Init)
+	}
+
+	exportsByFunc := map[uint32][]string{}
+	for _, e := range m.Exports {
+		if e.Kind == ExternFunc {
+			exportsByFunc[e.Index] = append(exportsByFunc[e.Index], e.Name)
+		} else {
+			fmt.Fprintf(&sb, "  (export %q kind=%d index=%d)\n", e.Name, e.Kind, e.Index)
+		}
+	}
+
+	for i := range m.Codes {
+		fnIdx := uint32(m.NumImportedFuncs + i)
+		ft := m.Types[m.FuncTypes[i]]
+		fmt.Fprintf(&sb, "  (func %d %s", fnIdx, watFuncType(ft))
+		for _, name := range exportsByFunc[fnIdx] {
+			fmt.Fprintf(&sb, " (export %q)", name)
+		}
+		sb.WriteString("\n")
+		if locals := m.Codes[i].Locals; len(locals) > 0 {
+			sb.WriteString("    (local")
+			for _, l := range locals {
+				sb.WriteString(" " + l.String())
+			}
+			sb.WriteString(")\n")
+		}
+		if err := disasmBody(&sb, m, m.Codes[i].Body); err != nil {
+			return "", fmt.Errorf("func %d: %w", fnIdx, err)
+		}
+		sb.WriteString("  )\n")
+	}
+
+	for _, seg := range m.Data {
+		fmt.Fprintf(&sb, "  (data (i32.const %d) ;; %d bytes\n  )\n", seg.Offset, len(seg.Init))
+	}
+	sb.WriteString(")\n")
+	return sb.String(), nil
+}
+
+func watFuncType(t FuncType) string {
+	var sb strings.Builder
+	if len(t.Params) > 0 {
+		sb.WriteString("(param")
+		for _, p := range t.Params {
+			sb.WriteString(" " + p.String())
+		}
+		sb.WriteString(")")
+	}
+	if len(t.Results) > 0 {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString("(result")
+		for _, r := range t.Results {
+			sb.WriteString(" " + r.String())
+		}
+		sb.WriteString(")")
+	}
+	if sb.Len() == 0 {
+		return "(func)"
+	}
+	return sb.String()
+}
+
+func watLimits(l Limits) string {
+	if l.HasMax {
+		return fmt.Sprintf("%d %d", l.Min, l.Max)
+	}
+	return fmt.Sprintf("%d", l.Min)
+}
+
+// disasmBody prints one function body with block indentation.
+func disasmBody(sb *strings.Builder, m *Module, body []byte) error {
+	r := &reader{data: body}
+	depth := 1
+	indent := func() string { return strings.Repeat("  ", depth+1) }
+	for !r.done() {
+		op, err := r.byte()
+		if err != nil {
+			return err
+		}
+		name := opcodeName(op)
+		switch op {
+		case opBlock, opLoop, opIf:
+			bt, err := r.s33()
+			if err != nil {
+				return err
+			}
+			suffix := ""
+			if bt != -64 {
+				suffix = fmt.Sprintf(" (blocktype %d)", bt)
+			}
+			fmt.Fprintf(sb, "%s%s%s\n", indent(), name, suffix)
+			depth++
+		case opElse:
+			depth--
+			fmt.Fprintf(sb, "%s%s\n", indent(), name)
+			depth++
+		case opEnd:
+			depth--
+			if depth < 1 {
+				// Function-terminating end.
+				if !r.done() {
+					return fmt.Errorf("end before body end at offset %d", r.pos)
+				}
+				return nil
+			}
+			fmt.Fprintf(sb, "%s%s\n", indent(), name)
+		case opBr, opBrIf, opCall, opLocalGet, opLocalSet, opLocalTee, opGlobalGet, opGlobalSet:
+			v, err := r.u32()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%s%s %d\n", indent(), name, v)
+		case opBrTable:
+			n, err := r.u32()
+			if err != nil {
+				return err
+			}
+			var depths []string
+			for i := uint32(0); i < n; i++ {
+				d, err := r.u32()
+				if err != nil {
+					return err
+				}
+				depths = append(depths, fmt.Sprint(d))
+			}
+			def, err := r.u32()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%sbr_table [%s] default=%d\n", indent(), strings.Join(depths, " "), def)
+		case opCallIndirect:
+			ti, err := r.u32()
+			if err != nil {
+				return err
+			}
+			if _, err := r.byte(); err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%scall_indirect (type %d)\n", indent(), ti)
+		case opI32Const:
+			v, err := r.s32()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%si32.const %d\n", indent(), v)
+		case opI64Const:
+			v, err := r.s64()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%si64.const %d\n", indent(), v)
+		case opF32Const:
+			b, err := r.bytes(4)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%sf32.const 0x%02x%02x%02x%02x\n", indent(), b[3], b[2], b[1], b[0])
+		case opF64Const:
+			if _, err := r.bytes(8); err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%sf64.const ...\n", indent())
+		case opMemorySize, opMemoryGrow:
+			if _, err := r.byte(); err != nil {
+				return err
+			}
+			fmt.Fprintf(sb, "%s%s\n", indent(), name)
+		case opPrefixFC:
+			sub, err := r.u32()
+			if err != nil {
+				return err
+			}
+			switch sub {
+			case 10:
+				if _, err := r.bytes(2); err != nil {
+					return err
+				}
+				fmt.Fprintf(sb, "%smemory.copy\n", indent())
+			case 11:
+				if _, err := r.byte(); err != nil {
+					return err
+				}
+				fmt.Fprintf(sb, "%smemory.fill\n", indent())
+			default:
+				return fmt.Errorf("0xFC %d: %w", sub, ErrUnsupported)
+			}
+		default:
+			if op >= opI32Load && op <= opI64Store32 {
+				align, err := r.u32()
+				if err != nil {
+					return err
+				}
+				off, err := r.u32()
+				if err != nil {
+					return err
+				}
+				if off != 0 {
+					fmt.Fprintf(sb, "%s%s offset=%d\n", indent(), name, off)
+				} else {
+					fmt.Fprintf(sb, "%s%s\n", indent(), name)
+				}
+				_ = align
+			} else if knownOpcode(op) {
+				fmt.Fprintf(sb, "%s%s\n", indent(), name)
+			} else {
+				return fmt.Errorf("opcode 0x%02x: %w", op, ErrUnsupported)
+			}
+		}
+	}
+	return fmt.Errorf("body not terminated: %w", ErrMalformed)
+}
+
+// opcodeName returns the WAT mnemonic for an opcode.
+func opcodeName(op byte) string {
+	if name, ok := opcodeNames[op]; ok {
+		return name
+	}
+	return fmt.Sprintf("op_0x%02x", op)
+}
+
+var opcodeNames = map[byte]string{
+	opUnreachable: "unreachable", opNop: "nop", opBlock: "block", opLoop: "loop",
+	opIf: "if", opElse: "else", opEnd: "end", opBr: "br", opBrIf: "br_if",
+	opBrTable: "br_table", opReturn: "return", opCall: "call", opCallIndirect: "call_indirect",
+	opDrop: "drop", opSelect: "select",
+	opLocalGet: "local.get", opLocalSet: "local.set", opLocalTee: "local.tee",
+	opGlobalGet: "global.get", opGlobalSet: "global.set",
+	opI32Load: "i32.load", opI64Load: "i64.load", opF32Load: "f32.load", opF64Load: "f64.load",
+	opI32Load8S: "i32.load8_s", opI32Load8U: "i32.load8_u", opI32Load16S: "i32.load16_s", opI32Load16U: "i32.load16_u",
+	opI64Load8S: "i64.load8_s", opI64Load8U: "i64.load8_u", opI64Load16S: "i64.load16_s", opI64Load16U: "i64.load16_u",
+	opI64Load32S: "i64.load32_s", opI64Load32U: "i64.load32_u",
+	opI32Store: "i32.store", opI64Store: "i64.store", opF32Store: "f32.store", opF64Store: "f64.store",
+	opI32Store8: "i32.store8", opI32Store16: "i32.store16",
+	opI64Store8: "i64.store8", opI64Store16: "i64.store16", opI64Store32: "i64.store32",
+	opMemorySize: "memory.size", opMemoryGrow: "memory.grow",
+	opI32Const: "i32.const", opI64Const: "i64.const", opF32Const: "f32.const", opF64Const: "f64.const",
+	opI32Eqz: "i32.eqz", opI32Eq: "i32.eq", opI32Ne: "i32.ne",
+	opI32LtS: "i32.lt_s", opI32LtU: "i32.lt_u", opI32GtS: "i32.gt_s", opI32GtU: "i32.gt_u",
+	opI32LeS: "i32.le_s", opI32LeU: "i32.le_u", opI32GeS: "i32.ge_s", opI32GeU: "i32.ge_u",
+	opI64Eqz: "i64.eqz", opI64Eq: "i64.eq", opI64Ne: "i64.ne",
+	opI64LtS: "i64.lt_s", opI64LtU: "i64.lt_u", opI64GtS: "i64.gt_s", opI64GtU: "i64.gt_u",
+	opI64LeS: "i64.le_s", opI64LeU: "i64.le_u", opI64GeS: "i64.ge_s", opI64GeU: "i64.ge_u",
+	opF32Eq: "f32.eq", opF32Ne: "f32.ne", opF32Lt: "f32.lt", opF32Gt: "f32.gt", opF32Le: "f32.le", opF32Ge: "f32.ge",
+	opF64Eq: "f64.eq", opF64Ne: "f64.ne", opF64Lt: "f64.lt", opF64Gt: "f64.gt", opF64Le: "f64.le", opF64Ge: "f64.ge",
+	opI32Clz: "i32.clz", opI32Ctz: "i32.ctz", opI32Popcnt: "i32.popcnt",
+	opI32Add: "i32.add", opI32Sub: "i32.sub", opI32Mul: "i32.mul",
+	opI32DivS: "i32.div_s", opI32DivU: "i32.div_u", opI32RemS: "i32.rem_s", opI32RemU: "i32.rem_u",
+	opI32And: "i32.and", opI32Or: "i32.or", opI32Xor: "i32.xor",
+	opI32Shl: "i32.shl", opI32ShrS: "i32.shr_s", opI32ShrU: "i32.shr_u", opI32Rotl: "i32.rotl", opI32Rotr: "i32.rotr",
+	opI64Clz: "i64.clz", opI64Ctz: "i64.ctz", opI64Popcnt: "i64.popcnt",
+	opI64Add: "i64.add", opI64Sub: "i64.sub", opI64Mul: "i64.mul",
+	opI64DivS: "i64.div_s", opI64DivU: "i64.div_u", opI64RemS: "i64.rem_s", opI64RemU: "i64.rem_u",
+	opI64And: "i64.and", opI64Or: "i64.or", opI64Xor: "i64.xor",
+	opI64Shl: "i64.shl", opI64ShrS: "i64.shr_s", opI64ShrU: "i64.shr_u", opI64Rotl: "i64.rotl", opI64Rotr: "i64.rotr",
+	opF32Abs: "f32.abs", opF32Neg: "f32.neg", opF32Ceil: "f32.ceil", opF32Floor: "f32.floor",
+	opF32Trunc: "f32.trunc", opF32Nearest: "f32.nearest", opF32Sqrt: "f32.sqrt",
+	opF32Add: "f32.add", opF32Sub: "f32.sub", opF32Mul: "f32.mul", opF32Div: "f32.div",
+	opF32Min: "f32.min", opF32Max: "f32.max", opF32Copysign: "f32.copysign",
+	opF64Abs: "f64.abs", opF64Neg: "f64.neg", opF64Ceil: "f64.ceil", opF64Floor: "f64.floor",
+	opF64Trunc: "f64.trunc", opF64Nearest: "f64.nearest", opF64Sqrt: "f64.sqrt",
+	opF64Add: "f64.add", opF64Sub: "f64.sub", opF64Mul: "f64.mul", opF64Div: "f64.div",
+	opF64Min: "f64.min", opF64Max: "f64.max", opF64Copysign: "f64.copysign",
+	opI32WrapI64:   "i32.wrap_i64",
+	opI32TruncF32S: "i32.trunc_f32_s", opI32TruncF32U: "i32.trunc_f32_u",
+	opI32TruncF64S: "i32.trunc_f64_s", opI32TruncF64U: "i32.trunc_f64_u",
+	opI64ExtendI32S: "i64.extend_i32_s", opI64ExtendI32U: "i64.extend_i32_u",
+	opI64TruncF32S: "i64.trunc_f32_s", opI64TruncF32U: "i64.trunc_f32_u",
+	opI64TruncF64S: "i64.trunc_f64_s", opI64TruncF64U: "i64.trunc_f64_u",
+	opF32ConvertI32S: "f32.convert_i32_s", opF32ConvertI32U: "f32.convert_i32_u",
+	opF32ConvertI64S: "f32.convert_i64_s", opF32ConvertI64U: "f32.convert_i64_u",
+	opF32DemoteF64:   "f32.demote_f64",
+	opF64ConvertI32S: "f64.convert_i32_s", opF64ConvertI32U: "f64.convert_i32_u",
+	opF64ConvertI64S: "f64.convert_i64_s", opF64ConvertI64U: "f64.convert_i64_u",
+	opF64PromoteF32:   "f64.promote_f32",
+	opI32ReinterpretF: "i32.reinterpret_f32", opI64ReinterpretF: "i64.reinterpret_f64",
+	opF32ReinterpretI: "f32.reinterpret_i32", opF64ReinterpretI: "f64.reinterpret_i64",
+	opI32Extend8S: "i32.extend8_s", opI32Extend16S: "i32.extend16_s",
+	opI64Extend8S: "i64.extend8_s", opI64Extend16S: "i64.extend16_s", opI64Extend32S: "i64.extend32_s",
+}

@@ -1,0 +1,120 @@
+package wasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasmbuild"
+)
+
+func TestDisassembleSimpleFunction(t *testing.T) {
+	b := wasmbuild.New()
+	b.Memory(1, 2, "memory")
+	f := b.NewFunc("sum", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I64})
+	i := f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.I64)
+	f.Block().Loop().
+		LocalGet(i).LocalGet(0).I32GeU().BrIf(1).
+		LocalGet(acc).LocalGet(i).I64ExtendI32U().I64Add().LocalSet(acc).
+		LocalGet(i).I32Const(1).I32Add().LocalSet(i).
+		Br(0).
+		End().End().
+		LocalGet(acc)
+	m, err := wasm.Decode(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := wasm.Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(module",
+		"(memory 1 2)",
+		`(export "sum")`,
+		"(local i32 i64)",
+		"block", "loop", "br_if 1", "br 0",
+		"i64.extend_i32_u", "i32.const 1", "local.get 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+	// Loop body is nested two levels below the function body.
+	if !strings.Contains(text, "        local.get 1") {
+		t.Fatalf("indentation not structured:\n%s", text)
+	}
+}
+
+func TestDisassembleGuestModule(t *testing.T) {
+	m, err := wasm.Decode(guest.Module())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := wasm.Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`(import "roadrunner" "send_to_host"`,
+		`(import "wasi" "sock_send"`,
+		`(export "allocate_memory")`,
+		`(export "serialize")`,
+		"memory.grow",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("guest disassembly missing %q", want)
+		}
+	}
+	// Every line of body output must be balanced: the text ends with the
+	// closing module paren.
+	if !strings.HasSuffix(strings.TrimSpace(text), ")") {
+		t.Fatal("disassembly not terminated")
+	}
+}
+
+func TestDisassembleControlConstructs(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	f.LocalGet(0).
+		IfT(wasm.I32).
+		I32Const(1).
+		Else().
+		I32Const(2).
+		End()
+	g := b.NewFunc("g", []wasm.ValType{wasm.I32}, nil)
+	g.Block().Block().
+		LocalGet(0).BrTable([]uint32{0, 1}, 0).
+		End().End()
+	m, err := wasm.Decode(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := wasm.Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"if (blocktype -1)", "else", "br_table [0 1] default=0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOpcodeNamesCoverInterpreterSet(t *testing.T) {
+	// Build a module exercising a broad opcode set and confirm no
+	// fallback "op_0x" names leak into its disassembly.
+	m, err := wasm.Decode(guest.Module())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := wasm.Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "op_0x") {
+		t.Fatalf("unnamed opcode in guest disassembly:\n%s", text)
+	}
+}

@@ -1,0 +1,874 @@
+package wasm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// execLabel is one entry of the runtime control stack. contPC is where a
+// branch to this label resumes; stackH is the operand-stack height at block
+// entry; arity is the number of values a branch carries.
+type execLabel struct {
+	contPC int
+	stackH int
+	arity  int
+}
+
+func (inst *Instance) call(fnIdx uint32, args []uint64) ([]uint64, error) {
+	return inst.invoke(fnIdx, args, 0)
+}
+
+func (inst *Instance) invoke(fnIdx uint32, args []uint64, depth int) ([]uint64, error) {
+	if depth > inst.maxDepth {
+		return nil, TrapCallDepth
+	}
+	f := &inst.funcs[fnIdx]
+	if f.host != nil {
+		return f.host.Fn(&HostContext{Instance: inst}, args)
+	}
+	locals := make([]uint64, f.cf.numLocals)
+	copy(locals, args)
+	return inst.exec(f.cf, locals, depth)
+}
+
+// exec runs one compiled function body. The operand stack holds raw 64-bit
+// values: i32 in the low 32 bits, floats as IEEE bits.
+func (inst *Instance) exec(cf *compiledFunc, locals []uint64, depth int) ([]uint64, error) {
+	var (
+		st     = make([]uint64, 0, 32)
+		labels = make([]execLabel, 0, 8)
+		code   = cf.code
+		mem    = inst.mem
+	)
+
+	returnResults := func() ([]uint64, error) {
+		if len(st) < cf.numResults {
+			return nil, TrapStackUnderflow
+		}
+		res := make([]uint64, cf.numResults)
+		copy(res, st[len(st)-cf.numResults:])
+		return res, nil
+	}
+
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		switch in.op {
+		case opUnreachable:
+			return nil, TrapUnreachable
+		case opNop:
+
+		case opBlock:
+			labels = append(labels, execLabel{contPC: int(in.imm1) + 1, stackH: len(st), arity: int(in.imm0)})
+		case opLoop:
+			labels = append(labels, execLabel{contPC: pc, stackH: len(st), arity: 0})
+		case opIf:
+			n := len(st) - 1
+			cond := st[n]
+			st = st[:n]
+			elseIdx := int(in.imm1 >> 32)
+			endIdx := int(in.imm1 & 0xFFFFFFFF)
+			labels = append(labels, execLabel{contPC: endIdx + 1, stackH: len(st), arity: int(in.imm0)})
+			if cond == 0 {
+				if elseIdx == endIdx {
+					pc = endIdx - 1 // step onto end, which pops the label
+				} else {
+					pc = elseIdx // skip past the else marker
+				}
+			}
+		case opElse:
+			// The true arm finished: jump to the owning if's end marker,
+			// which pops the label. contPC is end+1, so land on end-1 and
+			// let the loop's pc++ step onto the end instruction.
+			pc = labels[len(labels)-1].contPC - 2
+
+		case opEnd:
+			if len(labels) > 0 {
+				labels = labels[:len(labels)-1]
+			} else {
+				return returnResults()
+			}
+
+		case opBr:
+			var err error
+			pc, labels, st, err = inst.branch(int(in.imm0), labels, st, cf)
+			if err != nil {
+				return returnResults()
+			}
+		case opBrIf:
+			n := len(st) - 1
+			cond := st[n]
+			st = st[:n]
+			if cond != 0 {
+				var err error
+				pc, labels, st, err = inst.branch(int(in.imm0), labels, st, cf)
+				if err != nil {
+					return returnResults()
+				}
+			}
+		case opBrTable:
+			n := len(st) - 1
+			idx := uint32(st[n])
+			st = st[:n]
+			d := uint32(in.imm0)
+			if int(idx) < len(in.tbl) {
+				d = in.tbl[idx]
+			}
+			var err error
+			pc, labels, st, err = inst.branch(int(d), labels, st, cf)
+			if err != nil {
+				return returnResults()
+			}
+
+		case opReturn:
+			return returnResults()
+
+		case opCall:
+			var err error
+			st, err = inst.doCall(uint32(in.imm0), st, depth)
+			if err != nil {
+				return nil, err
+			}
+		case opCallIndirect:
+			n := len(st) - 1
+			elem := uint32(st[n])
+			st = st[:n]
+			if inst.table == nil || int(elem) >= len(inst.table) {
+				return nil, TrapUndefinedElement
+			}
+			fi := inst.table[elem]
+			if fi < 0 {
+				return nil, TrapUndefinedElement
+			}
+			want := inst.module.Types[in.imm0]
+			if !inst.funcs[fi].typ.Equal(want) {
+				return nil, TrapIndirectType
+			}
+			var err error
+			st, err = inst.doCall(uint32(fi), st, depth)
+			if err != nil {
+				return nil, err
+			}
+
+		case opDrop:
+			st = st[:len(st)-1]
+		case opSelect:
+			n := len(st) - 1
+			c, b, a := st[n], st[n-1], st[n-2]
+			if c != 0 {
+				st[n-2] = a
+			} else {
+				st[n-2] = b
+			}
+			st = st[:n-1]
+
+		case opLocalGet:
+			st = append(st, locals[in.imm0])
+		case opLocalSet:
+			n := len(st) - 1
+			locals[in.imm0] = st[n]
+			st = st[:n]
+		case opLocalTee:
+			locals[in.imm0] = st[len(st)-1]
+		case opGlobalGet:
+			st = append(st, inst.globals[in.imm0])
+		case opGlobalSet:
+			if !inst.globmut[in.imm0] {
+				return nil, fmt.Errorf("global %d: %w", in.imm0, ErrGlobalImmutable)
+			}
+			n := len(st) - 1
+			inst.globals[in.imm0] = st[n]
+			st = st[:n]
+
+		case opI32Const, opI64Const, opF32Const, opF64Const:
+			st = append(st, in.imm0)
+
+		// ---- memory ----
+		case opI32Load, opF32Load:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 4)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64Load, opF64Load:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 8)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI32Load8S:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 1)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = uint64(uint32(int32(int8(v))))
+		case opI32Load8U:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 1)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI32Load16S:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 2)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = uint64(uint32(int32(int16(v))))
+		case opI32Load16U:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 2)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64Load8S:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 1)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = uint64(int64(int8(v)))
+		case opI64Load8U:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 1)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64Load16S:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 2)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = uint64(int64(int16(v)))
+		case opI64Load16U:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 2)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64Load32S:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 4)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = uint64(int64(int32(v)))
+		case opI64Load32U:
+			n := len(st) - 1
+			v, err := mem.load(uint64(uint32(st[n]))+in.imm0, 4)
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+
+		case opI32Store, opF32Store:
+			n := len(st) - 1
+			if err := mem.store(uint64(uint32(st[n-1]))+in.imm0, 4, st[n]); err != nil {
+				return nil, err
+			}
+			st = st[:n-1]
+		case opI64Store, opF64Store:
+			n := len(st) - 1
+			if err := mem.store(uint64(uint32(st[n-1]))+in.imm0, 8, st[n]); err != nil {
+				return nil, err
+			}
+			st = st[:n-1]
+		case opI32Store8, opI64Store8:
+			n := len(st) - 1
+			if err := mem.store(uint64(uint32(st[n-1]))+in.imm0, 1, st[n]); err != nil {
+				return nil, err
+			}
+			st = st[:n-1]
+		case opI32Store16, opI64Store16:
+			n := len(st) - 1
+			if err := mem.store(uint64(uint32(st[n-1]))+in.imm0, 2, st[n]); err != nil {
+				return nil, err
+			}
+			st = st[:n-1]
+		case opI64Store32:
+			n := len(st) - 1
+			if err := mem.store(uint64(uint32(st[n-1]))+in.imm0, 4, st[n]); err != nil {
+				return nil, err
+			}
+			st = st[:n-1]
+
+		case opMemorySize:
+			st = append(st, uint64(mem.Pages()))
+		case opMemoryGrow:
+			n := len(st) - 1
+			st[n] = uint64(uint32(mem.Grow(uint32(st[n]))))
+		case opMemoryCopySyn:
+			n := len(st) - 1
+			cnt, src, dst := st[n], st[n-1], st[n-2]
+			st = st[:n-2]
+			if err := mem.copyWithin(uint64(uint32(dst)), uint64(uint32(src)), uint64(uint32(cnt))); err != nil {
+				return nil, err
+			}
+		case opMemoryFillSyn:
+			n := len(st) - 1
+			cnt, val, dst := st[n], st[n-1], st[n-2]
+			st = st[:n-2]
+			if err := mem.fill(uint64(uint32(dst)), uint64(uint32(cnt)), byte(val)); err != nil {
+				return nil, err
+			}
+
+		// ---- i32 compare ----
+		case opI32Eqz:
+			n := len(st) - 1
+			st[n] = b2u(uint32(st[n]) == 0)
+		case opI32Eq:
+			st = cmp32(st, func(a, b uint32) bool { return a == b })
+		case opI32Ne:
+			st = cmp32(st, func(a, b uint32) bool { return a != b })
+		case opI32LtS:
+			st = cmp32(st, func(a, b uint32) bool { return int32(a) < int32(b) })
+		case opI32LtU:
+			st = cmp32(st, func(a, b uint32) bool { return a < b })
+		case opI32GtS:
+			st = cmp32(st, func(a, b uint32) bool { return int32(a) > int32(b) })
+		case opI32GtU:
+			st = cmp32(st, func(a, b uint32) bool { return a > b })
+		case opI32LeS:
+			st = cmp32(st, func(a, b uint32) bool { return int32(a) <= int32(b) })
+		case opI32LeU:
+			st = cmp32(st, func(a, b uint32) bool { return a <= b })
+		case opI32GeS:
+			st = cmp32(st, func(a, b uint32) bool { return int32(a) >= int32(b) })
+		case opI32GeU:
+			st = cmp32(st, func(a, b uint32) bool { return a >= b })
+
+		// ---- i64 compare ----
+		case opI64Eqz:
+			n := len(st) - 1
+			st[n] = b2u(st[n] == 0)
+		case opI64Eq:
+			st = cmp64(st, func(a, b uint64) bool { return a == b })
+		case opI64Ne:
+			st = cmp64(st, func(a, b uint64) bool { return a != b })
+		case opI64LtS:
+			st = cmp64(st, func(a, b uint64) bool { return int64(a) < int64(b) })
+		case opI64LtU:
+			st = cmp64(st, func(a, b uint64) bool { return a < b })
+		case opI64GtS:
+			st = cmp64(st, func(a, b uint64) bool { return int64(a) > int64(b) })
+		case opI64GtU:
+			st = cmp64(st, func(a, b uint64) bool { return a > b })
+		case opI64LeS:
+			st = cmp64(st, func(a, b uint64) bool { return int64(a) <= int64(b) })
+		case opI64LeU:
+			st = cmp64(st, func(a, b uint64) bool { return a <= b })
+		case opI64GeS:
+			st = cmp64(st, func(a, b uint64) bool { return int64(a) >= int64(b) })
+		case opI64GeU:
+			st = cmp64(st, func(a, b uint64) bool { return a >= b })
+
+		// ---- f32/f64 compare ----
+		case opF32Eq:
+			st = cmpF32(st, func(a, b float32) bool { return a == b })
+		case opF32Ne:
+			st = cmpF32(st, func(a, b float32) bool { return a != b })
+		case opF32Lt:
+			st = cmpF32(st, func(a, b float32) bool { return a < b })
+		case opF32Gt:
+			st = cmpF32(st, func(a, b float32) bool { return a > b })
+		case opF32Le:
+			st = cmpF32(st, func(a, b float32) bool { return a <= b })
+		case opF32Ge:
+			st = cmpF32(st, func(a, b float32) bool { return a >= b })
+		case opF64Eq:
+			st = cmpF64(st, func(a, b float64) bool { return a == b })
+		case opF64Ne:
+			st = cmpF64(st, func(a, b float64) bool { return a != b })
+		case opF64Lt:
+			st = cmpF64(st, func(a, b float64) bool { return a < b })
+		case opF64Gt:
+			st = cmpF64(st, func(a, b float64) bool { return a > b })
+		case opF64Le:
+			st = cmpF64(st, func(a, b float64) bool { return a <= b })
+		case opF64Ge:
+			st = cmpF64(st, func(a, b float64) bool { return a >= b })
+
+		// ---- i32 arithmetic ----
+		case opI32Clz:
+			n := len(st) - 1
+			st[n] = uint64(bits.LeadingZeros32(uint32(st[n])))
+		case opI32Ctz:
+			n := len(st) - 1
+			st[n] = uint64(bits.TrailingZeros32(uint32(st[n])))
+		case opI32Popcnt:
+			n := len(st) - 1
+			st[n] = uint64(bits.OnesCount32(uint32(st[n])))
+		case opI32Add:
+			st = bin32(st, func(a, b uint32) uint32 { return a + b })
+		case opI32Sub:
+			st = bin32(st, func(a, b uint32) uint32 { return a - b })
+		case opI32Mul:
+			st = bin32(st, func(a, b uint32) uint32 { return a * b })
+		case opI32DivS:
+			n := len(st) - 1
+			a, b := int32(st[n-1]), int32(st[n])
+			if b == 0 {
+				return nil, TrapDivByZero
+			}
+			if a == math.MinInt32 && b == -1 {
+				return nil, TrapIntegerOverflow
+			}
+			st[n-1] = uint64(uint32(a / b))
+			st = st[:n]
+		case opI32DivU:
+			n := len(st) - 1
+			a, b := uint32(st[n-1]), uint32(st[n])
+			if b == 0 {
+				return nil, TrapDivByZero
+			}
+			st[n-1] = uint64(a / b)
+			st = st[:n]
+		case opI32RemS:
+			n := len(st) - 1
+			a, b := int32(st[n-1]), int32(st[n])
+			if b == 0 {
+				return nil, TrapDivByZero
+			}
+			if a == math.MinInt32 && b == -1 {
+				st[n-1] = 0
+			} else {
+				st[n-1] = uint64(uint32(a % b))
+			}
+			st = st[:n]
+		case opI32RemU:
+			n := len(st) - 1
+			a, b := uint32(st[n-1]), uint32(st[n])
+			if b == 0 {
+				return nil, TrapDivByZero
+			}
+			st[n-1] = uint64(a % b)
+			st = st[:n]
+		case opI32And:
+			st = bin32(st, func(a, b uint32) uint32 { return a & b })
+		case opI32Or:
+			st = bin32(st, func(a, b uint32) uint32 { return a | b })
+		case opI32Xor:
+			st = bin32(st, func(a, b uint32) uint32 { return a ^ b })
+		case opI32Shl:
+			st = bin32(st, func(a, b uint32) uint32 { return a << (b & 31) })
+		case opI32ShrS:
+			st = bin32(st, func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) })
+		case opI32ShrU:
+			st = bin32(st, func(a, b uint32) uint32 { return a >> (b & 31) })
+		case opI32Rotl:
+			st = bin32(st, func(a, b uint32) uint32 { return bits.RotateLeft32(a, int(b&31)) })
+		case opI32Rotr:
+			st = bin32(st, func(a, b uint32) uint32 { return bits.RotateLeft32(a, -int(b&31)) })
+
+		// ---- i64 arithmetic ----
+		case opI64Clz:
+			n := len(st) - 1
+			st[n] = uint64(bits.LeadingZeros64(st[n]))
+		case opI64Ctz:
+			n := len(st) - 1
+			st[n] = uint64(bits.TrailingZeros64(st[n]))
+		case opI64Popcnt:
+			n := len(st) - 1
+			st[n] = uint64(bits.OnesCount64(st[n]))
+		case opI64Add:
+			st = bin64(st, func(a, b uint64) uint64 { return a + b })
+		case opI64Sub:
+			st = bin64(st, func(a, b uint64) uint64 { return a - b })
+		case opI64Mul:
+			st = bin64(st, func(a, b uint64) uint64 { return a * b })
+		case opI64DivS:
+			n := len(st) - 1
+			a, b := int64(st[n-1]), int64(st[n])
+			if b == 0 {
+				return nil, TrapDivByZero
+			}
+			if a == math.MinInt64 && b == -1 {
+				return nil, TrapIntegerOverflow
+			}
+			st[n-1] = uint64(a / b)
+			st = st[:n]
+		case opI64DivU:
+			n := len(st) - 1
+			if st[n] == 0 {
+				return nil, TrapDivByZero
+			}
+			st[n-1] = st[n-1] / st[n]
+			st = st[:n]
+		case opI64RemS:
+			n := len(st) - 1
+			a, b := int64(st[n-1]), int64(st[n])
+			if b == 0 {
+				return nil, TrapDivByZero
+			}
+			if a == math.MinInt64 && b == -1 {
+				st[n-1] = 0
+			} else {
+				st[n-1] = uint64(a % b)
+			}
+			st = st[:n]
+		case opI64RemU:
+			n := len(st) - 1
+			if st[n] == 0 {
+				return nil, TrapDivByZero
+			}
+			st[n-1] = st[n-1] % st[n]
+			st = st[:n]
+		case opI64And:
+			st = bin64(st, func(a, b uint64) uint64 { return a & b })
+		case opI64Or:
+			st = bin64(st, func(a, b uint64) uint64 { return a | b })
+		case opI64Xor:
+			st = bin64(st, func(a, b uint64) uint64 { return a ^ b })
+		case opI64Shl:
+			st = bin64(st, func(a, b uint64) uint64 { return a << (b & 63) })
+		case opI64ShrS:
+			st = bin64(st, func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) })
+		case opI64ShrU:
+			st = bin64(st, func(a, b uint64) uint64 { return a >> (b & 63) })
+		case opI64Rotl:
+			st = bin64(st, func(a, b uint64) uint64 { return bits.RotateLeft64(a, int(b&63)) })
+		case opI64Rotr:
+			st = bin64(st, func(a, b uint64) uint64 { return bits.RotateLeft64(a, -int(b&63)) })
+
+		// ---- f32 arithmetic ----
+		case opF32Abs:
+			st = un32f(st, func(v float32) float32 { return float32(math.Abs(float64(v))) })
+		case opF32Neg:
+			n := len(st) - 1
+			st[n] = uint64(uint32(st[n]) ^ 0x8000_0000)
+		case opF32Ceil:
+			st = un32f(st, func(v float32) float32 { return float32(math.Ceil(float64(v))) })
+		case opF32Floor:
+			st = un32f(st, func(v float32) float32 { return float32(math.Floor(float64(v))) })
+		case opF32Trunc:
+			st = un32f(st, func(v float32) float32 { return float32(math.Trunc(float64(v))) })
+		case opF32Nearest:
+			st = un32f(st, func(v float32) float32 { return float32(math.RoundToEven(float64(v))) })
+		case opF32Sqrt:
+			st = un32f(st, func(v float32) float32 { return float32(math.Sqrt(float64(v))) })
+		case opF32Add:
+			st = bin32f(st, func(a, b float32) float32 { return a + b })
+		case opF32Sub:
+			st = bin32f(st, func(a, b float32) float32 { return a - b })
+		case opF32Mul:
+			st = bin32f(st, func(a, b float32) float32 { return a * b })
+		case opF32Div:
+			st = bin32f(st, func(a, b float32) float32 { return a / b })
+		case opF32Min:
+			st = bin32f(st, func(a, b float32) float32 { return float32(math.Min(float64(a), float64(b))) })
+		case opF32Max:
+			st = bin32f(st, func(a, b float32) float32 { return float32(math.Max(float64(a), float64(b))) })
+		case opF32Copysign:
+			st = bin32f(st, func(a, b float32) float32 { return float32(math.Copysign(float64(a), float64(b))) })
+
+		// ---- f64 arithmetic ----
+		case opF64Abs:
+			st = un64f(st, math.Abs)
+		case opF64Neg:
+			n := len(st) - 1
+			st[n] ^= 0x8000_0000_0000_0000
+		case opF64Ceil:
+			st = un64f(st, math.Ceil)
+		case opF64Floor:
+			st = un64f(st, math.Floor)
+		case opF64Trunc:
+			st = un64f(st, math.Trunc)
+		case opF64Nearest:
+			st = un64f(st, math.RoundToEven)
+		case opF64Sqrt:
+			st = un64f(st, math.Sqrt)
+		case opF64Add:
+			st = bin64f(st, func(a, b float64) float64 { return a + b })
+		case opF64Sub:
+			st = bin64f(st, func(a, b float64) float64 { return a - b })
+		case opF64Mul:
+			st = bin64f(st, func(a, b float64) float64 { return a * b })
+		case opF64Div:
+			st = bin64f(st, func(a, b float64) float64 { return a / b })
+		case opF64Min:
+			st = bin64f(st, math.Min)
+		case opF64Max:
+			st = bin64f(st, math.Max)
+		case opF64Copysign:
+			st = bin64f(st, math.Copysign)
+
+		// ---- conversions ----
+		case opI32WrapI64:
+			n := len(st) - 1
+			st[n] = uint64(uint32(st[n]))
+		case opI32TruncF32S:
+			n := len(st) - 1
+			v, err := truncS32(float64(math.Float32frombits(uint32(st[n]))))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI32TruncF32U:
+			n := len(st) - 1
+			v, err := truncU32(float64(math.Float32frombits(uint32(st[n]))))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI32TruncF64S:
+			n := len(st) - 1
+			v, err := truncS32(math.Float64frombits(st[n]))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI32TruncF64U:
+			n := len(st) - 1
+			v, err := truncU32(math.Float64frombits(st[n]))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64ExtendI32S:
+			n := len(st) - 1
+			st[n] = uint64(int64(int32(st[n])))
+		case opI64ExtendI32U:
+			n := len(st) - 1
+			st[n] = uint64(uint32(st[n]))
+		case opI64TruncF32S:
+			n := len(st) - 1
+			v, err := truncS64(float64(math.Float32frombits(uint32(st[n]))))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64TruncF32U:
+			n := len(st) - 1
+			v, err := truncU64(float64(math.Float32frombits(uint32(st[n]))))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64TruncF64S:
+			n := len(st) - 1
+			v, err := truncS64(math.Float64frombits(st[n]))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opI64TruncF64U:
+			n := len(st) - 1
+			v, err := truncU64(math.Float64frombits(st[n]))
+			if err != nil {
+				return nil, err
+			}
+			st[n] = v
+		case opF32ConvertI32S:
+			n := len(st) - 1
+			st[n] = uint64(math.Float32bits(float32(int32(st[n]))))
+		case opF32ConvertI32U:
+			n := len(st) - 1
+			st[n] = uint64(math.Float32bits(float32(uint32(st[n]))))
+		case opF32ConvertI64S:
+			n := len(st) - 1
+			st[n] = uint64(math.Float32bits(float32(int64(st[n]))))
+		case opF32ConvertI64U:
+			n := len(st) - 1
+			st[n] = uint64(math.Float32bits(float32(st[n])))
+		case opF32DemoteF64:
+			n := len(st) - 1
+			st[n] = uint64(math.Float32bits(float32(math.Float64frombits(st[n]))))
+		case opF64ConvertI32S:
+			n := len(st) - 1
+			st[n] = math.Float64bits(float64(int32(st[n])))
+		case opF64ConvertI32U:
+			n := len(st) - 1
+			st[n] = math.Float64bits(float64(uint32(st[n])))
+		case opF64ConvertI64S:
+			n := len(st) - 1
+			st[n] = math.Float64bits(float64(int64(st[n])))
+		case opF64ConvertI64U:
+			n := len(st) - 1
+			st[n] = math.Float64bits(float64(st[n]))
+		case opF64PromoteF32:
+			n := len(st) - 1
+			st[n] = math.Float64bits(float64(math.Float32frombits(uint32(st[n]))))
+		case opI32ReinterpretF, opI64ReinterpretF, opF32ReinterpretI, opF64ReinterpretI:
+			// Bit-identical in this representation.
+
+		case opI32Extend8S:
+			n := len(st) - 1
+			st[n] = uint64(uint32(int32(int8(st[n]))))
+		case opI32Extend16S:
+			n := len(st) - 1
+			st[n] = uint64(uint32(int32(int16(st[n]))))
+		case opI64Extend8S:
+			n := len(st) - 1
+			st[n] = uint64(int64(int8(st[n])))
+		case opI64Extend16S:
+			n := len(st) - 1
+			st[n] = uint64(int64(int16(st[n])))
+		case opI64Extend32S:
+			n := len(st) - 1
+			st[n] = uint64(int64(int32(st[n])))
+
+		default:
+			return nil, fmt.Errorf("exec opcode 0x%02x: %w", in.op, ErrUnsupported)
+		}
+	}
+	return returnResults()
+}
+
+// branch unwinds to the label at the given relative depth. A depth that
+// reaches past the outermost explicit label targets the implicit function
+// label: the caller returns the function's results (signaled via non-nil
+// error sentinel errFunctionBranch).
+func (inst *Instance) branch(depth int, labels []execLabel, st []uint64, cf *compiledFunc) (int, []execLabel, []uint64, error) {
+	idx := len(labels) - 1 - depth
+	if idx < 0 {
+		// Branch to the function label: behave like return.
+		return 0, labels, st, errFunctionBranch
+	}
+	l := labels[idx]
+	// Carry the label's arity values, discard everything above its entry
+	// height.
+	copy(st[l.stackH:], st[len(st)-l.arity:])
+	st = st[:l.stackH+l.arity]
+	labels = labels[:idx]
+	// contPC is the instruction index to execute next; the main loop will
+	// pc++ after this, so step back by one.
+	return l.contPC - 1, labels, st, nil
+}
+
+var errFunctionBranch = fmt.Errorf("wasm: branch to function label")
+
+func (inst *Instance) doCall(fi uint32, st []uint64, depth int) ([]uint64, error) {
+	f := &inst.funcs[fi]
+	nArgs := len(f.typ.Params)
+	if len(st) < nArgs {
+		return nil, TrapStackUnderflow
+	}
+	args := make([]uint64, nArgs)
+	copy(args, st[len(st)-nArgs:])
+	st = st[:len(st)-nArgs]
+	results, err := inst.invoke(fi, args, depth+1)
+	if err != nil {
+		return nil, fmt.Errorf("call %s: %w", f.name, err)
+	}
+	return append(st, results...), nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func bin32(st []uint64, f func(a, b uint32) uint32) []uint64 {
+	n := len(st) - 1
+	st[n-1] = uint64(f(uint32(st[n-1]), uint32(st[n])))
+	return st[:n]
+}
+
+func bin64(st []uint64, f func(a, b uint64) uint64) []uint64 {
+	n := len(st) - 1
+	st[n-1] = f(st[n-1], st[n])
+	return st[:n]
+}
+
+func cmp32(st []uint64, f func(a, b uint32) bool) []uint64 {
+	n := len(st) - 1
+	st[n-1] = b2u(f(uint32(st[n-1]), uint32(st[n])))
+	return st[:n]
+}
+
+func cmp64(st []uint64, f func(a, b uint64) bool) []uint64 {
+	n := len(st) - 1
+	st[n-1] = b2u(f(st[n-1], st[n]))
+	return st[:n]
+}
+
+func cmpF32(st []uint64, f func(a, b float32) bool) []uint64 {
+	n := len(st) - 1
+	st[n-1] = b2u(f(math.Float32frombits(uint32(st[n-1])), math.Float32frombits(uint32(st[n]))))
+	return st[:n]
+}
+
+func cmpF64(st []uint64, f func(a, b float64) bool) []uint64 {
+	n := len(st) - 1
+	st[n-1] = b2u(f(math.Float64frombits(st[n-1]), math.Float64frombits(st[n])))
+	return st[:n]
+}
+
+func bin32f(st []uint64, f func(a, b float32) float32) []uint64 {
+	n := len(st) - 1
+	st[n-1] = uint64(math.Float32bits(f(math.Float32frombits(uint32(st[n-1])), math.Float32frombits(uint32(st[n])))))
+	return st[:n]
+}
+
+func bin64f(st []uint64, f func(a, b float64) float64) []uint64 {
+	n := len(st) - 1
+	st[n-1] = math.Float64bits(f(math.Float64frombits(st[n-1]), math.Float64frombits(st[n])))
+	return st[:n]
+}
+
+func un32f(st []uint64, f func(v float32) float32) []uint64 {
+	n := len(st) - 1
+	st[n] = uint64(math.Float32bits(f(math.Float32frombits(uint32(st[n])))))
+	return st
+}
+
+func un64f(st []uint64, f func(v float64) float64) []uint64 {
+	n := len(st) - 1
+	st[n] = math.Float64bits(f(math.Float64frombits(st[n])))
+	return st
+}
+
+func truncS32(v float64) (uint64, error) {
+	if math.IsNaN(v) {
+		return 0, TrapInvalidConv
+	}
+	t := math.Trunc(v)
+	if t < math.MinInt32 || t > math.MaxInt32 {
+		return 0, TrapIntegerOverflow
+	}
+	return uint64(uint32(int32(t))), nil
+}
+
+func truncU32(v float64) (uint64, error) {
+	if math.IsNaN(v) {
+		return 0, TrapInvalidConv
+	}
+	t := math.Trunc(v)
+	if t < 0 || t > math.MaxUint32 {
+		return 0, TrapIntegerOverflow
+	}
+	return uint64(uint32(t)), nil
+}
+
+func truncS64(v float64) (uint64, error) {
+	if math.IsNaN(v) {
+		return 0, TrapInvalidConv
+	}
+	t := math.Trunc(v)
+	// 2^63 is exactly representable; MaxInt64 is not.
+	if t < math.MinInt64 || t >= math.MaxInt64 {
+		return 0, TrapIntegerOverflow
+	}
+	return uint64(int64(t)), nil
+}
+
+func truncU64(v float64) (uint64, error) {
+	if math.IsNaN(v) {
+		return 0, TrapInvalidConv
+	}
+	t := math.Trunc(v)
+	if t < 0 || t >= math.MaxUint64 {
+		return 0, TrapIntegerOverflow
+	}
+	return uint64(t), nil
+}

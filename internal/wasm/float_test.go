@@ -1,0 +1,259 @@
+package wasm_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasmbuild"
+)
+
+// buildF64BinOps builds one export per f64 binary opcode.
+func buildF64Module(t *testing.T) *wasm.Instance {
+	t.Helper()
+	b := wasmbuild.New()
+	f64 := wasm.F64
+	bin := map[string]byte{
+		"add": 0xA0, "sub": 0xA1, "mul": 0xA2, "div": 0xA3,
+		"min": 0xA4, "max": 0xA5, "copysign": 0xA6,
+	}
+	for name, op := range bin {
+		f := b.NewFunc(name, []wasm.ValType{f64, f64}, []wasm.ValType{f64})
+		f.LocalGet(0).LocalGet(1).Raw(op)
+	}
+	un := map[string]byte{
+		"abs": 0x99, "neg": 0x9A, "ceil": 0x9B, "floor": 0x9C,
+		"trunc": 0x9D, "nearest": 0x9E, "sqrt": 0x9F,
+	}
+	for name, op := range un {
+		f := b.NewFunc(name, []wasm.ValType{f64}, []wasm.ValType{f64})
+		f.LocalGet(0).Raw(op)
+	}
+	cmp := map[string]byte{
+		"eq": 0x61, "ne": 0x62, "lt": 0x63, "gt": 0x64, "le": 0x65, "ge": 0x66,
+	}
+	for name, op := range cmp {
+		f := b.NewFunc("cmp_"+name, []wasm.ValType{f64, f64}, []wasm.ValType{wasm.I32})
+		f.LocalGet(0).LocalGet(1).Raw(op)
+	}
+	m, err := wasm.Decode(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// eqBits compares results accepting any NaN for any NaN (the interpreter is
+// not required to preserve NaN payloads).
+func eqBits(got, want uint64) bool {
+	g, w := math.Float64frombits(got), math.Float64frombits(want)
+	if math.IsNaN(g) && math.IsNaN(w) {
+		return true
+	}
+	return got == want
+}
+
+func TestF64BinaryOpsAgreeWithGoProperty(t *testing.T) {
+	inst := buildF64Module(t)
+	refs := map[string]func(a, b float64) float64{
+		"add":      func(a, b float64) float64 { return a + b },
+		"sub":      func(a, b float64) float64 { return a - b },
+		"mul":      func(a, b float64) float64 { return a * b },
+		"div":      func(a, b float64) float64 { return a / b },
+		"min":      math.Min,
+		"max":      math.Max,
+		"copysign": math.Copysign,
+	}
+	for name, ref := range refs {
+		fn, err := inst.Func(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(a, b float64) bool {
+			res, err := fn.Call(math.Float64bits(a), math.Float64bits(b))
+			if err != nil || len(res) != 1 {
+				return false
+			}
+			return eqBits(res[0], math.Float64bits(ref(a, b)))
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("f64.%s disagrees with Go: %v", name, err)
+		}
+	}
+}
+
+func TestF64UnaryOpsAgreeWithGoProperty(t *testing.T) {
+	inst := buildF64Module(t)
+	refs := map[string]func(v float64) float64{
+		"abs":     math.Abs,
+		"neg":     func(v float64) float64 { return -v },
+		"ceil":    math.Ceil,
+		"floor":   math.Floor,
+		"trunc":   math.Trunc,
+		"nearest": math.RoundToEven,
+		"sqrt":    math.Sqrt,
+	}
+	for name, ref := range refs {
+		fn, err := inst.Func(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(v float64) bool {
+			res, err := fn.Call(math.Float64bits(v))
+			if err != nil || len(res) != 1 {
+				return false
+			}
+			return eqBits(res[0], math.Float64bits(ref(v)))
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("f64.%s disagrees with Go: %v", name, err)
+		}
+	}
+}
+
+func TestF64ComparisonsAgreeWithGoProperty(t *testing.T) {
+	inst := buildF64Module(t)
+	refs := map[string]func(a, b float64) bool{
+		"eq": func(a, b float64) bool { return a == b },
+		"ne": func(a, b float64) bool { return a != b },
+		"lt": func(a, b float64) bool { return a < b },
+		"gt": func(a, b float64) bool { return a > b },
+		"le": func(a, b float64) bool { return a <= b },
+		"ge": func(a, b float64) bool { return a >= b },
+	}
+	for name, ref := range refs {
+		fn, err := inst.Func("cmp_" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(a, b float64) bool {
+			res, err := fn.Call(math.Float64bits(a), math.Float64bits(b))
+			if err != nil {
+				return false
+			}
+			want := uint64(0)
+			if ref(a, b) {
+				want = 1
+			}
+			return res[0] == want
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("f64.%s disagrees with Go: %v", name, err)
+		}
+	}
+}
+
+func TestF64SpecialValues(t *testing.T) {
+	inst := buildF64Module(t)
+	div, err := inst.Func("div")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := math.Inf(1)
+	// 1/0 = +Inf (no trap for floats).
+	res, err := div.Call(math.Float64bits(1), math.Float64bits(0))
+	if err != nil || math.Float64frombits(res[0]) != inf {
+		t.Fatalf("1/0 = %v, %v", math.Float64frombits(res[0]), err)
+	}
+	// 0/0 = NaN.
+	res, err = div.Call(math.Float64bits(0), math.Float64bits(0))
+	if err != nil || !math.IsNaN(math.Float64frombits(res[0])) {
+		t.Fatalf("0/0 = %v, %v", math.Float64frombits(res[0]), err)
+	}
+	// NaN propagates through min.
+	minFn, err := inst.Func("min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = minFn.Call(math.Float64bits(math.NaN()), math.Float64bits(5))
+	if err != nil || !math.IsNaN(math.Float64frombits(res[0])) {
+		t.Fatalf("min(NaN,5) = %v, %v", math.Float64frombits(res[0]), err)
+	}
+	// neg flips the sign bit even of NaN and -0.
+	negFn, err := inst.Func("neg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = negFn.Call(math.Float64bits(0))
+	if err != nil || res[0] != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("neg(0) bits = %#x, %v", res[0], err)
+	}
+}
+
+func TestF32Arithmetic(t *testing.T) {
+	b := wasmbuild.New()
+	f32 := wasm.F32
+	add := b.NewFunc("add", []wasm.ValType{f32, f32}, []wasm.ValType{f32})
+	add.LocalGet(0).LocalGet(1).Raw(0x92)
+	mul := b.NewFunc("mul", []wasm.ValType{f32, f32}, []wasm.ValType{f32})
+	mul.LocalGet(0).LocalGet(1).Raw(0x94)
+	sqrt := b.NewFunc("sqrt", []wasm.ValType{f32}, []wasm.ValType{f32})
+	sqrt.LocalGet(0).Raw(0x91)
+	m, err := wasm.Decode(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float32) bool {
+		res, err := inst.Call("add", uint64(math.Float32bits(a)), uint64(math.Float32bits(b)))
+		if err != nil {
+			return false
+		}
+		got := math.Float32frombits(uint32(res[0]))
+		want := a + b
+		return got == want || (isNaN32(got) && isNaN32(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("sqrt", uint64(math.Float32bits(9)))
+	if err != nil || math.Float32frombits(uint32(res[0])) != 3 {
+		t.Fatalf("sqrt(9) = %v, %v", res, err)
+	}
+}
+
+func isNaN32(v float32) bool { return v != v }
+
+func TestFloatConversionsRoundTrip(t *testing.T) {
+	b := wasmbuild.New()
+	// f64 -> f32 -> f64 (demote/promote).
+	f := b.NewFunc("dp", []wasm.ValType{wasm.F64}, []wasm.ValType{wasm.F64})
+	f.LocalGet(0).Raw(0xB6).Raw(0xBB)
+	// i32 -> f64 -> i32 (convert/trunc).
+	g := b.NewFunc("if64", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	g.LocalGet(0).Raw(0xB7).Raw(0xAA)
+	m, err := wasm.Decode(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(v float32) bool {
+		res, err := inst.Call("dp", math.Float64bits(float64(v)))
+		if err != nil {
+			return false
+		}
+		got := math.Float64frombits(res[0])
+		return got == float64(v) || (math.IsNaN(got) && isNaN32(v))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	check2 := func(v int32) bool {
+		res, err := inst.Call("if64", uint64(uint32(v)))
+		return err == nil && int32(res[0]) == v
+	}
+	if err := quick.Check(check2, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package wasm_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasmbuild"
+)
+
+// expectInvalid asserts the built module is rejected by the static
+// validator.
+func expectInvalid(t *testing.T, b *wasmbuild.Builder, what string) {
+	t.Helper()
+	if _, err := wasm.Decode(b.Build()); !errors.Is(err, wasm.ErrInvalidModule) {
+		t.Fatalf("%s: decode err = %v, want ErrInvalidModule", what, err)
+	}
+}
+
+// expectValid asserts the built module passes validation.
+func expectValid(t *testing.T, b *wasmbuild.Builder, what string) {
+	t.Helper()
+	if _, err := wasm.Decode(b.Build()); err != nil {
+		t.Fatalf("%s: decode err = %v, want nil", what, err)
+	}
+}
+
+func TestValidatorRejectsStackUnderflow(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.I32Const(1).I32Add() // add needs two operands
+	expectInvalid(t, b, "i32.add with one operand")
+}
+
+func TestValidatorRejectsTypeMismatch(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.I64Const(1).I32Const(2).I32Add() // i64 + i32
+	expectInvalid(t, b, "i32.add on i64 operand")
+}
+
+func TestValidatorRejectsWrongResultType(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I64})
+	f.I32Const(1) // returns i32, function declares i64
+	expectInvalid(t, b, "i32 result for i64 function")
+}
+
+func TestValidatorRejectsLeftoverOperands(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.I32Const(1).I32Const(2) // two values, one result
+	expectInvalid(t, b, "leftover operand at end")
+}
+
+func TestValidatorRejectsBadLocalType(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", []wasm.ValType{wasm.I64}, []wasm.ValType{wasm.I32})
+	f.LocalGet(0) // i64 local where i32 result expected
+	expectInvalid(t, b, "local type flows to wrong result")
+}
+
+func TestValidatorRejectsLocalOutOfRange(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, nil)
+	f.LocalGet(3).Drop()
+	if _, err := wasm.Decode(b.Build()); err == nil {
+		t.Fatal("out-of-range local accepted")
+	}
+}
+
+func TestValidatorRejectsBadBranchArity(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	// Branch to a block declaring an i32 result with an empty stack.
+	f.BlockT(wasm.I32).Br(0).End()
+	expectInvalid(t, b, "br without block result value")
+}
+
+func TestValidatorRejectsBranchDepthOutOfRange(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, nil)
+	f.Block().Br(7).End()
+	expectInvalid(t, b, "br depth 7 with 2 labels")
+}
+
+func TestValidatorRejectsIfWithoutI32Condition(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, nil)
+	f.I64Const(1).If().End()
+	expectInvalid(t, b, "if on i64 condition")
+}
+
+func TestValidatorRejectsIfResultWithoutElse(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	// if (result i32) without else cannot produce the value on the false
+	// path.
+	f.I32Const(1).IfT(wasm.I32).I32Const(2).End()
+	expectInvalid(t, b, "value-producing if without else")
+}
+
+func TestValidatorRejectsSelectTypeMismatch(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.I32Const(1).I64Const(2).I32Const(0).Select().Drop().I32Const(3)
+	expectInvalid(t, b, "select on mixed types")
+}
+
+func TestValidatorRejectsMemoryOpsWithoutMemory(t *testing.T) {
+	b := wasmbuild.New() // no memory declared
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.I32Const(0).I32Load(0)
+	expectInvalid(t, b, "load without memory")
+
+	b2 := wasmbuild.New()
+	g := b2.NewFunc("g", nil, []wasm.ValType{wasm.I32})
+	g.MemorySize()
+	expectInvalid(t, b2, "memory.size without memory")
+}
+
+func TestValidatorRejectsBadCallArguments(t *testing.T) {
+	b := wasmbuild.New()
+	callee := b.NewFunc("", []wasm.ValType{wasm.I64}, nil)
+	callee.LocalGet(0).Drop()
+	f := b.NewFunc("f", nil, nil)
+	f.I32Const(1).Call(callee.Ref()) // i32 arg for i64 param
+	expectInvalid(t, b, "call with wrong argument type")
+}
+
+func TestValidatorRejectsCallIndirectWithoutTable(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, nil)
+	f.I32Const(0).CallIndirect(nil, nil)
+	expectInvalid(t, b, "call_indirect without table")
+}
+
+func TestValidatorRejectsBrTableArmDisagreement(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	// Outer block yields i32, inner yields nothing; arms disagree.
+	f.BlockT(wasm.I32).
+		Block().
+		I32Const(0).BrTable([]uint32{0}, 1).
+		End().
+		I32Const(1).
+		End()
+	expectInvalid(t, b, "br_table arms with different label types")
+}
+
+func TestValidatorAcceptsPolymorphicUnreachableCode(t *testing.T) {
+	b := wasmbuild.New()
+	// After unreachable, the stack is polymorphic: i32.add with no
+	// operands is valid dead code per the spec.
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.Unreachable().I32Add()
+	expectValid(t, b, "dead code after unreachable")
+
+	// Same after br.
+	b2 := wasmbuild.New()
+	g := b2.NewFunc("g", nil, []wasm.ValType{wasm.I64})
+	g.Block().Br(0).I32Add().Drop().End().I64Const(1)
+	expectValid(t, b2, "dead code after br")
+
+	// And after return.
+	b3 := wasmbuild.New()
+	h := b3.NewFunc("h", nil, []wasm.ValType{wasm.I32})
+	h.I32Const(1).Return().F64Add().Drop()
+	expectValid(t, b3, "dead code after return")
+}
+
+func TestValidatorAcceptsLoopWithBackEdge(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	i := f.AddLocal(wasm.I32)
+	f.Block().Loop().
+		LocalGet(i).LocalGet(0).I32GeU().BrIf(1).
+		LocalGet(i).I32Const(1).I32Add().LocalSet(i).
+		Br(0).
+		End().End().
+		LocalGet(i)
+	expectValid(t, b, "counted loop")
+}
+
+func TestValidatorAcceptsIfElseValue(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	f.LocalGet(0).
+		IfT(wasm.I32).
+		I32Const(10).
+		Else().
+		I32Const(20).
+		End()
+	expectValid(t, b, "if/else yielding a value")
+}
+
+func TestValidatorRejectsElseArmTypeMismatch(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	f.I32Const(1).
+		IfT(wasm.I32).
+		I32Const(10).
+		Else().
+		I64Const(20). // wrong arm type
+		End()
+	expectInvalid(t, b, "else arm yields i64 for i32 if")
+}
+
+func TestValidatorAcceptsGuestModule(t *testing.T) {
+	// The canonical guest — the largest hand-assembled module in the repo
+	// — must pass full validation. (Exercised indirectly everywhere, but
+	// this pins the validator against regressions.)
+	bin := guestModuleForValidation(t)
+	if _, err := wasm.Decode(bin); err != nil {
+		t.Fatalf("guest module failed validation: %v", err)
+	}
+}
+
+func guestModuleForValidation(t *testing.T) []byte {
+	t.Helper()
+	return guest.Module()
+}

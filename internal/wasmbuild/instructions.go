@@ -1,0 +1,219 @@
+package wasmbuild
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+)
+
+// Block-type encodings.
+const (
+	// BlockVoid is the empty block type (no results).
+	BlockVoid byte = 0x40
+)
+
+// Control flow ---------------------------------------------------------------
+
+// Unreachable emits `unreachable`.
+func (f *FuncBuilder) Unreachable() *FuncBuilder { return f.op(0x00) }
+
+// Nop emits `nop`.
+func (f *FuncBuilder) Nop() *FuncBuilder { return f.op(0x01) }
+
+// Block opens a block with no results.
+func (f *FuncBuilder) Block() *FuncBuilder { return f.Raw(0x02, BlockVoid) }
+
+// BlockT opens a block yielding one value of type t.
+func (f *FuncBuilder) BlockT(t wasm.ValType) *FuncBuilder { return f.Raw(0x02, byte(t)) }
+
+// Loop opens a loop with no results.
+func (f *FuncBuilder) Loop() *FuncBuilder { return f.Raw(0x03, BlockVoid) }
+
+// If opens an if with no results.
+func (f *FuncBuilder) If() *FuncBuilder { return f.Raw(0x04, BlockVoid) }
+
+// IfT opens an if yielding one value of type t.
+func (f *FuncBuilder) IfT(t wasm.ValType) *FuncBuilder { return f.Raw(0x04, byte(t)) }
+
+// Else starts the false arm of the innermost if.
+func (f *FuncBuilder) Else() *FuncBuilder { return f.op(0x05) }
+
+// End closes the innermost block/loop/if.
+func (f *FuncBuilder) End() *FuncBuilder { return f.op(0x0B) }
+
+// Br branches to the label at the given relative depth.
+func (f *FuncBuilder) Br(depth uint32) *FuncBuilder { return f.opU(0x0C, uint64(depth)) }
+
+// BrIf conditionally branches.
+func (f *FuncBuilder) BrIf(depth uint32) *FuncBuilder { return f.opU(0x0D, uint64(depth)) }
+
+// BrTable emits a branch table.
+func (f *FuncBuilder) BrTable(depths []uint32, def uint32) *FuncBuilder {
+	f.body = append(f.body, 0x0E)
+	f.body = wasm.AppendUleb128(f.body, uint64(len(depths)))
+	for _, d := range depths {
+		f.body = wasm.AppendUleb128(f.body, uint64(d))
+	}
+	f.body = wasm.AppendUleb128(f.body, uint64(def))
+	return f
+}
+
+// Return emits `return`.
+func (f *FuncBuilder) Return() *FuncBuilder { return f.op(0x0F) }
+
+// Call emits a direct call.
+func (f *FuncBuilder) Call(fn FuncRef) *FuncBuilder { return f.opU(0x10, uint64(fn.Index)) }
+
+// CallIndirect emits an indirect call through the table with the given
+// signature.
+func (f *FuncBuilder) CallIndirect(params, results []wasm.ValType) *FuncBuilder {
+	ti := f.b.TypeOf(params, results)
+	f.body = append(f.body, 0x11)
+	f.body = wasm.AppendUleb128(f.body, uint64(ti))
+	return f.op(0x00) // table 0
+}
+
+// Parametric ------------------------------------------------------------------
+
+// Drop emits `drop`.
+func (f *FuncBuilder) Drop() *FuncBuilder { return f.op(0x1A) }
+
+// Select emits `select`.
+func (f *FuncBuilder) Select() *FuncBuilder { return f.op(0x1B) }
+
+// Variables -------------------------------------------------------------------
+
+// LocalGet pushes a local.
+func (f *FuncBuilder) LocalGet(i uint32) *FuncBuilder { return f.opU(0x20, uint64(i)) }
+
+// LocalSet pops into a local.
+func (f *FuncBuilder) LocalSet(i uint32) *FuncBuilder { return f.opU(0x21, uint64(i)) }
+
+// LocalTee stores the top of stack into a local without popping.
+func (f *FuncBuilder) LocalTee(i uint32) *FuncBuilder { return f.opU(0x22, uint64(i)) }
+
+// GlobalGet pushes a global.
+func (f *FuncBuilder) GlobalGet(g GlobalRef) *FuncBuilder { return f.opU(0x23, uint64(g.Index)) }
+
+// GlobalSet pops into a global.
+func (f *FuncBuilder) GlobalSet(g GlobalRef) *FuncBuilder { return f.opU(0x24, uint64(g.Index)) }
+
+// Memory ------------------------------------------------------------------------
+
+func (f *FuncBuilder) memOp(op byte, align, offset uint32) *FuncBuilder {
+	f.body = append(f.body, op)
+	f.body = wasm.AppendUleb128(f.body, uint64(align))
+	f.body = wasm.AppendUleb128(f.body, uint64(offset))
+	return f
+}
+
+// I32Load / I64Load / loads with static offsets.
+func (f *FuncBuilder) I32Load(offset uint32) *FuncBuilder    { return f.memOp(0x28, 2, offset) }
+func (f *FuncBuilder) I64Load(offset uint32) *FuncBuilder    { return f.memOp(0x29, 3, offset) }
+func (f *FuncBuilder) F32Load(offset uint32) *FuncBuilder    { return f.memOp(0x2A, 2, offset) }
+func (f *FuncBuilder) F64Load(offset uint32) *FuncBuilder    { return f.memOp(0x2B, 3, offset) }
+func (f *FuncBuilder) I32Load8U(offset uint32) *FuncBuilder  { return f.memOp(0x2D, 0, offset) }
+func (f *FuncBuilder) I32Load8S(offset uint32) *FuncBuilder  { return f.memOp(0x2C, 0, offset) }
+func (f *FuncBuilder) I32Load16U(offset uint32) *FuncBuilder { return f.memOp(0x2F, 1, offset) }
+func (f *FuncBuilder) I64Load8U(offset uint32) *FuncBuilder  { return f.memOp(0x31, 0, offset) }
+
+// Stores.
+func (f *FuncBuilder) I32Store(offset uint32) *FuncBuilder   { return f.memOp(0x36, 2, offset) }
+func (f *FuncBuilder) I64Store(offset uint32) *FuncBuilder   { return f.memOp(0x37, 3, offset) }
+func (f *FuncBuilder) F32Store(offset uint32) *FuncBuilder   { return f.memOp(0x38, 2, offset) }
+func (f *FuncBuilder) F64Store(offset uint32) *FuncBuilder   { return f.memOp(0x39, 3, offset) }
+func (f *FuncBuilder) I32Store8(offset uint32) *FuncBuilder  { return f.memOp(0x3A, 0, offset) }
+func (f *FuncBuilder) I32Store16(offset uint32) *FuncBuilder { return f.memOp(0x3B, 1, offset) }
+
+// MemorySize pushes the current page count.
+func (f *FuncBuilder) MemorySize() *FuncBuilder { return f.Raw(0x3F, 0x00) }
+
+// MemoryGrow grows memory by the popped page count.
+func (f *FuncBuilder) MemoryGrow() *FuncBuilder { return f.Raw(0x40, 0x00) }
+
+// MemoryCopy emits bulk memory.copy (dst, src, n on the stack).
+func (f *FuncBuilder) MemoryCopy() *FuncBuilder { return f.Raw(0xFC, 10, 0x00, 0x00) }
+
+// MemoryFill emits bulk memory.fill (dst, val, n on the stack).
+func (f *FuncBuilder) MemoryFill() *FuncBuilder { return f.Raw(0xFC, 11, 0x00) }
+
+// Constants ----------------------------------------------------------------------
+
+// I32Const pushes a 32-bit constant.
+func (f *FuncBuilder) I32Const(v int32) *FuncBuilder {
+	f.body = append(f.body, 0x41)
+	f.body = wasm.AppendSleb128(f.body, int64(v))
+	return f
+}
+
+// I64Const pushes a 64-bit constant.
+func (f *FuncBuilder) I64Const(v int64) *FuncBuilder {
+	f.body = append(f.body, 0x42)
+	f.body = wasm.AppendSleb128(f.body, v)
+	return f
+}
+
+// F32Const pushes a float32 constant.
+func (f *FuncBuilder) F32Const(v float32) *FuncBuilder {
+	f.body = append(f.body, 0x43)
+	f.body = binary.LittleEndian.AppendUint32(f.body, math.Float32bits(v))
+	return f
+}
+
+// F64Const pushes a float64 constant.
+func (f *FuncBuilder) F64Const(v float64) *FuncBuilder {
+	f.body = append(f.body, 0x44)
+	f.body = binary.LittleEndian.AppendUint64(f.body, math.Float64bits(v))
+	return f
+}
+
+// Comparisons and arithmetic (named for readability at call sites) ---------------
+
+func (f *FuncBuilder) I32Eqz() *FuncBuilder { return f.op(0x45) }
+func (f *FuncBuilder) I32Eq() *FuncBuilder  { return f.op(0x46) }
+func (f *FuncBuilder) I32Ne() *FuncBuilder  { return f.op(0x47) }
+func (f *FuncBuilder) I32LtS() *FuncBuilder { return f.op(0x48) }
+func (f *FuncBuilder) I32LtU() *FuncBuilder { return f.op(0x49) }
+func (f *FuncBuilder) I32GtS() *FuncBuilder { return f.op(0x4A) }
+func (f *FuncBuilder) I32GtU() *FuncBuilder { return f.op(0x4B) }
+func (f *FuncBuilder) I32LeU() *FuncBuilder { return f.op(0x4D) }
+func (f *FuncBuilder) I32GeU() *FuncBuilder { return f.op(0x4F) }
+func (f *FuncBuilder) I32GeS() *FuncBuilder { return f.op(0x4E) }
+
+func (f *FuncBuilder) I64Eqz() *FuncBuilder { return f.op(0x50) }
+func (f *FuncBuilder) I64Eq() *FuncBuilder  { return f.op(0x51) }
+func (f *FuncBuilder) I64LtU() *FuncBuilder { return f.op(0x54) }
+func (f *FuncBuilder) I64GeU() *FuncBuilder { return f.op(0x59) }
+
+func (f *FuncBuilder) I32Add() *FuncBuilder  { return f.op(0x6A) }
+func (f *FuncBuilder) I32Sub() *FuncBuilder  { return f.op(0x6B) }
+func (f *FuncBuilder) I32Mul() *FuncBuilder  { return f.op(0x6C) }
+func (f *FuncBuilder) I32DivU() *FuncBuilder { return f.op(0x6E) }
+func (f *FuncBuilder) I32RemU() *FuncBuilder { return f.op(0x70) }
+func (f *FuncBuilder) I32And() *FuncBuilder  { return f.op(0x71) }
+func (f *FuncBuilder) I32Or() *FuncBuilder   { return f.op(0x72) }
+func (f *FuncBuilder) I32Xor() *FuncBuilder  { return f.op(0x73) }
+func (f *FuncBuilder) I32Shl() *FuncBuilder  { return f.op(0x74) }
+func (f *FuncBuilder) I32ShrU() *FuncBuilder { return f.op(0x76) }
+
+func (f *FuncBuilder) I64Add() *FuncBuilder  { return f.op(0x7C) }
+func (f *FuncBuilder) I64Sub() *FuncBuilder  { return f.op(0x7D) }
+func (f *FuncBuilder) I64Mul() *FuncBuilder  { return f.op(0x7E) }
+func (f *FuncBuilder) I64And() *FuncBuilder  { return f.op(0x83) }
+func (f *FuncBuilder) I64Or() *FuncBuilder   { return f.op(0x84) }
+func (f *FuncBuilder) I64Xor() *FuncBuilder  { return f.op(0x85) }
+func (f *FuncBuilder) I64Shl() *FuncBuilder  { return f.op(0x86) }
+func (f *FuncBuilder) I64ShrU() *FuncBuilder { return f.op(0x88) }
+func (f *FuncBuilder) I64Rotl() *FuncBuilder { return f.op(0x89) }
+
+func (f *FuncBuilder) F64Add() *FuncBuilder { return f.op(0xA0) }
+func (f *FuncBuilder) F64Mul() *FuncBuilder { return f.op(0xA2) }
+func (f *FuncBuilder) F64Div() *FuncBuilder { return f.op(0xA3) }
+
+// Conversions.
+func (f *FuncBuilder) I32WrapI64() *FuncBuilder     { return f.op(0xA7) }
+func (f *FuncBuilder) I64ExtendI32U() *FuncBuilder  { return f.op(0xAD) }
+func (f *FuncBuilder) I64ExtendI32S() *FuncBuilder  { return f.op(0xAC) }
+func (f *FuncBuilder) F64ConvertI32U() *FuncBuilder { return f.op(0xB8) }
+func (f *FuncBuilder) I32TruncF64U() *FuncBuilder   { return f.op(0xAB) }

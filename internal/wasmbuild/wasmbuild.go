@@ -1,0 +1,395 @@
+// Package wasmbuild is a programmatic WebAssembly module assembler: it emits
+// valid binary (.wasm) modules from Go code. The repo's guest functions —
+// the Roadrunner ABI, payload producers/consumers, the in-sandbox serializer
+// (internal/guest) — are authored with it, playing the role of the Rust
+// toolchain the paper's guests were compiled with (§5, §6.2).
+//
+// The builder intentionally mirrors the binary format: callers emit
+// instructions in order and manage block nesting explicitly. Build appends
+// each function's terminating `end` automatically; block/loop/if ends are the
+// caller's responsibility.
+package wasmbuild
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+)
+
+// FuncRef identifies a function (imported or defined) by its final index.
+type FuncRef struct {
+	Index uint32
+}
+
+// GlobalRef identifies a module global by index.
+type GlobalRef struct {
+	Index uint32
+}
+
+type importEntry struct {
+	module, name string
+	typeIdx      uint32
+}
+
+type globalEntry struct {
+	typ        wasm.ValType
+	mutable    bool
+	init       uint64
+	exportName string
+}
+
+type dataEntry struct {
+	offset uint32
+	data   []byte
+}
+
+// Builder accumulates a module.
+type Builder struct {
+	types   []wasm.FuncType
+	imports []importEntry
+	funcs   []*FuncBuilder
+	sealed  bool // no more imports once a function is defined
+
+	hasMem        bool
+	memMin        uint32
+	memMax        uint32
+	memHasMax     bool
+	memExportName string
+
+	globals []globalEntry
+	data    []dataEntry
+	table   []FuncRef
+	start   *FuncRef
+}
+
+// New returns an empty module builder.
+func New() *Builder { return &Builder{} }
+
+// TypeOf interns a function signature, returning its type index.
+func (b *Builder) TypeOf(params, results []wasm.ValType) uint32 {
+	ft := wasm.FuncType{Params: params, Results: results}
+	for i, t := range b.types {
+		if t.Equal(ft) {
+			return uint32(i)
+		}
+	}
+	b.types = append(b.types, ft)
+	return uint32(len(b.types) - 1)
+}
+
+// ImportFunc declares a function import. All imports must be declared before
+// the first NewFunc so function indices are stable; violating that is a
+// programming error and panics.
+func (b *Builder) ImportFunc(module, name string, params, results []wasm.ValType) FuncRef {
+	if b.sealed {
+		panic("wasmbuild: ImportFunc after NewFunc would shift function indices")
+	}
+	b.imports = append(b.imports, importEntry{module: module, name: name, typeIdx: b.TypeOf(params, results)})
+	return FuncRef{Index: uint32(len(b.imports) - 1)}
+}
+
+// NewFunc starts a module-defined function. A non-empty exportName exports
+// it.
+func (b *Builder) NewFunc(exportName string, params, results []wasm.ValType) *FuncBuilder {
+	b.sealed = true
+	f := &FuncBuilder{
+		b:          b,
+		typeIdx:    b.TypeOf(params, results),
+		numParams:  uint32(len(params)),
+		exportName: exportName,
+		ref:        FuncRef{Index: uint32(len(b.imports) + len(b.funcs))},
+	}
+	b.funcs = append(b.funcs, f)
+	return f
+}
+
+// Memory declares the module's linear memory (pages). maxPages < minPages
+// means "no maximum". A non-empty exportName exports it (the shim requires
+// the memory exported as "memory").
+func (b *Builder) Memory(minPages, maxPages uint32, exportName string) {
+	b.hasMem = true
+	b.memMin = minPages
+	if maxPages >= minPages {
+		b.memHasMax = true
+		b.memMax = maxPages
+	}
+	b.memExportName = exportName
+}
+
+// Global declares a module global. A non-empty exportName exports it.
+func (b *Builder) Global(exportName string, t wasm.ValType, mutable bool, init uint64) GlobalRef {
+	b.globals = append(b.globals, globalEntry{typ: t, mutable: mutable, init: init, exportName: exportName})
+	return GlobalRef{Index: uint32(len(b.globals) - 1)}
+}
+
+// Data adds an active data segment at the given linear-memory offset.
+func (b *Builder) Data(offset uint32, data []byte) {
+	b.data = append(b.data, dataEntry{offset: offset, data: data})
+}
+
+// Table installs a funcref table containing the given functions at offset 0,
+// enabling call_indirect.
+func (b *Builder) Table(entries ...FuncRef) {
+	b.table = entries
+}
+
+// Start designates the module's start function.
+func (b *Builder) Start(f FuncRef) { b.start = &f }
+
+// Build assembles the binary module.
+func (b *Builder) Build() []byte {
+	out := []byte("\x00asm\x01\x00\x00\x00")
+
+	// Type section.
+	if len(b.types) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(len(b.types)))
+		for _, t := range b.types {
+			sec = append(sec, 0x60)
+			sec = wasm.AppendUleb128(sec, uint64(len(t.Params)))
+			for _, p := range t.Params {
+				sec = append(sec, byte(p))
+			}
+			sec = wasm.AppendUleb128(sec, uint64(len(t.Results)))
+			for _, r := range t.Results {
+				sec = append(sec, byte(r))
+			}
+		}
+		out = appendSection(out, 1, sec)
+	}
+
+	// Import section.
+	if len(b.imports) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(len(b.imports)))
+		for _, imp := range b.imports {
+			sec = appendName(sec, imp.module)
+			sec = appendName(sec, imp.name)
+			sec = append(sec, 0x00) // func
+			sec = wasm.AppendUleb128(sec, uint64(imp.typeIdx))
+		}
+		out = appendSection(out, 2, sec)
+	}
+
+	// Function section.
+	if len(b.funcs) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(len(b.funcs)))
+		for _, f := range b.funcs {
+			sec = wasm.AppendUleb128(sec, uint64(f.typeIdx))
+		}
+		out = appendSection(out, 3, sec)
+	}
+
+	// Table section.
+	if len(b.table) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, 1)
+		sec = append(sec, 0x70, 0x00) // funcref, min only
+		sec = wasm.AppendUleb128(sec, uint64(len(b.table)))
+		out = appendSection(out, 4, sec)
+	}
+
+	// Memory section.
+	if b.hasMem {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, 1)
+		if b.memHasMax {
+			sec = append(sec, 0x01)
+			sec = wasm.AppendUleb128(sec, uint64(b.memMin))
+			sec = wasm.AppendUleb128(sec, uint64(b.memMax))
+		} else {
+			sec = append(sec, 0x00)
+			sec = wasm.AppendUleb128(sec, uint64(b.memMin))
+		}
+		out = appendSection(out, 5, sec)
+	}
+
+	// Global section.
+	if len(b.globals) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(len(b.globals)))
+		for _, g := range b.globals {
+			sec = append(sec, byte(g.typ))
+			if g.mutable {
+				sec = append(sec, 0x01)
+			} else {
+				sec = append(sec, 0x00)
+			}
+			sec = appendConstExpr(sec, g.typ, g.init)
+		}
+		out = appendSection(out, 6, sec)
+	}
+
+	// Export section.
+	var exports []byte
+	nExports := 0
+	for _, f := range b.funcs {
+		if f.exportName == "" {
+			continue
+		}
+		exports = appendName(exports, f.exportName)
+		exports = append(exports, 0x00)
+		exports = wasm.AppendUleb128(exports, uint64(f.ref.Index))
+		nExports++
+	}
+	if b.hasMem && b.memExportName != "" {
+		exports = appendName(exports, b.memExportName)
+		exports = append(exports, 0x02)
+		exports = wasm.AppendUleb128(exports, 0)
+		nExports++
+	}
+	for i, g := range b.globals {
+		if g.exportName == "" {
+			continue
+		}
+		exports = appendName(exports, g.exportName)
+		exports = append(exports, 0x03)
+		exports = wasm.AppendUleb128(exports, uint64(i))
+		nExports++
+	}
+	if nExports > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(nExports))
+		sec = append(sec, exports...)
+		out = appendSection(out, 7, sec)
+	}
+
+	// Start section.
+	if b.start != nil {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(b.start.Index))
+		out = appendSection(out, 8, sec)
+	}
+
+	// Element section.
+	if len(b.table) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, 1) // one segment
+		sec = wasm.AppendUleb128(sec, 0) // flags
+		sec = append(sec, 0x41, 0x00, 0x0B)
+		sec = wasm.AppendUleb128(sec, uint64(len(b.table)))
+		for _, fr := range b.table {
+			sec = wasm.AppendUleb128(sec, uint64(fr.Index))
+		}
+		out = appendSection(out, 9, sec)
+	}
+
+	// Code section.
+	if len(b.funcs) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(len(b.funcs)))
+		for _, f := range b.funcs {
+			body := f.assembleBody()
+			sec = wasm.AppendUleb128(sec, uint64(len(body)))
+			sec = append(sec, body...)
+		}
+		out = appendSection(out, 10, sec)
+	}
+
+	// Data section.
+	if len(b.data) > 0 {
+		var sec []byte
+		sec = wasm.AppendUleb128(sec, uint64(len(b.data)))
+		for _, d := range b.data {
+			sec = wasm.AppendUleb128(sec, 0) // flags
+			sec = appendConstExpr(sec, wasm.I32, uint64(d.offset))
+			sec = wasm.AppendUleb128(sec, uint64(len(d.data)))
+			sec = append(sec, d.data...)
+		}
+		out = appendSection(out, 11, sec)
+	}
+
+	return out
+}
+
+func appendSection(out []byte, id byte, body []byte) []byte {
+	out = append(out, id)
+	out = wasm.AppendUleb128(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+func appendName(out []byte, name string) []byte {
+	out = wasm.AppendUleb128(out, uint64(len(name)))
+	return append(out, name...)
+}
+
+func appendConstExpr(out []byte, t wasm.ValType, raw uint64) []byte {
+	switch t {
+	case wasm.I32:
+		out = append(out, 0x41)
+		out = wasm.AppendSleb128(out, int64(int32(uint32(raw))))
+	case wasm.I64:
+		out = append(out, 0x42)
+		out = wasm.AppendSleb128(out, int64(raw))
+	case wasm.F32:
+		out = append(out, 0x43)
+		out = binary.LittleEndian.AppendUint32(out, uint32(raw))
+	case wasm.F64:
+		out = append(out, 0x44)
+		out = binary.LittleEndian.AppendUint64(out, raw)
+	default:
+		panic(fmt.Sprintf("wasmbuild: bad const type %v", t))
+	}
+	return append(out, 0x0B)
+}
+
+// FuncBuilder emits one function body.
+type FuncBuilder struct {
+	b          *Builder
+	typeIdx    uint32
+	numParams  uint32
+	localTypes []wasm.ValType
+	body       []byte
+	exportName string
+	ref        FuncRef
+}
+
+// Ref returns the function's final index for Call/Table.
+func (f *FuncBuilder) Ref() FuncRef { return f.ref }
+
+// AddLocal declares a local variable, returning its index.
+func (f *FuncBuilder) AddLocal(t wasm.ValType) uint32 {
+	f.localTypes = append(f.localTypes, t)
+	return f.numParams + uint32(len(f.localTypes)) - 1
+}
+
+func (f *FuncBuilder) assembleBody() []byte {
+	var out []byte
+	// Group consecutive locals of the same type.
+	var groups [][2]uint64 // (count, type)
+	for _, t := range f.localTypes {
+		if n := len(groups); n > 0 && groups[n-1][1] == uint64(t) {
+			groups[n-1][0]++
+		} else {
+			groups = append(groups, [2]uint64{1, uint64(t)})
+		}
+	}
+	out = wasm.AppendUleb128(out, uint64(len(groups)))
+	for _, g := range groups {
+		out = wasm.AppendUleb128(out, g[0])
+		out = append(out, byte(g[1]))
+	}
+	out = append(out, f.body...)
+	return append(out, 0x0B) // function-terminating end
+}
+
+// raw emission helpers ------------------------------------------------------
+
+func (f *FuncBuilder) op(b byte) *FuncBuilder {
+	f.body = append(f.body, b)
+	return f
+}
+
+func (f *FuncBuilder) opU(b byte, v uint64) *FuncBuilder {
+	f.body = append(f.body, b)
+	f.body = wasm.AppendUleb128(f.body, v)
+	return f
+}
+
+// Raw appends raw instruction bytes for constructs without a helper.
+func (f *FuncBuilder) Raw(bs ...byte) *FuncBuilder {
+	f.body = append(f.body, bs...)
+	return f
+}

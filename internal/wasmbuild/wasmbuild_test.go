@@ -1,0 +1,282 @@
+package wasmbuild_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasm"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/wasmbuild"
+)
+
+func decode(t *testing.T, b *wasmbuild.Builder) *wasm.Module {
+	t.Helper()
+	m, err := wasm.Decode(b.Build())
+	if err != nil {
+		t.Fatalf("builder emitted undecodable module: %v", err)
+	}
+	return m
+}
+
+func TestEmptyModuleIsValid(t *testing.T) {
+	m := decode(t, wasmbuild.New())
+	if len(m.Types) != 0 || len(m.FuncTypes) != 0 {
+		t.Fatalf("module = %+v", m)
+	}
+}
+
+func TestTypeInterning(t *testing.T) {
+	b := wasmbuild.New()
+	i := b.TypeOf([]wasm.ValType{wasm.I32}, nil)
+	j := b.TypeOf([]wasm.ValType{wasm.I32}, nil)
+	k := b.TypeOf([]wasm.ValType{wasm.I64}, nil)
+	if i != j {
+		t.Fatalf("identical types interned differently: %d vs %d", i, j)
+	}
+	if i == k {
+		t.Fatal("distinct types shared an index")
+	}
+}
+
+func TestImportsPrecedeFunctions(t *testing.T) {
+	b := wasmbuild.New()
+	imp := b.ImportFunc("env", "f", nil, nil)
+	fn := b.NewFunc("g", nil, nil)
+	fn.Nop()
+	if imp.Index != 0 || fn.Ref().Index != 1 {
+		t.Fatalf("indices: import %d, func %d", imp.Index, fn.Ref().Index)
+	}
+	m := decode(t, b)
+	if m.NumImportedFuncs != 1 || len(m.FuncTypes) != 1 {
+		t.Fatalf("module functions: %d imports, %d defined", m.NumImportedFuncs, len(m.FuncTypes))
+	}
+}
+
+func TestImportAfterFuncPanics(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, nil)
+	f.Nop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late import did not panic")
+		}
+	}()
+	b.ImportFunc("env", "late", nil, nil)
+}
+
+func TestMemoryLimitsEncoding(t *testing.T) {
+	b := wasmbuild.New()
+	b.Memory(2, 10, "memory")
+	m := decode(t, b)
+	if m.Memory == nil || m.Memory.Min != 2 || !m.Memory.HasMax || m.Memory.Max != 10 {
+		t.Fatalf("memory = %+v", m.Memory)
+	}
+
+	// maxPages < minPages means unbounded.
+	b2 := wasmbuild.New()
+	b2.Memory(3, 0, "memory")
+	m2 := decode(t, b2)
+	if m2.Memory.HasMax {
+		t.Fatal("unbounded memory encoded a max")
+	}
+}
+
+func TestGlobalsAndExports(t *testing.T) {
+	b := wasmbuild.New()
+	b.Global("counter", wasm.I64, true, 7)
+	b.Global("", wasm.F64, false, 0x4045000000000000) // 42.0 bits
+	m := decode(t, b)
+	if len(m.Globals) != 2 {
+		t.Fatalf("globals = %d", len(m.Globals))
+	}
+	if m.Globals[0].Init != 7 || !m.Globals[0].Mutable {
+		t.Fatalf("global 0 = %+v", m.Globals[0])
+	}
+	if m.Globals[1].Type != wasm.F64 || m.Globals[1].Mutable {
+		t.Fatalf("global 1 = %+v", m.Globals[1])
+	}
+	if _, ok := findExport(m, "counter"); !ok {
+		t.Fatal("global export missing")
+	}
+}
+
+func TestDataSegments(t *testing.T) {
+	b := wasmbuild.New()
+	b.Memory(1, 1, "memory")
+	b.Data(100, []byte("hello"))
+	b.Data(4000, []byte{1, 2, 3})
+	m := decode(t, b)
+	if len(m.Data) != 2 || m.Data[0].Offset != 100 || string(m.Data[0].Init) != "hello" {
+		t.Fatalf("data = %+v", m.Data)
+	}
+}
+
+func TestTableAndStart(t *testing.T) {
+	b := wasmbuild.New()
+	b.Memory(1, 1, "memory")
+	g := b.Global("ran", wasm.I32, true, 0)
+	f := b.NewFunc("", nil, nil)
+	f.I32Const(1).GlobalSet(g)
+	b.Table(f.Ref())
+	b.Start(f.Ref())
+	m := decode(t, b)
+	if m.Table == nil || m.Table.Min != 1 {
+		t.Fatalf("table = %+v", m.Table)
+	}
+	if m.Start == nil || *m.Start != f.Ref().Index {
+		t.Fatalf("start = %v", m.Start)
+	}
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := inst.GlobalValue("ran"); v != 1 {
+		t.Fatal("start function not wired")
+	}
+}
+
+func TestLocalGrouping(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("f", nil, []wasm.ValType{wasm.I32})
+	l1 := f.AddLocal(wasm.I32)
+	l2 := f.AddLocal(wasm.I32)
+	l3 := f.AddLocal(wasm.I64)
+	l4 := f.AddLocal(wasm.I32)
+	if l1 != 0 || l2 != 1 || l3 != 2 || l4 != 3 {
+		t.Fatalf("local indices: %d %d %d %d", l1, l2, l3, l4)
+	}
+	f.I64Const(5).LocalSet(l3).
+		I32Const(40).LocalSet(l4).
+		LocalGet(l4).I32Const(2).I32Add()
+	m := decode(t, b)
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("f")
+	if err != nil || res[0] != 42 {
+		t.Fatalf("f = %v, %v", res, err)
+	}
+}
+
+func TestCallIndirectEmission(t *testing.T) {
+	b := wasmbuild.New()
+	add := b.NewFunc("", []wasm.ValType{wasm.I32, wasm.I32}, []wasm.ValType{wasm.I32})
+	add.LocalGet(0).LocalGet(1).I32Add()
+	b.Table(add.Ref())
+	disp := b.NewFunc("call0", []wasm.ValType{wasm.I32, wasm.I32}, []wasm.ValType{wasm.I32})
+	disp.LocalGet(0).LocalGet(1).I32Const(0).
+		CallIndirect([]wasm.ValType{wasm.I32, wasm.I32}, []wasm.ValType{wasm.I32})
+	m := decode(t, b)
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("call0", 20, 22)
+	if err != nil || res[0] != 42 {
+		t.Fatalf("call0 = %v, %v", res, err)
+	}
+}
+
+func TestFloatConstEncoding(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("pi", nil, []wasm.ValType{wasm.F64})
+	f.F64Const(3.5)
+	g := b.NewFunc("e", nil, []wasm.ValType{wasm.F32})
+	g.F32Const(2.5)
+	m := decode(t, b)
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("pi")
+	if err != nil || res[0] != 0x400C000000000000 {
+		t.Fatalf("pi bits = %#x, %v", res[0], err)
+	}
+	res, err = inst.Call("e")
+	if err != nil || uint32(res[0]) != 0x40200000 {
+		t.Fatalf("e bits = %#x, %v", res[0], err)
+	}
+}
+
+func TestBrTableEmission(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("sel", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	out := f.AddLocal(wasm.I32)
+	f.Block().Block().
+		LocalGet(0).BrTable([]uint32{0}, 1).
+		End().
+		I32Const(10).LocalSet(out).Br(0).
+		End().
+		LocalGet(out).I32Eqz().If().I32Const(20).LocalSet(out).End().
+		LocalGet(out)
+	m := decode(t, b)
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := inst.Call("sel", 0); res[0] != 10 {
+		t.Fatalf("sel(0) = %d", res[0])
+	}
+	if res, _ := inst.Call("sel", 5); res[0] != 20 {
+		t.Fatalf("sel(5) = %d", res[0])
+	}
+}
+
+func TestRawEscapeHatch(t *testing.T) {
+	b := wasmbuild.New()
+	f := b.NewFunc("clz", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	f.LocalGet(0).Raw(0x67) // i32.clz has no named helper
+	m := decode(t, b)
+	inst, err := wasm.Instantiate(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("clz", 1)
+	if err != nil || res[0] != 31 {
+		t.Fatalf("clz(1) = %v, %v", res, err)
+	}
+}
+
+func findExport(m *wasm.Module, name string) (wasm.Export, bool) {
+	for _, e := range m.Exports {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return wasm.Export{}, false
+}
+
+func TestLEBRoundTrip(t *testing.T) {
+	// The builder's LEB encoders are exercised against the decoder through
+	// module emission; additionally pin a few known encodings.
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{127, []byte{0x7F}},
+		{128, []byte{0x80, 0x01}},
+		{624485, []byte{0xE5, 0x8E, 0x26}},
+	}
+	for _, c := range cases {
+		got := wasm.AppendUleb128(nil, c.v)
+		if string(got) != string(c.want) {
+			t.Errorf("uleb(%d) = %x, want %x", c.v, got, c.want)
+		}
+	}
+	signed := []struct {
+		v    int64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{-1, []byte{0x7F}},
+		{63, []byte{0x3F}},
+		{-64, []byte{0x40}},
+		{-123456, []byte{0xC0, 0xBB, 0x78}},
+	}
+	for _, c := range signed {
+		got := wasm.AppendSleb128(nil, c.v)
+		if string(got) != string(c.want) {
+			t.Errorf("sleb(%d) = %x, want %x", c.v, got, c.want)
+		}
+	}
+}

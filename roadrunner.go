@@ -1,0 +1,338 @@
+// Package roadrunner is a Go reproduction of "Roadrunner: Accelerating Data
+// Delivery to WebAssembly-Based Serverless Functions" (MIDDLEWARE '25): a
+// sidecar-shim middleware giving Wasm serverless functions near-zero-copy,
+// serialization-free data delivery over three transfer modes — user space
+// (functions sharing one Wasm VM), kernel space (co-located sandboxes over
+// IPC), and network (a vmsplice/splice virtual data hose between nodes).
+//
+// The package runs an entire edge–cloud deployment inside one process: a
+// pure-Go WebAssembly interpreter hosts the functions, a simulated kernel
+// moves the bytes (metering every copy, syscall and context switch), and a
+// modeled network attributes wire time. See DESIGN.md for the substitution
+// map against the paper's testbed.
+//
+// Quick start:
+//
+//	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
+//	defer p.Close()
+//	a, _ := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "edge"})
+//	b, _ := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "cloud"})
+//	a.Produce(8 << 20)
+//	ref, report, _ := p.Transfer(a, b)
+//	sum, _ := b.Checksum(ref)
+//	fmt.Println(report.Latency(), sum)
+package roadrunner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+// Bandwidth is a link rate in bits per second.
+type Bandwidth = netsim.Bandwidth
+
+// Bandwidth units.
+const (
+	Kbps = netsim.Kbps
+	Mbps = netsim.Mbps
+	Gbps = netsim.Gbps
+)
+
+// Mode selects a transfer mechanism.
+type Mode int
+
+// Transfer modes. ModeAuto picks by locality: same VM → user space, same
+// node → kernel space, otherwise network — Roadrunner optimizes
+// communication regardless of the scheduler's placement (§2.2).
+const (
+	ModeAuto Mode = iota
+	ModeUserSpace
+	ModeKernelSpace
+	ModeNetwork
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeUserSpace:
+		return "user"
+	case ModeKernelSpace:
+		return "kernel"
+	case ModeNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Workflow identifies a trusted execution context; only functions of the
+// same workflow and tenant may share a Wasm VM.
+type Workflow struct {
+	Name   string
+	Tenant string
+}
+
+// Platform errors.
+var (
+	ErrUnknownNode      = errors.New("roadrunner: unknown node")
+	ErrWorkflowMismatch = errors.New("roadrunner: functions of different workflows/tenants cannot share a VM")
+	ErrModeUnavailable  = errors.New("roadrunner: requested mode incompatible with function placement")
+)
+
+// Platform is a simulated multi-node serverless deployment running
+// Roadrunner shims.
+type Platform struct {
+	mu      sync.Mutex
+	topo    *netsim.Topology
+	kernels map[string]*kernel.Kernel
+	module  []byte
+	now     func() time.Time
+	shims   []*core.Shim
+	hose    int
+	state   *core.StateStore
+}
+
+// Option configures a Platform.
+type Option func(*platformConfig)
+
+type platformConfig struct {
+	nodes  []string
+	link   *netsim.Link
+	module []byte
+	now    func() time.Time
+	hose   int
+}
+
+// WithNodes pre-registers node names (default: "edge" and "cloud").
+func WithNodes(names ...string) Option {
+	return func(c *platformConfig) { c.nodes = names }
+}
+
+// WithLink sets the default inter-node link (default: 100 Mbps, 1 ms RTT —
+// the paper's testbed, §6.2).
+func WithLink(bw Bandwidth, rtt time.Duration) Option {
+	return func(c *platformConfig) { c.link = netsim.NewLink(bw, rtt) }
+}
+
+// WithModule replaces the guest module binary (default: the canonical guest
+// implementing the Roadrunner ABI and the evaluation workloads).
+func WithModule(bin []byte) Option {
+	return func(c *platformConfig) { c.module = bin }
+}
+
+// WithClock injects a deterministic clock for tests.
+func WithClock(now func() time.Time) Option {
+	return func(c *platformConfig) { c.now = now }
+}
+
+// WithDataHoseSize sets the shim's virtual-data-hose pipe capacity in bytes.
+func WithDataHoseSize(n int) Option {
+	return func(c *platformConfig) { c.hose = n }
+}
+
+// New creates a platform.
+func New(opts ...Option) *Platform {
+	cfg := platformConfig{
+		nodes:  []string{"edge", "cloud"},
+		module: guest.Module(),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	p := &Platform{
+		topo:    netsim.NewTopology(cfg.link),
+		kernels: make(map[string]*kernel.Kernel, len(cfg.nodes)),
+		module:  cfg.module,
+		now:     cfg.now,
+		hose:    cfg.hose,
+		state:   core.NewStateStore(),
+	}
+	for _, n := range cfg.nodes {
+		p.AddNode(n)
+	}
+	return p
+}
+
+// AddNode registers a node (idempotent).
+func (p *Platform) AddNode(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.kernels[name]; ok {
+		return
+	}
+	p.topo.AddNode(name)
+	p.kernels[name] = kernel.New(name)
+}
+
+// Nodes lists registered node names.
+func (p *Platform) Nodes() []string { return p.topo.Nodes() }
+
+// SetLink installs a dedicated link between two nodes.
+func (p *Platform) SetLink(a, b string, bw Bandwidth, rtt time.Duration) {
+	p.topo.SetLink(a, b, netsim.NewLink(bw, rtt))
+}
+
+// GuestModule returns the canonical guest binary (for cmd/wasmrun and custom
+// deployments).
+func GuestModule() []byte { return guest.Module() }
+
+// Close tears down every deployed shim.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	shims := p.shims
+	p.shims = nil
+	p.mu.Unlock()
+	for _, s := range shims {
+		s.Close()
+	}
+}
+
+// FunctionSpec describes one function deployment.
+type FunctionSpec struct {
+	// Name identifies the function.
+	Name string
+	// Node places the function (must be registered).
+	Node string
+	// Workflow is the trusted context (defaults to {"default","default"}).
+	Workflow Workflow
+	// ShareVMWith colocates this function inside an existing function's
+	// Wasm VM, enabling user-space transfers. Requires the same workflow
+	// and tenant; the node is inherited.
+	ShareVMWith *Function
+}
+
+// Function is a deployed Roadrunner-managed function.
+type Function struct {
+	inner    *core.Function
+	platform *Platform
+	node     string
+	workflow Workflow
+}
+
+// Deploy places a function per the spec, creating a dedicated shim (and Wasm
+// VM) unless ShareVMWith is set.
+func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
+	wf := spec.Workflow
+	if wf == (Workflow{}) {
+		wf = Workflow{Name: "default", Tenant: "default"}
+	}
+	if spec.ShareVMWith != nil {
+		host := spec.ShareVMWith
+		// Trust rule of §3.1: same workflow AND tenant required to share
+		// a VM.
+		if host.workflow != wf {
+			return nil, fmt.Errorf("%s with %s: %w", spec.Name, host.Name(), ErrWorkflowMismatch)
+		}
+		inner, err := host.inner.Shim().AddFunction(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &Function{inner: inner, platform: p, node: host.node, workflow: wf}, nil
+	}
+
+	p.mu.Lock()
+	k, ok := p.kernels[spec.Node]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", spec.Node, ErrUnknownNode)
+	}
+	shim, err := core.NewShim(core.ShimConfig{
+		Name:          "shim-" + spec.Name,
+		Workflow:      core.Workflow{Name: wf.Name, Tenant: wf.Tenant},
+		Kernel:        k,
+		Module:        p.module,
+		Now:           p.now,
+		DataHoseBytes: p.hose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shim.AddFunction(spec.Name)
+	if err != nil {
+		shim.Close()
+		return nil, err
+	}
+	p.mu.Lock()
+	p.shims = append(p.shims, shim)
+	p.mu.Unlock()
+	return &Function{inner: inner, platform: p, node: spec.Node, workflow: wf}, nil
+}
+
+// TransferOption tunes one transfer.
+type TransferOption func(*transferConfig)
+
+type transferConfig struct {
+	mode  Mode
+	flows int
+}
+
+// WithMode forces a specific transfer mechanism.
+func WithMode(m Mode) TransferOption {
+	return func(c *transferConfig) { c.mode = m }
+}
+
+// WithFlows declares how many concurrent flows share the inter-node link
+// (fan-out degree) for network-time modeling.
+func WithFlows(n int) TransferOption {
+	return func(c *transferConfig) { c.flows = n }
+}
+
+// DataRef locates delivered data inside a function's linear memory.
+type DataRef struct {
+	Ptr uint32
+	Len uint32
+}
+
+// Transfer moves src's current output to dst, selecting the mechanism by
+// locality unless a mode is forced.
+func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef, Report, error) {
+	cfg := transferConfig{flows: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	mode := cfg.mode
+	if mode == ModeAuto {
+		switch {
+		case src.inner.Shim() == dst.inner.Shim():
+			mode = ModeUserSpace
+		case src.node == dst.node:
+			mode = ModeKernelSpace
+		default:
+			mode = ModeNetwork
+		}
+	}
+	switch mode {
+	case ModeUserSpace:
+		ref, rep, err := core.UserSpaceTransfer(src.inner, dst.inner)
+		return convert(ref, rep, err)
+	case ModeKernelSpace:
+		ref, rep, err := core.KernelSpaceTransfer(src.inner, dst.inner)
+		return convert(ref, rep, err)
+	case ModeNetwork:
+		if src.node == dst.node {
+			return DataRef{}, Report{}, fmt.Errorf("network mode on one node: %w", ErrModeUnavailable)
+		}
+		link := p.topo.LinkBetween(src.node, dst.node)
+		ref, rep, err := core.NetworkTransfer(src.inner, dst.inner, core.NetworkOptions{Link: link, Flows: cfg.flows})
+		return convert(ref, rep, err)
+	default:
+		return DataRef{}, Report{}, fmt.Errorf("mode %v: %w", mode, ErrModeUnavailable)
+	}
+}
+
+func convert(ref core.InboundRef, rep metrics.TransferReport, err error) (DataRef, Report, error) {
+	if err != nil {
+		return DataRef{}, Report{}, err
+	}
+	return DataRef{Ptr: ref.Ptr, Len: ref.Len}, fromReport(rep), nil
+}
