@@ -1,0 +1,43 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build test race bench lint clean
+
+all: lint build race bench
+
+## build: compile every package, command and example
+build:
+	$(GO) build ./...
+	@mkdir -p bin
+	@for cmd in cmd/*/; do \
+		$(GO) build -o "bin/$$(basename $$cmd)" "./$$cmd" || exit 1; \
+	done
+	@for ex in examples/*/; do \
+		$(GO) build -o /dev/null "./$$ex" || exit 1; \
+	done
+
+## test: plain test suite
+test:
+	$(GO) test ./...
+
+## race: the suite under the race detector (CI's test job)
+race:
+	$(GO) test -race ./...
+
+## bench: one iteration of every benchmark plus the harness smoke runs
+bench:
+	$(GO) test -run 'XXX' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -compact
+	$(GO) run ./cmd/roadrunner-bench -exp fig7 -sizes 1 -json
+
+## lint: vet + gofmt gate
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+clean:
+	rm -rf bin

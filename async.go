@@ -1,0 +1,102 @@
+package roadrunner
+
+// TransferFuture is the pending result of an asynchronous transfer (or an
+// asynchronous multi-hop chain, which yields the same triple). A future
+// resolves exactly once; Wait and Done may be used from any number of
+// goroutines.
+type TransferFuture struct {
+	done chan struct{}
+	ref  DataRef
+	rep  Report
+	err  error
+}
+
+func newFuture() *TransferFuture {
+	return &TransferFuture{done: make(chan struct{})}
+}
+
+func (f *TransferFuture) resolve(ref DataRef, rep Report, err error) {
+	f.ref, f.rep, f.err = ref, rep, err
+	close(f.done)
+}
+
+// Done returns a channel closed when the future resolves (select-friendly).
+func (f *TransferFuture) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the future resolves and returns the delivery, report
+// and error exactly as the synchronous call would have.
+func (f *TransferFuture) Wait() (DataRef, Report, error) {
+	<-f.done
+	return f.ref, f.rep, f.err
+}
+
+// TransferAsync schedules Transfer on the platform's bounded worker pool
+// and returns immediately. Ordering guarantees are exactly those of the
+// engine: transfers touching disjoint Wasm VMs run in parallel; transfers
+// sharing a VM are serialized by that VM's lock in submission-arrival order
+// of the workers, not in TransferAsync call order. Callers that need
+// happens-before between two async transfers must Wait on the first before
+// submitting the second.
+//
+// Submission applies backpressure: when the pool's queue is full,
+// TransferAsync blocks until a slot frees rather than buffering unboundedly.
+func (p *Platform) TransferAsync(src, dst *Function, opts ...TransferOption) *TransferFuture {
+	fut := newFuture()
+	pool := p.scheduler()
+	if pool == nil {
+		fut.resolve(DataRef{}, Report{}, ErrClosed)
+		return fut
+	}
+	if err := pool.Submit(func() {
+		fut.resolve(p.Transfer(src, dst, opts...))
+	}); err != nil {
+		fut.resolve(DataRef{}, Report{}, ErrClosed)
+	}
+	return fut
+}
+
+// ChainAsync schedules a whole multi-hop Chain as one pipelined unit on the
+// worker pool: the workflow's hops still execute sequentially (hop i+1
+// consumes hop i's delivery) but independent chains submitted concurrently
+// interleave across workers and VMs.
+func (p *Platform) ChainAsync(n int, fns ...*Function) *TransferFuture {
+	fut := newFuture()
+	pool := p.scheduler()
+	if pool == nil {
+		fut.resolve(DataRef{}, Report{}, ErrClosed)
+		return fut
+	}
+	if err := pool.Submit(func() {
+		fut.resolve(p.Chain(n, fns...))
+	}); err != nil {
+		fut.resolve(DataRef{}, Report{}, ErrClosed)
+	}
+	return fut
+}
+
+// FanoutAsync produces an n-byte payload at src once, then batches the
+// delivery to every target across the worker pool, returning one future per
+// target. The produce step is synchronous (it must happen before any hop);
+// the fan-out itself proceeds as workers free up, with all targets' flows
+// modeled as sharing the link like Fanout.
+func (p *Platform) FanoutAsync(src *Function, targets []*Function, n int) ([]*TransferFuture, error) {
+	pool := p.scheduler()
+	if pool == nil {
+		return nil, ErrClosed
+	}
+	if err := src.Produce(n); err != nil {
+		return nil, err
+	}
+	futs := make([]*TransferFuture, len(targets))
+	for i, dst := range targets {
+		fut := newFuture()
+		futs[i] = fut
+		dst := dst
+		if err := pool.Submit(func() {
+			fut.resolve(p.Transfer(src, dst, WithFlows(len(targets))))
+		}); err != nil {
+			fut.resolve(DataRef{}, Report{}, ErrClosed)
+		}
+	}
+	return futs, nil
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func run(args []string) error {
 		fig6MB      = fs.Int("fig6-mb", 0, "payload (MB) for the fig6 breakdown")
 		runsFlag    = fs.Int("runs", 0, "repetitions per data point (mean reported)")
 		listFlag    = fs.Bool("list", false, "list experiment IDs and exit")
+		jsonFlag    = fs.Bool("json", false, "emit one schema-versioned JSON document instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +78,7 @@ func run(args []string) error {
 	if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")
 	}
+	var results []*experiments.Result
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Registry[id]
@@ -86,7 +89,20 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		if *jsonFlag {
+			results = append(results, res)
+			continue
+		}
 		res.Print(os.Stdout)
+	}
+	if *jsonFlag {
+		doc := struct {
+			SchemaVersion int                   `json:"schema_version"`
+			Results       []*experiments.Result `json:"results"`
+		}{experiments.SchemaVersion, results}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 	return nil
 }

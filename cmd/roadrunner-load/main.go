@@ -1,0 +1,68 @@
+// Command roadrunner-load drives concurrent workflow load through the
+// simulated Roadrunner deployment and reports aggregate throughput and
+// latency percentiles as JSON (schema_version-tagged, diffable across PRs).
+//
+// Usage:
+//
+//	roadrunner-load                          # closed loop: 8 workflows, 32 executions
+//	roadrunner-load -workflows 16 -requests 256
+//	roadrunner-load -mode network -payload 1048576
+//	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "roadrunner-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("roadrunner-load", flag.ContinueOnError)
+	var (
+		workflows = fs.Int("workflows", 8, "independent workflow instances")
+		hops      = fs.Int("hops", 0, "transfers per execution (default: 3 mixed, 2 single-mode)")
+		payload   = fs.Int("payload", 64<<10, "payload bytes produced per execution")
+		conc      = fs.Int("concurrency", 0, "max in-flight executions (default: min(workflows, GOMAXPROCS))")
+		requests  = fs.Int("requests", 0, "closed-loop total executions (default: 4×workflows)")
+		rate      = fs.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+		duration  = fs.Duration("duration", time.Second, "open-loop offered-load window")
+		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel or network")
+		verify    = fs.Bool("verify", true, "checksum every final delivery")
+		compact   = fs.Bool("compact", false, "single-line JSON output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := workload.Run(workload.Config{
+		Workflows:    *workflows,
+		Hops:         *hops,
+		PayloadBytes: *payload,
+		Concurrency:  *conc,
+		Requests:     *requests,
+		RatePerSec:   *rate,
+		Duration:     *duration,
+		Mode:         *mode,
+		Verify:       *verify,
+	})
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if !*compact {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(res)
+}

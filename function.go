@@ -69,7 +69,7 @@ func (f *Function) Checksum(ref DataRef) (uint64, error) {
 // recent live allocation. Long-running functions release inbound payloads
 // between invocations to keep linear memory bounded.
 func (f *Function) Release(ref DataRef) error {
-	return f.inner.View().Deallocate(ref.Ptr)
+	return f.inner.Deallocate(ref.Ptr)
 }
 
 // Call invokes any guest export directly (see internal/guest for the

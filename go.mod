@@ -1,0 +1,3 @@
+module github.com/polaris-slo-cloud/roadrunner-go
+
+go 1.24

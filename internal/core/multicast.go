@@ -32,6 +32,13 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 			return nil, nil, ErrSameNode
 		}
 	}
+	all := make([]*Shim, 0, len(dsts)+1)
+	all = append(all, srcShim)
+	for _, dst := range dsts {
+		all = append(all, dst.shim)
+	}
+	locked := lockShims(all...)
+	defer unlockShims(locked)
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := make([]metrics.Usage, len(dsts))
 	for i, dst := range dsts {
@@ -51,17 +58,24 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 	srcWasmIO := swIO.Lap()
 	srcShim.acct.CPU(metrics.User, srcWasmIO)
 
-	// One connection per target.
+	// One connection per target. Descriptors are also closed explicitly on
+	// the success path (matching Algorithm 1's close_all); the deferred
+	// closes only matter on error returns, where a second Close of an
+	// already-closed simulated fd is a harmless EBADF (fds never recycle).
 	swT := metrics.NewStopwatch(srcShim.now)
 	cfds := make([]int, len(dsts))
 	sfds := make([]int, len(dsts))
 	for i, dst := range dsts {
 		cfds[i], sfds[i] = kernelConnect(srcShim, dst.shim)
+		defer srcShim.proc.Close(cfds[i])
+		defer dst.shim.proc.Close(sfds[i])
 	}
 
 	// Single hose, chunk-by-chunk: tee to all but the last target, splice
 	// to the last.
 	rfd, wfd := srcShim.proc.PipeSized(srcShim.hoseCap)
+	defer srcShim.proc.Close(rfd)
+	defer srcShim.proc.Close(wfd)
 	for off := 0; off < len(view); {
 		chunk := len(view) - off
 		if chunk > srcShim.hoseCap {
@@ -153,7 +167,11 @@ func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Brea
 	dstShim.acct.CPU(metrics.User, allocT)
 	bd.WasmIO += allocT
 
+	// Closed explicitly below on success; the defers cover error returns
+	// (double-close of a simulated fd is a harmless, uncharged EBADF).
 	trfd, twfd := dstShim.proc.PipeSized(dstShim.hoseCap)
+	defer dstShim.proc.Close(trfd)
+	defer dstShim.proc.Close(twfd)
 	received := 0
 	swR := metrics.NewStopwatch(dstShim.now)
 	for received < int(n) {

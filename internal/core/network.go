@@ -47,6 +47,8 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 		return InboundRef{}, metrics.TransferReport{}, ErrSameNode
 	}
 	srcShim, dstShim := src.shim, dst.shim
+	locked := lockShims(srcShim, dstShim)
+	defer unlockShims(locked)
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := dstShim.acct.Snapshot()
 	var breakdown metrics.Breakdown
@@ -64,7 +66,7 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 	// Optional ablation: re-enable in-guest serialization.
 	if opts.SerializeFirst {
 		swSer := metrics.NewStopwatch(srcShim.now)
-		encOut, err := src.CallPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
+		encOut, err := src.callPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
 		if err != nil {
 			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("serialize ablation: %w", err)
 		}
@@ -214,7 +216,7 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 	resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}
 	if opts.SerializeFirst {
 		swDe := metrics.NewStopwatch(dstShim.now)
-		decOut, err := dst.CallPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
+		decOut, err := dst.callPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
 		if err != nil {
 			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("deserialize ablation: %w", err)
 		}

@@ -8,6 +8,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/abi"
@@ -62,6 +65,11 @@ type ShimConfig struct {
 // Shim is the Roadrunner sidecar: it owns one sandbox process and one Wasm
 // VM, loads function modules into the VM, and mediates every data movement
 // in and out of linear memory (§3.2).
+//
+// A shim's VM runs one guest activation at a time, like a single-threaded
+// Wasm runtime: every guest entry and every view over linear memory is
+// serialized by the VM lock. Transfers between functions of disjoint shims
+// share no VM state and proceed fully in parallel.
 type Shim struct {
 	name     string
 	workflow Workflow
@@ -72,9 +80,51 @@ type Shim struct {
 	now      func() time.Time
 	hoseCap  int
 
+	// seq is the shim's position in the global lock order (see lockShims).
+	seq uint64
+	// mu is the VM lock: it guards functions, coldStart, every guest call
+	// and every view over the VM's linear memory (including Function.out).
+	mu sync.Mutex
+
 	module    []byte
 	functions []*Function
 	coldStart time.Duration
+}
+
+// shimSeq issues lock-order positions; creation order is the lock order.
+var shimSeq atomic.Uint64
+
+// lockShims acquires the VM locks of every distinct shim in ascending
+// creation order — the single global lock order that keeps multi-shim
+// transfers (kernel, network, multicast) deadlock-free no matter which
+// pairs overlap. The returned slice (deduplicated, sorted) is what
+// unlockShims expects.
+func lockShims(shims ...*Shim) []*Shim {
+	distinct := shims[:0:0]
+	for _, s := range shims {
+		dup := false
+		for _, d := range distinct {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct = append(distinct, s)
+		}
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i].seq < distinct[j].seq })
+	for _, s := range distinct {
+		s.mu.Lock()
+	}
+	return distinct
+}
+
+// unlockShims releases locks taken by lockShims (any order is safe).
+func unlockShims(locked []*Shim) {
+	for _, s := range locked {
+		s.mu.Unlock()
+	}
 }
 
 // NewShim creates the shim's sandbox and prepares the Wasm runtime. The
@@ -100,6 +150,7 @@ func NewShim(cfg ShimConfig) (*Shim, error) {
 	proc := cfg.Kernel.NewProc(cfg.Name, acct)
 	s := &Shim{
 		name:     cfg.Name,
+		seq:      shimSeq.Add(1),
 		workflow: cfg.Workflow,
 		proc:     proc,
 		acct:     acct,
@@ -125,6 +176,8 @@ func NewShim(cfg ShimConfig) (*Shim, error) {
 // instance (Fig. 4a: one VM may hold several modules of the same workflow).
 // Instantiation time is added to the shim's cold start.
 func (s *Shim) AddFunction(name string) (*Function, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sw := metrics.NewStopwatch(s.now)
 	m, err := wasm.Decode(s.module)
 	if err != nil {
@@ -182,7 +235,11 @@ func (s *Shim) WASI() *wasi.Host { return s.wasiHost }
 func (s *Shim) Bundle() Bundle { return s.bundle }
 
 // ColdStart reports the accumulated sandbox + VM initialization time.
-func (s *Shim) ColdStart() time.Duration { return s.coldStart }
+func (s *Shim) ColdStart() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coldStart
+}
 
 // Close tears down the sandbox and every descriptor it holds.
 func (s *Shim) Close() { s.proc.CloseAll() }
@@ -209,6 +266,9 @@ func (f *Function) Name() string { return f.name }
 func (f *Function) Shim() *Shim { return f.shim }
 
 // View exposes the shim's mediated memory view (for advanced embedders).
+// The view is not synchronized: callers that use it directly must not race
+// with transfers or guest calls on the same VM (prefer Call/Deallocate,
+// which take the VM lock).
 func (f *Function) View() *abi.View { return f.view }
 
 // Instance returns the function's Wasm instance.
@@ -216,13 +276,16 @@ func (f *Function) Instance() *wasm.Instance { return f.inst }
 
 // Output returns the function's current output region.
 func (f *Function) Output() (OutputRef, error) {
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
 	if f.out == nil {
 		return OutputRef{}, fmt.Errorf("%s: %w", f.name, ErrNoOutput)
 	}
 	return *f.out, nil
 }
 
-// call runs a guest export, measuring its duration as user CPU.
+// call runs a guest export, measuring its duration as user CPU. Callers hold
+// the shim's VM lock.
 func (f *Function) call(name string, args ...uint64) ([]uint64, error) {
 	sw := metrics.NewStopwatch(f.shim.now)
 	res, err := f.inst.Call(name, args...)
@@ -230,9 +293,9 @@ func (f *Function) call(name string, args ...uint64) ([]uint64, error) {
 	return res, err
 }
 
-// CallPacked invokes a packed-result guest export (produce/serialize style),
-// registering and recording the output region.
-func (f *Function) CallPacked(name string, args ...uint64) (OutputRef, error) {
+// callPacked is CallPacked without the VM lock, for transfer paths that
+// already hold it.
+func (f *Function) callPacked(name string, args ...uint64) (OutputRef, error) {
 	sw := metrics.NewStopwatch(f.shim.now)
 	ptr, n, err := f.view.CallPacked(name, args...)
 	f.shim.acct.CPU(metrics.User, sw.Lap())
@@ -243,14 +306,35 @@ func (f *Function) CallPacked(name string, args ...uint64) (OutputRef, error) {
 	return *f.out, nil
 }
 
+// CallPacked invokes a packed-result guest export (produce/serialize style),
+// registering and recording the output region.
+func (f *Function) CallPacked(name string, args ...uint64) (OutputRef, error) {
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
+	return f.callPacked(name, args...)
+}
+
 // Call invokes any guest export, charging guest time as user CPU.
 func (f *Function) Call(name string, args ...uint64) ([]uint64, error) {
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
 	return f.call(name, args...)
+}
+
+// Deallocate returns a delivered region to the guest allocator
+// (deallocate_memory), rewinding the bump heap when the region is the most
+// recent live allocation.
+func (f *Function) Deallocate(ptr uint32) error {
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
+	return f.view.Deallocate(ptr)
 }
 
 // Locate asks the guest for its output region (locate_memory_region),
 // step 1 of every transfer (Fig. 4).
 func (f *Function) Locate() (OutputRef, error) {
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
 	sw := metrics.NewStopwatch(f.shim.now)
 	out, err := f.locateQuiet()
 	f.shim.acct.CPU(metrics.User, sw.Lap())
@@ -258,7 +342,8 @@ func (f *Function) Locate() (OutputRef, error) {
 }
 
 // locateQuiet performs Locate without charging CPU; the transfer paths
-// measure and charge the surrounding window themselves.
+// measure and charge the surrounding window themselves. Callers hold the
+// shim's VM lock.
 func (f *Function) locateQuiet() (OutputRef, error) {
 	ptr, n, err := f.view.Locate()
 	if err != nil {

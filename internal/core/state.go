@@ -43,6 +43,8 @@ func NewStateStore() *StateStore {
 // between invocations), charged as one user-space copy to the function's
 // sandbox.
 func (s *StateStore) Put(f *Function, name string) error {
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
 	out, err := f.locateQuiet()
 	if err != nil {
 		return fmt.Errorf("state put %q: %w", name, err)
@@ -77,6 +79,8 @@ func (s *StateStore) Get(f *Function, name string) (InboundRef, error) {
 	if !ok {
 		return InboundRef{}, fmt.Errorf("%q in workflow %q: %w", name, f.shim.workflow.Name, ErrNoState)
 	}
+	f.shim.mu.Lock()
+	defer f.shim.mu.Unlock()
 	ptr, err := f.view.Allocate(uint32(len(data)))
 	if err != nil {
 		return InboundRef{}, fmt.Errorf("state get %q: %w", name, err)

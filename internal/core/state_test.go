@@ -24,7 +24,7 @@ func TestStateStorePutGetRoundTrip(t *testing.T) {
 	}
 	// New invocation: the guest heap is rewound (transient state is gone).
 	out, _ := f.Output()
-	if err := f.View().Deallocate(out.Ptr); err != nil {
+	if err := f.Deallocate(out.Ptr); err != nil {
 		t.Fatal(err)
 	}
 

@@ -35,6 +35,8 @@ func UserSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, 
 		return InboundRef{}, metrics.TransferReport{}, ErrWorkflowMismatch
 	}
 	s := src.shim
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	before := s.acct.Snapshot()
 	sw := metrics.NewStopwatch(s.now)
 
@@ -78,6 +80,8 @@ func KernelSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport
 		return InboundRef{}, metrics.TransferReport{}, ErrDifferentNode
 	}
 	srcShim, dstShim := src.shim, dst.shim
+	locked := lockShims(srcShim, dstShim)
+	defer unlockShims(locked)
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := dstShim.acct.Snapshot()
 

@@ -86,36 +86,46 @@ func Quick() Options {
 	}
 }
 
+// SchemaVersion identifies the layout of roadrunner-bench output (both the
+// table header line and the -json document), so CI benchmark smoke runs can
+// be diffed across PRs.
+const SchemaVersion = 2
+
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
 type Point struct {
-	System string
-	X      float64 // payload MB or fan-out degree
+	System string  `json:"system"`
+	X      float64 `json:"x"` // payload MB or fan-out degree
 
-	Latency    time.Duration // panel (a): total latency
-	RPS        float64       // panel (b): total throughput
-	SerLatency time.Duration // panel (c): serialization latency
-	SerRPS     float64       // panel (d): serialization throughput
+	Latency    time.Duration `json:"latency_ns"`     // panel (a): total latency
+	RPS        float64       `json:"rps"`            // panel (b): total throughput
+	SerLatency time.Duration `json:"ser_latency_ns"` // panel (c): serialization latency
+	SerRPS     float64       `json:"ser_rps"`        // panel (d): serialization throughput
 
-	CPUTotal  float64 // panel (e): total CPU %
-	CPUUser   float64 // panel (f): user-space CPU %
-	CPUKernel float64 // panel (g): kernel-space CPU %
-	RAMMB     float64 // panel (h): memory usage
+	CPUTotal  float64 `json:"cpu_total_pct"`  // panel (e): total CPU %
+	CPUUser   float64 `json:"cpu_user_pct"`   // panel (f): user-space CPU %
+	CPUKernel float64 `json:"cpu_kernel_pct"` // panel (g): kernel-space CPU %
+	RAMMB     float64 `json:"ram_mb"`         // panel (h): memory usage
 
-	Breakdown roadrunner.Breakdown // component decomposition (Fig. 6a)
+	Breakdown roadrunner.Breakdown `json:"breakdown"` // component decomposition (Fig. 6a)
 }
 
 // Result is one regenerated figure.
 type Result struct {
-	ID     string
-	Title  string
-	XLabel string
-	Points []Point
-	Notes  []string
+	ID string `json:"id"`
+	// Mode names the transfer regime the experiment exercises (e.g.
+	// "intra-node", "inter-node", "fanout-inter", "coldstart").
+	Mode   string   `json:"mode"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	Points []Point  `json:"points"`
+	Notes  []string `json:"notes,omitempty"`
 }
 
-// Print renders the result as an aligned table.
+// Print renders the result as an aligned table, prefixed by the
+// schema/mode identification line CI diffs key on.
 func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "# schema_version=%d id=%s mode=%s\n", SchemaVersion, r.ID, r.Mode)
 	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "system\t%s\tlatency\trps\tser.latency\tser.rps\tcpu%%\tuser%%\tkernel%%\tram(MB)\n", r.XLabel)

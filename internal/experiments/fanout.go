@@ -99,6 +99,7 @@ func Fig9(opts Options) (*Result, error) {
 	n := opts.FanoutPayloadMB * MB
 	res := &Result{
 		ID:     "fig9",
+		Mode:   "fanout-intra",
 		Title:  fmt.Sprintf("Intra-node fan-out, %d MB per transfer", opts.FanoutPayloadMB),
 		XLabel: "degree",
 	}
@@ -228,6 +229,7 @@ func Fig10(opts Options) (*Result, error) {
 	n := opts.FanoutPayloadMB * MB
 	res := &Result{
 		ID:     "fig10",
+		Mode:   "fanout-inter",
 		Title:  fmt.Sprintf("Inter-node fan-out, %d MB per transfer", opts.FanoutPayloadMB),
 		XLabel: "degree",
 	}

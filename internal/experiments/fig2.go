@@ -23,6 +23,7 @@ const containerExecOverhead = 2 * time.Millisecond
 func Fig2a(opts Options) (*Result, error) {
 	res := &Result{
 		ID:     "fig2a",
+		Mode:   "coldstart",
 		Title:  "Cold start and execution latency, container vs Wasm",
 		XLabel: "n/a",
 		Notes: []string{
@@ -85,6 +86,7 @@ func Fig2b(opts Options) (*Result, error) {
 	sizes := fig2bSizes(opts.SizesMB)
 	res := &Result{
 		ID:     "fig2b",
+		Mode:   "intra-node",
 		Title:  "Normalized transfer vs serialization share, container vs Wasm",
 		XLabel: "size(MB)",
 	}

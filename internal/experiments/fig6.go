@@ -13,6 +13,7 @@ func Fig6(opts Options) (*Result, error) {
 	n := opts.Fig6PayloadMB * MB
 	res := &Result{
 		ID:     "fig6",
+		Mode:   "inter-node",
 		Title:  fmt.Sprintf("Inter-node transfer breakdown, %d MB payload", opts.Fig6PayloadMB),
 		XLabel: "size(MB)",
 	}

@@ -17,6 +17,7 @@ func Fig7(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{
 		ID:     "fig7",
+		Mode:   "intra-node",
 		Title:  "Intra-node latency/throughput/CPU/RAM for varying payload sizes",
 		XLabel: "size(MB)",
 	}

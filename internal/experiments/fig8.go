@@ -24,6 +24,7 @@ func Fig8(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{
 		ID:     "fig8",
+		Mode:   "inter-node",
 		Title:  "Inter-node latency/throughput/CPU/RAM for varying payload sizes",
 		XLabel: "size(MB)",
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation skews the wall-clock ratios some shape tests pin.
+const raceEnabled = true

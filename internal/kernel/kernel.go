@@ -60,11 +60,11 @@ func DefaultCostModel() CostModel {
 
 // Kernel is one simulated host kernel. Each cluster node has its own.
 type Kernel struct {
-	name  string
-	pool  *pagebuf.Pool
-	costs CostModel
+	name string
+	pool *pagebuf.Pool
 
 	mu    sync.Mutex
+	costs CostModel
 	procs []*Proc
 }
 
@@ -80,15 +80,23 @@ func (k *Kernel) Name() string { return k.name }
 func (k *Kernel) Pool() *pagebuf.Pool { return k.pool }
 
 // Costs returns the kernel's cost model.
-func (k *Kernel) Costs() CostModel { return k.costs }
+func (k *Kernel) Costs() CostModel {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.costs
+}
 
 // SetCosts replaces the cost model (used by ablation benchmarks).
-func (k *Kernel) SetCosts(c CostModel) { k.costs = c }
+func (k *Kernel) SetCosts(c CostModel) {
+	k.mu.Lock()
+	k.costs = c
+	k.mu.Unlock()
+}
 
 // SyscallTime converts a syscall count into modeled mode-switch time; the
 // shim layers add it to the Transfer component of latency breakdowns.
 func (k *Kernel) SyscallTime(n int64) time.Duration {
-	return time.Duration(n) * k.costs.SyscallOverhead
+	return time.Duration(n) * k.Costs().SyscallOverhead
 }
 
 // NewProc creates a process on this kernel charging work to acct. A nil

@@ -12,7 +12,7 @@ package metrics
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,17 +40,22 @@ func (s Space) String() string {
 
 // Account accumulates resource usage for one sandbox (container, Wasm VM or
 // shim). The zero value is ready to use.
+//
+// Every counter is an independent atomic, so concurrent transfers charging
+// the same sandbox never contend on a lock — the accounting substrate stays
+// off the critical path of the concurrent engine. A Snapshot is therefore
+// per-counter atomic rather than a single consistent cut; deltas taken while
+// the account is quiescent (as the transfer paths do, under the shims' VM
+// locks) are exact.
 type Account struct {
-	mu sync.Mutex
-
-	userCopyBytes   int64
-	kernelCopyBytes int64
-	syscalls        int64
-	ctxSwitches     int64
-	userCPU         time.Duration
-	kernelCPU       time.Duration
-	resident        int64
-	peakResident    int64
+	userCopyBytes   atomic.Int64
+	kernelCopyBytes atomic.Int64
+	syscalls        atomic.Int64
+	ctxSwitches     atomic.Int64
+	userCPU         atomic.Int64 // nanoseconds
+	kernelCPU       atomic.Int64 // nanoseconds
+	resident        atomic.Int64
+	peakResident    atomic.Int64
 }
 
 // Copy charges a data copy of n bytes to the given space.
@@ -58,13 +63,11 @@ func (a *Account) Copy(space Space, n int) {
 	if a == nil || n <= 0 {
 		return
 	}
-	a.mu.Lock()
 	if space == Kernel {
-		a.kernelCopyBytes += int64(n)
+		a.kernelCopyBytes.Add(int64(n))
 	} else {
-		a.userCopyBytes += int64(n)
+		a.userCopyBytes.Add(int64(n))
 	}
-	a.mu.Unlock()
 }
 
 // Syscall charges one system call and the pair of user↔kernel context
@@ -73,10 +76,8 @@ func (a *Account) Syscall() {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	a.syscalls++
-	a.ctxSwitches += 2
-	a.mu.Unlock()
+	a.syscalls.Add(1)
+	a.ctxSwitches.Add(2)
 }
 
 // CPU charges measured CPU time to the given space.
@@ -84,13 +85,11 @@ func (a *Account) CPU(space Space, d time.Duration) {
 	if a == nil || d <= 0 {
 		return
 	}
-	a.mu.Lock()
 	if space == Kernel {
-		a.kernelCPU += d
+		a.kernelCPU.Add(int64(d))
 	} else {
-		a.userCPU += d
+		a.userCPU.Add(int64(d))
 	}
-	a.mu.Unlock()
 }
 
 // Allocate records n resident bytes (e.g. a linear memory growth or a kernel
@@ -99,12 +98,13 @@ func (a *Account) Allocate(n int64) {
 	if a == nil || n == 0 {
 		return
 	}
-	a.mu.Lock()
-	a.resident += n
-	if a.resident > a.peakResident {
-		a.peakResident = a.resident
+	res := a.resident.Add(n)
+	for {
+		peak := a.peakResident.Load()
+		if res <= peak || a.peakResident.CompareAndSwap(peak, res) {
+			return
+		}
 	}
-	a.mu.Unlock()
 }
 
 // Snapshot returns a copy of the current totals.
@@ -112,17 +112,15 @@ func (a *Account) Snapshot() Usage {
 	if a == nil {
 		return Usage{}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	return Usage{
-		UserCopyBytes:   a.userCopyBytes,
-		KernelCopyBytes: a.kernelCopyBytes,
-		Syscalls:        a.syscalls,
-		ContextSwitches: a.ctxSwitches,
-		UserCPU:         a.userCPU,
-		KernelCPU:       a.kernelCPU,
-		ResidentBytes:   a.resident,
-		PeakResident:    a.peakResident,
+		UserCopyBytes:   a.userCopyBytes.Load(),
+		KernelCopyBytes: a.kernelCopyBytes.Load(),
+		Syscalls:        a.syscalls.Load(),
+		ContextSwitches: a.ctxSwitches.Load(),
+		UserCPU:         time.Duration(a.userCPU.Load()),
+		KernelCPU:       time.Duration(a.kernelCPU.Load()),
+		ResidentBytes:   a.resident.Load(),
+		PeakResident:    a.peakResident.Load(),
 	}
 }
 
@@ -131,9 +129,14 @@ func (a *Account) Reset() {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	*a = Account{}
-	a.mu.Unlock()
+	a.userCopyBytes.Store(0)
+	a.kernelCopyBytes.Store(0)
+	a.syscalls.Store(0)
+	a.ctxSwitches.Store(0)
+	a.userCPU.Store(0)
+	a.kernelCPU.Store(0)
+	a.resident.Store(0)
+	a.peakResident.Store(0)
 }
 
 // Usage is an immutable snapshot of an Account.

@@ -183,7 +183,7 @@ func (t *Topology) SetLink(a, b string, link *Link) {
 // fallback link otherwise. Unknown node names get the fallback link too.
 func (t *Topology) LinkBetween(a, b string) *Link {
 	if a == b {
-		return t.loopback
+		return t.Loopback()
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -198,10 +198,18 @@ func (t *Topology) LinkBetween(a, b string) *Link {
 }
 
 // Loopback returns the intra-node link.
-func (t *Topology) Loopback() *Link { return t.loopback }
+func (t *Topology) Loopback() *Link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.loopback
+}
 
 // SetLoopback replaces the intra-node link (for ablations).
-func (t *Topology) SetLoopback(l *Link) { t.loopback = l }
+func (t *Topology) SetLoopback(l *Link) {
+	t.mu.Lock()
+	t.loopback = l
+	t.mu.Unlock()
+}
 
 func edge(a, b int) [2]int {
 	if a > b {

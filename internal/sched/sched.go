@@ -1,0 +1,128 @@
+// Package sched provides the bounded worker pool behind the platform's
+// pipelined transfer API: TransferAsync, the batched fan-out/chain entry
+// points and the workload generator submit transfer closures here and a
+// fixed set of workers drains them.
+//
+// The pool deliberately has no knowledge of transfers. Per-VM serialization
+// is the job of the core layer's shim locks; the pool only bounds how many
+// transfer attempts are in flight at once, which keeps a load spike from
+// spawning an unbounded number of goroutines all contending for the same
+// VM locks.
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("sched: pool closed")
+
+// Pool is a bounded worker pool with a bounded submission queue. Submit
+// blocks while the queue is full, giving callers natural backpressure
+// instead of unbounded buffering.
+type Pool struct {
+	tasks chan func()
+	quit  chan struct{}
+
+	workers int
+	wg      sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submitted, not yet finished tasks
+
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+// New creates a pool. workers <= 0 means GOMAXPROCS; queue <= 0 means
+// 2×workers.
+func New(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{
+		tasks:   make(chan func(), queue),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+			p.completed.Add(1)
+			p.inflight.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Submit enqueues a task, blocking while the queue is full. It returns
+// ErrClosed once Close has begun; an accepted task is guaranteed to run.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.submitted.Add(1)
+	p.mu.Unlock()
+	p.tasks <- fn
+	return nil
+}
+
+// Wait blocks until every task submitted so far has finished.
+func (p *Pool) Wait() { p.inflight.Wait() }
+
+// Close rejects further submissions, drains every accepted task, and stops
+// the workers. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// Workers keep running until every accepted task is done, so queued
+	// sends cannot strand: quit only fires afterwards.
+	p.inflight.Wait()
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// Stats is a point-in-time view of pool activity.
+type Stats struct {
+	Workers   int
+	QueueCap  int
+	Submitted int64
+	Completed int64
+}
+
+// Stats reports pool counters (Submitted - Completed is the in-flight count).
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:   p.workers,
+		QueueCap:  cap(p.tasks),
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+	}
+}

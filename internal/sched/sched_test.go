@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := New(4, 2)
+	var ran atomic.Int64
+	const tasks = 100
+	for i := 0; i < tasks; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Wait()
+	if got := ran.Load(); got != tasks {
+		t.Fatalf("ran %d of %d tasks", got, tasks)
+	}
+	st := p.Stats()
+	if st.Submitted != tasks || st.Completed != tasks {
+		t.Fatalf("stats = %+v, want %d submitted and completed", st, tasks)
+	}
+	p.Close()
+}
+
+func TestPoolCloseDrainsQueueAndRejectsLateSubmits(t *testing.T) {
+	p := New(2, 4)
+	var ran atomic.Int64
+	for i := 0; i < 16; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("close drained %d of 16 tasks", got)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestSubmitBlocksOnFullQueueThenDrains(t *testing.T) {
+	p := New(1, 1)
+	gate := make(chan struct{})
+	var ran atomic.Int64
+	// First task occupies the single worker until the gate opens; the
+	// rest must queue (blocking Submit on the 1-slot queue) and still all
+	// run by Close.
+	if err := p.Submit(func() { <-gate; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			if err := p.Submit(func() { ran.Add(1) }); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+	}()
+	close(gate)
+	<-done
+	p.Close()
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d of 5 tasks", got)
+	}
+}

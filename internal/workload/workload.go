@@ -1,0 +1,429 @@
+// Package workload is the load harness for the concurrent transfer engine:
+// an open/closed-loop generator that deploys N independent workflow
+// instances on one simulated platform, drives their multi-hop transfers
+// through the bounded scheduler, and reports aggregate throughput and
+// latency percentiles as JSON (the BENCH-comparable format the CI smoke run
+// diffs across PRs).
+//
+// Closed loop: a fixed number of in-flight executions (one per busy worker)
+// runs until Requests workflow executions complete — the regime that
+// measures engine capacity. Open loop: executions arrive at a fixed rate
+// for a fixed duration regardless of completion — the regime that measures
+// latency under offered load, including scheduler queueing.
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	roadrunner "github.com/polaris-slo-cloud/roadrunner-go"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/sched"
+)
+
+// SchemaVersion identifies the Result JSON layout.
+const SchemaVersion = 1
+
+// Modes the generator can drive. Mixed chains one hop of each mechanism.
+const (
+	ModeMixed   = "mixed"
+	ModeUser    = "user"
+	ModeKernel  = "kernel"
+	ModeNetwork = "network"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Workflows is the number of independent workflow instances (each with
+	// its own functions, shims and VMs). Default 8.
+	Workflows int
+	// Hops is the number of transfers per workflow execution. Default: 3
+	// for mixed (one hop per mechanism), 2 otherwise.
+	Hops int
+	// PayloadBytes is the payload produced at the head of every execution.
+	// Default 64 KiB.
+	PayloadBytes int
+	// Concurrency bounds simultaneously executing workflows. Default:
+	// min(Workflows, GOMAXPROCS).
+	Concurrency int
+	// Requests is the closed-loop total number of workflow executions.
+	// Default 4×Workflows. Ignored when RatePerSec > 0.
+	Requests int
+	// RatePerSec switches to the open loop: executions arrive at this rate
+	// for Duration, queueing when the engine falls behind.
+	RatePerSec float64
+	// Duration is the open-loop offered-load window. Default 1s.
+	Duration time.Duration
+	// Mode selects the transfer mechanisms exercised (see Mode* constants).
+	// Default mixed.
+	Mode string
+	// Verify checksums every final delivery against the produce oracle.
+	Verify bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workflows <= 0 {
+		c.Workflows = 8
+	}
+	if c.Mode == "" {
+		c.Mode = ModeMixed
+	}
+	switch c.Mode {
+	case ModeMixed, ModeUser, ModeKernel, ModeNetwork:
+	default:
+		return c, fmt.Errorf("workload: unknown mode %q", c.Mode)
+	}
+	if c.Hops <= 0 {
+		if c.Mode == ModeMixed {
+			c.Hops = 3
+		} else {
+			c.Hops = 2
+		}
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 64 << 10
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = min(c.Workflows, runtime.GOMAXPROCS(0))
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4 * c.Workflows
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	return c, nil
+}
+
+// Percentiles summarizes a latency distribution in nanoseconds.
+type Percentiles struct {
+	P50 int64 `json:"p50_ns"`
+	P90 int64 `json:"p90_ns"`
+	P99 int64 `json:"p99_ns"`
+	Max int64 `json:"max_ns"`
+}
+
+func percentiles(durs []time.Duration) Percentiles {
+	if len(durs) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(durs)-1))
+		return int64(durs[i])
+	}
+	return Percentiles{
+		P50: at(0.50),
+		P90: at(0.90),
+		P99: at(0.99),
+		Max: int64(durs[len(durs)-1]),
+	}
+}
+
+// Result is the aggregate outcome of one load run.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Loop          string `json:"loop"` // "closed" or "open"
+	Mode          string `json:"mode"`
+	Workflows     int    `json:"workflows"`
+	Hops          int    `json:"hops"`
+	PayloadBytes  int    `json:"payload_bytes"`
+	Concurrency   int    `json:"concurrency"`
+
+	Ops       int64   `json:"ops"`    // completed workflow executions
+	Errors    int64   `json:"errors"` // failed executions
+	Bytes     int64   `json:"bytes"`  // payload bytes delivered (all hops)
+	ElapsedNS int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+
+	// Latency is per-execution wall time. In the open loop it is the
+	// sojourn time (arrival to completion, queueing included); ServiceOnly
+	// then isolates the execution itself.
+	Latency     Percentiles  `json:"latency"`
+	ServiceOnly *Percentiles `json:"service_only,omitempty"`
+
+	// Transfers is the per-hop count: Ops × Hops when error-free.
+	Transfers int64 `json:"transfers"`
+}
+
+// instance is one deployed workflow: a ring of functions the execution
+// cycles through. Its mutex serializes executions of this instance (a
+// workflow processes one request at a time); different instances share
+// nothing above the platform.
+type instance struct {
+	mu  sync.Mutex
+	fns []*roadrunner.Function
+}
+
+// Runner is a deployed load-generation environment, reusable across runs.
+type Runner struct {
+	cfg       Config
+	platform  *roadrunner.Platform
+	instances []*instance
+}
+
+// NewRunner deploys cfg.Workflows independent workflow instances on a fresh
+// two-node platform.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Concurrency is enforced by the harness's own sched pools (runClosed/
+	// runOpen), not the platform's async pool — executions call the
+	// synchronous Transfer directly.
+	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
+	r := &Runner{cfg: cfg, platform: p}
+	for i := 0; i < cfg.Workflows; i++ {
+		inst, err := deployInstance(p, cfg.Mode, i)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		r.instances = append(r.instances, inst)
+	}
+	return r, nil
+}
+
+// Close tears down the platform.
+func (r *Runner) Close() { r.platform.Close() }
+
+// Platform exposes the underlying deployment (for tests).
+func (r *Runner) Platform() *roadrunner.Platform { return r.platform }
+
+func deployInstance(p *roadrunner.Platform, mode string, i int) (*instance, error) {
+	wf := roadrunner.Workflow{Name: fmt.Sprintf("wf-%d", i), Tenant: "load"}
+	deploy := func(name, node string, share *roadrunner.Function) (*roadrunner.Function, error) {
+		return p.Deploy(roadrunner.FunctionSpec{
+			Name:        fmt.Sprintf("%s-%d", name, i),
+			Node:        node,
+			Workflow:    wf,
+			ShareVMWith: share,
+		})
+	}
+	a, err := deploy("a", "edge", nil)
+	if err != nil {
+		return nil, err
+	}
+	fns := []*roadrunner.Function{a}
+	switch mode {
+	case ModeUser:
+		b, err := deploy("b", "edge", a)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, b)
+	case ModeKernel:
+		b, err := deploy("b", "edge", nil)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, b)
+	case ModeNetwork:
+		b, err := deploy("b", "cloud", nil)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, b)
+	case ModeMixed:
+		b, err := deploy("b", "edge", a) // user-space hop
+		if err != nil {
+			return nil, err
+		}
+		c, err := deploy("c", "edge", nil) // kernel-space hop
+		if err != nil {
+			return nil, err
+		}
+		d, err := deploy("d", "cloud", nil) // network hop
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, b, c, d)
+	}
+	return &instance{fns: fns}, nil
+}
+
+// execute runs one workflow execution on the instance: produce at the head,
+// then Hops transfers around the function ring, then release every region
+// so linear memory stays flat across executions.
+func (r *Runner) execute(inst *instance) error {
+	cfg := r.cfg
+	fns := inst.fns
+	head := fns[0]
+	if err := head.Produce(cfg.PayloadBytes); err != nil {
+		return fmt.Errorf("produce: %w", err)
+	}
+	// earliest[f] is each function's first allocation of this execution;
+	// the guest's LIFO allocator rewinds everything at or above it on
+	// release, so one release per function frees the whole execution.
+	earliest := make(map[*roadrunner.Function]roadrunner.DataRef, len(fns))
+	if out, err := head.Output(); err == nil {
+		earliest[head] = out
+	}
+	defer func() {
+		for f, ref := range earliest {
+			_ = f.Release(ref)
+		}
+	}()
+
+	var ref roadrunner.DataRef
+	for h := 0; h < cfg.Hops; h++ {
+		src := fns[h%len(fns)]
+		dst := fns[(h+1)%len(fns)]
+		if h > 0 {
+			if err := src.SetOutput(ref); err != nil {
+				return fmt.Errorf("hop %d set-output: %w", h, err)
+			}
+		}
+		var err error
+		ref, _, err = r.platform.Transfer(src, dst)
+		if err != nil {
+			return fmt.Errorf("hop %d %s->%s: %w", h, src.Name(), dst.Name(), err)
+		}
+		if _, ok := earliest[dst]; !ok {
+			earliest[dst] = ref
+		}
+	}
+	if cfg.Verify {
+		last := fns[cfg.Hops%len(fns)]
+		sum, err := last.Checksum(ref)
+		if err != nil {
+			return fmt.Errorf("checksum: %w", err)
+		}
+		if want := roadrunner.ExpectedChecksum(cfg.PayloadBytes); sum != want {
+			return fmt.Errorf("checksum mismatch: got %#x want %#x", sum, want)
+		}
+	}
+	return nil
+}
+
+// Run executes the configured load and aggregates the result. The loop is
+// open when RatePerSec > 0, closed otherwise.
+func (r *Runner) Run() (*Result, error) {
+	if r.cfg.RatePerSec > 0 {
+		return r.runOpen()
+	}
+	return r.runClosed()
+}
+
+type recorder struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	services  []time.Duration
+	errs      atomic.Int64
+	ops       atomic.Int64
+}
+
+func (rec *recorder) record(sojourn, service time.Duration, err error) {
+	if err != nil {
+		rec.errs.Add(1)
+		return
+	}
+	rec.ops.Add(1)
+	rec.mu.Lock()
+	rec.latencies = append(rec.latencies, sojourn)
+	if service >= 0 {
+		rec.services = append(rec.services, service)
+	}
+	rec.mu.Unlock()
+}
+
+func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open bool) *Result {
+	cfg := r.cfg
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Loop:          loop,
+		Mode:          cfg.Mode,
+		Workflows:     cfg.Workflows,
+		Hops:          cfg.Hops,
+		PayloadBytes:  cfg.PayloadBytes,
+		Concurrency:   cfg.Concurrency,
+		Ops:           rec.ops.Load(),
+		Errors:        rec.errs.Load(),
+		ElapsedNS:     int64(elapsed),
+		Latency:       percentiles(rec.latencies),
+	}
+	res.Bytes = res.Ops * int64(cfg.Hops) * int64(cfg.PayloadBytes)
+	res.Transfers = res.Ops * int64(cfg.Hops)
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.OpsPerSec = float64(res.Ops) / sec
+		res.MBPerSec = float64(res.Bytes) / 1e6 / sec
+	}
+	if open {
+		sp := percentiles(rec.services)
+		res.ServiceOnly = &sp
+	}
+	return res
+}
+
+// runClosed keeps Concurrency executions in flight until Requests complete.
+func (r *Runner) runClosed() (*Result, error) {
+	cfg := r.cfg
+	pool := sched.New(cfg.Concurrency, cfg.Concurrency)
+	rec := &recorder{}
+	start := time.Now()
+	for i := 0; i < cfg.Requests; i++ {
+		inst := r.instances[i%len(r.instances)]
+		if err := pool.Submit(func() {
+			inst.mu.Lock()
+			defer inst.mu.Unlock()
+			t0 := time.Now()
+			err := r.execute(inst)
+			rec.record(time.Since(t0), -1, err)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	pool.Close()
+	return r.result("closed", rec, time.Since(start), false), nil
+}
+
+// runOpen offers arrivals at RatePerSec for Duration, queueing behind the
+// scheduler when the engine falls behind; latency includes queue wait.
+func (r *Runner) runOpen() (*Result, error) {
+	cfg := r.cfg
+	expected := int(cfg.RatePerSec*cfg.Duration.Seconds()) + cfg.Concurrency
+	pool := sched.New(cfg.Concurrency, expected+1)
+	rec := &recorder{}
+	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	start := time.Now()
+	next := start
+	for arrival := 0; ; arrival++ {
+		now := time.Now()
+		if now.Sub(start) >= cfg.Duration {
+			break
+		}
+		if wait := next.Sub(now); wait > 0 {
+			time.Sleep(wait)
+		}
+		admitted := time.Now()
+		inst := r.instances[arrival%len(r.instances)]
+		if err := pool.Submit(func() {
+			inst.mu.Lock()
+			defer inst.mu.Unlock()
+			t0 := time.Now()
+			err := r.execute(inst)
+			done := time.Now()
+			rec.record(done.Sub(admitted), done.Sub(t0), err)
+		}); err != nil {
+			return nil, err
+		}
+		next = next.Add(interval)
+	}
+	pool.Close() // drain the backlog so every admitted arrival resolves
+	return r.result("open", rec, time.Since(start), true), nil
+}
+
+// Run is the one-shot convenience: deploy, run, tear down.
+func Run(cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Run()
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestClosedLoopAllModes(t *testing.T) {
+	for _, mode := range []string{ModeMixed, ModeUser, ModeKernel, ModeNetwork} {
+		t.Run(mode, func(t *testing.T) {
+			res, err := Run(Config{
+				Workflows:    4,
+				Requests:     12,
+				PayloadBytes: 8 << 10,
+				Mode:         mode,
+				Verify:       true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d failed executions", res.Errors)
+			}
+			if res.Ops != 12 {
+				t.Fatalf("ops = %d, want 12", res.Ops)
+			}
+			if res.Loop != "closed" || res.Mode != mode {
+				t.Fatalf("loop/mode = %s/%s", res.Loop, res.Mode)
+			}
+			if res.OpsPerSec <= 0 || res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P99 {
+				t.Fatalf("implausible aggregates: %+v", res)
+			}
+			wantBytes := res.Ops * int64(res.Hops) * int64(res.PayloadBytes)
+			if res.Bytes != wantBytes {
+				t.Fatalf("bytes = %d, want %d", res.Bytes, wantBytes)
+			}
+		})
+	}
+}
+
+func TestOpenLoopReportsSojournAndService(t *testing.T) {
+	res, err := Run(Config{
+		Workflows:    4,
+		PayloadBytes: 4 << 10,
+		Mode:         ModeKernel,
+		RatePerSec:   200,
+		Duration:     100 * time.Millisecond,
+		Verify:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loop != "open" {
+		t.Fatalf("loop = %s, want open", res.Loop)
+	}
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if res.ServiceOnly == nil {
+		t.Fatal("open loop must report service-only percentiles")
+	}
+	// Sojourn includes queueing, so it can never undercut service time.
+	if res.Latency.P50 < res.ServiceOnly.P50 {
+		t.Fatalf("sojourn p50 %d < service p50 %d", res.Latency.P50, res.ServiceOnly.P50)
+	}
+}
+
+func TestMemoryStaysBoundedAcrossManyExecutions(t *testing.T) {
+	r, err := NewRunner(Config{Workflows: 1, Mode: ModeMixed, Requests: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	inst := r.instances[0]
+	// Far more executions than linear memory could absorb if regions
+	// leaked (each execution allocates 3 × 64 KiB inbound regions).
+	for i := 0; i < 200; i++ {
+		if err := r.execute(inst); err != nil {
+			t.Fatalf("execution %d: %v", i, err)
+		}
+	}
+}
+
+func TestResultJSONCarriesSchemaAndMode(t *testing.T) {
+	res, err := Run(Config{Workflows: 2, Requests: 2, Mode: ModeUser, PayloadBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema_version"] != float64(SchemaVersion) {
+		t.Fatalf("schema_version = %v", m["schema_version"])
+	}
+	if m["mode"] != ModeUser {
+		t.Fatalf("mode = %v", m["mode"])
+	}
+	if _, ok := m["ops_per_sec"]; !ok {
+		t.Fatal("missing ops_per_sec")
+	}
+}
+
+func TestBadModeRejected(t *testing.T) {
+	if _, err := Run(Config{Mode: "quantum"}); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}

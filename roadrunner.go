@@ -34,6 +34,7 @@ import (
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/sched"
 )
 
 // Bandwidth is a link rate in bits per second.
@@ -87,12 +88,18 @@ var (
 	ErrUnknownNode      = errors.New("roadrunner: unknown node")
 	ErrWorkflowMismatch = errors.New("roadrunner: functions of different workflows/tenants cannot share a VM")
 	ErrModeUnavailable  = errors.New("roadrunner: requested mode incompatible with function placement")
+	ErrClosed           = errors.New("roadrunner: platform closed")
 )
 
 // Platform is a simulated multi-node serverless deployment running
 // Roadrunner shims.
+//
+// Platform is safe for concurrent use: transfers between disjoint function
+// pairs run in parallel (serialization happens per Wasm VM, inside
+// internal/core), and the registry below is only consulted on the
+// deploy/teardown path, never while payload bytes move.
 type Platform struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex // guards kernels and shims (registry, not transfers)
 	topo    *netsim.Topology
 	kernels map[string]*kernel.Kernel
 	module  []byte
@@ -100,17 +107,23 @@ type Platform struct {
 	shims   []*core.Shim
 	hose    int
 	state   *core.StateStore
+
+	workers  int
+	poolOnce sync.Once
+	pool     *sched.Pool
+	closed   bool
 }
 
 // Option configures a Platform.
 type Option func(*platformConfig)
 
 type platformConfig struct {
-	nodes  []string
-	link   *netsim.Link
-	module []byte
-	now    func() time.Time
-	hose   int
+	nodes   []string
+	link    *netsim.Link
+	module  []byte
+	now     func() time.Time
+	hose    int
+	workers int
 }
 
 // WithNodes pre-registers node names (default: "edge" and "cloud").
@@ -140,6 +153,12 @@ func WithDataHoseSize(n int) Option {
 	return func(c *platformConfig) { c.hose = n }
 }
 
+// WithWorkers sets the size of the worker pool behind TransferAsync,
+// ChainAsync and FanoutAsync (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *platformConfig) { c.workers = n }
+}
+
 // New creates a platform.
 func New(opts ...Option) *Platform {
 	cfg := platformConfig{
@@ -156,6 +175,7 @@ func New(opts ...Option) *Platform {
 		now:     cfg.now,
 		hose:    cfg.hose,
 		state:   core.NewStateStore(),
+		workers: cfg.workers,
 	}
 	for _, n := range cfg.nodes {
 		p.AddNode(n)
@@ -186,15 +206,49 @@ func (p *Platform) SetLink(a, b string, bw Bandwidth, rtt time.Duration) {
 // deployments).
 func GuestModule() []byte { return guest.Module() }
 
-// Close tears down every deployed shim.
+// Close drains the async worker pool (every accepted future resolves) and
+// tears down every deployed shim.
 func (p *Platform) Close() {
 	p.mu.Lock()
+	p.closed = true
+	pool := p.pool
+	p.pool = nil
 	shims := p.shims
 	p.shims = nil
 	p.mu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
 	for _, s := range shims {
 		s.Close()
 	}
+}
+
+// scheduler lazily starts the platform's worker pool. It returns nil once
+// the platform is closed.
+func (p *Platform) scheduler() *sched.Pool {
+	p.poolOnce.Do(func() {
+		p.mu.Lock()
+		if !p.closed {
+			p.pool = sched.New(p.workers, 0)
+		}
+		p.mu.Unlock()
+	})
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pool
+}
+
+// SchedulerStats reports worker-pool activity (zero value before the first
+// async call).
+func (p *Platform) SchedulerStats() sched.Stats {
+	p.mu.RLock()
+	pool := p.pool
+	p.mu.RUnlock()
+	if pool == nil {
+		return sched.Stats{}
+	}
+	return pool.Stats()
 }
 
 // FunctionSpec describes one function deployment.
@@ -222,6 +276,12 @@ type Function struct {
 // Deploy places a function per the spec, creating a dedicated shim (and Wasm
 // VM) unless ShareVMWith is set.
 func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
+	p.mu.RLock()
+	closed := p.closed
+	p.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
 	wf := spec.Workflow
 	if wf == (Workflow{}) {
 		wf = Workflow{Name: "default", Tenant: "default"}
@@ -240,9 +300,9 @@ func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
 		return &Function{inner: inner, platform: p, node: host.node, workflow: wf}, nil
 	}
 
-	p.mu.Lock()
+	p.mu.RLock()
 	k, ok := p.kernels[spec.Node]
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%q: %w", spec.Node, ErrUnknownNode)
 	}
@@ -263,6 +323,13 @@ func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
 		return nil, err
 	}
 	p.mu.Lock()
+	if p.closed {
+		// Close ran while this shim was being built; it will never be
+		// swept again, so tear it down here instead of leaking it.
+		p.mu.Unlock()
+		shim.Close()
+		return nil, ErrClosed
+	}
 	p.shims = append(p.shims, shim)
 	p.mu.Unlock()
 	return &Function{inner: inner, platform: p, node: spec.Node, workflow: wf}, nil
