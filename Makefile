@@ -29,7 +29,11 @@ race:
 bench:
 	$(GO) test -run 'XXX' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -compact
+	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -cold-channels -compact
 	$(GO) run ./cmd/roadrunner-bench -exp fig7 -sizes 1 -json
+	@mkdir -p artifacts
+	$(GO) run ./cmd/roadrunner-bench -exp chancache -sizes 1,4 -json > artifacts/bench-chancache.json
+	@cat artifacts/bench-chancache.json
 
 ## lint: vet + gofmt gate
 lint:

@@ -412,7 +412,7 @@ func BenchmarkAblationBatchedSyscalls(b *testing.B) {
 // function pairs, either back-to-back on one goroutine or fanned out with
 // one goroutine per pair. Both variants do identical work, so the ns/op
 // ratio is the aggregate-throughput win of the concurrent engine.
-func benchmarkPairTransfers(b *testing.B, concurrent bool) {
+func benchmarkPairTransfers(b *testing.B, concurrent bool, topts ...roadrunner.TransferOption) {
 	const pairs = 8
 	const payload = 256 << 10
 	p := roadrunner.New(roadrunner.WithNodes("node"))
@@ -432,7 +432,7 @@ func benchmarkPairTransfers(b *testing.B, concurrent bool) {
 		}
 	}
 	transfer := func(i int) {
-		ref, _, err := p.Transfer(srcs[i], dsts[i])
+		ref, _, err := p.Transfer(srcs[i], dsts[i], topts...)
 		if err != nil {
 			b.Error(err)
 			return
@@ -472,6 +472,67 @@ func benchmarkPairTransfers(b *testing.B, concurrent bool) {
 func BenchmarkConcurrentTransfers(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { benchmarkPairTransfers(b, false) })
 	b.Run("concurrent", func(b *testing.B) { benchmarkPairTransfers(b, true) })
+}
+
+// benchmarkChannelChurn is the BenchmarkConcurrentTransfers population
+// shifted to where the control plane matters: small payloads over the
+// network path, 8 disjoint cross-node pairs driven concurrently. Cold runs
+// rebuild the connection and both hose pipes around every transfer; warm
+// runs reuse the pairs' cached channels.
+func benchmarkChannelChurn(b *testing.B, topts ...roadrunner.TransferOption) {
+	const pairs = 8
+	const payload = 4 << 10
+	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
+	defer p.Close()
+	srcs := make([]*roadrunner.Function, pairs)
+	dsts := make([]*roadrunner.Function, pairs)
+	for i := 0; i < pairs; i++ {
+		var err error
+		if srcs[i], err = p.Deploy(roadrunner.FunctionSpec{Name: fmt.Sprintf("s%d", i), Node: "edge"}); err != nil {
+			b.Fatal(err)
+		}
+		if dsts[i], err = p.Deploy(roadrunner.FunctionSpec{Name: fmt.Sprintf("d%d", i), Node: "cloud"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := srcs[i].Produce(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(payload)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		iters := b.N / pairs
+		if i < b.N%pairs {
+			iters++
+		}
+		wg.Add(1)
+		go func(i, iters int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				ref, _, err := p.Transfer(srcs[i], dsts[i], topts...)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := dsts[i].Release(ref); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(i, iters)
+	}
+	wg.Wait()
+}
+
+// BenchmarkChannelCache contrasts the same concurrent transfer population
+// with the channel cache on (warm: channels established once, reused by
+// every later transfer) and off (cold: per-call establishment and
+// teardown). The warm/cold ns/op ratio is the cache's aggregate-throughput
+// win.
+func BenchmarkChannelCache(b *testing.B) {
+	b.Run("warm", func(b *testing.B) { benchmarkChannelChurn(b) })
+	b.Run("cold", func(b *testing.B) { benchmarkChannelChurn(b, roadrunner.WithChannelCache(false)) })
 }
 
 // BenchmarkMulticast8 vs BenchmarkFig10FanoutInter8: the tee(2)-based

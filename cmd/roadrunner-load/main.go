@@ -39,6 +39,7 @@ func run(args []string) error {
 		duration  = fs.Duration("duration", time.Second, "open-loop offered-load window")
 		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel or network")
 		verify    = fs.Bool("verify", true, "checksum every final delivery")
+		cold      = fs.Bool("cold-channels", false, "disable the channel cache: per-call hose setup/teardown (cold regime)")
 		compact   = fs.Bool("compact", false, "single-line JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +56,7 @@ func run(args []string) error {
 		Duration:     *duration,
 		Mode:         *mode,
 		Verify:       *verify,
+		ColdChannels: *cold,
 	})
 	if err != nil {
 		return err

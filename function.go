@@ -140,8 +140,14 @@ func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
 // single pass over the virtual data hose, duplicating page references with
 // tee(2) semantics instead of re-reading the source per target — the
 // zero-copy fan-out extension of Algorithm 1. All targets must be on nodes
-// other than the source's. One report per target is returned.
-func (p *Platform) Multicast(src *Function, targets []*Function) ([]DataRef, []Report, error) {
+// other than the source's. One report per target is returned. Options other
+// than WithChannelCache (e.g. WithMode) are ignored: multicast is always a
+// network-path operation.
+func (p *Platform) Multicast(src *Function, targets []*Function, opts ...TransferOption) ([]DataRef, []Report, error) {
+	cfg := transferConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	inner := make([]*core.Function, len(targets))
 	for i, t := range targets {
 		inner[i] = t.inner
@@ -154,8 +160,9 @@ func (p *Platform) Multicast(src *Function, targets []*Function) ([]DataRef, []R
 		}
 	}
 	refs, reps, err := core.MulticastTransfer(src.inner, inner, core.NetworkOptions{
-		Link:  link,
-		Flows: len(targets),
+		Link:           link,
+		Flows:          len(targets),
+		NoChannelCache: cfg.coldChannel,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -172,13 +179,14 @@ func (p *Platform) Multicast(src *Function, targets []*Function) ([]DataRef, []R
 // Fanout produces an n-byte payload at src and delivers it to every target
 // (the fan-out pattern of §6.4). Network transfers are modeled with all
 // targets' flows sharing the link. It returns one report per target.
-func (p *Platform) Fanout(src *Function, targets []*Function, n int) ([]Report, error) {
+func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...TransferOption) ([]Report, error) {
 	if err := src.Produce(n); err != nil {
 		return nil, err
 	}
+	topts := append(append(make([]TransferOption, 0, len(opts)+1), opts...), WithFlows(len(targets)))
 	reports := make([]Report, 0, len(targets))
 	for _, dst := range targets {
-		_, rep, err := p.Transfer(src, dst, WithFlows(len(targets)))
+		_, rep, err := p.Transfer(src, dst, topts...)
 		if err != nil {
 			return nil, fmt.Errorf("fanout to %s: %w", dst.Name(), err)
 		}

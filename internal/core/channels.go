@@ -1,0 +1,331 @@
+package core
+
+import (
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+)
+
+// Channel-cache defaults (overridable per shim via ShimConfig).
+const (
+	// DefaultChannelIdle is how long an unused cached channel survives
+	// before the next acquisition evicts it.
+	DefaultChannelIdle = 30 * time.Second
+	// DefaultChannelCap bounds the cached channels one shim originates;
+	// beyond it the least recently used channel is evicted.
+	DefaultChannelCap = 16
+)
+
+// chanKind distinguishes the two persistent-hose flavors.
+type chanKind uint8
+
+const (
+	// chanKernel is the same-node socketpair IPC channel (§4.2).
+	chanKernel chanKind = iota
+	// chanNetwork is the cross-node channel: a TCP-like connection plus the
+	// source and target virtual-data-hose pipes of Algorithm 1.
+	chanNetwork
+	// chanNetworkCopy is the connection-only variant the ForceCopyPath
+	// ablation uses: plain write/read needs no hose pipes, and creating
+	// them anyway would inflate the copy-path baseline's setup cost and
+	// FD footprint.
+	chanNetworkCopy
+	// chanNetworkTarget is connection + target hose, without a source
+	// hose: the ephemeral channels of a multicast's secondary targets,
+	// which receive through their own hose but send through the shared
+	// hose of the fan-out's first channel.
+	chanNetworkTarget
+)
+
+// chanKey identifies one cached channel in its source shim's registry.
+type chanKey struct {
+	dst  *Shim
+	kind chanKind
+}
+
+// channel is one persistent data hose between an ordered (source, target)
+// shim pair. The control plane — connection handshake, hose pipe creation,
+// socketpair — runs once at establishment; every subsequent transfer between
+// the pair reuses the descriptors and pays only data-plane syscalls. A
+// channel is used only under both shims' VM locks (lockShims), so its
+// descriptors never see concurrent operations.
+type channel struct {
+	src, dst *Shim
+	kind     chanKind
+
+	// chanNetwork descriptors.
+	cfd, sfd   int // connection: cfd in src's proc, sfd in dst's proc
+	rfd, wfd   int // source hose pipe (src's proc)
+	trfd, twfd int // target hose pipe (dst's proc)
+
+	// chanKernel descriptors: the socketpair ends.
+	fdA, fdB int
+
+	// lastUsed drives idle eviction; guarded by src.chanMu.
+	lastUsed time.Time
+	// cached marks registry membership; per-call (ephemeral) channels are
+	// never registered and are destroyed by their transfer.
+	cached bool
+	// pinned excludes the channel from idle/LRU eviction while a
+	// multi-channel operation (multicast) that acquired it is still
+	// acquiring or using its siblings; guarded by src.chanMu.
+	pinned bool
+}
+
+// pin marks (or unmarks) the channel as in use by an in-flight
+// multi-channel operation, shielding it from eviction by that operation's
+// own later acquisitions. No-op for ephemeral channels.
+func (c *channel) pin(on bool) {
+	if !c.cached {
+		return
+	}
+	c.src.chanMu.Lock()
+	c.pinned = on
+	c.src.chanMu.Unlock()
+}
+
+// establishChannel issues the control-plane syscalls for a fresh channel.
+// Callers hold both shims' VM locks and have validated placement (same
+// kernel for chanKernel, different kernels for chanNetwork).
+func establishChannel(src, dst *Shim, kind chanKind) (*channel, error) {
+	c := &channel{src: src, dst: dst, kind: kind}
+	switch kind {
+	case chanKernel:
+		fdA, fdB, err := kernel.SocketPair(src.proc, dst.proc)
+		if err != nil {
+			return nil, err
+		}
+		c.fdA, c.fdB = fdA, fdB
+	case chanNetwork:
+		c.cfd, c.sfd = kernel.Connect(src.proc, dst.proc)
+		c.rfd, c.wfd = src.proc.PipeSized(src.hoseCap)
+		c.trfd, c.twfd = dst.proc.PipeSized(dst.hoseCap)
+	case chanNetworkCopy:
+		c.cfd, c.sfd = kernel.Connect(src.proc, dst.proc)
+	case chanNetworkTarget:
+		c.cfd, c.sfd = kernel.Connect(src.proc, dst.proc)
+		c.trfd, c.twfd = dst.proc.PipeSized(dst.hoseCap)
+	}
+	return c, nil
+}
+
+// destroy tears the channel down: it is removed from both shims' registries
+// and every descriptor on both sides is closed (draining any stranded
+// payload back to the page pool). Called on idle/LRU eviction, on shim
+// Close, after every per-call (uncached) transfer, and on transfer errors —
+// a failed transfer may leave bytes queued in the hose, so the channel is
+// poisoned and must not be reused. Destroy is idempotent: descriptors never
+// recycle in the simulated kernel, so a second close is a harmless EBADF.
+func (c *channel) destroy() {
+	if c.cached {
+		c.src.chanMu.Lock()
+		if c.src.channels[chanKey{c.dst, c.kind}] == c {
+			delete(c.src.channels, chanKey{c.dst, c.kind})
+		}
+		c.src.chanMu.Unlock()
+		c.dst.chanMu.Lock()
+		delete(c.dst.inbound, c)
+		c.dst.chanMu.Unlock()
+	}
+	switch c.kind {
+	case chanKernel:
+		_ = c.src.proc.Close(c.fdA)
+		_ = c.dst.proc.Close(c.fdB)
+	case chanNetwork:
+		_ = c.src.proc.Close(c.rfd)
+		_ = c.src.proc.Close(c.wfd)
+		_ = c.src.proc.Close(c.cfd)
+		_ = c.dst.proc.Close(c.trfd)
+		_ = c.dst.proc.Close(c.twfd)
+		_ = c.dst.proc.Close(c.sfd)
+	case chanNetworkCopy:
+		_ = c.src.proc.Close(c.cfd)
+		_ = c.dst.proc.Close(c.sfd)
+	case chanNetworkTarget:
+		_ = c.src.proc.Close(c.cfd)
+		_ = c.dst.proc.Close(c.trfd)
+		_ = c.dst.proc.Close(c.twfd)
+		_ = c.dst.proc.Close(c.sfd)
+	}
+}
+
+// acquireChannel returns the persistent src→dst channel of the given kind,
+// establishing it on first use, and reports whether it was a cache hit.
+// Idle channels of the source shim are evicted on the way, and the registry
+// is bounded by LRU eviction. Callers hold both shims' VM locks, which
+// serializes all use of the returned channel; chanMu only protects the
+// registries against Close and against evictions by transfers of other
+// pairs, and is never held while taking another lock.
+func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) {
+	now := s.now()
+	key := chanKey{dst, kind}
+
+	s.chanMu.Lock()
+	c, ok := s.channels[key]
+	var evicted []*channel
+	// A stale channel of the requested pair is evicted too: the acquisition
+	// misses and re-establishes, honoring the ChannelIdle contract even for
+	// pairs that are only ever used sparsely.
+	if ok && !c.pinned && now.Sub(c.lastUsed) > s.chanIdle {
+		delete(s.channels, key)
+		evicted = append(evicted, c)
+		s.chanEvictions++
+		c, ok = nil, false
+	}
+	for k, v := range s.channels {
+		if v != c && !v.pinned && now.Sub(v.lastUsed) > s.chanIdle {
+			delete(s.channels, k)
+			evicted = append(evicted, v)
+			s.chanEvictions++
+		}
+	}
+	if ok {
+		c.lastUsed = now
+		s.chanHits++
+	} else {
+		s.chanMisses++
+	}
+	s.chanMu.Unlock()
+	for _, v := range evicted {
+		v.destroy()
+	}
+	if ok {
+		return c, true, nil
+	}
+
+	// Miss: establish under the VM locks we already hold. No other transfer
+	// of this pair can race the insert (it would need the same VM locks).
+	c, err := establishChannel(s, dst, kind)
+	if err != nil {
+		return nil, false, err
+	}
+	c.cached = true
+	c.lastUsed = now
+
+	// Trim back to ChannelCap, oldest first, skipping the new channel and
+	// any channel pinned by an in-flight multi-channel operation (a
+	// multicast wider than the cap may briefly hold more until its pins
+	// release; the next acquisition trims the excess).
+	var lrus []*channel
+	s.chanMu.Lock()
+	if s.channels == nil {
+		s.channels = make(map[chanKey]*channel)
+	}
+	s.channels[key] = c
+	for len(s.channels) > s.chanCap {
+		var lru *channel
+		var lruKey chanKey
+		for k, v := range s.channels {
+			if v != c && !v.pinned && (lru == nil || v.lastUsed.Before(lru.lastUsed)) {
+				lru, lruKey = v, k
+			}
+		}
+		if lru == nil {
+			break // everything else is pinned or new
+		}
+		delete(s.channels, lruKey)
+		s.chanEvictions++
+		lrus = append(lrus, lru)
+	}
+	s.chanMu.Unlock()
+
+	dst.chanMu.Lock()
+	if dst.inbound == nil {
+		dst.inbound = make(map[*channel]struct{})
+	}
+	dst.inbound[c] = struct{}{}
+	dst.chanMu.Unlock()
+
+	for _, lru := range lrus {
+		lru.destroy()
+	}
+	return c, false, nil
+}
+
+// acquireTransferChannel is the shared entry of the unicast transfer paths:
+// it acquires (or, perCall, freshly establishes) the channel, measures the
+// cold establishment time and charges it to src as kernel CPU, and returns
+// a finish func the caller must defer with the transfer's outcome — failed
+// transfers poison the channel (payload may be stranded in it), and
+// per-call channels always tear down, matching Algorithm 1's close_all.
+func acquireTransferChannel(src, dst *Shim, kind chanKind, perCall bool) (*channel, time.Duration, func(healthy bool), error) {
+	sw := metrics.NewStopwatch(src.now)
+	var (
+		c   *channel
+		hit bool
+		err error
+	)
+	if perCall {
+		c, err = establishChannel(src, dst, kind)
+	} else {
+		c, hit, err = src.acquireChannel(dst, kind)
+	}
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var setup time.Duration
+	if !hit {
+		setup = sw.Lap()
+		src.acct.CPU(metrics.Kernel, setup)
+	}
+	finish := func(healthy bool) {
+		if perCall || !healthy {
+			c.destroy()
+		}
+	}
+	return c, setup, finish, nil
+}
+
+// closeChannels destroys every channel the shim participates in, as source
+// or target. Part of Shim.Close; like the rest of teardown it must not run
+// concurrently with transfers involving this shim.
+func (s *Shim) closeChannels() {
+	s.chanMu.Lock()
+	all := make([]*channel, 0, len(s.channels)+len(s.inbound))
+	for _, c := range s.channels {
+		all = append(all, c)
+	}
+	for c := range s.inbound {
+		all = append(all, c)
+	}
+	s.channels, s.inbound = nil, nil
+	s.chanMu.Unlock()
+	for _, c := range all {
+		c.destroy()
+	}
+}
+
+// ChannelStats counts persistent-hose cache activity for one shim (or,
+// aggregated, for a whole deployment): Hits and Misses split warm from cold
+// transfers, Evictions counts idle/LRU teardowns, and Active is the number
+// of channels currently cached with this shim as the source.
+type ChannelStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Active    int
+}
+
+// Add returns the component-wise sum (Active included: shims cache disjoint
+// channel sets, so deployment-wide Active is the plain sum).
+func (st ChannelStats) Add(o ChannelStats) ChannelStats {
+	return ChannelStats{
+		Hits:      st.Hits + o.Hits,
+		Misses:    st.Misses + o.Misses,
+		Evictions: st.Evictions + o.Evictions,
+		Active:    st.Active + o.Active,
+	}
+}
+
+// ChannelStats reports the shim's channel-cache counters.
+func (s *Shim) ChannelStats() ChannelStats {
+	s.chanMu.Lock()
+	defer s.chanMu.Unlock()
+	return ChannelStats{
+		Hits:      s.chanHits,
+		Misses:    s.chanMisses,
+		Evictions: s.chanEvictions,
+		Active:    len(s.channels),
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/pagebuf"
 )
@@ -58,37 +57,86 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 	srcWasmIO := swIO.Lap()
 	srcShim.acct.CPU(metrics.User, srcWasmIO)
 
-	// One connection per target. Descriptors are also closed explicitly on
-	// the success path (matching Algorithm 1's close_all); the deferred
-	// closes only matter on error returns, where a second Close of an
-	// already-closed simulated fd is a harmless EBADF (fds never recycle).
-	swT := metrics.NewStopwatch(srcShim.now)
-	cfds := make([]int, len(dsts))
-	sfds := make([]int, len(dsts))
+	// One channel per target (connection + target hose), cached per shim
+	// pair like the unicast network path. Two targets inside one shim would
+	// collide on the pair's cached connection, so duplicates of an already
+	// acquired shim fall back to per-call channels. The first channel's
+	// source hose doubles as the shared multicast hose.
+	swSetup := metrics.NewStopwatch(srcShim.now)
+	chans := make([]*channel, len(dsts))
+	setups := make([]time.Duration, len(dsts))
+	seen := make(map[*Shim]bool, len(dsts))
+	healthy := false
+	dataStarted := false
+	defer func() {
+		for _, c := range chans {
+			if c == nil {
+				continue
+			}
+			c.pin(false)
+			// Ephemeral (per-call or duplicate-shim) channels always tear
+			// down. Cached ones are destroyed only when the transfer failed
+			// after payload started moving — then any channel may hold
+			// stranded pages; failures before the first vmsplice leave all
+			// channels pristine and warm.
+			if !c.cached || (!healthy && dataStarted) {
+				c.destroy()
+			}
+		}
+	}()
 	for i, dst := range dsts {
-		cfds[i], sfds[i] = kernelConnect(srcShim, dst.shim)
-		defer srcShim.proc.Close(cfds[i])
-		defer dst.shim.proc.Close(sfds[i])
+		var hit bool
+		if opts.NoChannelCache || seen[dst.shim] {
+			// Ephemeral channels skip the source hose except for the first
+			// one, which supplies the fan-out's shared tee hose — per-call
+			// multicast then issues exactly the pre-cache trace: one source
+			// hose plus connection + target hose per target.
+			kind := chanNetworkTarget
+			if i == 0 {
+				kind = chanNetwork
+			}
+			chans[i], err = establishChannel(srcShim, dst.shim, kind)
+		} else {
+			chans[i], hit, err = srcShim.acquireChannel(dst.shim, chanNetwork)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("multicast channel to %s: %w", dst.name, err)
+		}
+		// Pin until the transfer completes: a fan-out wider than the source
+		// shim's ChannelCap must not LRU-evict its own in-flight channels
+		// while acquiring the later ones.
+		chans[i].pin(true)
+		seen[dst.shim] = true
+		if !hit {
+			setups[i] = swSetup.Lap()
+		} else {
+			swSetup.Lap()
+		}
 	}
+	var setupTotal time.Duration
+	for _, d := range setups {
+		setupTotal += d
+	}
+	srcShim.acct.CPU(metrics.Kernel, setupTotal)
 
 	// Single hose, chunk-by-chunk: tee to all but the last target, splice
 	// to the last.
-	rfd, wfd := srcShim.proc.PipeSized(srcShim.hoseCap)
-	defer srcShim.proc.Close(rfd)
-	defer srcShim.proc.Close(wfd)
+	swT := metrics.NewStopwatch(srcShim.now)
+	hose := chans[0]
+	dataStarted = true
 	for off := 0; off < len(view); {
 		chunk := len(view) - off
 		if chunk > srcShim.hoseCap {
 			chunk = srcShim.hoseCap
 		}
-		if _, err := srcShim.proc.Vmsplice(wfd, view[off:off+chunk]); err != nil {
+		if _, err := srcShim.proc.Vmsplice(hose.wfd, view[off:off+chunk]); err != nil {
 			return nil, nil, fmt.Errorf("multicast vmsplice: %w", err)
 		}
 		for i := 0; i < len(dsts)-1; i++ {
 			// tee(2) does not consume the pipe, so one call covers the
 			// whole (fully queued) chunk; a short clone would duplicate
 			// its prefix again and must be treated as a fault.
-			n, err := srcShim.proc.Tee(rfd, cfds[i], chunk)
+			n, err := srcShim.proc.Tee(hose.rfd, chans[i].cfd, chunk)
 			if err != nil {
 				return nil, nil, fmt.Errorf("multicast tee to %s: %w", dsts[i].name, err)
 			}
@@ -98,18 +146,13 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 		}
 		last := len(dsts) - 1
 		for moved := 0; moved < chunk; {
-			n, err := srcShim.proc.Splice(rfd, cfds[last], chunk-moved)
+			n, err := srcShim.proc.Splice(hose.rfd, chans[last].cfd, chunk-moved)
 			if err != nil {
 				return nil, nil, fmt.Errorf("multicast splice to %s: %w", dsts[last].name, err)
 			}
 			moved += n
 		}
 		off += chunk
-	}
-	_ = srcShim.proc.Close(rfd)
-	_ = srcShim.proc.Close(wfd)
-	for _, fd := range cfds {
-		_ = srcShim.proc.Close(fd)
 	}
 	sendT := swT.Lap()
 	srcShim.acct.CPU(metrics.Kernel, sendT)
@@ -120,7 +163,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 	refs := make([]InboundRef, len(dsts))
 	reports := make([]metrics.TransferReport, len(dsts))
 	for i, dst := range dsts {
-		ref, bd, err := receiveFromHose(dst, sfds[i], out.Len)
+		ref, bd, err := receiveFromHose(dst, chans[i], out.Len)
 		if err != nil {
 			return nil, nil, fmt.Errorf("multicast receive at %s: %w", dst.name, err)
 		}
@@ -129,6 +172,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 		if i == 0 {
 			usage = usage.Add(srcUsage) // attribute source work once
 		}
+		bd.Setup = setups[i]
 		bd.Transfer += perTargetSend + srcShim.Kernel().SyscallTime(usage.Syscalls)
 		bd.WasmIO += srcWasmIO / time.Duration(len(dsts))
 		if opts.Link != nil {
@@ -145,12 +189,14 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 			Mode:      "network-multicast",
 		}
 	}
+	healthy = true
 	return refs, reports, nil
 }
 
-// receiveFromHose runs the target half of Algorithm 1: socket → target hose
-// → linear memory.
-func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Breakdown, error) {
+// receiveFromHose runs the target half of Algorithm 1 over the target-side
+// descriptors of ch: socket → target hose → linear memory. Descriptors stay
+// open — teardown belongs to the channel's lifecycle, not the transfer.
+func receiveFromHose(dst *Function, ch *channel, n uint32) (InboundRef, metrics.Breakdown, error) {
 	dstShim := dst.shim
 	var bd metrics.Breakdown
 
@@ -167,11 +213,6 @@ func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Brea
 	dstShim.acct.CPU(metrics.User, allocT)
 	bd.WasmIO += allocT
 
-	// Closed explicitly below on success; the defers cover error returns
-	// (double-close of a simulated fd is a harmless, uncharged EBADF).
-	trfd, twfd := dstShim.proc.PipeSized(dstShim.hoseCap)
-	defer dstShim.proc.Close(trfd)
-	defer dstShim.proc.Close(twfd)
 	received := 0
 	swR := metrics.NewStopwatch(dstShim.now)
 	for received < int(n) {
@@ -180,7 +221,7 @@ func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Brea
 			chunk = dstShim.hoseCap
 		}
 		for moved := 0; moved < chunk; {
-			m, err := dstShim.proc.Splice(sfd, twfd, chunk-moved)
+			m, err := dstShim.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
 			if err != nil {
 				return InboundRef{}, bd, fmt.Errorf("splice in: %w", err)
 			}
@@ -191,7 +232,7 @@ func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Brea
 		bd.Transfer += kernelT
 
 		swW := metrics.NewStopwatch(dstShim.now)
-		hoseRefs, err := dstShim.proc.ReadRefs(trfd, chunk)
+		hoseRefs, err := dstShim.proc.ReadRefs(ch.trfd, chunk)
 		if err != nil {
 			return InboundRef{}, bd, fmt.Errorf("drain hose: %w", err)
 		}
@@ -207,13 +248,5 @@ func receiveFromHose(dst *Function, sfd int, n uint32) (InboundRef, metrics.Brea
 		bd.WasmIO += wIO
 		swR = metrics.NewStopwatch(dstShim.now)
 	}
-	_ = dstShim.proc.Close(trfd)
-	_ = dstShim.proc.Close(twfd)
-	_ = dstShim.proc.Close(sfd)
 	return InboundRef{Ptr: dstPtr, Len: n}, bd, nil
-}
-
-// kernelConnect opens a TCP-like connection between two shims' sandboxes.
-func kernelConnect(src, dst *Shim) (int, int) {
-	return kernel.Connect(src.proc, dst.proc)
 }

@@ -30,6 +30,12 @@ type NetworkOptions struct {
 	// io_uring-style batches (one kernel entry per side), implementing the
 	// syscall-batching extension of the paper's future work (§9).
 	BatchSyscalls bool
+	// NoChannelCache forces per-call channel establishment and teardown
+	// (connection + hose pipes created and closed around every transfer —
+	// the pre-cache behavior, kept as the cold-path ablation). By default
+	// the channel is cached and reused across transfers of the same shim
+	// pair, so warm transfers issue zero connect/pipe syscalls.
+	NoChannelCache bool
 }
 
 // NetworkTransfer implements Algorithm 1: the source shim maps the guest's
@@ -39,6 +45,12 @@ type NetworkOptions struct {
 // function's linear memory. No user↔kernel payload copies occur on the wire
 // path; the only copy is the final write into the target VM's memory —
 // the paper's "near-zero copy" (§7).
+//
+// The control plane — connection handshake and hose pipes — is a cached
+// channel (channels.go): only the first transfer between a shim pair pays
+// it (reported as Breakdown.Setup), and warm transfers issue zero
+// connect/pipe syscalls. Teardown moves from per-call close_all to channel
+// eviction and shim Close; NoChannelCache restores the per-call behavior.
 func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metrics.TransferReport, error) {
 	if src.shim == dst.shim {
 		return InboundRef{}, metrics.TransferReport{}, ErrSameVM
@@ -84,19 +96,33 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 	srcShim.acct.CPU(metrics.User, viewT)
 	breakdown.WasmIO += viewT
 
+	// Acquire the channel: connection + source/target hoses. Cold
+	// acquisitions pay the control-plane syscalls once, reported as the
+	// Setup component; warm ones reuse the cached descriptors.
+	kind := chanNetwork
+	if opts.ForceCopyPath {
+		kind = chanNetworkCopy // plain write/read needs no hose pipes
+	}
+	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, kind, opts.NoChannelCache)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("channel: %w", err)
+	}
+	breakdown.Setup = setup
+	// On failure the (possibly payload-stranding) channel is destroyed, so
+	// error returns leak neither FDs nor pool pages.
+	healthy := false
+	defer func() { finish(healthy) }()
+
 	// network_data_transfer_source (Algorithm 1 lines 6-13).
 	swT := metrics.NewStopwatch(srcShim.now)
-	cfd, sfd := kernel.Connect(srcShim.proc, dstShim.proc)
-	defer func() { _ = dstShim.proc.Close(sfd) }()
 	if opts.ForceCopyPath {
-		if _, err := srcShim.proc.Write(cfd, view); err != nil {
+		if _, err := srcShim.proc.Write(ch.cfd, view); err != nil {
 			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path send: %w", err)
 		}
 	} else {
 		if opts.BatchSyscalls {
 			srcShim.proc.BeginBatch()
 		}
-		rfd, wfd := srcShim.proc.PipeSized(srcShim.hoseCap) // create_virtual_data_hose
 		for off := 0; off < len(view); {
 			chunk := len(view) - off
 			if chunk > srcShim.hoseCap {
@@ -104,13 +130,13 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 			}
 			// vmsplice(vdh, address, length): gift the guest pages into
 			// the hose without copying.
-			if _, err := srcShim.proc.Vmsplice(wfd, view[off:off+chunk]); err != nil {
+			if _, err := srcShim.proc.Vmsplice(ch.wfd, view[off:off+chunk]); err != nil {
 				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("vmsplice: %w", err)
 			}
 			// splice(vdh, socket, length): move page references to the
 			// socket.
 			for moved := 0; moved < chunk; {
-				n, err := srcShim.proc.Splice(rfd, cfd, chunk-moved)
+				n, err := srcShim.proc.Splice(ch.rfd, ch.cfd, chunk-moved)
 				if err != nil {
 					return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("splice out: %w", err)
 				}
@@ -118,18 +144,9 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 			}
 			off += chunk
 		}
-		_ = srcShim.proc.Close(rfd)
-		_ = srcShim.proc.Close(wfd)
-		_ = srcShim.proc.Close(cfd) // close_all()
 		if opts.BatchSyscalls {
 			srcShim.proc.EndBatch()
 		}
-	}
-	if !opts.ForceCopyPath {
-		cfd = -1 // already closed inside the hose path
-	}
-	if cfd >= 0 {
-		_ = srcShim.proc.Close(cfd) // close_all()
 	}
 	sendT := swT.Lap()
 	srcShim.acct.CPU(metrics.Kernel, sendT)
@@ -153,9 +170,12 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 	swR := metrics.NewStopwatch(dstShim.now)
 	if opts.ForceCopyPath {
 		for off := 0; off < len(wv); {
-			n, err := dstShim.proc.Read(sfd, wv[off:])
+			n, err := dstShim.proc.Read(ch.sfd, wv[off:])
 			if err != nil {
 				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path recv: %w", err)
+			}
+			if n == 0 {
+				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed)
 			}
 			off += n
 		}
@@ -166,7 +186,6 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 		if opts.BatchSyscalls {
 			dstShim.proc.BeginBatch()
 		}
-		trfd, twfd := dstShim.proc.PipeSized(dstShim.hoseCap) // target_vdh
 		received := 0
 		for received < int(out.Len) {
 			chunk := int(out.Len) - received
@@ -175,7 +194,7 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 			}
 			// splice(socket_fd, target_vdh, length).
 			for moved := 0; moved < chunk; {
-				n, err := dstShim.proc.Splice(sfd, twfd, chunk-moved)
+				n, err := dstShim.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
 				if err != nil {
 					return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("splice in: %w", err)
 				}
@@ -189,7 +208,7 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 			// the target VM's linear memory — the single unavoidable
 			// copy of the near-zero-copy path.
 			swW := metrics.NewStopwatch(dstShim.now)
-			refs, err := dstShim.proc.ReadRefs(trfd, chunk)
+			refs, err := dstShim.proc.ReadRefs(ch.trfd, chunk)
 			if err != nil {
 				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("drain hose: %w", err)
 			}
@@ -205,12 +224,11 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 			breakdown.WasmIO += wIO
 			swR = metrics.NewStopwatch(dstShim.now)
 		}
-		_ = dstShim.proc.Close(trfd)
-		_ = dstShim.proc.Close(twfd)
 		if opts.BatchSyscalls {
 			dstShim.proc.EndBatch()
 		}
 	}
+	healthy = true
 
 	// Ablation follow-up: decode in the target guest.
 	resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}

@@ -60,6 +60,13 @@ type ShimConfig struct {
 	// DataHoseBytes sizes the shim's virtual-data-hose pipes
 	// (0 = 4 MiB, set via the simulated F_SETPIPE_SZ).
 	DataHoseBytes int
+	// ChannelIdle bounds how long an unused cached channel (persistent
+	// data hose, see channels.go) survives before the next acquisition
+	// evicts it (0 = DefaultChannelIdle).
+	ChannelIdle time.Duration
+	// ChannelCap bounds the cached channels this shim originates; the
+	// least recently used is evicted beyond it (0 = DefaultChannelCap).
+	ChannelCap int
 }
 
 // Shim is the Roadrunner sidecar: it owns one sandbox process and one Wasm
@@ -89,6 +96,17 @@ type Shim struct {
 	module    []byte
 	functions []*Function
 	coldStart time.Duration
+
+	// Channel-cache registry (see channels.go). chanMu is a leaf lock: it
+	// is never held while acquiring any other lock.
+	chanMu        sync.Mutex
+	channels      map[chanKey]*channel  // persistent hoses this shim originates
+	inbound       map[*channel]struct{} // persistent hoses targeting this shim
+	chanHits      int64
+	chanMisses    int64
+	chanEvictions int64
+	chanIdle      time.Duration
+	chanCap       int
 }
 
 // shimSeq issues lock-order positions; creation order is the lock order.
@@ -145,6 +163,14 @@ func NewShim(cfg ShimConfig) (*Shim, error) {
 	if hose <= 0 {
 		hose = 4 << 20
 	}
+	chanIdle := cfg.ChannelIdle
+	if chanIdle <= 0 {
+		chanIdle = DefaultChannelIdle
+	}
+	chanCap := cfg.ChannelCap
+	if chanCap <= 0 {
+		chanCap = DefaultChannelCap
+	}
 	sw := metrics.NewStopwatch(now)
 	acct := &metrics.Account{}
 	proc := cfg.Kernel.NewProc(cfg.Name, acct)
@@ -157,6 +183,8 @@ func NewShim(cfg ShimConfig) (*Shim, error) {
 		wasiHost: wasi.NewHost(proc, acct),
 		now:      now,
 		hoseCap:  hose,
+		chanIdle: chanIdle,
+		chanCap:  chanCap,
 		module:   cfg.Module,
 		bundle: Bundle{
 			SpecVersion: "1.0.2",
@@ -241,8 +269,12 @@ func (s *Shim) ColdStart() time.Duration {
 	return s.coldStart
 }
 
-// Close tears down the sandbox and every descriptor it holds.
-func (s *Shim) Close() { s.proc.CloseAll() }
+// Close tears down the shim's cached channels (both directions) and then
+// the sandbox with every descriptor it still holds.
+func (s *Shim) Close() {
+	s.closeChannels()
+	s.proc.CloseAll()
+}
 
 // OutputRef is a guest-announced (pointer, length) output region.
 type OutputRef struct {

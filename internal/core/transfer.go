@@ -67,12 +67,24 @@ func UserSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, 
 	return InboundRef{Ptr: dstPtr, Len: out.Len}, report, nil
 }
 
+// KernelOptions tunes a kernel-space transfer.
+type KernelOptions struct {
+	// NoChannelCache forces per-call socketpair establishment and teardown
+	// (the pre-cache behavior; the cold-path ablation). By default the IPC
+	// channel is a persistent cached socketpair reused across transfers of
+	// the same shim pair.
+	NoChannelCache bool
+}
+
 // KernelSpaceTransfer moves the source's output to a function in a different
 // sandbox on the same host via Unix-socket IPC (§4.2, Fig. 4b; §5 uses Unix
 // sockets as the IPC mechanism). The payload crosses the kernel exactly
 // twice — copy_from_user on send, copy directly into the target's linear
-// memory on receive — with no serialization.
-func KernelSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, error) {
+// memory on receive — with no serialization. The socketpair is a cached
+// channel: only the first transfer of a pair pays the establishment syscall
+// (reported as the Setup breakdown component); warm transfers touch the
+// kernel exactly twice, once per payload crossing.
+func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, metrics.TransferReport, error) {
 	if src.shim == dst.shim {
 		return InboundRef{}, metrics.TransferReport{}, ErrSameVM
 	}
@@ -84,6 +96,7 @@ func KernelSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport
 	defer unlockShims(locked)
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := dstShim.acct.Snapshot()
+	var breakdown metrics.Breakdown
 
 	// Step 1-2: locate + zero-copy read of the source region (Wasm IO).
 	swIO := metrics.NewStopwatch(srcShim.now)
@@ -95,20 +108,20 @@ func KernelSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport
 	if err != nil {
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
-	wasmIO := swIO.Lap()
-	srcShim.acct.CPU(metrics.User, wasmIO)
+	breakdown.WasmIO = swIO.Lap()
+	srcShim.acct.CPU(metrics.User, breakdown.WasmIO)
 
-	// Step 3: IPC channel between the two shims.
-	swT := metrics.NewStopwatch(srcShim.now)
-	fdA, fdB, err := kernel.SocketPair(srcShim.proc, dstShim.proc)
+	// Step 3: acquire the IPC channel between the two shims.
+	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, chanKernel, opts.NoChannelCache)
 	if err != nil {
 		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc channel: %w", err)
 	}
-	defer func() {
-		_ = srcShim.proc.Close(fdA)
-		_ = dstShim.proc.Close(fdB)
-	}()
-	if _, err := srcShim.proc.Write(fdA, view); err != nil {
+	breakdown.Setup = setup
+	healthy := false
+	defer func() { finish(healthy) }()
+
+	swT := metrics.NewStopwatch(srcShim.now)
+	if _, err := srcShim.proc.Write(ch.fdA, view); err != nil {
 		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc send: %w", err)
 	}
 	transfer := swT.Lap()
@@ -123,31 +136,38 @@ func KernelSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport
 	}
 	allocT := swIO2.Lap()
 	dstShim.acct.CPU(metrics.User, allocT)
-	wasmIO += allocT
+	breakdown.WasmIO += allocT
 	swR := metrics.NewStopwatch(dstShim.now)
 	wv, err := dst.view.WritableView(dstPtr, out.Len)
 	if err != nil {
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
 	for off := 0; off < len(wv); {
-		n, err := dstShim.proc.Read(fdB, wv[off:])
+		n, err := dstShim.proc.Read(ch.fdB, wv[off:])
 		if err != nil {
 			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc recv: %w", err)
+		}
+		if n == 0 {
+			// A zero-progress read means the channel can never deliver the
+			// remaining bytes; looping would spin forever.
+			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed)
 		}
 		off += n
 	}
 	recvT := swR.Lap()
 	dstShim.acct.CPU(metrics.Kernel, recvT)
 	transfer += recvT
+	healthy = true
 
 	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
 	// Modeled mode-switch overhead for the syscalls this path issued.
 	sysT := srcShim.Kernel().SyscallTime(usage.Syscalls)
 	transfer += sysT
+	breakdown.Transfer = transfer
 
 	report := metrics.TransferReport{
 		Bytes:     int64(out.Len),
-		Breakdown: metrics.Breakdown{WasmIO: wasmIO, Transfer: transfer},
+		Breakdown: breakdown,
 		Usage:     usage,
 		Mode:      "kernel",
 	}

@@ -88,8 +88,9 @@ func Quick() Options {
 
 // SchemaVersion identifies the layout of roadrunner-bench output (both the
 // table header line and the -json document), so CI benchmark smoke runs can
-// be diffed across PRs.
-const SchemaVersion = 2
+// be diffed across PRs. Version 3 added the breakdown's Setup component and
+// the chancache warm/cold experiment.
+const SchemaVersion = 3
 
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
@@ -161,6 +162,7 @@ func pointFromPublic(system string, xMB float64, rep roadrunner.Report) Point {
 // pointFromMetrics derives a Point from an internal baseline report.
 func pointFromMetrics(system string, xMB float64, rep metrics.TransferReport) Point {
 	bd := roadrunner.Breakdown{
+		Setup:         rep.Breakdown.Setup,
 		Transfer:      rep.Breakdown.Transfer,
 		Serialization: rep.Breakdown.Serialization,
 		WasmIO:        rep.Breakdown.WasmIO,
@@ -209,6 +211,12 @@ func averagePoints(points []Point) Point {
 		out.CPUUser += p.CPUUser
 		out.CPUKernel += p.CPUKernel
 		out.RAMMB += p.RAMMB
+		out.Breakdown.Setup += p.Breakdown.Setup
+		out.Breakdown.Transfer += p.Breakdown.Transfer
+		out.Breakdown.Serialization += p.Breakdown.Serialization
+		out.Breakdown.WasmIO += p.Breakdown.WasmIO
+		out.Breakdown.Network += p.Breakdown.Network
+		out.Breakdown.Compute += p.Breakdown.Compute
 	}
 	n := time.Duration(len(points))
 	fn := float64(len(points))
@@ -220,6 +228,12 @@ func averagePoints(points []Point) Point {
 	out.CPUUser /= fn
 	out.CPUKernel /= fn
 	out.RAMMB /= fn
+	out.Breakdown.Setup /= n
+	out.Breakdown.Transfer /= n
+	out.Breakdown.Serialization /= n
+	out.Breakdown.WasmIO /= n
+	out.Breakdown.Network /= n
+	out.Breakdown.Compute /= n
 	return out
 }
 
@@ -234,17 +248,20 @@ const (
 
 // Registry maps experiment IDs to runners.
 var Registry = map[string]func(Options) (*Result, error){
-	"fig2a": Fig2a,
-	"fig2b": Fig2b,
-	"fig6":  Fig6,
-	"fig7":  Fig7,
-	"fig8":  Fig8,
-	"fig9":  Fig9,
-	"fig10": Fig10,
+	"fig2a":     Fig2a,
+	"fig2b":     Fig2b,
+	"fig6":      Fig6,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"chancache": ChanCache,
 }
 
-// IDs lists the experiment identifiers in paper order.
-func IDs() []string { return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10"} }
+// IDs lists the experiment identifiers, paper figures first.
+func IDs() []string {
+	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache"}
+}
 
 // RunAll executes every experiment and prints the results.
 func RunAll(w io.Writer, opts Options) error {

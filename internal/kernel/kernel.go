@@ -144,6 +144,44 @@ type Proc struct {
 	batchMu    sync.Mutex
 	batching   bool
 	batchedOps int64
+
+	// fault injection hook (tests), see InjectFault.
+	faultMu sync.Mutex
+	faultFn func(op string) error
+}
+
+// InjectFault installs fn as the process's syscall fault hook: every
+// data-plane operation (write, read, vmsplice, splice, tee, readrefs)
+// consults the hook with the operation name before doing any work, and a
+// non-nil return fails the call with that error. Control-plane calls (pipe,
+// connect, socketpair, close) are never intercepted, so error paths can
+// always tear down. Installing nil clears the hook. Tests use this to drive
+// transfer paths through every failure point and assert descriptor and
+// page-pool conservation.
+func (p *Proc) InjectFault(fn func(op string) error) {
+	p.faultMu.Lock()
+	p.faultFn = fn
+	p.faultMu.Unlock()
+}
+
+// fault consults the injection hook; a non-nil error aborts the calling
+// operation before any syscall is charged or any state changes.
+func (p *Proc) fault(op string) error {
+	p.faultMu.Lock()
+	fn := p.faultFn
+	p.faultMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op)
+}
+
+// NumFDs reports the number of open descriptors in the process's FD table
+// (for leak assertions in tests and residency audits).
+func (p *Proc) NumFDs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fds)
 }
 
 // syscall charges one syscall, or queues it when a submission batch is open.
@@ -238,6 +276,9 @@ func (p *Proc) CloseAll() {
 // write(2) does: one syscall, one copy_from_user of the full payload. It
 // blocks until the buffer accepts all bytes.
 func (p *Proc) Write(fd int, b []byte) (int, error) {
+	if err := p.fault("write"); err != nil {
+		return 0, err
+	}
 	f, err := p.lookup(fd)
 	if err != nil {
 		return 0, err
@@ -254,6 +295,9 @@ func (p *Proc) Write(fd int, b []byte) (int, error) {
 // Read copies up to len(b) queued bytes into b (copy_to_user): one syscall,
 // one boundary copy. It blocks until at least one byte is available.
 func (p *Proc) Read(fd int, b []byte) (int, error) {
+	if err := p.fault("read"); err != nil {
+		return 0, err
+	}
 	f, err := p.lookup(fd)
 	if err != nil {
 		return 0, err
@@ -269,6 +313,9 @@ func (p *Proc) Read(fd int, b []byte) (int, error) {
 // b must not be modified while in flight. One syscall, zero copies. The
 // destination must be a pipe, per the real syscall's contract.
 func (p *Proc) Vmsplice(fd int, b []byte) (int, error) {
+	if err := p.fault("vmsplice"); err != nil {
+		return 0, err
+	}
 	f, err := p.lookup(fd)
 	if err != nil {
 		return 0, err
@@ -288,6 +335,9 @@ func (p *Proc) Vmsplice(fd int, b []byte) (int, error) {
 // must be a pipe, per the real syscall's contract. One syscall, zero copies.
 // It returns the number of bytes moved (possibly short, like the syscall).
 func (p *Proc) Splice(infd, outfd int, n int) (int, error) {
+	if err := p.fault("splice"); err != nil {
+		return 0, err
+	}
 	in, err := p.lookup(infd)
 	if err != nil {
 		return 0, err
@@ -321,6 +371,9 @@ func (p *Proc) Splice(infd, outfd int, n int) (int, error) {
 // the target VM's linear memory). One syscall, zero copies here — the copy
 // into linear memory happens, and is charged, at the ABI layer.
 func (p *Proc) ReadRefs(fd int, max int) ([]pagebuf.Ref, error) {
+	if err := p.fault("readrefs"); err != nil {
+		return nil, err
+	}
 	f, err := p.lookup(fd)
 	if err != nil {
 		return nil, err
@@ -374,6 +427,9 @@ func Connect(client, server *Proc) (int, int) {
 // the zero-copy multicast extension (one payload fanned out to many targets
 // from a single data hose).
 func (p *Proc) Tee(infd, outfd int, n int) (int, error) {
+	if err := p.fault("tee"); err != nil {
+		return 0, err
+	}
 	in, err := p.lookup(infd)
 	if err != nil {
 		return 0, err

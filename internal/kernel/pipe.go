@@ -95,8 +95,14 @@ func (c *conn) readInto(b []byte) (int, error) {
 func (c *conn) capacity() int { return c.recv.Cap() }
 
 func (c *conn) close() error {
+	// FIN towards the peer: data already queued for it stays readable and
+	// its reads drain then hit EOF.
 	c.peer.Close()
+	// Data queued for this endpoint can never be read again — discard it so
+	// the pages return to the pool (a real kernel frees the receive queue on
+	// close the same way).
 	c.recv.Close()
+	c.recv.Drain()
 	return nil
 }
 

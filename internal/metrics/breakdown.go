@@ -14,6 +14,7 @@ import (
 // CPU-side components are measured wall-clock durations of real work; Network
 // is modeled from link bandwidth and RTT (see internal/netsim).
 type Breakdown struct {
+	Setup         time.Duration // control-plane channel establishment (cold transfers only)
 	Transfer      time.Duration // kernel-path time: syscalls, buffer moves, copies
 	Serialization time.Duration // encode + decode time (zero for Roadrunner paths)
 	WasmIO        time.Duration // linear-memory access through the shim ABI
@@ -23,12 +24,13 @@ type Breakdown struct {
 
 // Total sums every component.
 func (b Breakdown) Total() time.Duration {
-	return b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
+	return b.Setup + b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
 }
 
 // Add returns the component-wise sum.
 func (b Breakdown) Add(o Breakdown) Breakdown {
 	return Breakdown{
+		Setup:         b.Setup + o.Setup,
 		Transfer:      b.Transfer + o.Transfer,
 		Serialization: b.Serialization + o.Serialization,
 		WasmIO:        b.WasmIO + o.WasmIO,
@@ -44,6 +46,7 @@ func (b Breakdown) Scale(n int) Breakdown {
 	}
 	d := time.Duration(n)
 	return Breakdown{
+		Setup:         b.Setup / d,
 		Transfer:      b.Transfer / d,
 		Serialization: b.Serialization / d,
 		WasmIO:        b.WasmIO / d,
@@ -60,6 +63,7 @@ func (b Breakdown) String() string {
 			parts = append(parts, fmt.Sprintf("%s=%v", name, d))
 		}
 	}
+	add("setup", b.Setup)
 	add("transfer", b.Transfer)
 	add("serialization", b.Serialization)
 	add("wasmIO", b.WasmIO)

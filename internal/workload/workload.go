@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -24,8 +25,9 @@ import (
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/sched"
 )
 
-// SchemaVersion identifies the Result JSON layout.
-const SchemaVersion = 1
+// SchemaVersion identifies the Result JSON layout. Version 2 added the
+// "channels" field (warm/cold channel-cache regime).
+const SchemaVersion = 2
 
 // Modes the generator can drive. Mixed chains one hop of each mechanism.
 const (
@@ -62,6 +64,11 @@ type Config struct {
 	Mode string
 	// Verify checksums every final delivery against the produce oracle.
 	Verify bool
+	// ColdChannels disables the platform's channel cache so every transfer
+	// pays per-call channel establishment and teardown — the cold regime,
+	// for warm-vs-cold comparisons. Default false: after the first
+	// execution per instance the harness measures steady-state reuse.
+	ColdChannels bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -111,8 +118,18 @@ func percentiles(durs []time.Duration) Percentiles {
 		return Percentiles{}
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	// Ceil nearest-rank: the q-quantile is the smallest sample with at
+	// least a q fraction of the distribution at or below it. Truncating the
+	// rank instead (the previous int(q*(n-1))) rounds the rank down and
+	// systematically under-reports tail latency.
 	at := func(q float64) int64 {
-		i := int(q * float64(len(durs)-1))
+		i := int(math.Ceil(q*float64(len(durs)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(durs) {
+			i = len(durs) - 1
+		}
 		return int64(durs[i])
 	}
 	return Percentiles{
@@ -128,6 +145,7 @@ type Result struct {
 	SchemaVersion int    `json:"schema_version"`
 	Loop          string `json:"loop"` // "closed" or "open"
 	Mode          string `json:"mode"`
+	Channels      string `json:"channels"` // "warm" (cached hoses) or "cold" (per-call)
 	Workflows     int    `json:"workflows"`
 	Hops          int    `json:"hops"`
 	PayloadBytes  int    `json:"payload_bytes"`
@@ -164,6 +182,7 @@ type Runner struct {
 	cfg       Config
 	platform  *roadrunner.Platform
 	instances []*instance
+	topts     []roadrunner.TransferOption
 }
 
 // NewRunner deploys cfg.Workflows independent workflow instances on a fresh
@@ -178,6 +197,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	// synchronous Transfer directly.
 	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
 	r := &Runner{cfg: cfg, platform: p}
+	if cfg.ColdChannels {
+		r.topts = append(r.topts, roadrunner.WithChannelCache(false))
+	}
 	for i := 0; i < cfg.Workflows; i++ {
 		inst, err := deployInstance(p, cfg.Mode, i)
 		if err != nil {
@@ -280,7 +302,7 @@ func (r *Runner) execute(inst *instance) error {
 			}
 		}
 		var err error
-		ref, _, err = r.platform.Transfer(src, dst)
+		ref, _, err = r.platform.Transfer(src, dst, r.topts...)
 		if err != nil {
 			return fmt.Errorf("hop %d %s->%s: %w", h, src.Name(), dst.Name(), err)
 		}
@@ -334,10 +356,15 @@ func (rec *recorder) record(sojourn, service time.Duration, err error) {
 
 func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open bool) *Result {
 	cfg := r.cfg
+	channels := "warm"
+	if cfg.ColdChannels {
+		channels = "cold"
+	}
 	res := &Result{
 		SchemaVersion: SchemaVersion,
 		Loop:          loop,
 		Mode:          cfg.Mode,
+		Channels:      channels,
 		Workflows:     cfg.Workflows,
 		Hops:          cfg.Hops,
 		PayloadBytes:  cfg.PayloadBytes,

@@ -101,8 +101,98 @@ func TestResultJSONCarriesSchemaAndMode(t *testing.T) {
 	if m["mode"] != ModeUser {
 		t.Fatalf("mode = %v", m["mode"])
 	}
+	if m["channels"] != "warm" {
+		t.Fatalf("channels = %v, want warm", m["channels"])
+	}
 	if _, ok := m["ops_per_sec"]; !ok {
 		t.Fatal("missing ops_per_sec")
+	}
+}
+
+// TestColdChannelsRegime: disabling the channel cache is carried in the
+// result schema AND observable in the platform's cache counters — a cold
+// run bypasses the cache entirely (zero hits, zero misses) while a warm run
+// establishes one channel per instance and reuses it for every later
+// execution.
+func TestColdChannelsRegime(t *testing.T) {
+	run := func(cold bool) (*Result, ChannelStatsLike) {
+		r, err := NewRunner(Config{
+			Workflows:    2,
+			Requests:     8,
+			PayloadBytes: 8 << 10,
+			Mode:         ModeNetwork,
+			Verify:       true,
+			ColdChannels: cold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%d failed executions", res.Errors)
+		}
+		st := r.Platform().ChannelStats()
+		return res, ChannelStatsLike{Hits: st.Hits, Misses: st.Misses}
+	}
+	res, st := run(true)
+	if res.Channels != "cold" {
+		t.Fatalf("channels = %q, want cold", res.Channels)
+	}
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("cold run touched the cache: %+v", st)
+	}
+	res, st = run(false)
+	if res.Channels != "warm" {
+		t.Fatalf("channels = %q, want warm", res.Channels)
+	}
+	// 2 instances × 2 directed pairs (a→b and the return hop b→a) miss
+	// once each; the remaining 8×2 − 4 transfers all hit.
+	if st.Misses != 4 || st.Hits != 12 {
+		t.Fatalf("warm run did not reuse channels: %+v", st)
+	}
+}
+
+// ChannelStatsLike keeps the assertion independent of the stats type's
+// non-counter fields.
+type ChannelStatsLike struct{ Hits, Misses int64 }
+
+// TestPercentilesCeilNearestRank is the regression test for the truncated
+// rank index: int(q*(n-1)) under-reported tail latency (e.g. P99 of
+// 1..10 came out as 9, not 10). Ceil nearest-rank returns the smallest
+// sample covering at least the requested fraction of the distribution.
+func TestPercentilesCeilNearestRank(t *testing.T) {
+	seq := func(n int) []time.Duration {
+		durs := make([]time.Duration, n)
+		for i := range durs {
+			durs[i] = time.Duration(i + 1)
+		}
+		return durs
+	}
+	cases := []struct {
+		name string
+		durs []time.Duration
+		want Percentiles
+	}{
+		{"single", seq(1), Percentiles{P50: 1, P90: 1, P99: 1, Max: 1}},
+		{"three", seq(3), Percentiles{P50: 2, P90: 3, P99: 3, Max: 3}},
+		// The old truncation reported P99=9 here.
+		{"ten", seq(10), Percentiles{P50: 5, P90: 9, P99: 10, Max: 10}},
+		{"hundred", seq(100), Percentiles{P50: 50, P90: 90, P99: 99, Max: 100}},
+		// Unsorted input with duplicates; the old truncation reported
+		// P90=8 (rank 7 of 8), ceil nearest-rank requires rank 8 (value 9).
+		{"unsorted", []time.Duration{5, 1, 9, 3, 5, 2, 8, 5}, Percentiles{P50: 5, P90: 9, P99: 9, Max: 9}},
+		{"empty", nil, Percentiles{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentiles(tc.durs); got != tc.want {
+				t.Fatalf("percentiles = %+v, want %+v", got, tc.want)
+			}
+		})
 	}
 }
 

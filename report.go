@@ -10,6 +10,7 @@ import (
 // reports (Fig. 6a): kernel-path transfer time, serialization time, the Wasm
 // VM I/O penalty, modeled network time, and guest compute.
 type Breakdown struct {
+	Setup         time.Duration
 	Transfer      time.Duration
 	Serialization time.Duration
 	WasmIO        time.Duration
@@ -19,7 +20,7 @@ type Breakdown struct {
 
 // Total sums every component.
 func (b Breakdown) Total() time.Duration {
-	return b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
+	return b.Setup + b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
 }
 
 // Usage reports the resources one transfer consumed across the sandboxes
@@ -72,6 +73,7 @@ func (r Report) Merge(o Report) Report {
 		Bytes: r.Bytes + o.Bytes,
 		Mode:  r.Mode,
 		Breakdown: Breakdown{
+			Setup:         r.Breakdown.Setup + o.Breakdown.Setup,
 			Transfer:      r.Breakdown.Transfer + o.Breakdown.Transfer,
 			Serialization: r.Breakdown.Serialization + o.Breakdown.Serialization,
 			WasmIO:        r.Breakdown.WasmIO + o.Breakdown.WasmIO,
@@ -96,6 +98,7 @@ func fromReport(r metrics.TransferReport) Report {
 		Bytes: r.Bytes,
 		Mode:  r.Mode,
 		Breakdown: Breakdown{
+			Setup:         r.Breakdown.Setup,
 			Transfer:      r.Breakdown.Transfer,
 			Serialization: r.Breakdown.Serialization,
 			WasmIO:        r.Breakdown.WasmIO,

@@ -339,8 +339,9 @@ func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
 type TransferOption func(*transferConfig)
 
 type transferConfig struct {
-	mode  Mode
-	flows int
+	mode        Mode
+	flows       int
+	coldChannel bool
 }
 
 // WithMode forces a specific transfer mechanism.
@@ -352,6 +353,34 @@ func WithMode(m Mode) TransferOption {
 // (fan-out degree) for network-time modeling.
 func WithFlows(n int) TransferOption {
 	return func(c *transferConfig) { c.flows = n }
+}
+
+// WithChannelCache pins (true, the default) or disables (false) the
+// persistent channel cache for this transfer. With caching on, the first
+// transfer between a shim pair establishes a long-lived data hose
+// (connection + pipes, or the IPC socketpair) and every later transfer
+// reuses it, issuing zero control-plane syscalls; the establishment cost
+// appears as the report's Breakdown.Setup component on cold transfers only.
+// Disabling restores per-call setup and teardown — the cold-path ablation.
+func WithChannelCache(on bool) TransferOption {
+	return func(c *transferConfig) { c.coldChannel = !on }
+}
+
+// ChannelStats counts channel-cache activity: Hits and Misses split warm
+// from cold transfers, Evictions counts idle/LRU teardowns, Active is the
+// number of currently cached channels.
+type ChannelStats = core.ChannelStats
+
+// ChannelStats aggregates channel-cache activity across every deployed shim.
+func (p *Platform) ChannelStats() ChannelStats {
+	p.mu.RLock()
+	shims := p.shims
+	p.mu.RUnlock()
+	var st ChannelStats
+	for _, s := range shims {
+		st = st.Add(s.ChannelStats())
+	}
+	return st
 }
 
 // DataRef locates delivered data inside a function's linear memory.
@@ -383,14 +412,14 @@ func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef
 		ref, rep, err := core.UserSpaceTransfer(src.inner, dst.inner)
 		return convert(ref, rep, err)
 	case ModeKernelSpace:
-		ref, rep, err := core.KernelSpaceTransfer(src.inner, dst.inner)
+		ref, rep, err := core.KernelSpaceTransfer(src.inner, dst.inner, core.KernelOptions{NoChannelCache: cfg.coldChannel})
 		return convert(ref, rep, err)
 	case ModeNetwork:
 		if src.node == dst.node {
 			return DataRef{}, Report{}, fmt.Errorf("network mode on one node: %w", ErrModeUnavailable)
 		}
 		link := p.topo.LinkBetween(src.node, dst.node)
-		ref, rep, err := core.NetworkTransfer(src.inner, dst.inner, core.NetworkOptions{Link: link, Flows: cfg.flows})
+		ref, rep, err := core.NetworkTransfer(src.inner, dst.inner, core.NetworkOptions{Link: link, Flows: cfg.flows, NoChannelCache: cfg.coldChannel})
 		return convert(ref, rep, err)
 	default:
 		return DataRef{}, Report{}, fmt.Errorf("mode %v: %w", mode, ErrModeUnavailable)
