@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint clean
+.PHONY: all build test race bench lint staticcheck clean
 
 all: lint build race bench
 
@@ -30,10 +30,13 @@ bench:
 	$(GO) test -run 'XXX' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -cold-channels -compact
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 4 -mode chain -phase-locked -compact
 	$(GO) run ./cmd/roadrunner-bench -exp fig7 -sizes 1 -json
 	@mkdir -p artifacts
 	$(GO) run ./cmd/roadrunner-bench -exp chancache -sizes 1,4 -json > artifacts/bench-chancache.json
 	@cat artifacts/bench-chancache.json
+	$(GO) run ./cmd/roadrunner-bench -exp pipeline -json > BENCH_3.json
+	@cat BENCH_3.json
 
 ## lint: vet + gofmt gate
 lint:
@@ -41,6 +44,14 @@ lint:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+## staticcheck: static-analysis gate (CI's lint job; needs the binary or network)
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...; \
 	fi
 
 clean:

@@ -55,10 +55,14 @@ func (p *Platform) TransferAsync(src, dst *Function, opts ...TransferOption) *Tr
 	return fut
 }
 
-// ChainAsync schedules a whole multi-hop Chain as one pipelined unit on the
-// worker pool: the workflow's hops still execute sequentially (hop i+1
-// consumes hop i's delivery) but independent chains submitted concurrently
-// interleave across workers and VMs.
+// ChainAsync schedules a whole multi-hop Chain on the worker pool and
+// returns immediately. The chain streams exactly as the synchronous Chain
+// does (see ChainWith): hop i+1's source stage starts as soon as hop i's
+// ingress lands, and each hop locks only the VM whose bytes are moving at
+// that stage, so interior VMs are free between their stages. Chains
+// submitted concurrently interleave across workers and VMs — including
+// chains that share interior functions, which serialize only on the shared
+// VM's stage-scoped lock, never on whole hops.
 func (p *Platform) ChainAsync(n int, fns ...*Function) *TransferFuture {
 	fut := newFuture()
 	pool := p.scheduler()

@@ -7,6 +7,8 @@
 //	roadrunner-load                          # closed loop: 8 workflows, 32 executions
 //	roadrunner-load -workflows 16 -requests 256
 //	roadrunner-load -mode network -payload 1048576
+//	roadrunner-load -mode chain -hops 6      # chain-depth scaling scenario
+//	roadrunner-load -mode chain -phase-locked # pre-pipeline ablation regime
 //	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
 package main
 
@@ -37,9 +39,10 @@ func run(args []string) error {
 		requests  = fs.Int("requests", 0, "closed-loop total executions (default: 4×workflows)")
 		rate      = fs.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
 		duration  = fs.Duration("duration", time.Second, "open-loop offered-load window")
-		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel or network")
+		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel, network or chain")
 		verify    = fs.Bool("verify", true, "checksum every final delivery")
 		cold      = fs.Bool("cold-channels", false, "disable the channel cache: per-call hose setup/teardown (cold regime)")
+		locked    = fs.Bool("phase-locked", false, "run transfers in the phase-locked (pre-pipeline) regime: both VM locks per hop, no stage overlap")
 		compact   = fs.Bool("compact", false, "single-line JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +60,7 @@ func run(args []string) error {
 		Mode:         *mode,
 		Verify:       *verify,
 		ColdChannels: *cold,
+		PhaseLocked:  *locked,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package roadrunner
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
@@ -101,29 +102,40 @@ func ExpectedChecksum(n int) uint64 {
 // Chain produces an n-byte payload at the first function and forwards it hop
 // by hop through the rest (the sequential invocation pattern of §6.1),
 // selecting the transfer mode per hop by locality. It returns the merged
-// report and the final delivery.
+// report and the final delivery. See ChainWith for the execution model.
 func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
+	return p.ChainWith(n, nil, fns...)
+}
+
+// ChainWith is Chain with per-hop transfer options (e.g. WithPhaseLocked
+// for the phase-locked ablation regime).
+//
+// Chains stream: every hop pins its input region explicitly (WithSourceRef),
+// so the set_output + locate step runs atomically inside the hop's source
+// stage, hop i+1's egress starts as soon as hop i's ingress lands, and at
+// any moment a hop holds only the VM lock of the side actually touching
+// bytes. Interior VMs are therefore free between their stages — free to
+// serve other chains or unrelated transfers — instead of sitting
+// locked-idle for whole hops as in the phase-locked regime.
+func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (DataRef, Report, error) {
 	if len(fns) < 2 {
 		return DataRef{}, Report{}, fmt.Errorf("roadrunner: chain needs at least 2 functions, got %d", len(fns))
 	}
 	if err := fns[0].Produce(n); err != nil {
 		return DataRef{}, Report{}, err
 	}
-	var (
-		total Report
-		ref   DataRef
-	)
+	ref, err := fns[0].Output()
+	if err != nil {
+		return DataRef{}, Report{}, err
+	}
+	var total Report
 	for i := 0; i+1 < len(fns); i++ {
-		if i > 0 {
-			if err := fns[i].SetOutput(ref); err != nil {
-				return DataRef{}, Report{}, err
-			}
-		}
+		hopOpts := append(append(make([]TransferOption, 0, len(opts)+1), opts...), WithSourceRef(ref))
 		var (
 			rep Report
 			err error
 		)
-		ref, rep, err = p.Transfer(fns[i], fns[i+1])
+		ref, rep, err = p.Transfer(fns[i], fns[i+1], hopOpts...)
 		if err != nil {
 			return DataRef{}, Report{}, fmt.Errorf("hop %s->%s: %w", fns[i].Name(), fns[i+1].Name(), err)
 		}
@@ -140,29 +152,42 @@ func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
 // single pass over the virtual data hose, duplicating page references with
 // tee(2) semantics instead of re-reading the source per target — the
 // zero-copy fan-out extension of Algorithm 1. All targets must be on nodes
-// other than the source's. One report per target is returned. Options other
-// than WithChannelCache (e.g. WithMode) are ignored: multicast is always a
+// other than the source's. One report per target is returned.
+//
+// Wire time is modeled per target: each target's report charges the link
+// between the source's node and that target's node, shared by the number of
+// multicast targets using the same link (override the sharing degree with
+// WithFlows). Supported options are WithFlows, WithChannelCache,
+// WithPhaseLocked and WithSourceRef; forcing a transfer mechanism is
+// rejected with ErrModeUnavailable, since multicast is by construction a
 // network-path operation.
 func (p *Platform) Multicast(src *Function, targets []*Function, opts ...TransferOption) ([]DataRef, []Report, error) {
 	cfg := transferConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.mode != ModeAuto && cfg.mode != ModeNetwork {
+		return nil, nil, fmt.Errorf("roadrunner: multicast is network-path only, mode %v: %w", cfg.mode, ErrModeUnavailable)
+	}
 	inner := make([]*core.Function, len(targets))
+	links := make([]*netsim.Link, len(targets))
 	for i, t := range targets {
 		inner[i] = t.inner
+		links[i] = p.topo.LinkBetween(src.node, t.node)
 	}
-	var link *netsim.Link
-	for _, t := range targets {
-		if t.node != src.node {
-			link = p.topo.LinkBetween(src.node, t.node)
-			break
+	var flows []int
+	if cfg.flows > 0 {
+		flows = make([]int, len(targets))
+		for i := range flows {
+			flows[i] = cfg.flows
 		}
 	}
-	refs, reps, err := core.MulticastTransfer(src.inner, inner, core.NetworkOptions{
-		Link:           link,
-		Flows:          len(targets),
+	refs, reps, err := core.MulticastTransfer(src.inner, inner, core.MulticastOptions{
+		Links:          links,
+		Flows:          flows,
 		NoChannelCache: cfg.coldChannel,
+		PhaseLocked:    cfg.phaseLocked,
+		SourceRef:      coreSourceRef(cfg.sourceRef),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -177,20 +202,47 @@ func (p *Platform) Multicast(src *Function, targets []*Function, opts ...Transfe
 }
 
 // Fanout produces an n-byte payload at src and delivers it to every target
-// (the fan-out pattern of §6.4). Network transfers are modeled with all
-// targets' flows sharing the link. It returns one report per target.
+// (the fan-out pattern of §6.4). The produce step runs once; the deliveries
+// then execute across the platform's worker pool, all reading the same
+// pinned source region. With the staged pipeline the source VM is occupied
+// only while each transfer's pages enter its channel, so the targets'
+// ingress stages — the expensive copies into their linear memories — run
+// genuinely in parallel. Network transfers are modeled with all targets'
+// flows sharing the link. It returns one report per target, in target
+// order.
 func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...TransferOption) ([]Report, error) {
 	if err := src.Produce(n); err != nil {
 		return nil, err
 	}
-	topts := append(append(make([]TransferOption, 0, len(opts)+1), opts...), WithFlows(len(targets)))
-	reports := make([]Report, 0, len(targets))
-	for _, dst := range targets {
-		_, rep, err := p.Transfer(src, dst, topts...)
-		if err != nil {
-			return nil, fmt.Errorf("fanout to %s: %w", dst.Name(), err)
+	out, err := src.Output()
+	if err != nil {
+		return nil, err
+	}
+	pool := p.scheduler()
+	if pool == nil {
+		return nil, ErrClosed
+	}
+	topts := append(append(make([]TransferOption, 0, len(opts)+2), opts...),
+		WithFlows(len(targets)), WithSourceRef(out))
+	reports := make([]Report, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, dst := range targets {
+		i, dst := i, dst
+		wg.Add(1)
+		if err := pool.Submit(func() {
+			defer wg.Done()
+			_, reports[i], errs[i] = p.Transfer(src, dst, topts...)
+		}); err != nil {
+			errs[i] = err
+			wg.Done()
 		}
-		reports = append(reports, rep)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fanout to %s: %w", targets[i].Name(), err)
+		}
 	}
 	return reports, nil
 }

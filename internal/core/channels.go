@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
@@ -48,8 +49,11 @@ type chanKey struct {
 // shim pair. The control plane — connection handshake, hose pipe creation,
 // socketpair — runs once at establishment; every subsequent transfer between
 // the pair reuses the descriptors and pays only data-plane syscalls. A
-// channel is used only under both shims' VM locks (lockShims), so its
-// descriptors never see concurrent operations.
+// channel is used only under its pair lock (Shim.pairLock), which serializes
+// every transfer of the ordered pair, so its descriptors never see two
+// transfers' operations concurrently — the overlapped source and target
+// stages of ONE transfer do touch opposite ends of the channel at the same
+// time, which is exactly what a pipe or socket supports.
 type channel struct {
 	src, dst *Shim
 	kind     chanKind
@@ -67,21 +71,32 @@ type channel struct {
 	// cached marks registry membership; per-call (ephemeral) channels are
 	// never registered and are destroyed by their transfer.
 	cached bool
-	// pinned excludes the channel from idle/LRU eviction while a
-	// multi-channel operation (multicast) that acquired it is still
-	// acquiring or using its siblings; guarded by src.chanMu.
-	pinned bool
+	// pins counts in-flight operations (transfers, multicast acquisitions)
+	// currently holding the channel; a pinned channel is excluded from
+	// idle/LRU eviction. Stage-scoped transfers hold channels without any
+	// VM lock, so pinning is what keeps a concurrent transfer of another
+	// pair from evicting a hose that is mid-payload. Guarded by src.chanMu.
+	pins int
 }
 
-// pin marks (or unmarks) the channel as in use by an in-flight
-// multi-channel operation, shielding it from eviction by that operation's
-// own later acquisitions. No-op for ephemeral channels.
-func (c *channel) pin(on bool) {
+// pin marks the channel as held by one more in-flight operation, shielding
+// it from eviction until the matching unpin. No-op for ephemeral channels.
+func (c *channel) pin() {
 	if !c.cached {
 		return
 	}
 	c.src.chanMu.Lock()
-	c.pinned = on
+	c.pins++
+	c.src.chanMu.Unlock()
+}
+
+// unpin releases one pin.
+func (c *channel) unpin() {
+	if !c.cached {
+		return
+	}
+	c.src.chanMu.Lock()
+	c.pins--
 	c.src.chanMu.Unlock()
 }
 
@@ -151,12 +166,14 @@ func (c *channel) destroy() {
 }
 
 // acquireChannel returns the persistent src→dst channel of the given kind,
-// establishing it on first use, and reports whether it was a cache hit.
-// Idle channels of the source shim are evicted on the way, and the registry
-// is bounded by LRU eviction. Callers hold both shims' VM locks, which
-// serializes all use of the returned channel; chanMu only protects the
-// registries against Close and against evictions by transfers of other
-// pairs, and is never held while taking another lock.
+// establishing it on first use, and reports whether it was a cache hit. The
+// returned channel is pinned; the caller must unpin it when its operation
+// completes. Idle channels of the source shim are evicted on the way, and
+// the registry is bounded by LRU eviction. Callers hold the pair lock
+// (Shim.pairLock), which serializes acquisition and all data-plane use of
+// the returned channel; chanMu only protects the registries against Close
+// and against evictions by transfers of other pairs, and is never held
+// while taking another lock.
 func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) {
 	now := s.now()
 	key := chanKey{dst, kind}
@@ -167,14 +184,14 @@ func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) 
 	// A stale channel of the requested pair is evicted too: the acquisition
 	// misses and re-establishes, honoring the ChannelIdle contract even for
 	// pairs that are only ever used sparsely.
-	if ok && !c.pinned && now.Sub(c.lastUsed) > s.chanIdle {
+	if ok && c.pins == 0 && now.Sub(c.lastUsed) > s.chanIdle {
 		delete(s.channels, key)
 		evicted = append(evicted, c)
 		s.chanEvictions++
 		c, ok = nil, false
 	}
 	for k, v := range s.channels {
-		if v != c && !v.pinned && now.Sub(v.lastUsed) > s.chanIdle {
+		if v != c && v.pins == 0 && now.Sub(v.lastUsed) > s.chanIdle {
 			delete(s.channels, k)
 			evicted = append(evicted, v)
 			s.chanEvictions++
@@ -182,6 +199,7 @@ func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) 
 	}
 	if ok {
 		c.lastUsed = now
+		c.pins++ // pinned under the same chanMu hold that found it
 		s.chanHits++
 	} else {
 		s.chanMisses++
@@ -194,19 +212,21 @@ func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) 
 		return c, true, nil
 	}
 
-	// Miss: establish under the VM locks we already hold. No other transfer
-	// of this pair can race the insert (it would need the same VM locks).
+	// Miss: establish under the pair lock we already hold. No other
+	// transfer of this pair can race the insert (it would need the same
+	// pair lock).
 	c, err := establishChannel(s, dst, kind)
 	if err != nil {
 		return nil, false, err
 	}
 	c.cached = true
 	c.lastUsed = now
+	c.pins = 1
 
 	// Trim back to ChannelCap, oldest first, skipping the new channel and
-	// any channel pinned by an in-flight multi-channel operation (a
-	// multicast wider than the cap may briefly hold more until its pins
-	// release; the next acquisition trims the excess).
+	// any channel pinned by an in-flight operation (a multicast wider than
+	// the cap may briefly hold more until its pins release; the next
+	// acquisition trims the excess).
 	var lrus []*channel
 	s.chanMu.Lock()
 	if s.channels == nil {
@@ -217,7 +237,7 @@ func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) 
 		var lru *channel
 		var lruKey chanKey
 		for k, v := range s.channels {
-			if v != c && !v.pinned && (lru == nil || v.lastUsed.Before(lru.lastUsed)) {
+			if v != c && v.pins == 0 && (lru == nil || v.lastUsed.Before(lru.lastUsed)) {
 				lru, lruKey = v, k
 			}
 		}
@@ -249,6 +269,7 @@ func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) 
 // a finish func the caller must defer with the transfer's outcome — failed
 // transfers poison the channel (payload may be stranded in it), and
 // per-call channels always tear down, matching Algorithm 1's close_all.
+// Cached channels come back pinned; finish unpins them.
 func acquireTransferChannel(src, dst *Shim, kind chanKind, perCall bool) (*channel, time.Duration, func(healthy bool), error) {
 	sw := metrics.NewStopwatch(src.now)
 	var (
@@ -270,11 +291,36 @@ func acquireTransferChannel(src, dst *Shim, kind chanKind, perCall bool) (*chann
 		src.acct.CPU(metrics.Kernel, setup)
 	}
 	finish := func(healthy bool) {
+		c.unpin()
 		if perCall || !healthy {
 			c.destroy()
 		}
 	}
 	return c, setup, finish, nil
+}
+
+// pairLock returns the mutex serializing every transfer of the ordered
+// (s → dst, kind) pair. It is the outermost lock of the staged data plane
+// (see pipeline.go): a transfer holds its pair lock for its whole duration
+// and takes VM locks one at a time underneath it, so same-pair transfers
+// serialize (they share one cached channel) while transfers of different
+// pairs — including pairs sharing a VM — interleave stage by stage.
+// Entries are created on demand and live for the shim's lifetime; the map
+// is guarded by chanMu, which is released before the returned mutex is
+// ever taken.
+func (s *Shim) pairLock(dst *Shim, kind chanKind) *sync.Mutex {
+	key := chanKey{dst, kind}
+	s.chanMu.Lock()
+	defer s.chanMu.Unlock()
+	if s.pairMu == nil {
+		s.pairMu = make(map[chanKey]*sync.Mutex)
+	}
+	m := s.pairMu[key]
+	if m == nil {
+		m = new(sync.Mutex)
+		s.pairMu[key] = m
+	}
+	return m
 }
 
 // closeChannels destroys every channel the shim participates in, as source

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -185,8 +186,21 @@ func TestConcurrentWarmTransfersRaceClean(t *testing.T) {
 // injected clock: idle channels die on the next acquisition, and the
 // registry never grows past ChannelCap.
 func TestChannelIdleAndLRUEviction(t *testing.T) {
+	// The pipelined engine reads the clock from both stage goroutines, so
+	// injected clocks must be safe for concurrent use (see ShimConfig.Now).
+	var clockMu sync.Mutex
 	clock := time.Unix(0, 0)
-	now := func() time.Time { clock = clock.Add(time.Microsecond); return clock }
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		clock = clock.Add(time.Microsecond)
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
 	k1 := kernel.New("edge")
 	mk := func(name string, k *kernel.Kernel, cap int) *core.Shim {
 		s, err := core.NewShim(core.ShimConfig{
@@ -227,7 +241,7 @@ func TestChannelIdleAndLRUEviction(t *testing.T) {
 
 	// Idle: advance past ChannelIdle; the next acquisition (for b) evicts
 	// the stale a→c channel and the re-established a→b channel misses.
-	clock = clock.Add(2 * time.Second)
+	advance(2 * time.Second)
 	if _, _, err := core.NetworkTransfer(fa, fb, core.NetworkOptions{}); err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +261,7 @@ func TestChannelIdleAndLRUEviction(t *testing.T) {
 	// Same-pair staleness: acquiring the pair whose own channel went idle
 	// evicts and re-establishes it — the ChannelIdle contract holds even
 	// when no other pair ever triggers a scan.
-	clock = clock.Add(2 * time.Second)
+	advance(2 * time.Second)
 	if _, _, err := core.NetworkTransfer(fa, fb, core.NetworkOptions{}); err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +298,7 @@ func TestMulticastWiderThanChannelCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 2; round++ {
-		refs, _, err := core.MulticastTransfer(fa, dsts, core.NetworkOptions{})
+		refs, _, err := core.MulticastTransfer(fa, dsts, core.MulticastOptions{})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -405,7 +419,7 @@ func TestTransferErrorPathsConserveFDsAndPages(t *testing.T) {
 				t.Fatal(err)
 			}
 			return &faultEnv{kernels: kernels, shims: shims, run: func() error {
-				_, _, err := core.MulticastTransfer(fa, targets, core.NetworkOptions{})
+				_, _, err := core.MulticastTransfer(fa, targets, core.MulticastOptions{})
 				return err
 			}}
 		default:
@@ -418,32 +432,36 @@ func TestTransferErrorPathsConserveFDsAndPages(t *testing.T) {
 		mode := mode
 		t.Run(mode, func(t *testing.T) {
 			// Pass 1: count the data-plane ops of a successful transfer.
+			// The pipelined stages run concurrently, so the counter is
+			// atomic.
 			env := build(t, mode)
-			var total int
+			var total atomic.Int64
 			for _, p := range env.procs() {
-				p.InjectFault(func(string) error { total++; return nil })
+				p.InjectFault(func(string) error { total.Add(1); return nil })
 			}
 			if err := env.run(); err != nil {
 				t.Fatalf("counting run: %v", err)
 			}
-			if total == 0 {
+			if total.Load() == 0 {
 				t.Fatal("no data-plane ops observed")
 			}
 
 			// Pass 2: fail each op in turn on a fresh deployment; FDs and
-			// pool pages must return to their pre-transfer levels.
-			for k := 0; k < total; k++ {
+			// pool pages must return to their pre-transfer levels. With the
+			// overlapped stages the k-th op overall is not deterministic
+			// across runs, but sweeping k over the op count still drives
+			// every failure point on both sides.
+			for k := int64(0); k < total.Load(); k++ {
 				env := build(t, mode)
 				procs := env.procs()
 				baseline := make([]int, len(procs))
 				for i, p := range procs {
 					baseline[i] = p.NumFDs()
 				}
-				step := 0
+				var step atomic.Int64
 				for _, p := range procs {
 					p.InjectFault(func(string) error {
-						step++
-						if step-1 == k {
+						if step.Add(1)-1 == k {
 							return errInjected
 						}
 						return nil

@@ -90,7 +90,7 @@ func TestUserSpaceTransfer(t *testing.T) {
 	if _, err := fa.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
 		t.Fatal(err)
 	}
-	ref, report, err := core.UserSpaceTransfer(fa, fb)
+	ref, report, err := core.UserSpaceTransfer(fa, fb, core.UserOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestUserSpaceTransferRequiresSameVM(t *testing.T) {
 	k := kernel.New("node-1")
 	s1, s2 := newShim(t, "s1", k), newShim(t, "s2", k)
 	fa, fb := addFn(t, s1, "a"), addFn(t, s2, "b")
-	if _, _, err := core.UserSpaceTransfer(fa, fb); !errors.Is(err, core.ErrDifferentVM) {
+	if _, _, err := core.UserSpaceTransfer(fa, fb, core.UserOptions{}); !errors.Is(err, core.ErrDifferentVM) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -133,7 +133,7 @@ func TestTransferWithoutOutputFails(t *testing.T) {
 	if _, err := fa.Output(); !errors.Is(err, core.ErrNoOutput) {
 		t.Fatalf("Output = %v", err)
 	}
-	if _, _, err := core.UserSpaceTransfer(fa, fb); err != nil {
+	if _, _, err := core.UserSpaceTransfer(fa, fb, core.UserOptions{}); err != nil {
 		t.Fatalf("zero transfer: %v", err)
 	}
 }
@@ -366,7 +366,7 @@ func TestSendToHostRegistersOutput(t *testing.T) {
 	if err != nil || out.Len != n {
 		t.Fatalf("output after send_to_host = %+v, %v", out, err)
 	}
-	ref, _, err := core.UserSpaceTransfer(fa, fb)
+	ref, _, err := core.UserSpaceTransfer(fa, fb, core.UserOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,12 +388,12 @@ func TestChainedTransfersAcrossModes(t *testing.T) {
 	if _, err := fa.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := core.UserSpaceTransfer(fa, fb); err != nil {
+	if _, _, err := core.UserSpaceTransfer(fa, fb, core.UserOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// b's inbound data becomes its output for the next hop: re-register
 	// via set_output.
-	refB, _, err := core.UserSpaceTransfer(fa, fb)
+	refB, _, err := core.UserSpaceTransfer(fa, fb, core.UserOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,46 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/pagebuf"
 )
+
+// MulticastOptions tunes a multicast transfer.
+type MulticastOptions struct {
+	// Links models the network path per target; a nil slice (or nil entry)
+	// attributes no wire time. When set, len(Links) must equal the number
+	// of targets. Targets on different links are modeled independently —
+	// a slow edge uplink no longer taxes targets reached over a fast one.
+	Links []*netsim.Link
+	// Flows overrides, per target, the number of concurrent flows sharing
+	// that target's link. Entries <= 0 (or a nil slice) default to the
+	// number of multicast targets whose Links entry is the same link.
+	// When set, len(Flows) must equal the number of targets.
+	Flows []int
+	// NoChannelCache forces per-call channel establishment and teardown
+	// (the cold-path ablation), as in NetworkOptions.
+	NoChannelCache bool
+	// PhaseLocked runs the fan-out in the pre-pipeline regime: every
+	// participating VM locked for the whole operation, targets drained
+	// strictly after the source pass and strictly one after another.
+	PhaseLocked bool
+	// SourceRef pins the source region (see UserOptions.SourceRef).
+	SourceRef *OutputRef
+	// Gates carries test instrumentation (see PipelineGates); BeforeIngress
+	// runs once per target drain.
+	Gates *PipelineGates
+}
+
+// multicastDrain is one target stage's outcome.
+type multicastDrain struct {
+	ref InboundRef
+	bd  metrics.Breakdown
+	err error
+}
 
 // MulticastTransfer delivers the source's output to several remote targets
 // from a single pass over the virtual data hose — an extension of
@@ -16,11 +51,19 @@ import (
 // pages by splice): page references are shared, so the source side still
 // performs zero payload copies regardless of fan-out degree.
 //
-// All targets must live on nodes different from the source's; network time
-// is modeled with all targets' flows sharing the source's links.
-func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]InboundRef, []metrics.TransferReport, error) {
+// Like the unicast paths, the fan-out runs as a staged pipeline: the source
+// VM is locked only for the tee pass, and each target drains its own socket
+// under its own VM lock, all targets in parallel, overlapping the source
+// pass. All targets must live on nodes different from the source's.
+func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) ([]InboundRef, []metrics.TransferReport, error) {
 	if len(dsts) == 0 {
 		return nil, nil, fmt.Errorf("core: multicast requires targets")
+	}
+	if opts.Links != nil && len(opts.Links) != len(dsts) {
+		return nil, nil, fmt.Errorf("core: multicast got %d links for %d targets", len(opts.Links), len(dsts))
+	}
+	if opts.Flows != nil && len(opts.Flows) != len(dsts) {
+		return nil, nil, fmt.Errorf("core: multicast got %d flow counts for %d targets", len(opts.Flows), len(dsts))
 	}
 	srcShim := src.shim
 	for _, dst := range dsts {
@@ -31,31 +74,34 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 			return nil, nil, ErrSameNode
 		}
 	}
-	all := make([]*Shim, 0, len(dsts)+1)
-	all = append(all, srcShim)
-	for _, dst := range dsts {
-		all = append(all, dst.shim)
+
+	// Pair locks, one per distinct target shim, acquired in ascending shim
+	// creation order — the same global order lockShims uses, which keeps
+	// overlapping multicasts from one source deadlock-free. They are taken
+	// before any VM lock, per the pipeline's lock order.
+	dstShims := make([]*Shim, len(dsts))
+	for i, dst := range dsts {
+		dstShims[i] = dst.shim
 	}
-	locked := lockShims(all...)
-	defer unlockShims(locked)
+	for _, ds := range distinctBySeq(dstShims) {
+		m := srcShim.pairLock(ds, chanNetwork)
+		m.Lock()
+		defer m.Unlock()
+	}
+	if opts.PhaseLocked {
+		all := make([]*Shim, 0, len(dsts)+1)
+		all = append(all, srcShim)
+		for _, dst := range dsts {
+			all = append(all, dst.shim)
+		}
+		locked := lockShims(all...)
+		defer unlockShims(locked)
+	}
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := make([]metrics.Usage, len(dsts))
 	for i, dst := range dsts {
 		beforeDst[i] = dst.shim.acct.Snapshot()
 	}
-
-	// Source: locate + zero-copy view (Wasm IO).
-	swIO := metrics.NewStopwatch(srcShim.now)
-	out, err := src.locateQuiet()
-	if err != nil {
-		return nil, nil, err
-	}
-	view, err := src.view.ReadView(out.Ptr, out.Len)
-	if err != nil {
-		return nil, nil, err
-	}
-	srcWasmIO := swIO.Lap()
-	srcShim.acct.CPU(metrics.User, srcWasmIO)
 
 	// One channel per target (connection + target hose), cached per shim
 	// pair like the unicast network path. Two targets inside one shim would
@@ -73,7 +119,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 			if c == nil {
 				continue
 			}
-			c.pin(false)
+			c.unpin()
 			// Ephemeral (per-call or duplicate-shim) channels always tear
 			// down. Cached ones are destroyed only when the transfer failed
 			// after payload started moving — then any channel may hold
@@ -86,6 +132,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 	}()
 	for i, dst := range dsts {
 		var hit bool
+		var err error
 		if opts.NoChannelCache || seen[dst.shim] {
 			// Ephemeral channels skip the source hose except for the first
 			// one, which supplies the fan-out's shared tee hose — per-call
@@ -97,15 +144,14 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 			}
 			chans[i], err = establishChannel(srcShim, dst.shim, kind)
 		} else {
+			// acquireChannel returns the channel pinned, shielding it from
+			// eviction by this fan-out's own later acquisitions (and by
+			// concurrent transfers of other pairs) until the deferred unpin.
 			chans[i], hit, err = srcShim.acquireChannel(dst.shim, chanNetwork)
 		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("multicast channel to %s: %w", dst.name, err)
 		}
-		// Pin until the transfer completes: a fan-out wider than the source
-		// shim's ChannelCap must not LRU-evict its own in-flight channels
-		// while acquiring the later ones.
-		chans[i].pin(true)
 		seen[dst.shim] = true
 		if !hit {
 			setups[i] = swSetup.Lap()
@@ -119,68 +165,176 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 	}
 	srcShim.acct.CPU(metrics.Kernel, setupTotal)
 
-	// Single hose, chunk-by-chunk: tee to all but the last target, splice
-	// to the last.
-	swT := metrics.NewStopwatch(srcShim.now)
-	hose := chans[0]
-	dataStarted = true
-	for off := 0; off < len(view); {
-		chunk := len(view) - off
-		if chunk > srcShim.hoseCap {
-			chunk = srcShim.hoseCap
+	// Target stages: spawned before the source pass so the drains overlap
+	// it, each waiting for the announced output size. Targets sharing a
+	// shim serialize naturally on its VM lock. Phase-locked runs them
+	// inline after the source pass instead.
+	var (
+		out       OutputRef
+		srcWasmIO time.Duration
+		sendT     time.Duration
+		announced bool
+	)
+	ready := make(chan struct{})
+	drains := make([]multicastDrain, len(dsts))
+	var wg sync.WaitGroup
+	if !opts.PhaseLocked {
+		for i, dst := range dsts {
+			wg.Add(1)
+			go func(i int, dst *Function) {
+				defer wg.Done()
+				<-ready
+				if !announced {
+					drains[i].err = errEgressAborted
+					return
+				}
+				if opts.Gates != nil && opts.Gates.BeforeIngress != nil {
+					opts.Gates.BeforeIngress()
+				}
+				ds := dst.shim
+				ds.mu.Lock()
+				drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len)
+				ds.mu.Unlock()
+			}(i, dst)
 		}
-		if _, err := srcShim.proc.Vmsplice(hose.wfd, view[off:off+chunk]); err != nil {
-			return nil, nil, fmt.Errorf("multicast vmsplice: %w", err)
-		}
-		for i := 0; i < len(dsts)-1; i++ {
-			// tee(2) does not consume the pipe, so one call covers the
-			// whole (fully queued) chunk; a short clone would duplicate
-			// its prefix again and must be treated as a fault.
-			n, err := srcShim.proc.Tee(hose.rfd, chans[i].cfd, chunk)
-			if err != nil {
-				return nil, nil, fmt.Errorf("multicast tee to %s: %w", dsts[i].name, err)
-			}
-			if n != chunk {
-				return nil, nil, fmt.Errorf("multicast tee to %s: short clone %d of %d", dsts[i].name, n, chunk)
-			}
-		}
-		last := len(dsts) - 1
-		for moved := 0; moved < chunk; {
-			n, err := srcShim.proc.Splice(hose.rfd, chans[last].cfd, chunk-moved)
-			if err != nil {
-				return nil, nil, fmt.Errorf("multicast splice to %s: %w", dsts[last].name, err)
-			}
-			moved += n
-		}
-		off += chunk
 	}
-	sendT := swT.Lap()
-	srcShim.acct.CPU(metrics.Kernel, sendT)
+
+	// Source stage under the source VM lock alone: locate + zero-copy view
+	// (Wasm IO), then the single tee pass over the shared hose. In the
+	// phase-locked regime lockShims above already holds every VM lock.
+	if !opts.PhaseLocked {
+		srcShim.mu.Lock()
+	}
+	eerr := func() error {
+		swIO := metrics.NewStopwatch(srcShim.now)
+		o, err := src.sourceOutput(opts.SourceRef)
+		if err != nil {
+			return err
+		}
+		view, err := src.view.ReadView(o.Ptr, o.Len)
+		if err != nil {
+			return err
+		}
+		out = o
+		srcWasmIO = swIO.Lap()
+		srcShim.acct.CPU(metrics.User, srcWasmIO)
+		announced = true
+		close(ready) // drains start while the chunks below are still flowing
+
+		// Single hose, chunk-by-chunk: tee to all but the last target,
+		// splice to the last.
+		swT := metrics.NewStopwatch(srcShim.now)
+		hose := chans[0]
+		dataStarted = true
+		for off := 0; off < len(view); {
+			chunk := len(view) - off
+			if chunk > srcShim.hoseCap {
+				chunk = srcShim.hoseCap
+			}
+			if _, err := srcShim.proc.Vmsplice(hose.wfd, view[off:off+chunk]); err != nil {
+				return fmt.Errorf("multicast vmsplice: %w", err)
+			}
+			for i := 0; i < len(dsts)-1; i++ {
+				// tee(2) does not consume the pipe, so one call covers the
+				// whole (fully queued) chunk; a short clone would duplicate
+				// its prefix again and must be treated as a fault.
+				n, err := srcShim.proc.Tee(hose.rfd, chans[i].cfd, chunk)
+				if err != nil {
+					return fmt.Errorf("multicast tee to %s: %w", dsts[i].name, err)
+				}
+				if n != chunk {
+					return fmt.Errorf("multicast tee to %s: short clone %d of %d", dsts[i].name, n, chunk)
+				}
+			}
+			last := len(dsts) - 1
+			for moved := 0; moved < chunk; {
+				n, err := srcShim.proc.Splice(hose.rfd, chans[last].cfd, chunk-moved)
+				if err != nil {
+					return fmt.Errorf("multicast splice to %s: %w", dsts[last].name, err)
+				}
+				moved += n
+			}
+			off += chunk
+		}
+		sendT = swT.Lap()
+		srcShim.acct.CPU(metrics.Kernel, sendT)
+		return nil
+	}()
+	if !opts.PhaseLocked {
+		srcShim.mu.Unlock()
+	}
+	if !announced {
+		close(ready)
+	}
+	if eerr != nil {
+		if dataStarted {
+			// Some drains may be blocked on sockets that will never fill;
+			// poisoning the channels unblocks them (the deferred cleanup
+			// destroys them again — destroy is idempotent).
+			for _, c := range chans {
+				if c != nil {
+					c.destroy()
+				}
+			}
+		}
+		wg.Wait()
+		return nil, nil, eerr
+	}
+
+	if opts.PhaseLocked {
+		for i, dst := range dsts {
+			drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len)
+			if drains[i].err != nil {
+				break
+			}
+		}
+	} else {
+		wg.Wait()
+	}
+	for i, d := range drains {
+		if d.err != nil {
+			return nil, nil, fmt.Errorf("multicast receive at %s: %w", dsts[i].name, d.err)
+		}
+	}
+
 	srcUsage := srcShim.acct.Snapshot().Sub(beforeSrc)
 	// The source-side cost is shared across targets.
 	perTargetSend := sendT / time.Duration(len(dsts))
+	linkShare := make(map[*netsim.Link]int, len(dsts))
+	if opts.Links != nil {
+		for _, l := range opts.Links {
+			linkShare[l]++
+		}
+	}
 
 	refs := make([]InboundRef, len(dsts))
 	reports := make([]metrics.TransferReport, len(dsts))
 	for i, dst := range dsts {
-		ref, bd, err := receiveFromHose(dst, chans[i], out.Len)
-		if err != nil {
-			return nil, nil, fmt.Errorf("multicast receive at %s: %w", dst.name, err)
-		}
-		refs[i] = ref
+		refs[i] = drains[i].ref
 		usage := dst.shim.acct.Snapshot().Sub(beforeDst[i])
 		if i == 0 {
 			usage = usage.Add(srcUsage) // attribute source work once
 		}
+		drainActivity := drains[i].bd.Transfer + drains[i].bd.WasmIO
+		bd := drains[i].bd
 		bd.Setup = setups[i]
 		bd.Transfer += perTargetSend + srcShim.Kernel().SyscallTime(usage.Syscalls)
 		bd.WasmIO += srcWasmIO / time.Duration(len(dsts))
-		if opts.Link != nil {
-			flows := opts.Flows
-			if flows < len(dsts) {
-				flows = len(dsts)
+		if opts.Links != nil && opts.Links[i] != nil {
+			flows := 0
+			if opts.Flows != nil {
+				flows = opts.Flows[i]
 			}
-			bd.Network = opts.Link.TransferTime(int64(out.Len), flows)
+			if flows <= 0 {
+				flows = linkShare[opts.Links[i]]
+			}
+			bd.Network = opts.Links[i].TransferTime(int64(out.Len), flows)
+		}
+		if !opts.PhaseLocked {
+			// Per-target chunk pipeline: the source's shared tee pass feeds
+			// this target's wire and drain chunk by chunk.
+			srcShare := perTargetSend + srcWasmIO/time.Duration(len(dsts))
+			bd.Overlap = modeledOverlap(hoseChunks(out, srcShim.hoseCap), srcShare, bd.Network, drainActivity)
 		}
 		reports[i] = metrics.TransferReport{
 			Bytes:     int64(out.Len),
@@ -194,8 +348,9 @@ func MulticastTransfer(src *Function, dsts []*Function, opts NetworkOptions) ([]
 }
 
 // receiveFromHose runs the target half of Algorithm 1 over the target-side
-// descriptors of ch: socket → target hose → linear memory. Descriptors stay
-// open — teardown belongs to the channel's lifecycle, not the transfer.
+// descriptors of ch: socket → target hose → linear memory. Callers hold the
+// target's VM lock. Descriptors stay open — teardown belongs to the
+// channel's lifecycle, not the transfer.
 func receiveFromHose(dst *Function, ch *channel, n uint32) (InboundRef, metrics.Breakdown, error) {
 	dstShim := dst.shim
 	var bd metrics.Breakdown

@@ -11,6 +11,16 @@ import (
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
 )
 
+// multicastLinks builds the per-target link list for targets sharing one
+// modeled link.
+func multicastLinks(link *netsim.Link, n int) core.MulticastOptions {
+	links := make([]*netsim.Link, n)
+	for i := range links {
+		links[i] = link
+	}
+	return core.MulticastOptions{Links: links}
+}
+
 func TestMulticastDeliversToAllTargets(t *testing.T) {
 	kSrc := kernel.New("edge")
 	sSrc := newShim(t, "src", kSrc)
@@ -28,7 +38,7 @@ func TestMulticastDeliversToAllTargets(t *testing.T) {
 	}
 
 	link := netsim.NewLink(100*netsim.Mbps, 0)
-	refs, reports, err := core.MulticastTransfer(src, dsts, core.NetworkOptions{Link: link})
+	refs, reports, err := core.MulticastTransfer(src, dsts, multicastLinks(link, len(dsts)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +80,7 @@ func TestMulticastSourceCostIndependentOfDegree(t *testing.T) {
 			t.Fatal(err)
 		}
 		before := sSrc.Account().Snapshot()
-		if _, _, err := core.MulticastTransfer(src, dsts, core.NetworkOptions{}); err != nil {
+		if _, _, err := core.MulticastTransfer(src, dsts, core.MulticastOptions{}); err != nil {
 			t.Fatal(err)
 		}
 		delta := sSrc.Account().Snapshot().Sub(before)
@@ -93,16 +103,16 @@ func TestMulticastValidations(t *testing.T) {
 	k1 := kernel.New("n1")
 	s1 := newShim(t, "s1", k1)
 	src := addFn(t, s1, "src")
-	if _, _, err := core.MulticastTransfer(src, nil, core.NetworkOptions{}); err == nil {
+	if _, _, err := core.MulticastTransfer(src, nil, core.MulticastOptions{}); err == nil {
 		t.Fatal("empty target list accepted")
 	}
 	sameVM := addFn(t, s1, "same-vm")
-	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameVM}, core.NetworkOptions{}); !errors.Is(err, core.ErrSameVM) {
+	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameVM}, core.MulticastOptions{}); !errors.Is(err, core.ErrSameVM) {
 		t.Fatalf("same-VM target = %v", err)
 	}
 	s2 := newShim(t, "s2", k1)
 	sameNode := addFn(t, s2, "same-node")
-	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameNode}, core.NetworkOptions{}); !errors.Is(err, core.ErrSameNode) {
+	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameNode}, core.MulticastOptions{}); !errors.Is(err, core.ErrSameNode) {
 		t.Fatalf("same-node target = %v", err)
 	}
 }
@@ -115,7 +125,7 @@ func TestMulticastSingleTargetEqualsUnicast(t *testing.T) {
 	if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
 		t.Fatal(err)
 	}
-	refs, reports, err := core.MulticastTransfer(src, []*core.Function{dst}, core.NetworkOptions{})
+	refs, reports, err := core.MulticastTransfer(src, []*core.Function{dst}, core.MulticastOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,15 @@ type NetworkOptions struct {
 	// the channel is cached and reused across transfers of the same shim
 	// pair, so warm transfers issue zero connect/pipe syscalls.
 	NoChannelCache bool
+	// PhaseLocked runs the transfer in the pre-pipeline regime — both VM
+	// locks held for the whole operation, the source's send-all strictly
+	// before the target's receive-all — kept as the ablation baseline for
+	// the staged pipeline.
+	PhaseLocked bool
+	// SourceRef pins the source region (see UserOptions.SourceRef).
+	SourceRef *OutputRef
+	// Gates carries test instrumentation (see PipelineGates).
+	Gates *PipelineGates
 }
 
 // NetworkTransfer implements Algorithm 1: the source shim maps the guest's
@@ -45,6 +54,13 @@ type NetworkOptions struct {
 // function's linear memory. No user↔kernel payload copies occur on the wire
 // path; the only copy is the final write into the target VM's memory —
 // the paper's "near-zero copy" (§7).
+//
+// The two sides run as the staged pipeline of pipeline.go, mirroring the
+// paper's real deployment where FunctionA's shim and FunctionB's shim are
+// separate processes executing Algorithm 1 concurrently: the source VM is
+// locked only while its pages enter the hose, the target VM only while the
+// hose drains into linear memory, and the target drains chunk k while the
+// source vmsplices chunk k+1.
 //
 // The control plane — connection handshake and hose pipes — is a cached
 // channel (channels.go): only the first transfer between a shim pair pays
@@ -58,203 +74,223 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 	if src.shim.Kernel() == dst.shim.Kernel() {
 		return InboundRef{}, metrics.TransferReport{}, ErrSameNode
 	}
-	srcShim, dstShim := src.shim, dst.shim
-	locked := lockShims(srcShim, dstShim)
-	defer unlockShims(locked)
-	beforeSrc := srcShim.acct.Snapshot()
-	beforeDst := dstShim.acct.Snapshot()
-	var breakdown metrics.Breakdown
-
-	// FunctionA side (Algorithm 1 lines 1-4): locate the output region.
-	swIO := metrics.NewStopwatch(srcShim.now)
-	out, err := src.locateQuiet()
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
-	}
-	locT := swIO.Lap()
-	srcShim.acct.CPU(metrics.User, locT)
-	breakdown.WasmIO += locT
-
-	// Optional ablation: re-enable in-guest serialization.
-	if opts.SerializeFirst {
-		swSer := metrics.NewStopwatch(srcShim.now)
-		encOut, err := src.callPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
-		if err != nil {
-			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("serialize ablation: %w", err)
-		}
-		breakdown.Serialization += swSer.Lap()
-		out = encOut
-	}
-
-	// read_memory_host: zero-copy view of the source region.
-	swIO2 := metrics.NewStopwatch(srcShim.now)
-	view, err := src.view.ReadView(out.Ptr, out.Len)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
-	}
-	viewT := swIO2.Lap()
-	srcShim.acct.CPU(metrics.User, viewT)
-	breakdown.WasmIO += viewT
-
-	// Acquire the channel: connection + source/target hoses. Cold
-	// acquisitions pay the control-plane syscalls once, reported as the
-	// Setup component; warm ones reuse the cached descriptors.
 	kind := chanNetwork
 	if opts.ForceCopyPath {
 		kind = chanNetworkCopy // plain write/read needs no hose pipes
 	}
-	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, kind, opts.NoChannelCache)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("channel: %w", err)
+	spec := &pipelineSpec{
+		mode:        "network",
+		kind:        kind,
+		perCall:     opts.NoChannelCache,
+		phaseLocked: opts.PhaseLocked,
+		gates:       opts.Gates,
+		src:         src,
+		dst:         dst,
+		link:        opts.Link,
+		flows:       opts.Flows,
+		egress:      networkEgress(opts),
+		ingress:     networkIngress(opts),
 	}
-	breakdown.Setup = setup
-	// On failure the (possibly payload-stranding) channel is destroyed, so
-	// error returns leak neither FDs nor pool pages.
-	healthy := false
-	defer func() { finish(healthy) }()
-
-	// network_data_transfer_source (Algorithm 1 lines 6-13).
-	swT := metrics.NewStopwatch(srcShim.now)
-	if opts.ForceCopyPath {
-		if _, err := srcShim.proc.Write(ch.cfd, view); err != nil {
-			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path send: %w", err)
-		}
-	} else {
-		if opts.BatchSyscalls {
-			srcShim.proc.BeginBatch()
-		}
-		for off := 0; off < len(view); {
-			chunk := len(view) - off
-			if chunk > srcShim.hoseCap {
-				chunk = srcShim.hoseCap
-			}
-			// vmsplice(vdh, address, length): gift the guest pages into
-			// the hose without copying.
-			if _, err := srcShim.proc.Vmsplice(ch.wfd, view[off:off+chunk]); err != nil {
-				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("vmsplice: %w", err)
-			}
-			// splice(vdh, socket, length): move page references to the
-			// socket.
-			for moved := 0; moved < chunk; {
-				n, err := srcShim.proc.Splice(ch.rfd, ch.cfd, chunk-moved)
-				if err != nil {
-					return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("splice out: %w", err)
-				}
-				moved += n
-			}
-			off += chunk
-		}
-		if opts.BatchSyscalls {
-			srcShim.proc.EndBatch()
+	if !opts.ForceCopyPath {
+		// Pipeline depth = hose chunks; the copy-path ablation moves the
+		// payload as one write/read exchange and gets no chunk pipelining.
+		spec.chunkCount = func(out OutputRef) int {
+			return hoseChunks(out, src.shim.hoseCap)
 		}
 	}
-	sendT := swT.Lap()
-	srcShim.acct.CPU(metrics.Kernel, sendT)
-	breakdown.Transfer += sendT
+	return runPipeline(spec)
+}
 
-	// FunctionB side (Algorithm 1 lines 15-19): allocate target memory.
-	swIO3 := metrics.NewStopwatch(dstShim.now)
-	dstPtr, err := dst.view.Allocate(out.Len)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
+// hoseChunks is the number of hose-sized chunks a payload crosses in.
+func hoseChunks(out OutputRef, hoseCap int) int {
+	if hoseCap <= 0 || out.Len == 0 {
+		return 1
 	}
-	wv, err := dst.view.WritableView(dstPtr, out.Len)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
+	k := (int(out.Len) + hoseCap - 1) / hoseCap
+	if k < 1 {
+		k = 1
 	}
-	allocT := swIO3.Lap()
-	dstShim.acct.CPU(metrics.User, allocT)
-	breakdown.WasmIO += allocT
+	return k
+}
 
-	// network_data_transfer_target (Algorithm 1 lines 21-29).
-	swR := metrics.NewStopwatch(dstShim.now)
-	if opts.ForceCopyPath {
-		for off := 0; off < len(wv); {
-			n, err := dstShim.proc.Read(ch.sfd, wv[off:])
-			if err != nil {
-				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path recv: %w", err)
-			}
-			if n == 0 {
-				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed)
-			}
-			off += n
-		}
-		recvT := swR.Lap()
-		dstShim.acct.CPU(metrics.Kernel, recvT)
-		breakdown.Transfer += recvT
-	} else {
-		if opts.BatchSyscalls {
-			dstShim.proc.BeginBatch()
-		}
-		received := 0
-		for received < int(out.Len) {
-			chunk := int(out.Len) - received
-			if chunk > dstShim.hoseCap {
-				chunk = dstShim.hoseCap
-			}
-			// splice(socket_fd, target_vdh, length).
-			for moved := 0; moved < chunk; {
-				n, err := dstShim.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
-				if err != nil {
-					return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("splice in: %w", err)
-				}
-				moved += n
-			}
-			kernelT := swR.Lap()
-			dstShim.acct.CPU(metrics.Kernel, kernelT)
-			breakdown.Transfer += kernelT
+// networkEgress is FunctionA's side of Algorithm 1 (lines 1-13): locate the
+// output region, optionally serialize (ablation), take the zero-copy view,
+// then vmsplice each chunk into the data hose and splice it onward into the
+// socket. Runs under the source VM lock.
+func networkEgress(opts NetworkOptions) func(*Function, *channel, func(OutputRef), *stageMetrics) (OutputRef, error) {
+	return func(f *Function, ch *channel, announce func(OutputRef), m *stageMetrics) (OutputRef, error) {
+		s := f.shim
 
-			// write_memory_host: deposit the hose pages directly into
-			// the target VM's linear memory — the single unavoidable
-			// copy of the near-zero-copy path.
-			swW := metrics.NewStopwatch(dstShim.now)
-			refs, err := dstShim.proc.ReadRefs(ch.trfd, chunk)
-			if err != nil {
-				return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("drain hose: %w", err)
-			}
-			off := received
-			for _, ref := range refs {
-				off += copy(wv[off:], ref.Bytes())
-			}
-			pagebuf.ReleaseAll(refs)
-			dstShim.acct.Copy(metrics.User, off-received)
-			received = off
-			wIO := swW.Lap()
-			dstShim.acct.CPU(metrics.User, wIO)
-			breakdown.WasmIO += wIO
-			swR = metrics.NewStopwatch(dstShim.now)
-		}
-		if opts.BatchSyscalls {
-			dstShim.proc.EndBatch()
-		}
-	}
-	healthy = true
-
-	// Ablation follow-up: decode in the target guest.
-	resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}
-	if opts.SerializeFirst {
-		swDe := metrics.NewStopwatch(dstShim.now)
-		decOut, err := dst.callPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
+		// Algorithm 1 lines 1-4: locate the output region.
+		swIO := metrics.NewStopwatch(s.now)
+		out, err := f.sourceOutput(opts.SourceRef)
 		if err != nil {
-			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("deserialize ablation: %w", err)
+			return OutputRef{}, err
 		}
-		breakdown.Serialization += swDe.Lap()
-		resultRef = InboundRef{Ptr: decOut.Ptr, Len: decOut.Len}
-	}
+		locT := swIO.Lap()
+		s.acct.CPU(metrics.User, locT)
+		m.wasmIO += locT
 
-	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
-	breakdown.Transfer += srcShim.Kernel().SyscallTime(usage.Syscalls)
+		// Optional ablation: re-enable in-guest serialization.
+		if opts.SerializeFirst {
+			swSer := metrics.NewStopwatch(s.now)
+			encOut, err := f.callPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
+			if err != nil {
+				return OutputRef{}, fmt.Errorf("serialize ablation: %w", err)
+			}
+			m.serialization += swSer.Lap()
+			out = encOut
+		}
 
-	// Modeled wire time: the payload crossed the inter-node link once.
-	if opts.Link != nil {
-		breakdown.Network = opts.Link.TransferTime(int64(out.Len), opts.Flows)
-	}
+		// read_memory_host: zero-copy view of the source region.
+		swIO2 := metrics.NewStopwatch(s.now)
+		view, err := f.view.ReadView(out.Ptr, out.Len)
+		if err != nil {
+			return OutputRef{}, err
+		}
+		viewT := swIO2.Lap()
+		s.acct.CPU(metrics.User, viewT)
+		m.wasmIO += viewT
+		announce(out)
 
-	report := metrics.TransferReport{
-		Bytes:     int64(out.Len),
-		Breakdown: breakdown,
-		Usage:     usage,
-		Mode:      "network",
+		// network_data_transfer_source (Algorithm 1 lines 6-13).
+		swT := metrics.NewStopwatch(s.now)
+		if opts.ForceCopyPath {
+			if _, err := s.proc.Write(ch.cfd, view); err != nil {
+				return OutputRef{}, fmt.Errorf("copy-path send: %w", err)
+			}
+		} else {
+			if opts.BatchSyscalls {
+				s.proc.BeginBatch()
+			}
+			for off := 0; off < len(view); {
+				chunk := len(view) - off
+				if chunk > s.hoseCap {
+					chunk = s.hoseCap
+				}
+				// vmsplice(vdh, address, length): gift the guest pages into
+				// the hose without copying.
+				if _, err := s.proc.Vmsplice(ch.wfd, view[off:off+chunk]); err != nil {
+					return OutputRef{}, fmt.Errorf("vmsplice: %w", err)
+				}
+				// splice(vdh, socket, length): move page references to the
+				// socket.
+				for moved := 0; moved < chunk; {
+					n, err := s.proc.Splice(ch.rfd, ch.cfd, chunk-moved)
+					if err != nil {
+						return OutputRef{}, fmt.Errorf("splice out: %w", err)
+					}
+					moved += n
+				}
+				off += chunk
+			}
+			if opts.BatchSyscalls {
+				s.proc.EndBatch()
+			}
+		}
+		sendT := swT.Lap()
+		s.acct.CPU(metrics.Kernel, sendT)
+		m.transfer += sendT
+		return out, nil
 	}
-	return resultRef, report, nil
+}
+
+// networkIngress is FunctionB's side of Algorithm 1 (lines 15-29): allocate
+// target memory, splice each chunk from the socket into the target hose and
+// deposit its pages into linear memory — the single unavoidable copy of the
+// near-zero-copy path — then optionally deserialize (ablation). Runs under
+// the target VM lock.
+func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *stageMetrics) (InboundRef, error) {
+	return func(f *Function, ch *channel, out OutputRef, m *stageMetrics) (InboundRef, error) {
+		s := f.shim
+
+		swIO := metrics.NewStopwatch(s.now)
+		dstPtr, err := f.view.Allocate(out.Len)
+		if err != nil {
+			return InboundRef{}, err
+		}
+		wv, err := f.view.WritableView(dstPtr, out.Len)
+		if err != nil {
+			return InboundRef{}, err
+		}
+		allocT := swIO.Lap()
+		s.acct.CPU(metrics.User, allocT)
+		m.wasmIO += allocT
+
+		// network_data_transfer_target (Algorithm 1 lines 21-29).
+		swR := metrics.NewStopwatch(s.now)
+		if opts.ForceCopyPath {
+			for off := 0; off < len(wv); {
+				n, err := s.proc.Read(ch.sfd, wv[off:])
+				if err != nil {
+					return InboundRef{}, fmt.Errorf("copy-path recv: %w", err)
+				}
+				if n == 0 {
+					return InboundRef{}, fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed)
+				}
+				off += n
+			}
+			recvT := swR.Lap()
+			s.acct.CPU(metrics.Kernel, recvT)
+			m.transfer += recvT
+		} else {
+			if opts.BatchSyscalls {
+				s.proc.BeginBatch()
+			}
+			received := 0
+			for received < int(out.Len) {
+				chunk := int(out.Len) - received
+				if chunk > s.hoseCap {
+					chunk = s.hoseCap
+				}
+				// splice(socket_fd, target_vdh, length).
+				for moved := 0; moved < chunk; {
+					n, err := s.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
+					if err != nil {
+						return InboundRef{}, fmt.Errorf("splice in: %w", err)
+					}
+					moved += n
+				}
+				kernelT := swR.Lap()
+				s.acct.CPU(metrics.Kernel, kernelT)
+				m.transfer += kernelT
+
+				// write_memory_host: deposit the hose pages directly into
+				// the target VM's linear memory — the single unavoidable
+				// copy of the near-zero-copy path.
+				swW := metrics.NewStopwatch(s.now)
+				refs, err := s.proc.ReadRefs(ch.trfd, chunk)
+				if err != nil {
+					return InboundRef{}, fmt.Errorf("drain hose: %w", err)
+				}
+				off := received
+				for _, ref := range refs {
+					off += copy(wv[off:], ref.Bytes())
+				}
+				pagebuf.ReleaseAll(refs)
+				s.acct.Copy(metrics.User, off-received)
+				received = off
+				wIO := swW.Lap()
+				s.acct.CPU(metrics.User, wIO)
+				m.wasmIO += wIO
+				swR = metrics.NewStopwatch(s.now)
+			}
+			if opts.BatchSyscalls {
+				s.proc.EndBatch()
+			}
+		}
+
+		// Ablation follow-up: decode in the target guest.
+		resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}
+		if opts.SerializeFirst {
+			swDe := metrics.NewStopwatch(s.now)
+			decOut, err := f.callPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
+			if err != nil {
+				return InboundRef{}, fmt.Errorf("deserialize ablation: %w", err)
+			}
+			m.serialization += swDe.Lap()
+			resultRef = InboundRef{Ptr: decOut.Ptr, Len: decOut.Len}
+		}
+		return resultRef, nil
+	}
 }

@@ -1,0 +1,292 @@
+// The staged data-plane pipeline. Every cross-sandbox transfer (kernel,
+// network, multicast) is the same skeleton — resolve the source region,
+// acquire the pair's channel, push pages in (egress), drain pages out into
+// the target's linear memory (ingress), assemble usage and breakdown — and
+// this file owns that skeleton. The per-mode files (transfer.go, network.go,
+// multicast.go) contribute only the two stage bodies.
+//
+// Concurrency model (DESIGN.md §3): the pre-pipeline engine held BOTH VM
+// locks for a transfer's whole duration, so a chain's interior VMs sat
+// locked-idle while the other endpoint worked. The pipeline instead scopes
+// each VM lock to its stage:
+//
+//   - the source VM lock is held only while the source's pages enter the
+//     channel (locate/view/vmsplice-or-write). The payload stays valid past
+//     unlock because the channel holds page references — pool pages own
+//     their bytes, and gifted (vmspliced) pages alias a region of linear
+//     memory that nothing rewrites while the transfer is in flight;
+//   - the target VM lock is held only while the channel drains into the
+//     target's linear memory (allocate/splice/copy);
+//   - the two stages run on separate goroutines, so the target drains chunk
+//     k while the source vmsplices chunk k+1. Breakdown.Overlap records the
+//     window both stages ran concurrently, making the reported latency the
+//     pipeline's critical path rather than the sum of sequential laps.
+//
+// Serialization that must remain is provided by the pair lock
+// (Shim.pairLock): transfers of one ordered (source shim, target shim)
+// pair share one cached channel and therefore execute one at a time.
+// Transfers of different pairs — including pairs that share a VM —
+// interleave stage by stage, which is what frees a chain's interior VMs
+// between their stages. lockShims (ordered whole-transfer locking) remains
+// the discipline wherever two VM locks must still nest: the phase-locked
+// ablation regime below.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
+)
+
+// errEgressAborted is the ingress goroutine's result when the source stage
+// failed before announcing the payload size; the egress error is the one
+// reported.
+var errEgressAborted = errors.New("core: source stage aborted before announcing output")
+
+// PipelineGates carries test instrumentation for the staged pipeline. All
+// fields are optional; production callers leave the struct nil.
+type PipelineGates struct {
+	// BeforeIngress runs in the target-stage goroutine after the source
+	// has announced its output region and before the target VM lock is
+	// taken. Blocking here holds the transfer in its "wire in flight"
+	// state — payload queued in the channel, neither VM lock held — which
+	// is how tests prove an interior VM stays free mid-transfer.
+	BeforeIngress func()
+}
+
+// stageMetrics accumulates one stage's breakdown contributions.
+type stageMetrics struct {
+	wasmIO        time.Duration
+	transfer      time.Duration
+	serialization time.Duration
+}
+
+// activity is the stage's total measured work.
+func (m stageMetrics) activity() time.Duration {
+	return m.wasmIO + m.transfer + m.serialization
+}
+
+// modeledOverlap is the critical-path credit of a k-chunk staged transfer.
+// The stages form a chunk pipeline — egress CPU → wire → ingress CPU, each
+// chunk's ingress dependent on its own egress only — so with per-chunk
+// stage costs e, w, i the critical path is e + w + i + (k-1)·max(e,w,i),
+// against a sequential sum of k·(e+w+i); the difference, restated over the
+// measured stage totals E/W/I, is (k-1)/k · (E+W+I − max(E,W,I)).
+//
+// The overlap is modeled, not wall-measured, for the same reason wire time
+// and syscall mode-switches are modeled (DESIGN.md §1): in the paper's
+// testbed the two shims are separate processes on separate cores genuinely
+// executing Algorithm 1 concurrently, which a single-process simulation —
+// possibly pinned to one core — cannot physically reproduce. The stages DO
+// run on separate goroutines (the locking and streaming are real); the
+// model attributes the wall-clock those goroutines would save with real
+// parallelism. One chunk means no pipelining, hence zero overlap.
+func modeledOverlap(k int, e, w, i time.Duration) time.Duration {
+	if k <= 1 {
+		return 0
+	}
+	longest := max(e, max(w, i))
+	return (e + w + i - longest) * time.Duration(k-1) / time.Duration(k)
+}
+
+// pipelineSpec describes one staged cross-sandbox transfer. The engine owns
+// locking, channel lifecycle, stage scheduling and report assembly; egress
+// and ingress are the mode-specific stage bodies.
+type pipelineSpec struct {
+	mode        string // report mode tag
+	kind        chanKind
+	perCall     bool // NoChannelCache: ephemeral channel, per-call teardown
+	phaseLocked bool // ablation: both VM locks for the whole transfer
+	gates       *PipelineGates
+	src, dst    *Function
+	link        *netsim.Link // modeled wire; nil = no network time
+	flows       int
+	// chunkCount reports how many channel chunks the payload crosses in —
+	// the pipeline depth for overlap attribution. Nil means 1 (no
+	// pipelining within the transfer, e.g. the kernel path's single
+	// write/read exchange).
+	chunkCount func(out OutputRef) int
+
+	// egress runs under the source VM lock: resolve the output region,
+	// announce it (unblocking the target stage), push the payload into the
+	// channel. It must call announce exactly once, before the first byte
+	// moves.
+	egress func(f *Function, ch *channel, announce func(OutputRef), m *stageMetrics) (OutputRef, error)
+	// ingress runs under the target VM lock: drain the channel into the
+	// target's linear memory and return the delivered region.
+	ingress func(f *Function, ch *channel, out OutputRef, m *stageMetrics) (InboundRef, error)
+}
+
+// sourceOutput resolves the region a transfer's source stage reads: the
+// guest's current output (locate_memory_region), or — when the caller pins
+// an explicit region, as streaming chains do — set_output followed by
+// locate, atomically under the VM lock the caller holds. The atomicity is
+// what keeps concurrent chains over shared interior functions linearizable:
+// no other transfer can retarget the function's output between the two
+// calls. CPU is charged by the surrounding stage stopwatch.
+func (f *Function) sourceOutput(pinned *OutputRef) (OutputRef, error) {
+	if pinned != nil {
+		if _, err := f.inst.Call(guest.ExportSetOutput, uint64(pinned.Ptr), uint64(pinned.Len)); err != nil {
+			return OutputRef{}, err
+		}
+	}
+	return f.locateQuiet()
+}
+
+// runPipeline executes a staged transfer. Stage scheduling:
+//
+//	caller goroutine:  pair lock → channel → [src lock: egress] → join
+//	ingress goroutine:         wait announce → [dst lock: ingress]
+//
+// The pair lock is the only lock held across stages; VM locks never nest.
+func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error) {
+	if spec.phaseLocked {
+		return runPhaseLocked(spec)
+	}
+	srcShim, dstShim := spec.src.shim, spec.dst.shim
+	pl := srcShim.pairLock(dstShim, spec.kind)
+	pl.Lock()
+	defer pl.Unlock()
+	beforeSrc := srcShim.acct.Snapshot()
+	beforeDst := dstShim.acct.Snapshot()
+
+	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, spec.kind, spec.perCall)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	healthy := false
+	defer func() { finish(healthy) }()
+
+	// Target stage: waits for the announced output, then drains under the
+	// target VM lock alone.
+	type ingressResult struct {
+		ref InboundRef
+		m   stageMetrics
+		err error
+	}
+	announceCh := make(chan OutputRef, 1)
+	ingressCh := make(chan ingressResult, 1)
+	go func() {
+		out, ok := <-announceCh
+		if !ok {
+			ingressCh <- ingressResult{err: errEgressAborted}
+			return
+		}
+		if spec.gates != nil && spec.gates.BeforeIngress != nil {
+			spec.gates.BeforeIngress()
+		}
+		var res ingressResult
+		dstShim.mu.Lock()
+		res.ref, res.err = spec.ingress(spec.dst, ch, out, &res.m)
+		dstShim.mu.Unlock()
+		ingressCh <- res
+	}()
+
+	// Source stage, inline, under the source VM lock alone.
+	announced := false
+	var out OutputRef
+	announce := func(o OutputRef) {
+		out = o
+		announced = true
+		announceCh <- o
+	}
+	var em stageMetrics
+	srcShim.mu.Lock()
+	_, eerr := spec.egress(spec.src, ch, announce, &em)
+	srcShim.mu.Unlock()
+	if eerr != nil {
+		if !announced {
+			close(announceCh)
+		} else {
+			// The target stage may be blocked draining a channel that will
+			// never fill; poisoning the channel unblocks it. finish
+			// destroys it again below — destroy is idempotent.
+			ch.destroy()
+		}
+		<-ingressCh
+		return InboundRef{}, metrics.TransferReport{}, eerr
+	}
+	ires := <-ingressCh
+	if ires.err != nil {
+		return InboundRef{}, metrics.TransferReport{}, ires.err
+	}
+	healthy = true
+
+	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
+	report := assembleReport(spec, out, setup, em, ires.m, usage)
+	return ires.ref, report, nil
+}
+
+// runPhaseLocked is the pre-pipeline regime, kept as the ablation baseline:
+// both VM locks held for the whole transfer (ordered by lockShims), stages
+// strictly sequential, zero overlap. It issues the identical syscall and
+// copy sequence — pipelining moves when work happens, never how much.
+func runPhaseLocked(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error) {
+	srcShim, dstShim := spec.src.shim, spec.dst.shim
+	// The pair lock still serializes against pipelined transfers of the
+	// same pair, which share the cached channel.
+	pl := srcShim.pairLock(dstShim, spec.kind)
+	pl.Lock()
+	defer pl.Unlock()
+	locked := lockShims(srcShim, dstShim)
+	defer unlockShims(locked)
+	beforeSrc := srcShim.acct.Snapshot()
+	beforeDst := dstShim.acct.Snapshot()
+
+	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, spec.kind, spec.perCall)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	healthy := false
+	defer func() { finish(healthy) }()
+
+	var em stageMetrics
+	out, err := spec.egress(spec.src, ch, func(OutputRef) {}, &em)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	var im stageMetrics
+	ref, err := spec.ingress(spec.dst, ch, out, &im)
+	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	healthy = true
+
+	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
+	report := assembleReport(spec, out, setup, em, im, usage)
+	return ref, report, nil
+}
+
+// assembleReport folds both stages' measurements into the transfer report.
+// Modeled syscall mode-switch time joins the Transfer component as before;
+// Overlap is the modeled critical-path credit of the chunk pipeline (zero
+// in the phase-locked regime, whose phases are strictly sequential by
+// definition).
+func assembleReport(spec *pipelineSpec, out OutputRef, setup time.Duration, em, im stageMetrics, usage metrics.Usage) metrics.TransferReport {
+	srcShim := spec.src.shim
+	bd := metrics.Breakdown{
+		Setup:         setup,
+		Transfer:      em.transfer + im.transfer + srcShim.Kernel().SyscallTime(usage.Syscalls),
+		Serialization: em.serialization + im.serialization,
+		WasmIO:        em.wasmIO + im.wasmIO,
+	}
+	if spec.link != nil {
+		bd.Network = spec.link.TransferTime(int64(out.Len), spec.flows)
+	}
+	if !spec.phaseLocked {
+		chunks := 1
+		if spec.chunkCount != nil {
+			chunks = spec.chunkCount(out)
+		}
+		bd.Overlap = modeledOverlap(chunks, em.activity(), bd.Network, im.activity())
+	}
+	return metrics.TransferReport{
+		Bytes:     int64(out.Len),
+		Breakdown: bd,
+		Usage:     usage,
+		Mode:      spec.mode,
+	}
+}

@@ -55,7 +55,9 @@ type ShimConfig struct {
 	Kernel *kernel.Kernel
 	// Module is the guest binary loaded into each function.
 	Module []byte
-	// Now injects a clock (nil = time.Now).
+	// Now injects a clock (nil = time.Now). The staged pipeline reads the
+	// clock from both stage goroutines, so injected clocks must be safe
+	// for concurrent use.
 	Now func() time.Time
 	// DataHoseBytes sizes the shim's virtual-data-hose pipes
 	// (0 = 4 MiB, set via the simulated F_SETPIPE_SZ).
@@ -102,6 +104,7 @@ type Shim struct {
 	chanMu        sync.Mutex
 	channels      map[chanKey]*channel  // persistent hoses this shim originates
 	inbound       map[*channel]struct{} // persistent hoses targeting this shim
+	pairMu        map[chanKey]*sync.Mutex
 	chanHits      int64
 	chanMisses    int64
 	chanEvictions int64
@@ -112,12 +115,12 @@ type Shim struct {
 // shimSeq issues lock-order positions; creation order is the lock order.
 var shimSeq atomic.Uint64
 
-// lockShims acquires the VM locks of every distinct shim in ascending
-// creation order — the single global lock order that keeps multi-shim
-// transfers (kernel, network, multicast) deadlock-free no matter which
-// pairs overlap. The returned slice (deduplicated, sorted) is what
-// unlockShims expects.
-func lockShims(shims ...*Shim) []*Shim {
+// distinctBySeq deduplicates shims and orders them by ascending creation
+// sequence — THE global lock order. Both whole-transfer VM locking
+// (lockShims) and multicast pair-lock acquisition derive their ordering
+// from this one definition, so the deadlock-freedom invariant cannot drift
+// between them.
+func distinctBySeq(shims []*Shim) []*Shim {
 	distinct := shims[:0:0]
 	for _, s := range shims {
 		dup := false
@@ -132,6 +135,15 @@ func lockShims(shims ...*Shim) []*Shim {
 		}
 	}
 	sort.Slice(distinct, func(i, j int) bool { return distinct[i].seq < distinct[j].seq })
+	return distinct
+}
+
+// lockShims acquires the VM locks of every distinct shim in ascending
+// creation order — the single global lock order that keeps multi-shim
+// phase-locked transfers deadlock-free no matter which pairs overlap. The
+// returned slice (deduplicated, sorted) is what unlockShims expects.
+func lockShims(shims ...*Shim) []*Shim {
+	distinct := distinctBySeq(shims)
 	for _, s := range distinct {
 		s.mu.Lock()
 	}

@@ -18,6 +18,16 @@ type InboundRef struct {
 	Len uint32
 }
 
+// UserOptions tunes a user-space transfer.
+type UserOptions struct {
+	// SourceRef pins the source region to transfer instead of asking the
+	// guest for its latest output: set_output + locate run atomically
+	// inside the transfer, which is what lets streaming chains hand a
+	// delivered region to the next hop without a race window (see
+	// Function.sourceOutput).
+	SourceRef *OutputRef
+}
+
 // UserSpaceTransfer moves the source function's current output into the
 // target function within the same Wasm VM (§4.1, Fig. 4a):
 //
@@ -26,8 +36,10 @@ type InboundRef struct {
 //  3. allocate_memory in the target,
 //  4. write_output into the target's linear memory.
 //
-// One user-space copy total, no serialization, no kernel involvement.
-func UserSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, error) {
+// One user-space copy total, no serialization, no kernel involvement. Both
+// functions live in one VM, so the single VM lock covers the whole move —
+// the degenerate (stage-less) case of the pipeline.
+func UserSpaceTransfer(src, dst *Function, opts UserOptions) (InboundRef, metrics.TransferReport, error) {
 	if src.shim != dst.shim {
 		return InboundRef{}, metrics.TransferReport{}, ErrDifferentVM
 	}
@@ -40,7 +52,7 @@ func UserSpaceTransfer(src, dst *Function) (InboundRef, metrics.TransferReport, 
 	before := s.acct.Snapshot()
 	sw := metrics.NewStopwatch(s.now)
 
-	out, err := src.locateQuiet()
+	out, err := src.sourceOutput(opts.SourceRef)
 	if err != nil {
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
@@ -74,6 +86,14 @@ type KernelOptions struct {
 	// channel is a persistent cached socketpair reused across transfers of
 	// the same shim pair.
 	NoChannelCache bool
+	// PhaseLocked runs the transfer in the pre-pipeline regime — both VM
+	// locks held for the whole operation, send-all strictly before
+	// receive-all — kept as the ablation baseline for the staged pipeline.
+	PhaseLocked bool
+	// SourceRef pins the source region (see UserOptions.SourceRef).
+	SourceRef *OutputRef
+	// Gates carries test instrumentation (see PipelineGates).
+	Gates *PipelineGates
 }
 
 // KernelSpaceTransfer moves the source's output to a function in a different
@@ -84,6 +104,10 @@ type KernelOptions struct {
 // channel: only the first transfer of a pair pays the establishment syscall
 // (reported as the Setup breakdown component); warm transfers touch the
 // kernel exactly twice, once per payload crossing.
+//
+// The transfer runs as a staged pipeline (pipeline.go): the source VM is
+// locked only for copy_from_user, the target VM only while the socket
+// drains into its linear memory, and the two stages overlap.
 func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, metrics.TransferReport, error) {
 	if src.shim == dst.shim {
 		return InboundRef{}, metrics.TransferReport{}, ErrSameVM
@@ -91,85 +115,79 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 	if src.shim.Kernel() != dst.shim.Kernel() {
 		return InboundRef{}, metrics.TransferReport{}, ErrDifferentNode
 	}
-	srcShim, dstShim := src.shim, dst.shim
-	locked := lockShims(srcShim, dstShim)
-	defer unlockShims(locked)
-	beforeSrc := srcShim.acct.Snapshot()
-	beforeDst := dstShim.acct.Snapshot()
-	var breakdown metrics.Breakdown
+	spec := &pipelineSpec{
+		mode:        "kernel",
+		kind:        chanKernel,
+		perCall:     opts.NoChannelCache,
+		phaseLocked: opts.PhaseLocked,
+		gates:       opts.Gates,
+		src:         src,
+		dst:         dst,
 
-	// Step 1-2: locate + zero-copy read of the source region (Wasm IO).
-	swIO := metrics.NewStopwatch(srcShim.now)
-	out, err := src.locateQuiet()
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
-	}
-	view, err := src.view.ReadView(out.Ptr, out.Len)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
-	}
-	breakdown.WasmIO = swIO.Lap()
-	srcShim.acct.CPU(metrics.User, breakdown.WasmIO)
+		// Steps 1-2 then the send half: locate + zero-copy read of the
+		// source region (Wasm IO), one copy_from_user into the socketpair.
+		egress: func(f *Function, ch *channel, announce func(OutputRef), m *stageMetrics) (OutputRef, error) {
+			s := f.shim
+			swIO := metrics.NewStopwatch(s.now)
+			out, err := f.sourceOutput(opts.SourceRef)
+			if err != nil {
+				return OutputRef{}, err
+			}
+			view, err := f.view.ReadView(out.Ptr, out.Len)
+			if err != nil {
+				return OutputRef{}, err
+			}
+			ioT := swIO.Lap()
+			s.acct.CPU(metrics.User, ioT)
+			m.wasmIO += ioT
+			announce(out)
 
-	// Step 3: acquire the IPC channel between the two shims.
-	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, chanKernel, opts.NoChannelCache)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc channel: %w", err)
-	}
-	breakdown.Setup = setup
-	healthy := false
-	defer func() { finish(healthy) }()
+			swT := metrics.NewStopwatch(s.now)
+			if _, err := s.proc.Write(ch.fdA, view); err != nil {
+				return OutputRef{}, fmt.Errorf("ipc send: %w", err)
+			}
+			sendT := swT.Lap()
+			s.acct.CPU(metrics.Kernel, sendT)
+			m.transfer += sendT
+			return out, nil
+		},
 
-	swT := metrics.NewStopwatch(srcShim.now)
-	if _, err := srcShim.proc.Write(ch.fdA, view); err != nil {
-		return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc send: %w", err)
-	}
-	transfer := swT.Lap()
-	srcShim.acct.CPU(metrics.Kernel, transfer)
+		// Steps 4-6: allocate in the target and receive straight into its
+		// linear memory.
+		ingress: func(f *Function, ch *channel, out OutputRef, m *stageMetrics) (InboundRef, error) {
+			s := f.shim
+			swIO := metrics.NewStopwatch(s.now)
+			dstPtr, err := f.view.Allocate(out.Len)
+			if err != nil {
+				return InboundRef{}, err
+			}
+			allocT := swIO.Lap()
+			s.acct.CPU(metrics.User, allocT)
+			m.wasmIO += allocT
 
-	// Steps 4-6: allocate in the target and receive straight into its
-	// linear memory.
-	swIO2 := metrics.NewStopwatch(dstShim.now)
-	dstPtr, err := dst.view.Allocate(out.Len)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
+			swR := metrics.NewStopwatch(s.now)
+			wv, err := f.view.WritableView(dstPtr, out.Len)
+			if err != nil {
+				return InboundRef{}, err
+			}
+			for off := 0; off < len(wv); {
+				n, err := s.proc.Read(ch.fdB, wv[off:])
+				if err != nil {
+					return InboundRef{}, fmt.Errorf("ipc recv: %w", err)
+				}
+				if n == 0 {
+					// A zero-progress read means the channel can never
+					// deliver the remaining bytes; looping would spin
+					// forever.
+					return InboundRef{}, fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed)
+				}
+				off += n
+			}
+			recvT := swR.Lap()
+			s.acct.CPU(metrics.Kernel, recvT)
+			m.transfer += recvT
+			return InboundRef{Ptr: dstPtr, Len: out.Len}, nil
+		},
 	}
-	allocT := swIO2.Lap()
-	dstShim.acct.CPU(metrics.User, allocT)
-	breakdown.WasmIO += allocT
-	swR := metrics.NewStopwatch(dstShim.now)
-	wv, err := dst.view.WritableView(dstPtr, out.Len)
-	if err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
-	}
-	for off := 0; off < len(wv); {
-		n, err := dstShim.proc.Read(ch.fdB, wv[off:])
-		if err != nil {
-			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc recv: %w", err)
-		}
-		if n == 0 {
-			// A zero-progress read means the channel can never deliver the
-			// remaining bytes; looping would spin forever.
-			return InboundRef{}, metrics.TransferReport{}, fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed)
-		}
-		off += n
-	}
-	recvT := swR.Lap()
-	dstShim.acct.CPU(metrics.Kernel, recvT)
-	transfer += recvT
-	healthy = true
-
-	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
-	// Modeled mode-switch overhead for the syscalls this path issued.
-	sysT := srcShim.Kernel().SyscallTime(usage.Syscalls)
-	transfer += sysT
-	breakdown.Transfer = transfer
-
-	report := metrics.TransferReport{
-		Bytes:     int64(out.Len),
-		Breakdown: breakdown,
-		Usage:     usage,
-		Mode:      "kernel",
-	}
-	return InboundRef{Ptr: dstPtr, Len: out.Len}, report, nil
+	return runPipeline(spec)
 }

@@ -89,8 +89,10 @@ func Quick() Options {
 // SchemaVersion identifies the layout of roadrunner-bench output (both the
 // table header line and the -json document), so CI benchmark smoke runs can
 // be diffed across PRs. Version 3 added the breakdown's Setup component and
-// the chancache warm/cold experiment.
-const SchemaVersion = 3
+// the chancache warm/cold experiment; version 4 added the breakdown's
+// Overlap component (critical-path credit of the staged pipeline) and the
+// pipeline chain experiment.
+const SchemaVersion = 4
 
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
@@ -168,6 +170,7 @@ func pointFromMetrics(system string, xMB float64, rep metrics.TransferReport) Po
 		WasmIO:        rep.Breakdown.WasmIO,
 		Network:       rep.Breakdown.Network,
 		Compute:       rep.Breakdown.Compute,
+		Overlap:       rep.Breakdown.Overlap,
 	}
 	return buildPoint(system, xMB,
 		rep.Latency(), rep.Breakdown.Serialization+rep.Breakdown.WasmIO,
@@ -217,6 +220,7 @@ func averagePoints(points []Point) Point {
 		out.Breakdown.WasmIO += p.Breakdown.WasmIO
 		out.Breakdown.Network += p.Breakdown.Network
 		out.Breakdown.Compute += p.Breakdown.Compute
+		out.Breakdown.Overlap += p.Breakdown.Overlap
 	}
 	n := time.Duration(len(points))
 	fn := float64(len(points))
@@ -234,6 +238,7 @@ func averagePoints(points []Point) Point {
 	out.Breakdown.WasmIO /= n
 	out.Breakdown.Network /= n
 	out.Breakdown.Compute /= n
+	out.Breakdown.Overlap /= n
 	return out
 }
 
@@ -256,11 +261,12 @@ var Registry = map[string]func(Options) (*Result, error){
 	"fig9":      Fig9,
 	"fig10":     Fig10,
 	"chancache": ChanCache,
+	"pipeline":  Pipeline,
 }
 
 // IDs lists the experiment identifiers, paper figures first.
 func IDs() []string {
-	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache"}
+	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline"}
 }
 
 // RunAll executes every experiment and prints the results.

@@ -20,11 +20,23 @@ type Breakdown struct {
 	WasmIO        time.Duration // linear-memory access through the shim ABI
 	Network       time.Duration // modeled wire time (bandwidth share + RTT)
 	Compute       time.Duration // guest function compute, when measured separately
+	// Overlap is the wall-clock time the transfer's source and target
+	// pipeline stages ran concurrently (zero in the phase-locked regime).
+	// The per-component durations above are measured within each stage, so
+	// their sum double-counts the overlapped window; Total subtracts it,
+	// making the reported latency the pipeline's critical path rather than
+	// the sum of sequential laps.
+	Overlap time.Duration
 }
 
-// Total sums every component.
+// Total sums every component and credits back the overlapped window, so the
+// result is the transfer's critical-path latency.
 func (b Breakdown) Total() time.Duration {
-	return b.Setup + b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
+	t := b.Setup + b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute - b.Overlap
+	if t < 0 {
+		return 0
+	}
+	return t
 }
 
 // Add returns the component-wise sum.
@@ -36,6 +48,7 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 		WasmIO:        b.WasmIO + o.WasmIO,
 		Network:       b.Network + o.Network,
 		Compute:       b.Compute + o.Compute,
+		Overlap:       b.Overlap + o.Overlap,
 	}
 }
 
@@ -52,6 +65,7 @@ func (b Breakdown) Scale(n int) Breakdown {
 		WasmIO:        b.WasmIO / d,
 		Network:       b.Network / d,
 		Compute:       b.Compute / d,
+		Overlap:       b.Overlap / d,
 	}
 }
 
@@ -69,6 +83,7 @@ func (b Breakdown) String() string {
 	add("wasmIO", b.WasmIO)
 	add("network", b.Network)
 	add("compute", b.Compute)
+	add("overlap", b.Overlap)
 	if len(parts) == 0 {
 		return "breakdown{}"
 	}

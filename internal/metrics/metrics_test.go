@@ -105,6 +105,29 @@ func TestBreakdownTotalAndAdd(t *testing.T) {
 	}
 }
 
+// TestBreakdownOverlapCriticalPath: Total subtracts the overlapped window
+// (critical-path attribution), never goes negative, and Add/Scale carry the
+// component through.
+func TestBreakdownOverlapCriticalPath(t *testing.T) {
+	b := Breakdown{Transfer: 6, WasmIO: 4, Overlap: 3}
+	if b.Total() != 7 {
+		t.Fatalf("total = %v, want 7", b.Total())
+	}
+	if sum := b.Add(b); sum.Overlap != 6 || sum.Total() != 14 {
+		t.Fatalf("sum = %+v (total %v)", sum, sum.Total())
+	}
+	if avg := b.Add(b).Scale(2); avg != b {
+		t.Fatalf("scaled = %+v", avg)
+	}
+	if s := b.String(); !strings.Contains(s, "overlap=3ns") {
+		t.Fatalf("string = %q", s)
+	}
+	over := Breakdown{Transfer: 2, Overlap: 5}
+	if over.Total() != 0 {
+		t.Fatalf("over-credited total = %v, want clamped 0", over.Total())
+	}
+}
+
 func TestBreakdownScale(t *testing.T) {
 	b := Breakdown{Transfer: 10 * time.Second, Network: 4 * time.Second}
 	avg := b.Scale(2)

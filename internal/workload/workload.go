@@ -26,15 +26,20 @@ import (
 )
 
 // SchemaVersion identifies the Result JSON layout. Version 2 added the
-// "channels" field (warm/cold channel-cache regime).
-const SchemaVersion = 2
+// "channels" field (warm/cold channel-cache regime); version 3 added the
+// "pipeline" field (pipelined vs phase-locked data plane) and the "chain"
+// mode (chain-depth scaling over a line of functions).
+const SchemaVersion = 3
 
-// Modes the generator can drive. Mixed chains one hop of each mechanism.
+// Modes the generator can drive. Mixed chains one hop of each mechanism;
+// chain runs a Hops-deep line of functions alternating kernel and network
+// hops (the chain-depth scaling scenario for the staged pipeline).
 const (
 	ModeMixed   = "mixed"
 	ModeUser    = "user"
 	ModeKernel  = "kernel"
 	ModeNetwork = "network"
+	ModeChain   = "chain"
 )
 
 // Config parameterizes one load run.
@@ -69,6 +74,11 @@ type Config struct {
 	// for warm-vs-cold comparisons. Default false: after the first
 	// execution per instance the harness measures steady-state reuse.
 	ColdChannels bool
+	// PhaseLocked runs every transfer in the pre-pipeline regime (both VM
+	// locks held per hop, phases strictly sequential) — the ablation
+	// baseline for pipelined-vs-phase-locked comparisons. Default false:
+	// the staged pipeline.
+	PhaseLocked bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -79,14 +89,15 @@ func (c Config) withDefaults() (Config, error) {
 		c.Mode = ModeMixed
 	}
 	switch c.Mode {
-	case ModeMixed, ModeUser, ModeKernel, ModeNetwork:
+	case ModeMixed, ModeUser, ModeKernel, ModeNetwork, ModeChain:
 	default:
 		return c, fmt.Errorf("workload: unknown mode %q", c.Mode)
 	}
 	if c.Hops <= 0 {
-		if c.Mode == ModeMixed {
+		switch c.Mode {
+		case ModeMixed, ModeChain:
 			c.Hops = 3
-		} else {
+		default:
 			c.Hops = 2
 		}
 	}
@@ -146,6 +157,7 @@ type Result struct {
 	Loop          string `json:"loop"` // "closed" or "open"
 	Mode          string `json:"mode"`
 	Channels      string `json:"channels"` // "warm" (cached hoses) or "cold" (per-call)
+	Pipeline      string `json:"pipeline"` // "pipelined" (staged) or "phase-locked" (ablation)
 	Workflows     int    `json:"workflows"`
 	Hops          int    `json:"hops"`
 	PayloadBytes  int    `json:"payload_bytes"`
@@ -200,8 +212,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.ColdChannels {
 		r.topts = append(r.topts, roadrunner.WithChannelCache(false))
 	}
+	if cfg.PhaseLocked {
+		r.topts = append(r.topts, roadrunner.WithPhaseLocked(true))
+	}
 	for i := 0; i < cfg.Workflows; i++ {
-		inst, err := deployInstance(p, cfg.Mode, i)
+		inst, err := deployInstance(p, cfg.Mode, cfg.Hops, i)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -217,7 +232,7 @@ func (r *Runner) Close() { r.platform.Close() }
 // Platform exposes the underlying deployment (for tests).
 func (r *Runner) Platform() *roadrunner.Platform { return r.platform }
 
-func deployInstance(p *roadrunner.Platform, mode string, i int) (*instance, error) {
+func deployInstance(p *roadrunner.Platform, mode string, hops, i int) (*instance, error) {
 	wf := roadrunner.Workflow{Name: fmt.Sprintf("wf-%d", i), Tenant: "load"}
 	deploy := func(name, node string, share *roadrunner.Function) (*roadrunner.Function, error) {
 		return p.Deploy(roadrunner.FunctionSpec{
@@ -265,6 +280,21 @@ func deployInstance(p *roadrunner.Platform, mode string, i int) (*instance, erro
 			return nil, err
 		}
 		fns = append(fns, b, c, d)
+	case ModeChain:
+		// A hops-deep line of dedicated shims placed edge,edge,cloud,cloud,
+		// edge,… so the chain alternates kernel-space and network hops —
+		// the chain-depth scaling scenario for the staged pipeline.
+		for h := 1; h <= hops; h++ {
+			node := "edge"
+			if h%4 == 2 || h%4 == 3 {
+				node = "cloud"
+			}
+			f, err := deploy(fmt.Sprintf("n%d", h), node, nil)
+			if err != nil {
+				return nil, err
+			}
+			fns = append(fns, f)
+		}
 	}
 	return &instance{fns: fns}, nil
 }
@@ -296,13 +326,20 @@ func (r *Runner) execute(inst *instance) error {
 	for h := 0; h < cfg.Hops; h++ {
 		src := fns[h%len(fns)]
 		dst := fns[(h+1)%len(fns)]
-		if h > 0 {
-			if err := src.SetOutput(ref); err != nil {
-				return fmt.Errorf("hop %d set-output: %w", h, err)
+		// Streaming hop: the input region is pinned atomically inside the
+		// transfer's source stage (WithSourceRef) instead of a separate
+		// SetOutput call, exactly as Platform.Chain does.
+		opts := append(append(make([]roadrunner.TransferOption, 0, len(r.topts)+1), r.topts...),
+			roadrunner.WithSourceRef(ref))
+		if h == 0 {
+			out, err := src.Output()
+			if err != nil {
+				return fmt.Errorf("head output: %w", err)
 			}
+			opts[len(opts)-1] = roadrunner.WithSourceRef(out)
 		}
 		var err error
-		ref, _, err = r.platform.Transfer(src, dst, r.topts...)
+		ref, _, err = r.platform.Transfer(src, dst, opts...)
 		if err != nil {
 			return fmt.Errorf("hop %d %s->%s: %w", h, src.Name(), dst.Name(), err)
 		}
@@ -360,11 +397,16 @@ func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open 
 	if cfg.ColdChannels {
 		channels = "cold"
 	}
+	pipeline := "pipelined"
+	if cfg.PhaseLocked {
+		pipeline = "phase-locked"
+	}
 	res := &Result{
 		SchemaVersion: SchemaVersion,
 		Loop:          loop,
 		Mode:          cfg.Mode,
 		Channels:      channels,
+		Pipeline:      pipeline,
 		Workflows:     cfg.Workflows,
 		Hops:          cfg.Hops,
 		PayloadBytes:  cfg.PayloadBytes,

@@ -7,7 +7,7 @@ import (
 )
 
 func TestClosedLoopAllModes(t *testing.T) {
-	for _, mode := range []string{ModeMixed, ModeUser, ModeKernel, ModeNetwork} {
+	for _, mode := range []string{ModeMixed, ModeUser, ModeKernel, ModeNetwork, ModeChain} {
 		t.Run(mode, func(t *testing.T) {
 			res, err := Run(Config{
 				Workflows:    4,
@@ -159,6 +159,39 @@ func TestColdChannelsRegime(t *testing.T) {
 // ChannelStatsLike keeps the assertion independent of the stats type's
 // non-counter fields.
 type ChannelStatsLike struct{ Hits, Misses int64 }
+
+// TestChainDepthAndPhaseLockedRegime: the chain mode deploys a hops-deep
+// line of functions (no ring wrap), and the phase-locked regime is carried
+// in the result schema while delivering identical checksums.
+func TestChainDepthAndPhaseLockedRegime(t *testing.T) {
+	for _, phaseLocked := range []bool{false, true} {
+		res, err := Run(Config{
+			Workflows:    2,
+			Requests:     6,
+			Hops:         5,
+			PayloadBytes: 8 << 10,
+			Mode:         ModeChain,
+			Verify:       true,
+			PhaseLocked:  phaseLocked,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("phaseLocked=%v: %d failed executions", phaseLocked, res.Errors)
+		}
+		if res.Hops != 5 || res.Mode != ModeChain {
+			t.Fatalf("hops/mode = %d/%s", res.Hops, res.Mode)
+		}
+		want := "pipelined"
+		if phaseLocked {
+			want = "phase-locked"
+		}
+		if res.Pipeline != want {
+			t.Fatalf("pipeline = %q, want %q", res.Pipeline, want)
+		}
+	}
+}
 
 // TestPercentilesCeilNearestRank is the regression test for the truncated
 // rank index: int(q*(n-1)) under-reported tail latency (e.g. P99 of

@@ -8,7 +8,10 @@ import (
 
 // Breakdown decomposes one transfer's latency into the components the paper
 // reports (Fig. 6a): kernel-path transfer time, serialization time, the Wasm
-// VM I/O penalty, modeled network time, and guest compute.
+// VM I/O penalty, modeled network time, and guest compute. Overlap is the
+// wall-clock window the transfer's source and target pipeline stages ran
+// concurrently; Total credits it back, so Latency reports the pipeline's
+// critical path rather than the sum of sequential laps.
 type Breakdown struct {
 	Setup         time.Duration
 	Transfer      time.Duration
@@ -16,11 +19,16 @@ type Breakdown struct {
 	WasmIO        time.Duration
 	Network       time.Duration
 	Compute       time.Duration
+	Overlap       time.Duration
 }
 
-// Total sums every component.
+// Total sums every component, minus the overlapped window (critical path).
 func (b Breakdown) Total() time.Duration {
-	return b.Setup + b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute
+	t := b.Setup + b.Transfer + b.Serialization + b.WasmIO + b.Network + b.Compute - b.Overlap
+	if t < 0 {
+		return 0
+	}
+	return t
 }
 
 // Usage reports the resources one transfer consumed across the sandboxes
@@ -79,6 +87,7 @@ func (r Report) Merge(o Report) Report {
 			WasmIO:        r.Breakdown.WasmIO + o.Breakdown.WasmIO,
 			Network:       r.Breakdown.Network + o.Breakdown.Network,
 			Compute:       r.Breakdown.Compute + o.Breakdown.Compute,
+			Overlap:       r.Breakdown.Overlap + o.Breakdown.Overlap,
 		},
 		Usage: Usage{
 			UserCopyBytes:   r.Usage.UserCopyBytes + o.Usage.UserCopyBytes,
@@ -104,6 +113,7 @@ func fromReport(r metrics.TransferReport) Report {
 			WasmIO:        r.Breakdown.WasmIO,
 			Network:       r.Breakdown.Network,
 			Compute:       r.Breakdown.Compute,
+			Overlap:       r.Breakdown.Overlap,
 		},
 		Usage: Usage{
 			UserCopyBytes:   r.Usage.UserCopyBytes,

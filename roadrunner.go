@@ -143,7 +143,9 @@ func WithModule(bin []byte) Option {
 	return func(c *platformConfig) { c.module = bin }
 }
 
-// WithClock injects a deterministic clock for tests.
+// WithClock injects a deterministic clock for tests. Transfers read the
+// clock from both pipeline-stage goroutines, so the function must be safe
+// for concurrent use.
 func WithClock(now func() time.Time) Option {
 	return func(c *platformConfig) { c.now = now }
 }
@@ -342,6 +344,8 @@ type transferConfig struct {
 	mode        Mode
 	flows       int
 	coldChannel bool
+	phaseLocked bool
+	sourceRef   *DataRef
 }
 
 // WithMode forces a specific transfer mechanism.
@@ -364,6 +368,28 @@ func WithFlows(n int) TransferOption {
 // Disabling restores per-call setup and teardown — the cold-path ablation.
 func WithChannelCache(on bool) TransferOption {
 	return func(c *transferConfig) { c.coldChannel = !on }
+}
+
+// WithPhaseLocked selects (true) the pre-pipeline execution regime for this
+// transfer: both VM locks held for the whole operation and the source's
+// send phase run strictly before the target's receive phase. The default
+// (false) is the staged pipeline — each VM locked only for its own stage,
+// stages overlapped on separate goroutines. Phase-locked execution issues
+// the identical syscall and copy sequence (pipelining moves when work
+// happens, never how much) and exists as the ablation baseline for
+// pipelined-vs-phase-locked comparisons.
+func WithPhaseLocked(on bool) TransferOption {
+	return func(c *transferConfig) { c.phaseLocked = on }
+}
+
+// WithSourceRef pins the region the transfer reads from the source function
+// instead of asking the guest for its latest output. The region is
+// re-registered (set_output) and located atomically inside the transfer's
+// source stage, under the source VM lock — which is what lets streaming
+// chains hand a delivered region to the next hop with no window in which a
+// concurrent transfer through the same function could retarget its output.
+func WithSourceRef(ref DataRef) TransferOption {
+	return func(c *transferConfig) { c.sourceRef = &ref }
 }
 
 // ChannelStats counts channel-cache activity: Hits and Misses split warm
@@ -407,23 +433,42 @@ func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef
 			mode = ModeNetwork
 		}
 	}
+	srcRef := coreSourceRef(cfg.sourceRef)
 	switch mode {
 	case ModeUserSpace:
-		ref, rep, err := core.UserSpaceTransfer(src.inner, dst.inner)
+		ref, rep, err := core.UserSpaceTransfer(src.inner, dst.inner, core.UserOptions{SourceRef: srcRef})
 		return convert(ref, rep, err)
 	case ModeKernelSpace:
-		ref, rep, err := core.KernelSpaceTransfer(src.inner, dst.inner, core.KernelOptions{NoChannelCache: cfg.coldChannel})
+		ref, rep, err := core.KernelSpaceTransfer(src.inner, dst.inner, core.KernelOptions{
+			NoChannelCache: cfg.coldChannel,
+			PhaseLocked:    cfg.phaseLocked,
+			SourceRef:      srcRef,
+		})
 		return convert(ref, rep, err)
 	case ModeNetwork:
 		if src.node == dst.node {
 			return DataRef{}, Report{}, fmt.Errorf("network mode on one node: %w", ErrModeUnavailable)
 		}
 		link := p.topo.LinkBetween(src.node, dst.node)
-		ref, rep, err := core.NetworkTransfer(src.inner, dst.inner, core.NetworkOptions{Link: link, Flows: cfg.flows, NoChannelCache: cfg.coldChannel})
+		ref, rep, err := core.NetworkTransfer(src.inner, dst.inner, core.NetworkOptions{
+			Link:           link,
+			Flows:          cfg.flows,
+			NoChannelCache: cfg.coldChannel,
+			PhaseLocked:    cfg.phaseLocked,
+			SourceRef:      srcRef,
+		})
 		return convert(ref, rep, err)
 	default:
 		return DataRef{}, Report{}, fmt.Errorf("mode %v: %w", mode, ErrModeUnavailable)
 	}
+}
+
+// coreSourceRef converts a pinned source region to the core representation.
+func coreSourceRef(ref *DataRef) *core.OutputRef {
+	if ref == nil {
+		return nil
+	}
+	return &core.OutputRef{Ptr: ref.Ptr, Len: ref.Len}
 }
 
 func convert(ref core.InboundRef, rep metrics.TransferReport, err error) (DataRef, Report, error) {
