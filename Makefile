@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint staticcheck clean
+.PHONY: all build test race bench lint staticcheck vuln cover clean
 
 all: lint build race bench
 
@@ -31,12 +31,16 @@ bench:
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -cold-channels -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 4 -mode chain -phase-locked -compact
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -replicas 3 -compact
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -replicas 3 -placement round-robin -compact
 	$(GO) run ./cmd/roadrunner-bench -exp fig7 -sizes 1 -json
 	@mkdir -p artifacts
 	$(GO) run ./cmd/roadrunner-bench -exp chancache -sizes 1,4 -json > artifacts/bench-chancache.json
 	@cat artifacts/bench-chancache.json
 	$(GO) run ./cmd/roadrunner-bench -exp pipeline -json > BENCH_3.json
 	@cat BENCH_3.json
+	$(GO) run ./cmd/roadrunner-bench -exp placement -json > BENCH_4.json
+	@cat BENCH_4.json
 
 ## lint: vet + gofmt gate
 lint:
@@ -53,6 +57,22 @@ staticcheck:
 	else \
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...; \
 	fi
+
+## vuln: known-vulnerability scan (CI's vuln job; needs the binary or network)
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...; \
+	fi
+
+## cover: per-package coverage (CI's coverage job)
+cover:
+	@mkdir -p artifacts
+	$(GO) test -covermode=atomic -coverprofile=artifacts/coverage.out ./... \
+		> artifacts/coverage-per-package.txt
+	@cat artifacts/coverage-per-package.txt
+	$(GO) tool cover -func=artifacts/coverage.out | tail -1
 
 clean:
 	rm -rf bin

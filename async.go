@@ -78,17 +78,20 @@ func (p *Platform) ChainAsync(n int, fns ...*Function) *TransferFuture {
 	return fut
 }
 
-// FanoutAsync produces an n-byte payload at src once, then batches the
-// delivery to every target across the worker pool, returning one future per
-// target. The produce step is synchronous (it must happen before any hop);
-// the fan-out itself proceeds as workers free up, with all targets' flows
-// modeled as sharing the link like Fanout.
+// FanoutAsync produces an n-byte payload at a routed instance of src once,
+// then batches the delivery to every target across the worker pool,
+// returning one future per target. The produce step is synchronous (it must
+// happen before any hop) and its instance plus output region are pinned
+// into every delivery, so later routed operations on src cannot retarget
+// the fan-out mid-flight; the fan-out itself proceeds as workers free up,
+// with all targets' flows modeled as sharing the link like Fanout.
 func (p *Platform) FanoutAsync(src *Function, targets []*Function, n int) ([]*TransferFuture, error) {
 	pool := p.scheduler()
 	if pool == nil {
 		return nil, ErrClosed
 	}
-	if err := src.Produce(n); err != nil {
+	si, out, err := p.produceRouted(src, n)
+	if err != nil {
 		return nil, err
 	}
 	futs := make([]*TransferFuture, len(targets))
@@ -97,7 +100,8 @@ func (p *Platform) FanoutAsync(src *Function, targets []*Function, n int) ([]*Tr
 		futs[i] = fut
 		dst := dst
 		if err := pool.Submit(func() {
-			fut.resolve(p.Transfer(src, dst, WithFlows(len(targets))))
+			fut.resolve(p.Transfer(src, dst,
+				WithSourceInstance(si), WithSourceRef(out), WithFlows(len(targets))))
 		}); err != nil {
 			fut.resolve(DataRef{}, Report{}, ErrClosed)
 		}

@@ -1,6 +1,6 @@
 // Benchmarks regenerating the paper's evaluation artifacts as testing.B
 // targets, one group per table/figure, plus the ablation benches called out
-// in DESIGN.md §4. The per-op metric corresponds to one data transfer (or
+// in DESIGN.md §5. The per-op metric corresponds to one data transfer (or
 // one cold start for Fig. 2a). Payloads are bench-scaled; use
 // cmd/roadrunner-bench -full for the paper's axes.
 package roadrunner_test
@@ -266,7 +266,7 @@ func benchmarkFanout(b *testing.B, degree int, remote bool) {
 func BenchmarkFig9FanoutIntra8(b *testing.B)  { benchmarkFanout(b, 8, false) }
 func BenchmarkFig10FanoutInter8(b *testing.B) { benchmarkFanout(b, 8, true) }
 
-// ---- Ablations (DESIGN.md §4) ------------------------------------------------------
+// ---- Ablations (DESIGN.md §5) ------------------------------------------------------
 
 // newNetworkPair builds a two-node Roadrunner deployment at the core layer,
 // where the ablation switches live.

@@ -1,0 +1,151 @@
+// Tests for platform teardown semantics: Close drains the async worker
+// pool before tearing down shims, and every public data-plane API called
+// after Close returns ErrClosed instead of racing teardown.
+package roadrunner_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	roadrunner "github.com/polaris-slo-cloud/roadrunner-go"
+)
+
+// TestCloseDrainsAsyncInFlight closes the platform while a burst of async
+// transfers is in flight: every accepted future must resolve — either with
+// a completed delivery (it was drained against live shims) or with
+// ErrClosed (it was submitted after Close began) — and never hang, panic or
+// race teardown. Run under -race.
+func TestCloseDrainsAsyncInFlight(t *testing.T) {
+	p := roadrunner.New(roadrunner.WithWorkers(4))
+	const pairs = 4
+	srcs := make([]*roadrunner.Function, pairs)
+	dsts := make([]*roadrunner.Function, pairs)
+	for i := 0; i < pairs; i++ {
+		wf := roadrunner.Workflow{Name: fmt.Sprintf("wf-%d", i), Tenant: "close"}
+		var err error
+		if srcs[i], err = p.Deploy(roadrunner.FunctionSpec{Name: fmt.Sprintf("s%d", i), Node: "edge", Workflow: wf}); err != nil {
+			t.Fatal(err)
+		}
+		if dsts[i], err = p.Deploy(roadrunner.FunctionSpec{Name: fmt.Sprintf("d%d", i), Node: "cloud", Workflow: wf}); err != nil {
+			t.Fatal(err)
+		}
+		if err := srcs[i].Produce(8 << 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const perPair = 12
+	futs := make(chan *roadrunner.TransferFuture, pairs*perPair)
+	var launchers sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		i := i
+		launchers.Add(1)
+		go func() {
+			defer launchers.Done()
+			for k := 0; k < perPair; k++ {
+				futs <- p.TransferAsync(srcs[i], dsts[i])
+			}
+		}()
+	}
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	launchers.Wait()
+	close(futs)
+
+	resolved := 0
+	for fut := range futs {
+		if _, _, err := fut.Wait(); err != nil && !errors.Is(err, roadrunner.ErrClosed) {
+			t.Fatalf("future resolved with %v, want success or ErrClosed", err)
+		}
+		resolved++
+	}
+	if resolved != pairs*perPair {
+		t.Fatalf("resolved %d futures, want %d", resolved, pairs*perPair)
+	}
+	<-closed
+
+	// Every public data-plane entry point must now answer ErrClosed.
+	src, dst := srcs[0], dsts[0]
+	checks := map[string]error{
+		"Deploy": func() error {
+			_, err := p.Deploy(roadrunner.FunctionSpec{Name: "late", Node: "edge"})
+			return err
+		}(),
+		"Transfer": func() error { _, _, err := p.Transfer(src, dst); return err }(),
+		"Invoke":   func() error { _, err := p.Invoke(src, dst, 1024); return err }(),
+		"Chain":    func() error { _, _, err := p.Chain(1024, src, dst); return err }(),
+		"Multicast": func() error {
+			_, _, err := p.Multicast(src, []*roadrunner.Function{dst})
+			return err
+		}(),
+		"Fanout": func() error {
+			_, err := p.Fanout(src, []*roadrunner.Function{dst}, 1024)
+			return err
+		}(),
+		"Produce":          src.Produce(1024),
+		"Output":           func() error { _, err := src.Output(); return err }(),
+		"SetOutput":        src.SetOutput(roadrunner.DataRef{}),
+		"Checksum":         func() error { _, err := src.Checksum(roadrunner.DataRef{}); return err }(),
+		"Release":          src.Release(roadrunner.DataRef{}),
+		"Call":             func() error { _, err := src.Call("produce", 8); return err }(),
+		"ResizeHalf":       func() error { _, err := src.ResizeHalf(roadrunner.DataRef{}, 0, 0); return err }(),
+		"SaveState":        src.SaveState("k"),
+		"LoadState":        func() error { _, err := src.LoadState("k"); return err }(),
+		"Instance.Produce": src.Instance(0).Produce(1024),
+		"Instance.Checksum": func() error {
+			_, err := src.Instance(0).Checksum(roadrunner.DataRef{})
+			return err
+		}(),
+		"TransferAsync": func() error { _, _, err := p.TransferAsync(src, dst).Wait(); return err }(),
+		"ChainAsync":    func() error { _, _, err := p.ChainAsync(1024, src, dst).Wait(); return err }(),
+		"FanoutAsync": func() error {
+			_, err := p.FanoutAsync(src, []*roadrunner.Function{dst}, 1024)
+			return err
+		}(),
+	}
+	for name, err := range checks {
+		if !errors.Is(err, roadrunner.ErrClosed) {
+			t.Errorf("%s after Close = %v, want ErrClosed", name, err)
+		}
+	}
+}
+
+// TestCloseWithSyncTransfersInFlight overlaps Close with direct synchronous
+// transfers: each call must either complete against live shims or return
+// ErrClosed — teardown never runs under an admitted operation.
+func TestCloseWithSyncTransfersInFlight(t *testing.T) {
+	p := roadrunner.New()
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "s", Node: "edge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "d", Node: "cloud"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Produce(8 << 10); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 16; k++ {
+				if _, _, err := p.Transfer(src, dst); err != nil {
+					if !errors.Is(err, roadrunner.ErrClosed) {
+						t.Errorf("transfer during close: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	p.Close()
+	wg.Wait()
+}

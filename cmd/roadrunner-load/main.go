@@ -9,6 +9,8 @@
 //	roadrunner-load -mode network -payload 1048576
 //	roadrunner-load -mode chain -hops 6      # chain-depth scaling scenario
 //	roadrunner-load -mode chain -phase-locked # pre-pipeline ablation regime
+//	roadrunner-load -replicas 4              # 4-instance pools per function, locality-routed
+//	roadrunner-load -replicas 4 -placement round-robin # placement-oblivious ablation
 //	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
 package main
 
@@ -43,6 +45,8 @@ func run(args []string) error {
 		verify    = fs.Bool("verify", true, "checksum every final delivery")
 		cold      = fs.Bool("cold-channels", false, "disable the channel cache: per-call hose setup/teardown (cold regime)")
 		locked    = fs.Bool("phase-locked", false, "run transfers in the phase-locked (pre-pipeline) regime: both VM locks per hop, no stage overlap")
+		replicas  = fs.Int("replicas", 1, "warm instance-pool size per function, spread across both nodes")
+		placement = fs.String("placement", "locality", "invoker-plane placement policy: locality, least-loaded or round-robin")
 		compact   = fs.Bool("compact", false, "single-line JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +65,8 @@ func run(args []string) error {
 		Verify:       *verify,
 		ColdChannels: *cold,
 		PhaseLocked:  *locked,
+		Replicas:     *replicas,
+		Placement:    *placement,
 	})
 	if err != nil {
 		return err

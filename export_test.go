@@ -1,0 +1,26 @@
+package roadrunner
+
+// Test-only accessors: compiled into test binaries exclusively, they expose
+// the conservation baselines (FD tables, the kernel page pool) the public
+// surface deliberately hides.
+
+// TestingInstanceFDs reports the number of open descriptors in each
+// instance's sandbox FD table, in pool order.
+func TestingInstanceFDs(f *Function) []int {
+	out := make([]int, len(f.insts))
+	for i, inst := range f.insts {
+		out[i] = inst.inner.Shim().Proc().NumFDs()
+	}
+	return out
+}
+
+// TestingPoolResident reports the named node kernel's page-pool residency.
+func TestingPoolResident(p *Platform, node string) int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	k, ok := p.kernels[node]
+	if !ok {
+		return -1
+	}
+	return k.Pool().Resident()
+}

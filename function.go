@@ -11,85 +11,153 @@ import (
 )
 
 // Name returns the function name.
-func (f *Function) Name() string { return f.inner.Name() }
+func (f *Function) Name() string { return f.name }
 
-// Node returns the node the function is placed on.
-func (f *Function) Node() string { return f.node }
+// Node returns the node the function's first instance is placed on; see
+// Instances for the full pool spread.
+func (f *Function) Node() string { return f.insts[0].node }
 
 // Workflow returns the function's trusted context.
 func (f *Function) Workflow() Workflow { return f.workflow }
 
-// ColdStart reports the shim's accumulated sandbox + VM initialization time.
-func (f *Function) ColdStart() time.Duration { return f.inner.Shim().ColdStart() }
+// Replicas reports the size of the function's instance pool.
+func (f *Function) Replicas() int { return len(f.insts) }
 
-// SharesVMWith reports whether two functions live in the same Wasm VM (and
-// therefore qualify for user-space transfers).
-func (f *Function) SharesVMWith(o *Function) bool {
-	return f.inner.Shim() == o.inner.Shim()
+// Instances returns the function's replica pool in index order.
+func (f *Function) Instances() []*Instance {
+	out := make([]*Instance, len(f.insts))
+	copy(out, f.insts)
+	return out
 }
 
-// Produce runs the guest payload generator, making an n-byte deterministic
-// payload the function's current output.
+// Instance returns replica i — the explicit escape hatch for tests and
+// instance-affine callers — or nil when i is out of range.
+func (f *Function) Instance(i int) *Instance {
+	if i < 0 || i >= len(f.insts) {
+		return nil
+	}
+	return f.insts[i]
+}
+
+// ActiveInstance returns the instance holding the function's current
+// output: the last instance a routed produce, call or delivery landed on.
+func (f *Function) ActiveInstance() *Instance {
+	f.activeMu.Lock()
+	defer f.activeMu.Unlock()
+	return f.active
+}
+
+// setActive records inst as the holder of the function's current output.
+func (f *Function) setActive(inst *Instance) {
+	f.activeMu.Lock()
+	f.active = inst
+	f.activeMu.Unlock()
+}
+
+// pickInstance routes a peerless invocation (produce, a direct call) to an
+// instance via the platform's placement policy.
+func (f *Function) pickInstance() *Instance {
+	return f.insts[f.platform.place.PickOne(f.route, f.eps, nil)]
+}
+
+// ColdStart reports the accumulated sandbox + VM initialization time across
+// the pool's distinct shims.
+func (f *Function) ColdStart() time.Duration {
+	var total time.Duration
+	seen := make(map[*core.Shim]bool, len(f.insts))
+	for _, inst := range f.insts {
+		if s := inst.inner.Shim(); !seen[s] {
+			seen[s] = true
+			total += s.ColdStart()
+		}
+	}
+	return total
+}
+
+// SharesVMWith reports whether the two functions' first instances live in
+// the same Wasm VM (and therefore qualify for user-space transfers); use
+// Instance handles to test specific replica pairs.
+func (f *Function) SharesVMWith(o *Function) bool {
+	return f.insts[0].inner.Shim() == o.insts[0].inner.Shim()
+}
+
+// Produce runs the guest payload generator on a policy-routed instance,
+// making an n-byte deterministic payload the function's current output.
 func (f *Function) Produce(n int) error {
-	_, err := f.inner.CallPacked(guest.ExportProduce, uint64(n))
+	_, _, err := f.platform.produceRouted(f, n)
 	return err
 }
 
-// Output returns the function's current output region.
+// Output returns the active instance's current output region.
 func (f *Function) Output() (DataRef, error) {
-	out, err := f.inner.Output()
+	if err := f.platform.beginOp(); err != nil {
+		return DataRef{}, err
+	}
+	defer f.platform.endOp()
+	out, err := f.ActiveInstance().inner.Output()
 	if err != nil {
 		return DataRef{}, err
 	}
 	return DataRef{Ptr: out.Ptr, Len: out.Len}, nil
 }
 
-// SetOutput registers delivered data as the function's output, enabling the
-// next hop of a chained workflow.
+// SetOutput registers delivered data in the active instance as the
+// function's output, enabling the next hop of a chained workflow.
 func (f *Function) SetOutput(ref DataRef) error {
-	if _, err := f.inner.Call(guest.ExportSetOutput, uint64(ref.Ptr), uint64(ref.Len)); err != nil {
+	if err := f.platform.beginOp(); err != nil {
 		return err
 	}
-	// Re-announce so the shim registers the region as readable.
-	_, err := f.inner.Locate()
-	return err
+	defer f.platform.endOp()
+	return f.ActiveInstance().setOutput(ref)
 }
 
-// Checksum digests a delivered region inside the guest; it matches
-// ExpectedChecksum for payloads created by Produce.
+// Checksum digests a delivered region inside the active instance's guest;
+// it matches ExpectedChecksum for payloads created by Produce.
 func (f *Function) Checksum(ref DataRef) (uint64, error) {
-	res, err := f.inner.Call(guest.ExportConsume, uint64(ref.Ptr), uint64(ref.Len))
-	if err != nil {
+	if err := f.platform.beginOp(); err != nil {
 		return 0, err
 	}
-	return res[0], nil
+	defer f.platform.endOp()
+	return f.ActiveInstance().checksum(ref)
 }
 
-// Release returns delivered data to the guest allocator
+// Release returns delivered data to the active instance's guest allocator
 // (deallocate_memory), rewinding the bump heap when the region is the most
 // recent live allocation. Long-running functions release inbound payloads
 // between invocations to keep linear memory bounded.
 func (f *Function) Release(ref DataRef) error {
-	return f.inner.Deallocate(ref.Ptr)
+	if err := f.platform.beginOp(); err != nil {
+		return err
+	}
+	defer f.platform.endOp()
+	return f.ActiveInstance().inner.Deallocate(ref.Ptr)
 }
 
-// Call invokes any guest export directly (see internal/guest for the
-// canonical module's surface).
+// Call invokes any guest export on a policy-routed instance (see
+// internal/guest for the canonical module's surface).
 func (f *Function) Call(export string, args ...uint64) ([]uint64, error) {
-	return f.inner.Call(export, args...)
+	if err := f.platform.beginOp(); err != nil {
+		return nil, err
+	}
+	defer f.platform.endOp()
+	inst := f.pickInstance()
+	f.route.Enter(inst.index)
+	defer f.route.Exit(inst.index)
+	res, err := inst.inner.Call(export, args...)
+	if err == nil {
+		f.setActive(inst)
+	}
+	return res, err
 }
 
 // ResizeHalf runs the guest's 2×2 box-filter downsample over a delivered
-// grayscale image, returning the output region.
+// grayscale image in the active instance, returning the output region.
 func (f *Function) ResizeHalf(ref DataRef, w, h int) (DataRef, error) {
-	if uint32(w*h) != ref.Len {
-		return DataRef{}, fmt.Errorf("roadrunner: resize %dx%d does not match %d delivered bytes", w, h, ref.Len)
-	}
-	out, err := f.inner.CallPacked(guest.ExportResizeHalf, uint64(ref.Ptr), uint64(w), uint64(h))
-	if err != nil {
+	if err := f.platform.beginOp(); err != nil {
 		return DataRef{}, err
 	}
-	return DataRef{Ptr: out.Ptr, Len: out.Len}, nil
+	defer f.platform.endOp()
+	return f.ActiveInstance().resizeHalf(ref, w, h)
 }
 
 // ExpectedChecksum returns the digest Checksum yields for an n-byte payload
@@ -101,14 +169,17 @@ func ExpectedChecksum(n int) uint64 {
 
 // Chain produces an n-byte payload at the first function and forwards it hop
 // by hop through the rest (the sequential invocation pattern of §6.1),
-// selecting the transfer mode per hop by locality. It returns the merged
+// selecting the transfer mode per hop by locality. Every hop's endpoint
+// instances are routed by the placement policy. It returns the merged
 // report and the final delivery. See ChainWith for the execution model.
 func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
 	return p.ChainWith(n, nil, fns...)
 }
 
 // ChainWith is Chain with per-hop transfer options (e.g. WithPhaseLocked
-// for the phase-locked ablation regime).
+// for the phase-locked ablation regime). Instance pins in opts are ignored:
+// a chain's source instance is always the previous hop's delivery, and each
+// hop's target is routed by the placement policy.
 //
 // Chains stream: every hop pins its input region explicitly (WithSourceRef),
 // so the set_output + locate step runs atomically inside the hop's source
@@ -117,33 +188,53 @@ func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
 // bytes. Interior VMs are therefore free between their stages — free to
 // serve other chains or unrelated transfers — instead of sitting
 // locked-idle for whole hops as in the phase-locked regime.
+//
+// A failing hop is named in the error: "hop i/h (src->dst)" with the hop's
+// 1-based index, total hop count and concrete instance names.
 func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (DataRef, Report, error) {
 	if len(fns) < 2 {
 		return DataRef{}, Report{}, fmt.Errorf("roadrunner: chain needs at least 2 functions, got %d", len(fns))
 	}
-	if err := fns[0].Produce(n); err != nil {
+	if err := p.beginOp(); err != nil {
 		return DataRef{}, Report{}, err
 	}
-	ref, err := fns[0].Output()
+	defer p.endOp()
+
+	head := fns[0].pickInstance()
+	fns[0].route.Enter(head.index)
+	ref, err := head.produceAt(n)
+	fns[0].route.Exit(head.index)
 	if err != nil {
-		return DataRef{}, Report{}, err
+		return DataRef{}, Report{}, fmt.Errorf("chain head %s: produce: %w", head.Name(), err)
 	}
+
+	cur := head
+	hops := len(fns) - 1
 	var total Report
 	for i := 0; i+1 < len(fns); i++ {
-		hopOpts := append(append(make([]TransferOption, 0, len(opts)+1), opts...), WithSourceRef(ref))
-		var (
-			rep Report
-			err error
-		)
-		ref, rep, err = p.Transfer(fns[i], fns[i+1], hopOpts...)
-		if err != nil {
-			return DataRef{}, Report{}, fmt.Errorf("hop %s->%s: %w", fns[i].Name(), fns[i+1].Name(), err)
+		cfg := transferConfig{flows: 1}
+		for _, opt := range opts {
+			opt(&cfg)
 		}
+		src := ref
+		cfg.sourceRef = &src
+		cfg.srcInst, cfg.dstInst = nil, nil
+		di, err := p.resolveTarget(cur, fns[i+1], &cfg)
+		if err != nil {
+			return DataRef{}, Report{}, fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), fns[i+1].Name(), err)
+		}
+		var rep Report
+		ref, rep, err = p.transferInstances(cur, di, &cfg)
+		if err != nil {
+			return DataRef{}, Report{}, fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), di.Name(), err)
+		}
+		fns[i+1].setActive(di)
 		if i == 0 {
 			total = rep
 		} else {
 			total = total.Merge(rep)
 		}
+		cur = di
 	}
 	return ref, total, nil
 }
@@ -151,17 +242,23 @@ func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (Da
 // Multicast delivers src's current output to every (remote) target in a
 // single pass over the virtual data hose, duplicating page references with
 // tee(2) semantics instead of re-reading the source per target — the
-// zero-copy fan-out extension of Algorithm 1. All targets must be on nodes
-// other than the source's. One report per target is returned.
+// zero-copy fan-out extension of Algorithm 1. Replicated targets are routed
+// to an instance on a node other than the source instance's whenever the
+// pool has one. One report per target is returned.
 //
 // Wire time is modeled per target: each target's report charges the link
-// between the source's node and that target's node, shared by the number of
-// multicast targets using the same link (override the sharing degree with
-// WithFlows). Supported options are WithFlows, WithChannelCache,
-// WithPhaseLocked and WithSourceRef; forcing a transfer mechanism is
+// between the source instance's node and that target instance's node,
+// shared by the number of multicast targets using the same link (override
+// the sharing degree with WithFlows). Supported options are WithFlows,
+// WithChannelCache, WithPhaseLocked, WithSourceRef and WithSourceInstance;
+// forcing a transfer mechanism (or pinning a single target instance) is
 // rejected with ErrModeUnavailable, since multicast is by construction a
-// network-path operation.
+// network-path operation with policy-routed targets.
 func (p *Platform) Multicast(src *Function, targets []*Function, opts ...TransferOption) ([]DataRef, []Report, error) {
+	if err := p.beginOp(); err != nil {
+		return nil, nil, err
+	}
+	defer p.endOp()
 	cfg := transferConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -169,11 +266,27 @@ func (p *Platform) Multicast(src *Function, targets []*Function, opts ...Transfe
 	if cfg.mode != ModeAuto && cfg.mode != ModeNetwork {
 		return nil, nil, fmt.Errorf("roadrunner: multicast is network-path only, mode %v: %w", cfg.mode, ErrModeUnavailable)
 	}
+	if cfg.dstInst != nil {
+		return nil, nil, fmt.Errorf("roadrunner: multicast routes every target by policy, cannot pin one target instance: %w", ErrModeUnavailable)
+	}
+	si, err := resolveSource(src, &cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	inner := make([]*core.Function, len(targets))
 	links := make([]*netsim.Link, len(targets))
+	chosen := make([]*Instance, len(targets))
 	for i, t := range targets {
-		inner[i] = t.inner
-		links[i] = p.topo.LinkBetween(src.node, t.node)
+		remote := func(j int) bool { return t.insts[j].node != si.node }
+		j := p.place.PickTarget(si.endpoint(), t.route, t.eps, remote, p.linkCost)
+		if j < 0 {
+			// No remote replica; pick among all and let the core layer
+			// reject the co-located target with its own error.
+			j = p.place.PickTarget(si.endpoint(), t.route, t.eps, nil, p.linkCost)
+		}
+		chosen[i] = t.insts[j]
+		inner[i] = chosen[i].inner
+		links[i] = p.topo.LinkBetween(si.node, chosen[i].node)
 	}
 	var flows []int
 	if cfg.flows > 0 {
@@ -182,7 +295,17 @@ func (p *Platform) Multicast(src *Function, targets []*Function, opts ...Transfe
 			flows[i] = cfg.flows
 		}
 	}
-	refs, reps, err := core.MulticastTransfer(src.inner, inner, core.MulticastOptions{
+	si.fn.route.Enter(si.index)
+	for _, di := range chosen {
+		di.fn.route.Enter(di.index)
+	}
+	defer func() {
+		si.fn.route.Exit(si.index)
+		for _, di := range chosen {
+			di.fn.route.Exit(di.index)
+		}
+	}()
+	refs, reps, err := core.MulticastTransfer(si.inner, inner, core.MulticastOptions{
 		Links:          links,
 		Flows:          flows,
 		NoChannelCache: cfg.coldChannel,
@@ -197,24 +320,42 @@ func (p *Platform) Multicast(src *Function, targets []*Function, opts ...Transfe
 	for i := range refs {
 		outRefs[i] = DataRef{Ptr: refs[i].Ptr, Len: refs[i].Len}
 		outReps[i] = fromReport(reps[i])
+		targets[i].setActive(chosen[i])
 	}
 	return outRefs, outReps, nil
 }
 
-// Fanout produces an n-byte payload at src and delivers it to every target
-// (the fan-out pattern of §6.4). The produce step runs once; the deliveries
-// then execute across the platform's worker pool, all reading the same
-// pinned source region. With the staged pipeline the source VM is occupied
-// only while each transfer's pages enter its channel, so the targets'
-// ingress stages — the expensive copies into their linear memories — run
-// genuinely in parallel. Network transfers are modeled with all targets'
-// flows sharing the link. It returns one report per target, in target
-// order.
+// Fanout produces an n-byte payload at a routed instance of src and
+// delivers it to every target (the fan-out pattern of §6.4), each target
+// routed to an instance by the placement policy. The produce step runs
+// once; the deliveries then execute across the platform's worker pool, all
+// reading the same pinned source region. With the staged pipeline the
+// source VM is occupied only while each transfer's pages enter its channel,
+// so the targets' ingress stages — the expensive copies into their linear
+// memories — run genuinely in parallel. Network transfers are modeled with
+// all targets' flows sharing the link. It returns one report per target, in
+// target order. The produce side may be pinned with WithSourceInstance;
+// pinning a single target instance is rejected with ErrModeUnavailable,
+// since every target is routed by the placement policy.
 func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...TransferOption) ([]Report, error) {
-	if err := src.Produce(n); err != nil {
+	if err := p.beginOp(); err != nil {
 		return nil, err
 	}
-	out, err := src.Output()
+	defer p.endOp()
+	base := transferConfig{flows: 1}
+	for _, opt := range opts {
+		opt(&base)
+	}
+	if base.dstInst != nil {
+		return nil, fmt.Errorf("roadrunner: fanout routes every target by policy, cannot pin one target instance: %w", ErrModeUnavailable)
+	}
+	si, err := resolveProducer(src, &base)
+	if err != nil {
+		return nil, err
+	}
+	src.route.Enter(si.index)
+	out, err := si.produceAt(n)
+	src.route.Exit(si.index)
 	if err != nil {
 		return nil, err
 	}
@@ -222,17 +363,33 @@ func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...Tra
 	if pool == nil {
 		return nil, ErrClosed
 	}
-	topts := append(append(make([]TransferOption, 0, len(opts)+2), opts...),
-		WithFlows(len(targets)), WithSourceRef(out))
+	// Resolve every target before submitting any delivery: a routing
+	// failure must not strand already-running transfers reading the pinned
+	// source region after this call returns.
+	chosen := make([]*Instance, len(targets))
+	cfgs := make([]transferConfig, len(targets))
+	for i, dst := range targets {
+		cfg := base
+		cfg.flows = len(targets)
+		srcRef := out
+		cfg.sourceRef = &srcRef
+		cfg.srcInst, cfg.dstInst = nil, nil
+		di, err := p.resolveTarget(si, dst, &cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fanout to %s: %w", dst.Name(), err)
+		}
+		chosen[i] = di
+		cfgs[i] = cfg
+	}
 	reports := make([]Report, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
-	for i, dst := range targets {
-		i, dst := i, dst
+	for i := range targets {
+		i := i
 		wg.Add(1)
 		if err := pool.Submit(func() {
 			defer wg.Done()
-			_, reports[i], errs[i] = p.Transfer(src, dst, topts...)
+			_, reports[i], errs[i] = p.transferInstances(si, chosen[i], &cfgs[i])
 		}); err != nil {
 			errs[i] = err
 			wg.Done()
@@ -241,24 +398,65 @@ func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...Tra
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("fanout to %s: %w", targets[i].Name(), err)
+			return nil, fmt.Errorf("fanout to %s: %w", chosen[i].Name(), err)
 		}
+		targets[i].setActive(chosen[i])
 	}
 	return reports, nil
 }
 
-// SaveState snapshots the function's current output under a named key in
-// the platform's shim-side state store — the function state management the
-// paper lists as future work (§9). Entries are scoped to the function's
-// workflow and tenant.
-func (f *Function) SaveState(key string) error {
-	return f.platform.state.Put(f.inner, key)
+// produceRouted is the guarded routed-produce entry for async batch paths:
+// it picks an instance by policy, produces there, and returns the concrete
+// instance together with the produced region, so the caller can pin both
+// into deliveries that outlive the call.
+func (p *Platform) produceRouted(src *Function, n int) (*Instance, DataRef, error) {
+	if err := p.beginOp(); err != nil {
+		return nil, DataRef{}, err
+	}
+	defer p.endOp()
+	si := src.pickInstance()
+	src.route.Enter(si.index)
+	defer src.route.Exit(si.index)
+	out, err := si.produceAt(n)
+	if err != nil {
+		return nil, DataRef{}, err
+	}
+	return si, out, nil
 }
 
-// LoadState delivers a previously saved payload back into the function's
-// linear memory. Only the saving workflow/tenant can see the entry.
+// resolveProducer picks the instance a fresh payload is produced at: the
+// pinned source instance, or the placement policy's choice.
+func resolveProducer(src *Function, cfg *transferConfig) (*Instance, error) {
+	if cfg.srcInst != nil {
+		if cfg.srcInst.fn != src {
+			return nil, fmt.Errorf("source %s: %w", cfg.srcInst.Name(), ErrForeignInstance)
+		}
+		return cfg.srcInst, nil
+	}
+	return src.pickInstance(), nil
+}
+
+// SaveState snapshots the active instance's current output under a named
+// key in the platform's shim-side state store — the function state
+// management the paper lists as future work (§9). Entries are scoped to the
+// function's workflow and tenant and shared by every replica instance.
+func (f *Function) SaveState(key string) error {
+	if err := f.platform.beginOp(); err != nil {
+		return err
+	}
+	defer f.platform.endOp()
+	return f.platform.state.Put(f.ActiveInstance().inner, key)
+}
+
+// LoadState delivers a previously saved payload back into the active
+// instance's linear memory. Only the saving workflow/tenant can see the
+// entry.
 func (f *Function) LoadState(key string) (DataRef, error) {
-	ref, err := f.platform.state.Get(f.inner, key)
+	if err := f.platform.beginOp(); err != nil {
+		return DataRef{}, err
+	}
+	defer f.platform.endOp()
+	ref, err := f.platform.state.Get(f.ActiveInstance().inner, key)
 	if err != nil {
 		return DataRef{}, err
 	}

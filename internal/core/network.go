@@ -20,11 +20,11 @@ type NetworkOptions struct {
 	Flows int
 	// ForceCopyPath disables vmsplice/splice and moves the payload with
 	// plain write/read syscalls — the ablation quantifying the
-	// near-zero-copy win in isolation (DESIGN.md §4.1).
+	// near-zero-copy win in isolation (DESIGN.md §5.1).
 	ForceCopyPath bool
 	// SerializeFirst re-enables the codec inside the guest before
 	// transmission — the ablation quantifying the serialization-free win
-	// (DESIGN.md §4.2).
+	// (DESIGN.md §5.2).
 	SerializeFirst bool
 	// BatchSyscalls submits the per-chunk vmsplice/splice operations as
 	// io_uring-style batches (one kernel entry per side), implementing the

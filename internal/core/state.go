@@ -25,7 +25,7 @@ var ErrNoState = errors.New("core: no such state entry")
 // function can never read another workflow's state.
 type StateStore struct {
 	mu      sync.Mutex
-	entries map[stateKey][]byte
+	entries map[stateKey]stateEntry
 }
 
 type stateKey struct {
@@ -33,15 +33,25 @@ type stateKey struct {
 	name     string
 }
 
+// stateEntry carries the snapshot plus the sandbox account it was charged
+// to, so deletion (or overwrite by another replica instance) credits the
+// resident bytes back to the account that paid for them — not to whichever
+// instance happens to issue the delete.
+type stateEntry struct {
+	data []byte
+	acct *metrics.Account
+}
+
 // NewStateStore returns an empty store.
 func NewStateStore() *StateStore {
-	return &StateStore{entries: make(map[stateKey][]byte)}
+	return &StateStore{entries: make(map[stateKey]stateEntry)}
 }
 
 // Put snapshots the function's current output region under the given key.
 // The payload is copied out of linear memory (the guest heap is transient
-// between invocations), charged as one user-space copy to the function's
-// sandbox.
+// between invocations), charged as one user-space copy and as resident
+// bytes to the function's sandbox; the residency is released on Delete or
+// when another Put replaces the entry.
 func (s *StateStore) Put(f *Function, name string) error {
 	f.shim.mu.Lock()
 	defer f.shim.mu.Unlock()
@@ -60,11 +70,12 @@ func (s *StateStore) Put(f *Function, name string) error {
 
 	key := stateKey{workflow: f.shim.workflow, name: name}
 	s.mu.Lock()
-	if old, ok := s.entries[key]; ok {
-		f.shim.acct.Allocate(int64(-len(old)))
-	}
-	s.entries[key] = snapshot
+	old, existed := s.entries[key]
+	s.entries[key] = stateEntry{data: snapshot, acct: f.shim.acct}
 	s.mu.Unlock()
+	if existed {
+		old.acct.Allocate(int64(-len(old.data)))
+	}
 	return nil
 }
 
@@ -74,11 +85,12 @@ func (s *StateStore) Put(f *Function, name string) error {
 func (s *StateStore) Get(f *Function, name string) (InboundRef, error) {
 	key := stateKey{workflow: f.shim.workflow, name: name}
 	s.mu.Lock()
-	data, ok := s.entries[key]
+	entry, ok := s.entries[key]
 	s.mu.Unlock()
 	if !ok {
 		return InboundRef{}, fmt.Errorf("%q in workflow %q: %w", name, f.shim.workflow.Name, ErrNoState)
 	}
+	data := entry.data
 	f.shim.mu.Lock()
 	defer f.shim.mu.Unlock()
 	ptr, err := f.view.Allocate(uint32(len(data)))
@@ -91,11 +103,17 @@ func (s *StateStore) Get(f *Function, name string) (InboundRef, error) {
 	return InboundRef{Ptr: ptr, Len: uint32(len(data))}, nil
 }
 
-// Delete removes an entry; deleting a missing key is a no-op.
+// Delete removes an entry, crediting its resident bytes back to the sandbox
+// account that stored it; deleting a missing key is a no-op.
 func (s *StateStore) Delete(wf Workflow, name string) {
+	key := stateKey{workflow: wf, name: name}
 	s.mu.Lock()
-	delete(s.entries, stateKey{workflow: wf, name: name})
+	entry, ok := s.entries[key]
+	delete(s.entries, key)
 	s.mu.Unlock()
+	if ok {
+		entry.acct.Allocate(int64(-len(entry.data)))
+	}
 }
 
 // Keys lists the entry names visible to a workflow, sorted.
@@ -117,8 +135,8 @@ func (s *StateStore) Size() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var n int64
-	for _, data := range s.entries {
-		n += int64(len(data))
+	for _, entry := range s.entries {
+		n += int64(len(entry.data))
 	}
 	return n
 }

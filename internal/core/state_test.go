@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
@@ -111,6 +113,188 @@ func TestStateStoreOverwriteAndDelete(t *testing.T) {
 		t.Fatalf("get after delete = %v", err)
 	}
 	store.Delete(s.Workflow(), "x") // idempotent
+}
+
+// TestStateStoreDeleteCreditsOwningAccount: residency charged by Put must
+// be credited back — to the account that paid it — on Delete and on
+// overwrite by another instance, so FD tables, the kernel page pool and the
+// sandbox accounts all return to baseline once a workflow's state is gone.
+func TestStateStoreDeleteCreditsOwningAccount(t *testing.T) {
+	k := kernel.New("n")
+	sa := newShim(t, "sa", k)
+	sb := newShim(t, "sb", k)
+	fa := addFn(t, sa, "f#0")
+	fb := addFn(t, sb, "f#1")
+	store := core.NewStateStore()
+
+	baseA := sa.Account().Snapshot().ResidentBytes
+	baseB := sb.Account().Snapshot().ResidentBytes
+	baseFDsA, baseFDsB := sa.Proc().NumFDs(), sb.Proc().NumFDs()
+	basePool := k.Pool().Resident()
+
+	// Snapshots bracket each store operation tightly, so the deltas below
+	// isolate state-store residency from guest linear-memory growth.
+	const n = 64 << 10
+	if _, err := fa.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	baseA = sa.Account().Snapshot().ResidentBytes
+	if err := store.Put(fa, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.Account().Snapshot().ResidentBytes - baseA; got != n {
+		t.Fatalf("put charged %d resident bytes to owner, want %d", got, n)
+	}
+	// Another instance of the pool overwrites the entry: instance A's
+	// charge must be credited back to A, not debited from B.
+	if _, err := fb.CallPacked(guest.ExportProduce, uint64(2*n)); err != nil {
+		t.Fatal(err)
+	}
+	baseA = sa.Account().Snapshot().ResidentBytes
+	baseB = sb.Account().Snapshot().ResidentBytes
+	if err := store.Put(fb, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.Account().Snapshot().ResidentBytes - baseA; got != -n {
+		t.Fatalf("overwrite credited %d resident bytes to the old owner, want %d", got, -n)
+	}
+	if got := sb.Account().Snapshot().ResidentBytes - baseB; got != 2*n {
+		t.Fatalf("overwrite charged %d resident bytes to new owner, want %d", got, 2*n)
+	}
+	store.Delete(sa.Workflow(), "shared")
+	if got := sb.Account().Snapshot().ResidentBytes - baseB; got != 0 {
+		t.Fatalf("delete left %d resident bytes charged", got)
+	}
+	if store.Size() != 0 {
+		t.Fatalf("store size = %d after delete", store.Size())
+	}
+	if got := sa.Proc().NumFDs(); got != baseFDsA {
+		t.Fatalf("instance A FDs %d, want %d", got, baseFDsA)
+	}
+	if got := sb.Proc().NumFDs(); got != baseFDsB {
+		t.Fatalf("instance B FDs %d, want %d", got, baseFDsB)
+	}
+	if got := k.Pool().Resident(); got != basePool {
+		t.Fatalf("page pool resident %d, want %d", got, basePool)
+	}
+}
+
+// TestStateStoreConcurrentInstances hammers one workflow-scoped store from
+// several replica instances at once — concurrent Put/Get/Delete/Keys over
+// both shared and per-instance keys — and then asserts the conservation
+// properties: store drained, every sandbox account back to its residency
+// baseline, FD tables and the kernel page pool unchanged. Run under -race.
+func TestStateStoreConcurrentInstances(t *testing.T) {
+	k := kernel.New("n")
+	store := core.NewStateStore()
+	wf := core.Workflow{Name: "wf", Tenant: "t"}
+
+	const instances = 4
+	shims := make([]*core.Shim, instances)
+	fns := make([]*core.Function, instances)
+	baseRes := make([]int64, instances)
+	baseFDs := make([]int, instances)
+	for i := range fns {
+		s, err := core.NewShim(core.ShimConfig{
+			Name: fmt.Sprintf("shim-f#%d", i), Workflow: wf, Kernel: k, Module: guest.Module(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		shims[i] = s
+		fns[i] = addFn(t, s, fmt.Sprintf("f#%d", i))
+	}
+
+	// Grow each guest's linear memory once so the concurrent phase measures
+	// state-store residency only, then record baselines.
+	const n = 8 << 10
+	for i, f := range fns {
+		if _, err := f.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Deallocate(out.Ptr); err != nil {
+			t.Fatal(err)
+		}
+		baseRes[i] = shims[i].Account().Snapshot().ResidentBytes
+		baseFDs[i] = shims[i].Proc().NumFDs()
+	}
+	basePool := k.Pool().Resident()
+
+	const rounds = 25
+	var wg sync.WaitGroup
+	for i := range fns {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := fns[i]
+			own := fmt.Sprintf("own-%d", i)
+			for r := 0; r < rounds; r++ {
+				if _, err := f.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+					t.Errorf("instance %d produce: %v", i, err)
+					return
+				}
+				if err := store.Put(f, own); err != nil {
+					t.Errorf("instance %d put: %v", i, err)
+					return
+				}
+				if err := store.Put(f, "shared"); err != nil {
+					t.Errorf("instance %d put shared: %v", i, err)
+					return
+				}
+				out, err := f.Output()
+				if err == nil {
+					_ = f.Deallocate(out.Ptr)
+				}
+				ref, err := store.Get(f, own)
+				if err != nil {
+					t.Errorf("instance %d get: %v", i, err)
+					return
+				}
+				sum, err := f.Call(guest.ExportConsume, uint64(ref.Ptr), uint64(ref.Len))
+				if err != nil {
+					t.Errorf("instance %d consume: %v", i, err)
+					return
+				}
+				if want := guest.ReferenceChecksum(guest.ReferenceProduce(n)); sum[0] != want {
+					t.Errorf("instance %d: state checksum %#x, want %#x", i, sum[0], want)
+					return
+				}
+				_ = f.Deallocate(ref.Ptr)
+				if keys := store.Keys(wf); len(keys) == 0 {
+					t.Errorf("instance %d: no keys visible mid-run", i)
+					return
+				}
+				store.Delete(wf, own)
+			}
+		}()
+	}
+	wg.Wait()
+	store.Delete(wf, "shared")
+
+	if store.Size() != 0 {
+		t.Fatalf("store size = %d after drain", store.Size())
+	}
+	if keys := store.Keys(wf); len(keys) != 0 {
+		t.Fatalf("keys after drain: %v", keys)
+	}
+	for i, s := range shims {
+		snap := s.Account().Snapshot()
+		if snap.ResidentBytes != baseRes[i] {
+			t.Fatalf("instance %d resident = %d, want baseline %d", i, snap.ResidentBytes, baseRes[i])
+		}
+		if got := s.Proc().NumFDs(); got != baseFDs[i] {
+			t.Fatalf("instance %d FDs = %d, want baseline %d", i, got, baseFDs[i])
+		}
+	}
+	if got := k.Pool().Resident(); got != basePool {
+		t.Fatalf("page pool resident = %d, want baseline %d", got, basePool)
+	}
 }
 
 func TestStateStorePutWithoutOutput(t *testing.T) {

@@ -91,8 +91,9 @@ func Quick() Options {
 // be diffed across PRs. Version 3 added the breakdown's Setup component and
 // the chancache warm/cold experiment; version 4 added the breakdown's
 // Overlap component (critical-path credit of the staged pipeline) and the
-// pipeline chain experiment.
-const SchemaVersion = 4
+// pipeline chain experiment; version 5 added the placement experiment
+// (locality vs round-robin routing over replicated instance pools).
+const SchemaVersion = 5
 
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
@@ -262,11 +263,12 @@ var Registry = map[string]func(Options) (*Result, error){
 	"fig10":     Fig10,
 	"chancache": ChanCache,
 	"pipeline":  Pipeline,
+	"placement": Placement,
 }
 
 // IDs lists the experiment identifiers, paper figures first.
 func IDs() []string {
-	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline"}
+	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement"}
 }
 
 // RunAll executes every experiment and prints the results.

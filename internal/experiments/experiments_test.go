@@ -264,6 +264,48 @@ func TestPipelineExperimentWin(t *testing.T) {
 	}
 }
 
+// TestPlacementExperimentWin pins the invoker plane's acceptance bar: on a
+// two-node edge–cloud topology with pools of ≥4 replicas straddling the
+// link, locality placement must beat the round-robin ablation's aggregate
+// throughput by at least 25% (measured: orders of magnitude — round-robin
+// pays 100 Mbps wire time that locality converts to kernel-space
+// transfers). The throughput is modeled from per-invocation latency
+// breakdowns dominated by the analytic network component, so the bar is
+// hardware-independent and holds under the race detector.
+func TestPlacementExperimentWin(t *testing.T) {
+	res, err := Placement(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, replicas := range []float64{4, 16} {
+		sys := bySystem(res.Points, replicas)
+		loc, rr := sys[SysRRPlaceLocality], sys[SysRRPlaceRR]
+		if loc.RPS <= 0 || rr.RPS <= 0 {
+			t.Fatalf("%v replicas: missing points %+v", replicas, sys)
+		}
+		if loc.Breakdown.Network != 0 {
+			t.Fatalf("%v replicas: locality paid wire time %v — not all invocations stayed same-node",
+				replicas, loc.Breakdown.Network)
+		}
+		if rr.Breakdown.Network == 0 {
+			t.Fatalf("%v replicas: round-robin paid no wire time — ablation not exercising the link", replicas)
+		}
+		if loc.RPS < 1.25*rr.RPS {
+			t.Fatalf("%v replicas: locality %.1f rps vs round-robin %.1f rps — win below 25%%",
+				replicas, loc.RPS, rr.RPS)
+		}
+	}
+	// At one replica there is no placement freedom: both policies drive the
+	// same single network pair and report identical modeled wire time.
+	single := bySystem(res.Points, 1)
+	if single[SysRRPlaceLocality].Breakdown.Network != single[SysRRPlaceRR].Breakdown.Network {
+		t.Fatalf("1 replica: wire time differs across policies: %+v", single)
+	}
+	if len(res.Notes) == 0 {
+		t.Fatal("placement experiment produced no headline notes")
+	}
+}
+
 func TestResultPrint(t *testing.T) {
 	res := &Result{
 		ID:     "figX",

@@ -172,6 +172,18 @@ func (u Usage) Sub(prev Usage) Usage {
 	}
 }
 
+// SumUsage folds any number of account snapshots into one aggregate — the
+// per-function rollup of a replicated deployment's per-instance accounts.
+// Flow counters (copies, syscalls, context switches, CPU) sum exactly;
+// residency, a level rather than a flow, takes the maximum (see Add).
+func SumUsage(us ...Usage) Usage {
+	var out Usage
+	for _, u := range us {
+		out = out.Add(u)
+	}
+	return out
+}
+
 // Add returns the sum of two usage snapshots (residency takes the max, since
 // it is a level rather than a flow).
 func (u Usage) Add(o Usage) Usage {

@@ -28,8 +28,10 @@ import (
 // SchemaVersion identifies the Result JSON layout. Version 2 added the
 // "channels" field (warm/cold channel-cache regime); version 3 added the
 // "pipeline" field (pipelined vs phase-locked data plane) and the "chain"
-// mode (chain-depth scaling over a line of functions).
-const SchemaVersion = 3
+// mode (chain-depth scaling over a line of functions); version 4 added the
+// "replicas" and "placement" fields (replicated instance pools routed by
+// the invoker plane's placement policy).
+const SchemaVersion = 4
 
 // Modes the generator can drive. Mixed chains one hop of each mechanism;
 // chain runs a Hops-deep line of functions alternating kernel and network
@@ -79,6 +81,13 @@ type Config struct {
 	// baseline for pipelined-vs-phase-locked comparisons. Default false:
 	// the staged pipeline.
 	PhaseLocked bool
+	// Replicas sizes every deployed function's warm instance pool
+	// (default 1). Pools are spread across both nodes, so the placement
+	// policy decides how much traffic stays on cheap same-node paths.
+	Replicas int
+	// Placement names the invoker plane's policy: "locality" (default),
+	// "least-loaded" or "round-robin".
+	Placement string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -112,6 +121,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Duration <= 0 {
 		c.Duration = time.Second
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Placement == "" {
+		c.Placement = roadrunner.PlacementLocality.String()
+	}
+	if _, err := roadrunner.ParsePlacement(c.Placement); err != nil {
+		return c, fmt.Errorf("workload: %w", err)
 	}
 	return c, nil
 }
@@ -162,6 +180,8 @@ type Result struct {
 	Hops          int    `json:"hops"`
 	PayloadBytes  int    `json:"payload_bytes"`
 	Concurrency   int    `json:"concurrency"`
+	Replicas      int    `json:"replicas"`  // instance-pool size per function
+	Placement     string `json:"placement"` // invoker-plane routing policy
 
 	Ops       int64   `json:"ops"`    // completed workflow executions
 	Errors    int64   `json:"errors"` // failed executions
@@ -207,7 +227,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 	// Concurrency is enforced by the harness's own sched pools (runClosed/
 	// runOpen), not the platform's async pool — executions call the
 	// synchronous Transfer directly.
-	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
+	place, _ := roadrunner.ParsePlacement(cfg.Placement) // validated in withDefaults
+	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"), roadrunner.WithPlacement(place))
 	r := &Runner{cfg: cfg, platform: p}
 	if cfg.ColdChannels {
 		r.topts = append(r.topts, roadrunner.WithChannelCache(false))
@@ -216,7 +237,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.topts = append(r.topts, roadrunner.WithPhaseLocked(true))
 	}
 	for i := 0; i < cfg.Workflows; i++ {
-		inst, err := deployInstance(p, cfg.Mode, cfg.Hops, i)
+		inst, err := deployInstance(p, cfg.Mode, cfg.Hops, cfg.Replicas, i)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -232,12 +253,26 @@ func (r *Runner) Close() { r.platform.Close() }
 // Platform exposes the underlying deployment (for tests).
 func (r *Runner) Platform() *roadrunner.Platform { return r.platform }
 
-func deployInstance(p *roadrunner.Platform, mode string, hops, i int) (*instance, error) {
+func deployInstance(p *roadrunner.Platform, mode string, hops, replicas, i int) (*instance, error) {
 	wf := roadrunner.Workflow{Name: fmt.Sprintf("wf-%d", i), Tenant: "load"}
 	deploy := func(name, node string, share *roadrunner.Function) (*roadrunner.Function, error) {
+		// Replicated pools spread across both nodes starting at the
+		// function's primary placement, so locality-aware routing can keep
+		// hops on same-node (or same-VM) instance pairs while oblivious
+		// policies pay the inter-node link.
+		nodes := []string{node}
+		if replicas > 1 && share == nil {
+			other := "cloud"
+			if node == "cloud" {
+				other = "edge"
+			}
+			nodes = []string{node, other}
+		}
 		return p.Deploy(roadrunner.FunctionSpec{
 			Name:        fmt.Sprintf("%s-%d", name, i),
 			Node:        node,
+			Replicas:    replicas,
+			Nodes:       nodes,
 			Workflow:    wf,
 			ShareVMWith: share,
 		})
@@ -309,30 +344,36 @@ func (r *Runner) execute(inst *instance) error {
 	if err := head.Produce(cfg.PayloadBytes); err != nil {
 		return fmt.Errorf("produce: %w", err)
 	}
-	// earliest[f] is each function's first allocation of this execution;
-	// the guest's LIFO allocator rewinds everything at or above it on
-	// release, so one release per function frees the whole execution.
-	earliest := make(map[*roadrunner.Function]roadrunner.DataRef, len(fns))
-	if out, err := head.Output(); err == nil {
-		earliest[head] = out
+	// earliest[inst] is each concrete instance's first allocation of this
+	// execution; the guest's LIFO allocator rewinds everything at or above
+	// it on release, so one release per touched instance frees the whole
+	// execution. Replicated rings may deliver successive visits of one
+	// function to different replicas, which is why the map is keyed by
+	// instance rather than function.
+	earliest := make(map[*roadrunner.Instance]roadrunner.DataRef, len(fns))
+	cur := head.ActiveInstance()
+	if out, err := cur.Output(); err == nil {
+		earliest[cur] = out
 	}
 	defer func() {
-		for f, ref := range earliest {
-			_ = f.Release(ref)
+		for target, ref := range earliest {
+			_ = target.Release(ref)
 		}
 	}()
 
 	var ref roadrunner.DataRef
+	last := cur
 	for h := 0; h < cfg.Hops; h++ {
 		src := fns[h%len(fns)]
 		dst := fns[(h+1)%len(fns)]
 		// Streaming hop: the input region is pinned atomically inside the
 		// transfer's source stage (WithSourceRef) instead of a separate
-		// SetOutput call, exactly as Platform.Chain does.
-		opts := append(append(make([]roadrunner.TransferOption, 0, len(r.topts)+1), r.topts...),
-			roadrunner.WithSourceRef(ref))
+		// SetOutput call, exactly as Platform.Chain does; the source
+		// instance is pinned to the previous hop's delivery.
+		opts := append(append(make([]roadrunner.TransferOption, 0, len(r.topts)+2), r.topts...),
+			roadrunner.WithSourceInstance(last), roadrunner.WithSourceRef(ref))
 		if h == 0 {
-			out, err := src.Output()
+			out, err := last.Output()
 			if err != nil {
 				return fmt.Errorf("head output: %w", err)
 			}
@@ -343,12 +384,12 @@ func (r *Runner) execute(inst *instance) error {
 		if err != nil {
 			return fmt.Errorf("hop %d %s->%s: %w", h, src.Name(), dst.Name(), err)
 		}
-		if _, ok := earliest[dst]; !ok {
-			earliest[dst] = ref
+		last = dst.ActiveInstance()
+		if _, ok := earliest[last]; !ok {
+			earliest[last] = ref
 		}
 	}
 	if cfg.Verify {
-		last := fns[cfg.Hops%len(fns)]
 		sum, err := last.Checksum(ref)
 		if err != nil {
 			return fmt.Errorf("checksum: %w", err)
@@ -411,6 +452,8 @@ func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open 
 		Hops:          cfg.Hops,
 		PayloadBytes:  cfg.PayloadBytes,
 		Concurrency:   cfg.Concurrency,
+		Replicas:      cfg.Replicas,
+		Placement:     cfg.Placement,
 		Ops:           rec.ops.Load(),
 		Errors:        rec.errs.Load(),
 		ElapsedNS:     int64(elapsed),

@@ -39,6 +39,42 @@ func TestClosedLoopAllModes(t *testing.T) {
 	}
 }
 
+// TestReplicatedPools drives the closed loop over replicated instance
+// pools under every placement policy, verifying checksums end to end and
+// the schema v4 replica/placement tagging.
+func TestReplicatedPools(t *testing.T) {
+	for _, placement := range []string{"locality", "least-loaded", "round-robin"} {
+		for _, mode := range []string{ModeMixed, ModeChain} {
+			t.Run(placement+"/"+mode, func(t *testing.T) {
+				res, err := Run(Config{
+					Workflows:    2,
+					Requests:     8,
+					PayloadBytes: 8 << 10,
+					Mode:         mode,
+					Replicas:     3,
+					Placement:    placement,
+					Verify:       true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Errors != 0 {
+					t.Fatalf("%d failed executions", res.Errors)
+				}
+				if res.Ops != 8 {
+					t.Fatalf("ops = %d, want 8", res.Ops)
+				}
+				if res.SchemaVersion != SchemaVersion || res.Replicas != 3 || res.Placement != placement {
+					t.Fatalf("schema tagging: %+v", res)
+				}
+			})
+		}
+	}
+	if _, err := Run(Config{Placement: "nope"}); err == nil {
+		t.Fatal("unknown placement must be rejected")
+	}
+}
+
 func TestOpenLoopReportsSojournAndService(t *testing.T) {
 	res, err := Run(Config{
 		Workflows:    4,

@@ -115,14 +115,19 @@ func fromReport(r metrics.TransferReport) Report {
 			Compute:       r.Breakdown.Compute,
 			Overlap:       r.Breakdown.Overlap,
 		},
-		Usage: Usage{
-			UserCopyBytes:   r.Usage.UserCopyBytes,
-			KernelCopyBytes: r.Usage.KernelCopyBytes,
-			Syscalls:        r.Usage.Syscalls,
-			ContextSwitches: r.Usage.ContextSwitches,
-			UserCPU:         r.Usage.UserCPU,
-			KernelCPU:       r.Usage.KernelCPU,
-			PeakResident:    r.Usage.PeakResident,
-		},
+		Usage: fromUsage(r.Usage),
+	}
+}
+
+// fromUsage converts an internal account snapshot.
+func fromUsage(u metrics.Usage) Usage {
+	return Usage{
+		UserCopyBytes:   u.UserCopyBytes,
+		KernelCopyBytes: u.KernelCopyBytes,
+		Syscalls:        u.Syscalls,
+		ContextSwitches: u.ContextSwitches,
+		UserCPU:         u.UserCPU,
+		KernelCPU:       u.KernelCPU,
+		PeakResident:    u.PeakResident,
 	}
 }

@@ -8,8 +8,11 @@
 // The package runs an entire edge–cloud deployment inside one process: a
 // pure-Go WebAssembly interpreter hosts the functions, a simulated kernel
 // moves the bytes (metering every copy, syscall and context switch), and a
-// modeled network attributes wire time. See DESIGN.md for the substitution
-// map against the paper's testbed.
+// modeled network attributes wire time. Functions deploy as pools of warm
+// replica instances spread across nodes, and an invoker plane routes every
+// transfer to a concrete instance pair by a pluggable placement policy
+// (see DESIGN.md §4). See DESIGN.md §1 for the substitution map against the
+// paper's testbed.
 //
 // Quick start:
 //
@@ -31,6 +34,7 @@ import (
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/core"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/invoke"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
@@ -89,12 +93,36 @@ var (
 	ErrWorkflowMismatch = errors.New("roadrunner: functions of different workflows/tenants cannot share a VM")
 	ErrModeUnavailable  = errors.New("roadrunner: requested mode incompatible with function placement")
 	ErrClosed           = errors.New("roadrunner: platform closed")
+	ErrForeignInstance  = errors.New("roadrunner: pinned instance belongs to a different function")
 )
+
+// PlacementPolicy selects the concrete (source-instance, target-instance)
+// pair every invocation of a replicated function runs on (DESIGN.md §4).
+type PlacementPolicy = invoke.Policy
+
+// Placement policies.
+var (
+	// PlacementLocality prefers same-VM, then same-node, then the cheapest
+	// link — maximizing the user/kernel-mode transfers §2.2 predicts
+	// Roadrunner wins on. Equal-cost replicas are tie-broken by load. The
+	// default.
+	PlacementLocality PlacementPolicy = invoke.Locality
+	// PlacementLeastLoaded picks the instance pair with the fewest
+	// in-flight invocations, ignoring placement.
+	PlacementLeastLoaded PlacementPolicy = invoke.LeastLoaded
+	// PlacementRoundRobin cycles through the pools blindly — the
+	// placement-oblivious ablation baseline.
+	PlacementRoundRobin PlacementPolicy = invoke.RoundRobin
+)
+
+// ParsePlacement resolves a placement-policy name ("locality",
+// "least-loaded", "round-robin") as the -placement command-line flags do.
+func ParsePlacement(s string) (PlacementPolicy, error) { return invoke.ParsePolicy(s) }
 
 // Platform is a simulated multi-node serverless deployment running
 // Roadrunner shims.
 //
-// Platform is safe for concurrent use: transfers between disjoint function
+// Platform is safe for concurrent use: transfers between disjoint instance
 // pairs run in parallel (serialization happens per Wasm VM, inside
 // internal/core), and the registry below is only consulted on the
 // deploy/teardown path, never while payload bytes move.
@@ -107,11 +135,19 @@ type Platform struct {
 	shims   []*core.Shim
 	hose    int
 	state   *core.StateStore
+	place   PlacementPolicy
 
 	workers  int
 	poolOnce sync.Once
 	pool     *sched.Pool
 	closed   bool
+
+	// life gates public data-plane operations against teardown: every
+	// operation holds the read side for its duration, and Close takes the
+	// write side (after draining the worker pool) before tearing shims
+	// down, so post-Close calls get ErrClosed instead of racing teardown.
+	life sync.RWMutex
+	torn bool
 }
 
 // Option configures a Platform.
@@ -124,6 +160,7 @@ type platformConfig struct {
 	now     func() time.Time
 	hose    int
 	workers int
+	place   PlacementPolicy
 }
 
 // WithNodes pre-registers node names (default: "edge" and "cloud").
@@ -161,11 +198,18 @@ func WithWorkers(n int) Option {
 	return func(c *platformConfig) { c.workers = n }
 }
 
+// WithPlacement selects the placement policy the invoker plane routes
+// replicated functions with (default: PlacementLocality).
+func WithPlacement(p PlacementPolicy) Option {
+	return func(c *platformConfig) { c.place = p }
+}
+
 // New creates a platform.
 func New(opts ...Option) *Platform {
 	cfg := platformConfig{
 		nodes:  []string{"edge", "cloud"},
 		module: guest.Module(),
+		place:  PlacementLocality,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -177,6 +221,7 @@ func New(opts ...Option) *Platform {
 		now:     cfg.now,
 		hose:    cfg.hose,
 		state:   core.NewStateStore(),
+		place:   cfg.place,
 		workers: cfg.workers,
 	}
 	for _, n := range cfg.nodes {
@@ -204,12 +249,19 @@ func (p *Platform) SetLink(a, b string, bw Bandwidth, rtt time.Duration) {
 	p.topo.SetLink(a, b, netsim.NewLink(bw, rtt))
 }
 
+// Placement reports the platform's placement policy.
+func (p *Platform) Placement() PlacementPolicy { return p.place }
+
 // GuestModule returns the canonical guest binary (for cmd/wasmrun and custom
 // deployments).
 func GuestModule() []byte { return guest.Module() }
 
-// Close drains the async worker pool (every accepted future resolves) and
-// tears down every deployed shim.
+// Close shuts the platform down in three strict steps: (1) reject new
+// deployments and async submissions, (2) drain the async worker pool —
+// every accepted future resolves against live shims — and (3) wait for
+// in-flight synchronous operations, after which every public data-plane
+// call returns ErrClosed and the shims are torn down. Close never races
+// teardown against a running transfer.
 func (p *Platform) Close() {
 	p.mu.Lock()
 	p.closed = true
@@ -221,10 +273,31 @@ func (p *Platform) Close() {
 	if pool != nil {
 		pool.Close()
 	}
+	p.life.Lock()
+	p.torn = true
+	p.life.Unlock()
 	for _, s := range shims {
 		s.Close()
 	}
 }
+
+// beginOp admits one public data-plane operation, holding teardown off until
+// the matching endOp; it fails with ErrClosed once Close has finished
+// draining (operations admitted earlier, and async work accepted before
+// Close, complete against live shims first). Public entry points call it
+// exactly once — internal helpers never do, so the read lock is never
+// nested within one goroutine.
+func (p *Platform) beginOp() error {
+	p.life.RLock()
+	if p.torn {
+		p.life.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// endOp retires the operation admitted by beginOp.
+func (p *Platform) endOp() { p.life.RUnlock() }
 
 // scheduler lazily starts the platform's worker pool. It returns nil once
 // the platform is closed.
@@ -257,26 +330,49 @@ func (p *Platform) SchedulerStats() sched.Stats {
 type FunctionSpec struct {
 	// Name identifies the function.
 	Name string
-	// Node places the function (must be registered).
+	// Node places the function (must be registered). With Replicas > 1 it
+	// is the pool's first node unless Nodes is set.
 	Node string
+	// Replicas sizes the warm instance pool (default 1). Each replica gets
+	// its own shim, sandbox and Wasm VM; the invoker plane routes every
+	// invocation to a concrete instance by the platform's placement policy.
+	Replicas int
+	// Nodes spreads the replica pool round-robin across these registered
+	// nodes (default: just Node).
+	Nodes []string
 	// Workflow is the trusted context (defaults to {"default","default"}).
 	Workflow Workflow
 	// ShareVMWith colocates this function inside an existing function's
 	// Wasm VM, enabling user-space transfers. Requires the same workflow
-	// and tenant; the node is inherited.
+	// and tenant; replica i shares the VM (and inherits the node) of the
+	// host's instance i modulo the host's pool size.
 	ShareVMWith *Function
 }
 
-// Function is a deployed Roadrunner-managed function.
+// Function is a deployed Roadrunner-managed function: a pool of one or more
+// warm replica instances. The public API keeps operating on *Function —
+// the invoker plane resolves a concrete instance per invocation — while
+// Instance(i) is the explicit escape hatch for tests and advanced callers.
 type Function struct {
-	inner    *core.Function
 	platform *Platform
-	node     string
+	name     string
 	workflow Workflow
+	insts    []*Instance
+	eps      []invoke.Endpoint
+	route    *invoke.State
+
+	// active is the instance holding the function's current output: the
+	// last instance a routed produce/call/delivery landed on. Peerless
+	// reads (Output, Checksum, Release, …) address it. Sequential
+	// workflows get exact continuity; concurrent invocations that must
+	// not share it use Platform.Invoke or explicit Instance handles.
+	activeMu sync.Mutex
+	active   *Instance
 }
 
-// Deploy places a function per the spec, creating a dedicated shim (and Wasm
-// VM) unless ShareVMWith is set.
+// Deploy places a function per the spec: a pool of Replicas warm instances
+// spread across the spec's nodes, each with a dedicated shim (and Wasm VM)
+// unless ShareVMWith is set.
 func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
 	p.mu.RLock()
 	closed := p.closed
@@ -288,53 +384,106 @@ func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
 	if wf == (Workflow{}) {
 		wf = Workflow{Name: "default", Tenant: "default"}
 	}
-	if spec.ShareVMWith != nil {
-		host := spec.ShareVMWith
-		// Trust rule of §3.1: same workflow AND tenant required to share
-		// a VM.
-		if host.workflow != wf {
-			return nil, fmt.Errorf("%s with %s: %w", spec.Name, host.Name(), ErrWorkflowMismatch)
-		}
-		inner, err := host.inner.Shim().AddFunction(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		return &Function{inner: inner, platform: p, node: host.node, workflow: wf}, nil
+	replicas := spec.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	nodes := spec.Nodes
+	if len(nodes) == 0 {
+		nodes = []string{spec.Node}
 	}
 
-	p.mu.RLock()
-	k, ok := p.kernels[spec.Node]
-	p.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%q: %w", spec.Node, ErrUnknownNode)
-	}
-	shim, err := core.NewShim(core.ShimConfig{
-		Name:          "shim-" + spec.Name,
-		Workflow:      core.Workflow{Name: wf.Name, Tenant: wf.Tenant},
-		Kernel:        k,
-		Module:        p.module,
-		Now:           p.now,
-		DataHoseBytes: p.hose,
-	})
-	if err != nil {
+	f := &Function{platform: p, name: spec.Name, workflow: wf}
+	var created []*core.Shim // dedicated shims, registered only on full success
+	fail := func(err error) (*Function, error) {
+		for _, s := range created {
+			s.Close()
+		}
 		return nil, err
 	}
-	inner, err := shim.AddFunction(spec.Name)
-	if err != nil {
-		shim.Close()
-		return nil, err
+
+	if spec.ShareVMWith != nil && spec.ShareVMWith.workflow != wf {
+		// Trust rule of §3.1: same workflow AND tenant required to share
+		// a VM.
+		return nil, fmt.Errorf("%s with %s: %w", spec.Name, spec.ShareVMWith.Name(), ErrWorkflowMismatch)
 	}
-	p.mu.Lock()
-	if p.closed {
-		// Close ran while this shim was being built; it will never be
-		// swept again, so tear it down here instead of leaking it.
+	if spec.ShareVMWith == nil {
+		p.mu.RLock()
+		for _, n := range nodes {
+			if _, ok := p.kernels[n]; !ok {
+				p.mu.RUnlock()
+				return nil, fmt.Errorf("%q: %w", n, ErrUnknownNode)
+			}
+		}
+		p.mu.RUnlock()
+	}
+
+	for i := 0; i < replicas; i++ {
+		instName := spec.Name
+		if replicas > 1 {
+			instName = fmt.Sprintf("%s#%d", spec.Name, i)
+		}
+		var (
+			inner *core.Function
+			node  string
+			err   error
+		)
+		if host := spec.ShareVMWith; host != nil {
+			hi := host.insts[i%len(host.insts)]
+			inner, err = hi.inner.Shim().AddFunction(instName)
+			node = hi.node
+		} else {
+			node = nodes[i%len(nodes)]
+			p.mu.RLock()
+			k := p.kernels[node]
+			p.mu.RUnlock()
+			var shim *core.Shim
+			shim, err = core.NewShim(core.ShimConfig{
+				Name:          "shim-" + instName,
+				Workflow:      core.Workflow{Name: wf.Name, Tenant: wf.Tenant},
+				Kernel:        k,
+				Module:        p.module,
+				Now:           p.now,
+				DataHoseBytes: p.hose,
+			})
+			if err == nil {
+				created = append(created, shim)
+				inner, err = shim.AddFunction(instName)
+			}
+		}
+		if err != nil {
+			return fail(err)
+		}
+		inst := &Instance{fn: f, inner: inner, node: node, index: i}
+		f.insts = append(f.insts, inst)
+		f.eps = append(f.eps, invoke.Endpoint{Node: node, VM: inner.Shim()})
+	}
+
+	if len(created) > 0 {
+		p.mu.Lock()
+		if p.closed {
+			// Close ran while the pool was being built; it will never be
+			// swept again, so tear it down here instead of leaking it.
+			p.mu.Unlock()
+			return fail(ErrClosed)
+		}
+		p.shims = append(p.shims, created...)
 		p.mu.Unlock()
-		shim.Close()
-		return nil, ErrClosed
 	}
-	p.shims = append(p.shims, shim)
-	p.mu.Unlock()
-	return &Function{inner: inner, platform: p, node: spec.Node, workflow: wf}, nil
+	f.route = invoke.NewState(replicas)
+	f.active = f.insts[0]
+	return f, nil
+}
+
+// linkCost ranks cross-node alternatives for the Locality policy: the RTT
+// plus the wire time of a nominal 1 MiB payload on the pair's link.
+func (p *Platform) linkCost(a, b string) time.Duration {
+	if a == b {
+		return 0
+	}
+	l := p.topo.LinkBetween(a, b)
+	const nominal = 1 << 20
+	return l.RTT() + time.Duration(float64(nominal*8)/float64(l.Bandwidth())*float64(time.Second))
 }
 
 // TransferOption tunes one transfer.
@@ -346,9 +495,14 @@ type transferConfig struct {
 	coldChannel bool
 	phaseLocked bool
 	sourceRef   *DataRef
+	srcInst     *Instance
+	dstInst     *Instance
 }
 
-// WithMode forces a specific transfer mechanism.
+// WithMode forces a specific transfer mechanism. On a replicated target the
+// invoker plane only considers instances the mode can reach (same VM for
+// user space, same node for kernel space, other nodes for network);
+// ErrModeUnavailable is returned when the pool has none.
 func WithMode(m Mode) TransferOption {
 	return func(c *transferConfig) { c.mode = m }
 }
@@ -392,6 +546,19 @@ func WithSourceRef(ref DataRef) TransferOption {
 	return func(c *transferConfig) { c.sourceRef = &ref }
 }
 
+// WithSourceInstance pins the concrete source instance the invocation reads
+// from, bypassing the placement policy for that side — the escape hatch
+// replicated tests and instance-affine callers use.
+func WithSourceInstance(inst *Instance) TransferOption {
+	return func(c *transferConfig) { c.srcInst = inst }
+}
+
+// WithTargetInstance pins the concrete target instance the invocation
+// delivers into, bypassing the placement policy for that side.
+func WithTargetInstance(inst *Instance) TransferOption {
+	return func(c *transferConfig) { c.dstInst = inst }
+}
+
 // ChannelStats counts channel-cache activity: Hits and Misses split warm
 // from cold transfers, Evictions counts idle/LRU teardowns, Active is the
 // number of currently cached channels.
@@ -416,43 +583,138 @@ type DataRef struct {
 }
 
 // Transfer moves src's current output to dst, selecting the mechanism by
-// locality unless a mode is forced.
+// locality unless a mode is forced. The source side reads from src's
+// active instance (the holder of its current output) unless pinned with
+// WithSourceInstance; the target instance is chosen by the platform's
+// placement policy unless pinned with WithTargetInstance.
 func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef, Report, error) {
+	if err := p.beginOp(); err != nil {
+		return DataRef{}, Report{}, err
+	}
+	defer p.endOp()
 	cfg := transferConfig{flows: 1}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	si, err := resolveSource(src, &cfg)
+	if err != nil {
+		return DataRef{}, Report{}, err
+	}
+	di, err := p.resolveTarget(si, dst, &cfg)
+	if err != nil {
+		return DataRef{}, Report{}, err
+	}
+	ref, rep, err := p.transferInstances(si, di, &cfg)
+	if err == nil {
+		dst.setActive(di)
+	}
+	return ref, rep, err
+}
+
+// resolveSource returns the instance a transfer reads from: the pinned one
+// (validated) or the function's active instance.
+func resolveSource(src *Function, cfg *transferConfig) (*Instance, error) {
+	if cfg.srcInst != nil {
+		if cfg.srcInst.fn != src {
+			return nil, fmt.Errorf("source %s: %w", cfg.srcInst.Name(), ErrForeignInstance)
+		}
+		return cfg.srcInst, nil
+	}
+	return src.ActiveInstance(), nil
+}
+
+// resolveTarget returns the instance a transfer delivers into: the pinned
+// one (validated), or the placement policy's choice among the target pool's
+// instances the requested mode can reach.
+func (p *Platform) resolveTarget(si *Instance, dst *Function, cfg *transferConfig) (*Instance, error) {
+	if cfg.dstInst != nil {
+		if cfg.dstInst.fn != dst {
+			return nil, fmt.Errorf("target %s: %w", cfg.dstInst.Name(), ErrForeignInstance)
+		}
+		return cfg.dstInst, nil
+	}
+	eligible := modeEligible(si, dst, cfg.mode)
+	i := p.place.PickTarget(si.endpoint(), dst.route, dst.eps, eligible, p.linkCost)
+	if i < 0 {
+		return nil, fmt.Errorf("no instance of %s reachable in mode %v from %s: %w",
+			dst.Name(), cfg.mode, si.Name(), ErrModeUnavailable)
+	}
+	return dst.insts[i], nil
+}
+
+// modeEligible restricts a replicated target's candidate instances to those
+// a forced transfer mode can reach; ModeAuto reaches every instance.
+func modeEligible(si *Instance, dst *Function, mode Mode) func(int) bool {
+	if mode == ModeAuto {
+		return nil
+	}
+	return func(i int) bool {
+		di := dst.insts[i]
+		switch mode {
+		case ModeUserSpace:
+			return di.inner.Shim() == si.inner.Shim()
+		case ModeKernelSpace:
+			return di.node == si.node && di.inner.Shim() != si.inner.Shim()
+		case ModeNetwork:
+			return di.node != si.node
+		default:
+			return false
+		}
+	}
+}
+
+// transferInstances executes one transfer on a resolved instance pair,
+// marking both ends in flight for its duration. It is the unguarded engine
+// entry: callers hold the lifecycle read lock (or run inside the worker
+// pool, which Close drains before teardown).
+func (p *Platform) transferInstances(si, di *Instance, cfg *transferConfig) (DataRef, Report, error) {
+	si.fn.route.Enter(si.index)
+	defer si.fn.route.Exit(si.index)
+	if di.fn != si.fn || di.index != si.index {
+		di.fn.route.Enter(di.index)
+		defer di.fn.route.Exit(di.index)
+	}
+	return p.transferResolved(si, di, cfg)
+}
+
+// transferResolved is transferInstances without the in-flight bracketing,
+// for callers (Invoke) that already hold both ends in flight.
+func (p *Platform) transferResolved(si, di *Instance, cfg *transferConfig) (DataRef, Report, error) {
 	mode := cfg.mode
 	if mode == ModeAuto {
 		switch {
-		case src.inner.Shim() == dst.inner.Shim():
+		case si.inner.Shim() == di.inner.Shim():
 			mode = ModeUserSpace
-		case src.node == dst.node:
+		case si.node == di.node:
 			mode = ModeKernelSpace
 		default:
 			mode = ModeNetwork
 		}
 	}
+	flows := cfg.flows
+	if flows <= 0 {
+		flows = 1
+	}
 	srcRef := coreSourceRef(cfg.sourceRef)
 	switch mode {
 	case ModeUserSpace:
-		ref, rep, err := core.UserSpaceTransfer(src.inner, dst.inner, core.UserOptions{SourceRef: srcRef})
+		ref, rep, err := core.UserSpaceTransfer(si.inner, di.inner, core.UserOptions{SourceRef: srcRef})
 		return convert(ref, rep, err)
 	case ModeKernelSpace:
-		ref, rep, err := core.KernelSpaceTransfer(src.inner, dst.inner, core.KernelOptions{
+		ref, rep, err := core.KernelSpaceTransfer(si.inner, di.inner, core.KernelOptions{
 			NoChannelCache: cfg.coldChannel,
 			PhaseLocked:    cfg.phaseLocked,
 			SourceRef:      srcRef,
 		})
 		return convert(ref, rep, err)
 	case ModeNetwork:
-		if src.node == dst.node {
+		if si.node == di.node {
 			return DataRef{}, Report{}, fmt.Errorf("network mode on one node: %w", ErrModeUnavailable)
 		}
-		link := p.topo.LinkBetween(src.node, dst.node)
-		ref, rep, err := core.NetworkTransfer(src.inner, dst.inner, core.NetworkOptions{
+		link := p.topo.LinkBetween(si.node, di.node)
+		ref, rep, err := core.NetworkTransfer(si.inner, di.inner, core.NetworkOptions{
 			Link:           link,
-			Flows:          cfg.flows,
+			Flows:          flows,
 			NoChannelCache: cfg.coldChannel,
 			PhaseLocked:    cfg.phaseLocked,
 			SourceRef:      srcRef,
@@ -461,6 +723,104 @@ func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef
 	default:
 		return DataRef{}, Report{}, fmt.Errorf("mode %v: %w", mode, ErrModeUnavailable)
 	}
+}
+
+// Invocation is the outcome of one routed invocation: where it ran and what
+// it delivered. Source and Target name the concrete instances the placement
+// policy picked, so callers (and tests) can verify or continue the flow
+// instance-exactly even under concurrency.
+type Invocation struct {
+	// Ref locates the delivered payload in Target's linear memory.
+	Ref DataRef
+	// Report is the transfer's latency breakdown and resource usage.
+	Report Report
+	// Source is the instance the payload was produced at.
+	Source *Instance
+	// Target is the instance the payload was delivered into.
+	Target *Instance
+}
+
+// Invoke runs one invocation end to end through the invoker plane: the
+// placement policy picks a (source-instance, target-instance) pair — both
+// ends free unless pinned with WithSourceInstance/WithTargetInstance — an
+// n-byte payload is produced at the source instance, and the transfer
+// delivers it to the target instance, pinning the produced region so
+// concurrent invocations through the same instances cannot interleave
+// between produce and read. This is the concurrency-safe entry point for
+// replicated functions: everything the caller needs to continue (or verify)
+// the flow is in the returned Invocation.
+func (p *Platform) Invoke(src, dst *Function, n int, opts ...TransferOption) (*Invocation, error) {
+	if err := p.beginOp(); err != nil {
+		return nil, err
+	}
+	defer p.endOp()
+	cfg := transferConfig{flows: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	si, di, err := p.resolvePair(src, dst, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Both ends count as in flight from pick time, so concurrent Invokes
+	// see each other's pressure and spread across the pools.
+	si.fn.route.Enter(si.index)
+	defer si.fn.route.Exit(si.index)
+	if di.fn != si.fn || di.index != si.index {
+		di.fn.route.Enter(di.index)
+		defer di.fn.route.Exit(di.index)
+	}
+	out, err := si.produceAt(n)
+	if err != nil {
+		return nil, fmt.Errorf("produce at %s: %w", si.Name(), err)
+	}
+	cfg.sourceRef = &out
+	ref, rep, err := p.transferResolved(si, di, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	dst.setActive(di)
+	return &Invocation{Ref: ref, Report: rep, Source: si, Target: di}, nil
+}
+
+// resolvePair picks both instances of an invocation, honoring pinned ends.
+func (p *Platform) resolvePair(src, dst *Function, cfg *transferConfig) (*Instance, *Instance, error) {
+	if cfg.srcInst != nil {
+		si, err := resolveSource(src, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		di, err := p.resolveTarget(si, dst, cfg)
+		return si, di, err
+	}
+	if cfg.dstInst != nil {
+		if cfg.dstInst.fn != dst {
+			return nil, nil, fmt.Errorf("target %s: %w", cfg.dstInst.Name(), ErrForeignInstance)
+		}
+		di := cfg.dstInst
+		eligible := func(i int) bool {
+			e := modeEligible(src.insts[i], dst, cfg.mode)
+			return e == nil || e(di.index)
+		}
+		i := p.place.PickOne(src.route, src.eps, eligible)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("no instance of %s reachable in mode %v to %s: %w",
+				src.Name(), cfg.mode, di.Name(), ErrModeUnavailable)
+		}
+		return src.insts[i], di, nil
+	}
+	var eligible func(si, di int) bool
+	if cfg.mode != ModeAuto {
+		eligible = func(si, di int) bool {
+			return modeEligible(src.insts[si], dst, cfg.mode)(di)
+		}
+	}
+	si, di := p.place.PickPair(src.route, src.eps, dst.route, dst.eps, eligible, p.linkCost)
+	if si < 0 || di < 0 {
+		return nil, nil, fmt.Errorf("no (%s, %s) instance pair reachable in mode %v: %w",
+			src.Name(), dst.Name(), cfg.mode, ErrModeUnavailable)
+	}
+	return src.insts[si], dst.insts[di], nil
 }
 
 // coreSourceRef converts a pinned source region to the core representation.
