@@ -31,6 +31,12 @@ bench:
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 4 -requests 8 -cold-channels -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 4 -mode chain -phase-locked -compact
+	@mkdir -p artifacts
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -mode plan -compact | tee artifacts/load-plan.json
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 4 -mode plan -deadline 40us -payload 1048576 -compact \
+		| python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["cancelled"] > 0 and d["errors"] == 0, d'
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 4 -mode plan -deadline 30s -compact \
+		| python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["cancelled"] == 0 and d["ops"] == 4, d'
 	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -replicas 3 -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -replicas 3 -placement round-robin -compact
 	$(GO) run ./cmd/roadrunner-bench -exp fig7 -sizes 1 -json
@@ -42,13 +48,14 @@ bench:
 	$(GO) run ./cmd/roadrunner-bench -exp placement -json > BENCH_4.json
 	@cat BENCH_4.json
 
-## lint: vet + gofmt gate
+## lint: vet + gofmt + ctx-coverage gates
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+	$(GO) run ./cmd/ctxcheck .
 
 ## staticcheck: static-analysis gate (CI's lint job; needs the binary or network)
 staticcheck:

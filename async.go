@@ -1,9 +1,11 @@
 package roadrunner
 
+import "context"
+
 // TransferFuture is the pending result of an asynchronous transfer (or an
 // asynchronous multi-hop chain, which yields the same triple). A future
-// resolves exactly once; Wait and Done may be used from any number of
-// goroutines.
+// resolves exactly once; Wait, WaitCtx and Done may be used from any number
+// of goroutines.
 type TransferFuture struct {
 	done chan struct{}
 	ref  DataRef
@@ -30,33 +32,59 @@ func (f *TransferFuture) Wait() (DataRef, Report, error) {
 	return f.ref, f.rep, f.err
 }
 
-// TransferAsync schedules Transfer on the platform's bounded worker pool
-// and returns immediately. Ordering guarantees are exactly those of the
-// engine: transfers touching disjoint Wasm VMs run in parallel; transfers
-// sharing a VM are serialized by that VM's lock in submission-arrival order
-// of the workers, not in TransferAsync call order. Callers that need
-// happens-before between two async transfers must Wait on the first before
-// submitting the second.
-//
-// Submission applies backpressure: when the pool's queue is full,
-// TransferAsync blocks until a slot frees rather than buffering unboundedly.
-func (p *Platform) TransferAsync(src, dst *Function, opts ...TransferOption) *TransferFuture {
+// WaitCtx is Wait bounded by ctx: it returns ctx's error if the context
+// ends first. The abandoned wait does not cancel the underlying operation
+// (submit with a context for that); the future still resolves and a later
+// Wait collects it.
+func (f *TransferFuture) WaitCtx(ctx context.Context) (DataRef, Report, error) {
+	if ctx == nil {
+		return f.Wait()
+	}
+	select {
+	case <-f.done:
+		return f.ref, f.rep, f.err
+	case <-ctx.Done():
+		return DataRef{}, Report{}, ctx.Err()
+	}
+}
+
+// futureOf adapts one plan node of a submitted job into a TransferFuture:
+// the future resolves with the node's single delivery when the node lands.
+// A failed submission resolves every future immediately with the error.
+func (p *Platform) futureOf(pl *Plan, node *PlanNode) *TransferFuture {
 	fut := newFuture()
-	pool := p.scheduler()
-	if pool == nil {
-		fut.resolve(DataRef{}, Report{}, ErrClosed)
+	job, err := p.Submit(context.Background(), pl)
+	if err != nil {
+		fut.resolve(DataRef{}, Report{}, err)
 		return fut
 	}
-	if err := pool.Submit(func() {
-		fut.resolve(p.Transfer(src, dst, opts...))
-	}); err != nil {
-		fut.resolve(DataRef{}, Report{}, ErrClosed)
-	}
+	go func() {
+		<-job.NodeDone(node)
+		nr, _ := job.NodeResult(node)
+		fut.resolve(nr.Ref(), nr.Report(), nr.Err)
+	}()
 	return fut
 }
 
+// TransferAsync schedules Transfer on the platform's bounded worker pool
+// and returns immediately — a single-node Plan submitted with
+// context.Background() (DESIGN.md §7). Ordering guarantees are exactly
+// those of the engine: transfers touching disjoint Wasm VMs run in
+// parallel; transfers sharing a VM are serialized by that VM's lock in
+// submission-arrival order of the workers, not in TransferAsync call order.
+// Callers that need happens-before between two async transfers must Wait on
+// the first before submitting the second.
+//
+// Submission applies backpressure: when the pool's queue is full, the
+// transfer waits for a slot rather than buffering unboundedly.
+func (p *Platform) TransferAsync(src, dst *Function, opts ...TransferOption) *TransferFuture {
+	pl := NewPlan()
+	return p.futureOf(pl, pl.Xfer(src, dst, opts...))
+}
+
 // ChainAsync schedules a whole multi-hop Chain on the worker pool and
-// returns immediately. The chain streams exactly as the synchronous Chain
+// returns immediately — a single Hop-node Plan submitted with
+// context.Background(). The chain streams exactly as the synchronous Chain
 // does (see ChainWith): hop i+1's source stage starts as soon as hop i's
 // ingress lands, and each hop locks only the VM whose bytes are moving at
 // that stage, so interior VMs are free between their stages. Chains
@@ -64,17 +92,68 @@ func (p *Platform) TransferAsync(src, dst *Function, opts ...TransferOption) *Tr
 // chains that share interior functions, which serialize only on the shared
 // VM's stage-scoped lock, never on whole hops.
 func (p *Platform) ChainAsync(n int, fns ...*Function) *TransferFuture {
-	fut := newFuture()
-	pool := p.scheduler()
-	if pool == nil {
-		fut.resolve(DataRef{}, Report{}, ErrClosed)
+	pl := NewPlan()
+	return p.futureOf(pl, pl.Hop(n, fns))
+}
+
+// MulticastFuture is the pending result of an asynchronous multicast: the
+// per-target deliveries and reports, resolved together (the fan-out is one
+// pass over the shared hose, so there is no per-target completion to
+// expose).
+type MulticastFuture struct {
+	done chan struct{}
+	refs []DataRef
+	reps []Report
+	err  error
+}
+
+func (f *MulticastFuture) resolve(refs []DataRef, reps []Report, err error) {
+	f.refs, f.reps, f.err = refs, reps, err
+	close(f.done)
+}
+
+// Done returns a channel closed when the future resolves (select-friendly).
+func (f *MulticastFuture) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the future resolves and returns the per-target
+// deliveries, reports and error exactly as Multicast would have.
+func (f *MulticastFuture) Wait() ([]DataRef, []Report, error) {
+	<-f.done
+	return f.refs, f.reps, f.err
+}
+
+// WaitCtx is Wait bounded by ctx; see TransferFuture.WaitCtx for the
+// contract.
+func (f *MulticastFuture) WaitCtx(ctx context.Context) ([]DataRef, []Report, error) {
+	if ctx == nil {
+		return f.Wait()
+	}
+	select {
+	case <-f.done:
+		return f.refs, f.reps, f.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// MulticastAsync schedules Multicast on the worker pool and returns
+// immediately — a single Cast-node Plan submitted with
+// context.Background(). The future resolves with exactly the triple the
+// synchronous Multicast would have returned.
+func (p *Platform) MulticastAsync(src *Function, targets []*Function, opts ...TransferOption) *MulticastFuture {
+	fut := &MulticastFuture{done: make(chan struct{})}
+	pl := NewPlan()
+	node := pl.Cast(src, targets, opts...)
+	job, err := p.Submit(context.Background(), pl)
+	if err != nil {
+		fut.resolve(nil, nil, err)
 		return fut
 	}
-	if err := pool.Submit(func() {
-		fut.resolve(p.Chain(n, fns...))
-	}); err != nil {
-		fut.resolve(DataRef{}, Report{}, ErrClosed)
-	}
+	go func() {
+		<-job.NodeDone(node)
+		nr, _ := job.NodeResult(node)
+		fut.resolve(nr.Refs, nr.Reports, nr.Err)
+	}()
 	return fut
 }
 
@@ -83,28 +162,48 @@ func (p *Platform) ChainAsync(n int, fns ...*Function) *TransferFuture {
 // returning one future per target. The produce step is synchronous (it must
 // happen before any hop) and its instance plus output region are pinned
 // into every delivery, so later routed operations on src cannot retarget
-// the fan-out mid-flight; the fan-out itself proceeds as workers free up,
-// with all targets' flows modeled as sharing the link like Fanout.
+// the fan-out mid-flight; the fan-out itself is a Plan with one Xfer node
+// per target — the deliveries proceed as workers free up, each future
+// resolving as its node lands, with all targets' flows modeled as sharing
+// the link like Fanout.
 func (p *Platform) FanoutAsync(src *Function, targets []*Function, n int) ([]*TransferFuture, error) {
-	pool := p.scheduler()
-	if pool == nil {
-		return nil, ErrClosed
-	}
 	si, out, err := p.produceRouted(src, n)
 	if err != nil {
 		return nil, err
 	}
-	futs := make([]*TransferFuture, len(targets))
+	if len(targets) == 0 {
+		// Nothing to deliver; the produced region stays registered as
+		// src's output, exactly as a zero-iteration delivery loop left it.
+		return []*TransferFuture{}, nil
+	}
+	pl := NewPlan()
+	nodes := make([]*PlanNode, len(targets))
 	for i, dst := range targets {
-		fut := newFuture()
-		futs[i] = fut
-		dst := dst
-		if err := pool.Submit(func() {
-			fut.resolve(p.Transfer(src, dst,
-				WithSourceInstance(si), WithSourceRef(out), WithFlows(len(targets))))
-		}); err != nil {
-			fut.resolve(DataRef{}, Report{}, ErrClosed)
+		nodes[i] = pl.Xfer(src, dst,
+			WithSourceInstance(si), WithSourceRef(out), WithFlows(len(targets)))
+	}
+	job, err := p.Submit(context.Background(), pl)
+	futs := make([]*TransferFuture, len(targets))
+	for i := range futs {
+		futs[i] = newFuture()
+	}
+	if err != nil {
+		// No delivery will ever read the produced region; hand it back so
+		// a rejected fan-out leaves the source allocator at baseline, as
+		// the synchronous failure path does.
+		_ = si.inner.Deallocate(out.Ptr)
+		for _, fut := range futs {
+			fut.resolve(DataRef{}, Report{}, err)
 		}
+		return futs, nil
+	}
+	for i := range nodes {
+		i := i
+		go func() {
+			<-job.NodeDone(nodes[i])
+			nr, _ := job.NodeResult(nodes[i])
+			futs[i].resolve(nr.Ref(), nr.Report(), nr.Err)
+		}()
 	}
 	return futs, nil
 }

@@ -6,6 +6,7 @@
 package roadrunner_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -641,4 +642,88 @@ func BenchmarkMulticast8(b *testing.B) {
 			}
 		}
 	}
+}
+
+// ---- Plan/Submit plane -------------------------------------------------------
+
+// BenchmarkPlanSubmit compares one kernel-space transfer issued three ways:
+// direct (the legacy one-shot, itself a single-node plan run inline), via
+// the explicit Plan builder + Submit + Wait (the DAG plane, pool-dispatched),
+// and via TransferCtx. The acceptance bar is Plan-submitted singles within a
+// few percent of direct — the plane must add no hot-path overhead beyond
+// its bookkeeping allocations.
+func BenchmarkPlanSubmit(b *testing.B) {
+	build := func(b *testing.B) (*roadrunner.Platform, *roadrunner.Function, *roadrunner.Function) {
+		p := roadrunner.New(roadrunner.WithNodes("node"))
+		b.Cleanup(p.Close)
+		src, err := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "node"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "node"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := src.Produce(benchPayload); err != nil {
+			b.Fatal(err)
+		}
+		return p, src, dst
+	}
+	b.Run("direct", func(b *testing.B) {
+		p, src, dst := build(b)
+		b.SetBytes(benchPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ref, _, err := p.Transfer(src, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Release(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("transfer-ctx", func(b *testing.B) {
+		p, src, dst := build(b)
+		ctx := context.Background()
+		b.SetBytes(benchPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ref, _, err := p.TransferCtx(ctx, src, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Release(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("submit", func(b *testing.B) {
+		p, src, dst := build(b)
+		ctx := context.Background()
+		b.SetBytes(benchPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl := roadrunner.NewPlan()
+			node := pl.Xfer(src, dst)
+			job, err := p.Submit(ctx, pl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := job.Wait(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nr := res.Node(node)
+			if nr.Err != nil {
+				b.Fatal(nr.Err)
+			}
+			if err := dst.Release(nr.Ref()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -84,7 +84,7 @@ func TestCloseDrainsAsyncInFlight(t *testing.T) {
 			return err
 		}(),
 		"Fanout": func() error {
-			_, err := p.Fanout(src, []*roadrunner.Function{dst}, 1024)
+			_, _, err := p.Fanout(src, []*roadrunner.Function{dst}, 1024)
 			return err
 		}(),
 		"Produce":          src.Produce(1024),

@@ -1,0 +1,157 @@
+// Command ctxcheck is the vet-level gate of the context-first API contract:
+// every public data-plane entry point of the root roadrunner package must
+// be cancellable. Concretely, every exported method on *Platform whose
+// parameters mention *Function (or []*Function) — the signature shape of a
+// data-plane operation — must satisfy one of:
+//
+//   - it takes a context.Context itself (the ...Ctx forms, Submit), or
+//   - an exported sibling named <Name>Ctx exists whose first parameter is a
+//     context.Context, or
+//   - its name ends in "Async": the asynchronous forms are cancelled
+//     through their futures' WaitCtx and the Plan/Submit plane — which the
+//     second rule enforces on every future type: any exported Wait method
+//     without a ctx parameter requires a WaitCtx sibling.
+//
+// A new entry point that ships without a ctx story fails CI here, with the
+// offending method named.
+//
+// Usage: ctxcheck [package-dir] (default ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	violations, err := check(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxcheck:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "ctxcheck: public API entry points lacking a ctx-taking form:")
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("ctxcheck: every public data-plane entry point has a ctx-taking form")
+}
+
+// method describes one exported method of the package.
+type method struct {
+	recv     string // receiver base type name
+	name     string
+	takesCtx bool // any parameter is context.Context
+	firstCtx bool // the FIRST parameter is context.Context
+	touches  bool // parameters mention *Function or []*Function
+}
+
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var methods []method
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || !fn.Name.IsExported() {
+					continue
+				}
+				methods = append(methods, describe(fn))
+			}
+		}
+	}
+
+	byRecv := make(map[string]map[string]method)
+	for _, m := range methods {
+		if byRecv[m.recv] == nil {
+			byRecv[m.recv] = make(map[string]method)
+		}
+		byRecv[m.recv][m.name] = m
+	}
+
+	var violations []string
+	for _, m := range methods {
+		if m.recv == "Platform" && m.touches && !m.takesCtx &&
+			!strings.HasSuffix(m.name, "Async") && !strings.HasSuffix(m.name, "Ctx") {
+			sib, ok := byRecv[m.recv][m.name+"Ctx"]
+			if !ok || !sib.firstCtx {
+				violations = append(violations,
+					fmt.Sprintf("(*%s).%s: data-plane entry point with no ctx parameter and no %sCtx sibling", m.recv, m.name, m.name))
+			}
+		}
+		if m.name == "Wait" && !m.takesCtx {
+			sib, ok := byRecv[m.recv]["WaitCtx"]
+			if !ok || !sib.firstCtx {
+				violations = append(violations,
+					fmt.Sprintf("(*%s).Wait: blocking wait with no ctx parameter and no WaitCtx sibling", m.recv))
+			}
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+func describe(fn *ast.FuncDecl) method {
+	m := method{recv: recvName(fn), name: fn.Name.Name}
+	for i, field := range fn.Type.Params.List {
+		t := typeString(field.Type)
+		if t == "context.Context" {
+			m.takesCtx = true
+			if i == 0 {
+				m.firstCtx = true
+			}
+		}
+		if strings.Contains(t, "*Function") {
+			m.touches = true
+		}
+	}
+	return m
+}
+
+// recvName extracts the receiver's base type name ("Platform" from
+// "*Platform").
+func recvName(fn *ast.FuncDecl) string {
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// typeString renders the subset of type expressions the check cares about.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.ArrayType:
+		return "[]" + typeString(t.Elt)
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	default:
+		return ""
+	}
+}

@@ -11,6 +11,8 @@
 //	roadrunner-load -mode chain -phase-locked # pre-pipeline ablation regime
 //	roadrunner-load -replicas 4              # 4-instance pools per function, locality-routed
 //	roadrunner-load -replicas 4 -placement round-robin # placement-oblivious ablation
+//	roadrunner-load -mode plan               # a Plan/Submit DAG per iteration
+//	roadrunner-load -deadline 5ms            # per-operation ctx timeout ("cancelled" counter)
 //	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
 package main
 
@@ -41,12 +43,13 @@ func run(args []string) error {
 		requests  = fs.Int("requests", 0, "closed-loop total executions (default: 4×workflows)")
 		rate      = fs.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
 		duration  = fs.Duration("duration", time.Second, "open-loop offered-load window")
-		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel, network or chain")
+		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel, network, chain or plan")
 		verify    = fs.Bool("verify", true, "checksum every final delivery")
 		cold      = fs.Bool("cold-channels", false, "disable the channel cache: per-call hose setup/teardown (cold regime)")
 		locked    = fs.Bool("phase-locked", false, "run transfers in the phase-locked (pre-pipeline) regime: both VM locks per hop, no stage overlap")
 		replicas  = fs.Int("replicas", 1, "warm instance-pool size per function, spread across both nodes")
 		placement = fs.String("placement", "locality", "invoker-plane placement policy: locality, least-loaded or round-robin")
+		deadline  = fs.Duration("deadline", 0, "per-operation context timeout (0 = none); tripped executions count as cancelled")
 		compact   = fs.Bool("compact", false, "single-line JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +70,7 @@ func run(args []string) error {
 		PhaseLocked:  *locked,
 		Replicas:     *replicas,
 		Placement:    *placement,
+		Deadline:     *deadline,
 	})
 	if err != nil {
 		return err

@@ -86,7 +86,7 @@ func run() error {
 		reports[0].Usage.KernelCopyBytes == 0)
 
 	// --- Comparison: the same delivery as sequential unicast fan-out ------
-	seqReports, err := p.Fanout(agg, workers, modelBytes)
+	_, seqReports, err := p.Fanout(agg, workers, modelBytes)
 	if err != nil {
 		return err
 	}

@@ -60,7 +60,7 @@ func fanout(label string, degree int, remote bool) error {
 		}
 	}
 
-	reports, err := p.Fanout(src, targets, payload)
+	_, reports, err := p.Fanout(src, targets, payload)
 	if err != nil {
 		return err
 	}

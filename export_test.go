@@ -1,5 +1,7 @@
 package roadrunner
 
+import "github.com/polaris-slo-cloud/roadrunner-go/internal/core"
+
 // Test-only accessors: compiled into test binaries exclusively, they expose
 // the conservation baselines (FD tables, the kernel page pool) the public
 // surface deliberately hides.
@@ -23,4 +25,24 @@ func TestingPoolResident(p *Platform, node string) int64 {
 		return -1
 	}
 	return k.Pool().Resident()
+}
+
+// TestingInstanceResident reports each instance sandbox account's resident
+// bytes (the state-residency level), in pool order.
+func TestingInstanceResident(f *Function) []int64 {
+	out := make([]int64, len(f.insts))
+	for i, inst := range f.insts {
+		out[i] = inst.inner.Shim().Account().Snapshot().ResidentBytes
+	}
+	return out
+}
+
+// TestingWithGates installs a pipeline gate on a transfer: before runs in
+// the ingress goroutine while the payload is on the wire (queued in the
+// channel, neither VM lock held) — the hook the cancellation tests use to
+// fire a cancel deterministically mid-transfer.
+func TestingWithGates(before func()) TransferOption {
+	return func(c *transferConfig) {
+		c.gates = &core.PipelineGates{BeforeIngress: before}
+	}
 }

@@ -1,7 +1,9 @@
 package roadrunner
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -176,6 +178,30 @@ func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
 	return p.ChainWith(n, nil, fns...)
 }
 
+// ChainCtx is Chain bounded by ctx; see ChainWithCtx for the cancellation
+// contract.
+func (p *Platform) ChainCtx(ctx context.Context, n int, fns ...*Function) (DataRef, Report, error) {
+	return p.ChainWithCtx(ctx, n, nil, fns...)
+}
+
+// ChainWithCtx is ChainWith bounded by ctx: cancellation is observed
+// between hops and inside each hop's pipeline stages. A cancelled (or
+// otherwise failed) chain releases every region it allocated — the head's
+// produced payload and each interior hop's delivery — back to the owning
+// guests' allocators, so an aborted chain leaves linear memory, FD tables,
+// the page pool and the channel cache at their pre-chain baselines. It
+// executes as a single Hop-node Plan (DESIGN.md §7).
+func (p *Platform) ChainWithCtx(ctx context.Context, n int, opts []TransferOption, fns ...*Function) (DataRef, Report, error) {
+	pl := NewPlan()
+	node := pl.Hop(n, fns, opts...)
+	res, err := p.runPlan(ctx, pl)
+	if err != nil {
+		return DataRef{}, Report{}, err
+	}
+	nr := res.Node(node)
+	return nr.Ref(), nr.Report(), nr.Err
+}
+
 // ChainWith is Chain with per-hop transfer options (e.g. WithPhaseLocked
 // for the phase-locked ablation regime). Instance pins in opts are ignored:
 // a chain's source instance is always the previous hop's delivery, and each
@@ -190,13 +216,23 @@ func (p *Platform) Chain(n int, fns ...*Function) (DataRef, Report, error) {
 // locked-idle for whole hops as in the phase-locked regime.
 //
 // A failing hop is named in the error: "hop i/h (src->dst)" with the hop's
-// 1-based index, total hop count and concrete instance names.
+// 1-based index, total hop count and concrete instance names. ChainWith
+// never cancels; ChainWithCtx is the context-aware form.
 func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (DataRef, Report, error) {
-	if len(fns) < 2 {
-		return DataRef{}, Report{}, fmt.Errorf("roadrunner: chain needs at least 2 functions, got %d", len(fns))
-	}
+	return p.ChainWithCtx(context.Background(), n, opts, fns...)
+}
+
+// chainWithCtx executes one streaming chain under ctx — the engine behind
+// Hop plan nodes and therefore behind Chain/ChainWith/ChainAsync and their
+// Ctx forms. Cancellation is polled before every hop and inside each hop's
+// pipeline; on any failure the chain releases every region it allocated so
+// far (in reverse allocation order — the guests' allocators are LIFO), so
+// a chain cancelled while an interior hop is on the wire frees all pinned
+// interior refs. It also returns the concrete instance the final delivery
+// landed on, feeding plan dataflow (From) edges.
+func (p *Platform) chainWithCtx(ctx context.Context, n int, opts []TransferOption, fns ...*Function) (DataRef, Report, *Instance, error) {
 	if err := p.beginOp(); err != nil {
-		return DataRef{}, Report{}, err
+		return DataRef{}, Report{}, nil, err
 	}
 	defer p.endOp()
 
@@ -205,14 +241,33 @@ func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (Da
 	ref, err := head.produceAt(n)
 	fns[0].route.Exit(head.index)
 	if err != nil {
-		return DataRef{}, Report{}, fmt.Errorf("chain head %s: produce: %w", head.Name(), err)
+		return DataRef{}, Report{}, nil, fmt.Errorf("chain head %s: produce: %w", head.Name(), err)
+	}
+
+	// Every region this chain allocates, in order: the head's produce, then
+	// one delivery per completed hop. On failure they are handed back to
+	// their guests newest-first, rewinding each touched instance's bump
+	// allocator to its pre-chain position.
+	type chainAlloc struct {
+		inst *Instance
+		ref  DataRef
+	}
+	allocs := []chainAlloc{{head, ref}}
+	fail := func(err error) (DataRef, Report, *Instance, error) {
+		for i := len(allocs) - 1; i >= 0; i-- {
+			_ = allocs[i].inst.inner.Deallocate(allocs[i].ref.Ptr)
+		}
+		return DataRef{}, Report{}, nil, err
 	}
 
 	cur := head
 	hops := len(fns) - 1
 	var total Report
 	for i := 0; i+1 < len(fns); i++ {
-		cfg := transferConfig{flows: 1}
+		if err := ctxErr(ctx); err != nil {
+			return fail(fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), fns[i+1].Name(), err))
+		}
+		cfg := transferConfig{flows: 1, ctx: ctx}
 		for _, opt := range opts {
 			opt(&cfg)
 		}
@@ -221,13 +276,14 @@ func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (Da
 		cfg.srcInst, cfg.dstInst = nil, nil
 		di, err := p.resolveTarget(cur, fns[i+1], &cfg)
 		if err != nil {
-			return DataRef{}, Report{}, fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), fns[i+1].Name(), err)
+			return fail(fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), fns[i+1].Name(), err))
 		}
 		var rep Report
 		ref, rep, err = p.transferInstances(cur, di, &cfg)
 		if err != nil {
-			return DataRef{}, Report{}, fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), di.Name(), err)
+			return fail(fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), di.Name(), err))
 		}
+		allocs = append(allocs, chainAlloc{di, ref})
 		fns[i+1].setActive(di)
 		if i == 0 {
 			total = rep
@@ -236,7 +292,7 @@ func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (Da
 		}
 		cur = di
 	}
-	return ref, total, nil
+	return ref, total, cur, nil
 }
 
 // Multicast delivers src's current output to every (remote) target in a
@@ -255,19 +311,41 @@ func (p *Platform) ChainWith(n int, opts []TransferOption, fns ...*Function) (Da
 // rejected with ErrModeUnavailable, since multicast is by construction a
 // network-path operation with policy-routed targets.
 func (p *Platform) Multicast(src *Function, targets []*Function, opts ...TransferOption) ([]DataRef, []Report, error) {
+	return p.MulticastCtx(context.Background(), src, targets, opts...)
+}
+
+// MulticastCtx is Multicast bounded by ctx: cancellation is observed at
+// entry, during the source tee pass and at every target drain, and an
+// aborted fan-out destroys its channels (draining stranded pages) exactly
+// as other multicast failures do. It executes as a single Cast-node Plan
+// (DESIGN.md §7).
+func (p *Platform) MulticastCtx(ctx context.Context, src *Function, targets []*Function, opts ...TransferOption) ([]DataRef, []Report, error) {
+	pl := NewPlan()
+	n := pl.Cast(src, targets, opts...)
+	res, err := p.runPlan(ctx, pl)
+	if err != nil {
+		return nil, nil, err
+	}
+	nr := res.Node(n)
+	return nr.Refs, nr.Reports, nr.Err
+}
+
+// multicastCtx executes one multicast under ctx — the engine behind Cast
+// plan nodes and therefore behind Multicast/MulticastCtx/MulticastAsync.
+func (p *Platform) multicastCtx(ctx context.Context, src *Function, targets []*Function, opts []TransferOption) ([]DataRef, []Report, error) {
 	if err := p.beginOp(); err != nil {
 		return nil, nil, err
 	}
 	defer p.endOp()
-	cfg := transferConfig{}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	// Option legality (network-path only, no target-instance pins) is
+	// enforced once, by plan validation (PlanNode.check) — the only way
+	// into this engine.
+	cfg := transferConfig{ctx: ctx}
 	for _, opt := range opts {
 		opt(&cfg)
-	}
-	if cfg.mode != ModeAuto && cfg.mode != ModeNetwork {
-		return nil, nil, fmt.Errorf("roadrunner: multicast is network-path only, mode %v: %w", cfg.mode, ErrModeUnavailable)
-	}
-	if cfg.dstInst != nil {
-		return nil, nil, fmt.Errorf("roadrunner: multicast routes every target by policy, cannot pin one target instance: %w", ErrModeUnavailable)
 	}
 	si, err := resolveSource(src, &cfg)
 	if err != nil {
@@ -306,11 +384,13 @@ func (p *Platform) Multicast(src *Function, targets []*Function, opts ...Transfe
 		}
 	}()
 	refs, reps, err := core.MulticastTransfer(si.inner, inner, core.MulticastOptions{
+		Ctx:            cfg.ctx,
 		Links:          links,
 		Flows:          flows,
 		NoChannelCache: cfg.coldChannel,
 		PhaseLocked:    cfg.phaseLocked,
 		SourceRef:      coreSourceRef(cfg.sourceRef),
+		Gates:          cfg.gates,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -333,35 +413,67 @@ func (p *Platform) Multicast(src *Function, targets []*Function, opts ...Transfe
 // source VM is occupied only while each transfer's pages enter its channel,
 // so the targets' ingress stages — the expensive copies into their linear
 // memories — run genuinely in parallel. Network transfers are modeled with
-// all targets' flows sharing the link. It returns one report per target, in
-// target order. The produce side may be pinned with WithSourceInstance;
-// pinning a single target instance is rejected with ErrModeUnavailable,
-// since every target is routed by the placement policy.
-func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...TransferOption) ([]Report, error) {
+// all targets' flows sharing the link. It returns one delivery ref and one
+// report per target, in target order — the same shape Multicast returns
+// (DESIGN.md §7 documents this change; the reports-only view remains one
+// Plan Fan-node result away). The produce side may be pinned with
+// WithSourceInstance; pinning a single target instance is rejected with
+// ErrModeUnavailable, since every target is routed by the placement policy.
+func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...TransferOption) ([]DataRef, []Report, error) {
+	return p.FanoutCtx(context.Background(), src, targets, n, opts...)
+}
+
+// FanoutCtx is Fanout bounded by ctx: cancellation is observed at queue
+// admission of every delivery and inside each delivery's pipeline. An
+// aborted fan-out releases the produced source region and every delivery
+// that had already landed, restoring the guests' allocators and data-plane
+// baselines. It executes as a single Fan-node Plan (DESIGN.md §7).
+func (p *Platform) FanoutCtx(ctx context.Context, src *Function, targets []*Function, n int, opts ...TransferOption) ([]DataRef, []Report, error) {
+	pl := NewPlan()
+	node := pl.Fan(src, targets, n, opts...)
+	res, err := p.runPlan(ctx, pl)
+	if err != nil {
+		return nil, nil, err
+	}
+	nr := res.Node(node)
+	return nr.Refs, nr.Reports, nr.Err
+}
+
+// fanoutCtx executes one fan-out under ctx — the engine behind Fan plan
+// nodes and therefore behind Fanout/FanoutCtx. On failure it releases
+// every region the operation allocated: completed deliveries first, then
+// the pinned source region.
+func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Function, n int, opts []TransferOption) ([]DataRef, []Report, error) {
 	if err := p.beginOp(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer p.endOp()
-	base := transferConfig{flows: 1}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	// Target-instance pins are rejected once, by plan validation
+	// (PlanNode.check) — the only way into this engine.
+	base := transferConfig{flows: 1, ctx: ctx}
 	for _, opt := range opts {
 		opt(&base)
 	}
-	if base.dstInst != nil {
-		return nil, fmt.Errorf("roadrunner: fanout routes every target by policy, cannot pin one target instance: %w", ErrModeUnavailable)
-	}
 	si, err := resolveProducer(src, &base)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	src.route.Enter(si.index)
 	out, err := si.produceAt(n)
 	src.route.Exit(si.index)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	fail := func(err error) ([]DataRef, []Report, error) {
+		_ = si.inner.Deallocate(out.Ptr)
+		return nil, nil, err
 	}
 	pool := p.scheduler()
 	if pool == nil {
-		return nil, ErrClosed
+		return fail(ErrClosed)
 	}
 	// Resolve every target before submitting any delivery: a routing
 	// failure must not strand already-running transfers reading the pinned
@@ -376,20 +488,21 @@ func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...Tra
 		cfg.srcInst, cfg.dstInst = nil, nil
 		di, err := p.resolveTarget(si, dst, &cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fanout to %s: %w", dst.Name(), err)
+			return fail(fmt.Errorf("fanout to %s: %w", dst.Name(), err))
 		}
 		chosen[i] = di
 		cfgs[i] = cfg
 	}
+	refs := make([]DataRef, len(targets))
 	reports := make([]Report, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i := range targets {
 		i := i
 		wg.Add(1)
-		if err := pool.Submit(func() {
+		if err := pool.SubmitCtx(ctx, func() {
 			defer wg.Done()
-			_, reports[i], errs[i] = p.transferInstances(si, chosen[i], &cfgs[i])
+			refs[i], reports[i], errs[i] = p.transferInstances(si, chosen[i], &cfgs[i])
 		}); err != nil {
 			errs[i] = err
 			wg.Done()
@@ -398,11 +511,28 @@ func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...Tra
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("fanout to %s: %w", chosen[i].Name(), err)
+			// Completed deliveries are this operation's allocations too:
+			// hand them back before the source region. Descending-pointer
+			// order releases duplicates that landed in one instance LIFO —
+			// concurrent deliveries allocate in VM-lock arrival order, not
+			// index order, so index order would not rewind the heap.
+			landed := make([]int, 0, len(targets))
+			for k := range targets {
+				if errs[k] == nil {
+					landed = append(landed, k)
+				}
+			}
+			sort.Slice(landed, func(a, b int) bool { return refs[landed[a]].Ptr > refs[landed[b]].Ptr })
+			for _, k := range landed {
+				_ = chosen[k].inner.Deallocate(refs[k].Ptr)
+			}
+			return fail(fmt.Errorf("fanout to %s: %w", chosen[i].Name(), err))
 		}
+	}
+	for i := range targets {
 		targets[i].setActive(chosen[i])
 	}
-	return reports, nil
+	return refs, reports, nil
 }
 
 // produceRouted is the guarded routed-produce entry for async batch paths:

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +14,11 @@ import (
 
 // MulticastOptions tunes a multicast transfer.
 type MulticastOptions struct {
+	// Ctx cancels the fan-out; nil means never cancelled. Cancellation is
+	// observed at entry, at every chunk of the source tee pass, and at the
+	// start and every chunk of each target drain; an aborted fan-out
+	// destroys its channels (draining stranded pages) like other failures.
+	Ctx context.Context
 	// Links models the network path per target; a nil slice (or nil entry)
 	// attributes no wire time. When set, len(Links) must equal the number
 	// of targets. Targets on different links are modeled independently —
@@ -87,6 +94,10 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 		m := srcShim.pairLock(ds, chanNetwork)
 		m.Lock()
 		defer m.Unlock()
+	}
+	// First cancellation point: abort before acquiring channels or VM locks.
+	if err := CtxErr(opts.Ctx); err != nil {
+		return nil, nil, err
 	}
 	if opts.PhaseLocked {
 		all := make([]*Shim, 0, len(dsts)+1)
@@ -191,9 +202,15 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 				if opts.Gates != nil && opts.Gates.BeforeIngress != nil {
 					opts.Gates.BeforeIngress()
 				}
+				// Stage-boundary cancellation point: this target's share of
+				// the payload is on the wire, no VM lock held.
+				if err := CtxErr(opts.Ctx); err != nil {
+					drains[i].err = err
+					return
+				}
 				ds := dst.shim
 				ds.mu.Lock()
-				drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len)
+				drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len, opts.Ctx)
 				ds.mu.Unlock()
 			}(i, dst)
 		}
@@ -227,6 +244,9 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 		hose := chans[0]
 		dataStarted = true
 		for off := 0; off < len(view); {
+			if err := CtxErr(opts.Ctx); err != nil {
+				return err
+			}
 			chunk := len(view) - off
 			if chunk > srcShim.hoseCap {
 				chunk = srcShim.hoseCap
@@ -266,6 +286,30 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 	if !announced {
 		close(ready)
 	}
+	// releaseLanded hands back deliveries that completed before the fan-out
+	// failed, so an aborted (e.g. cancelled) multicast doesn't strand
+	// regions in the fast targets' heaps. Descending-pointer order releases
+	// duplicate targets of one VM LIFO; VM locks are taken per target
+	// unless the phase-locked regime already holds them all.
+	releaseLanded := func() {
+		idx := make([]int, 0, len(drains))
+		for i := range drains {
+			if drains[i].err == nil && drains[i].ref.Len > 0 {
+				idx = append(idx, i)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return drains[idx[a]].ref.Ptr > drains[idx[b]].ref.Ptr })
+		for _, i := range idx {
+			ds := dsts[i].shim
+			if !opts.PhaseLocked {
+				ds.mu.Lock()
+			}
+			_ = dsts[i].view.Deallocate(drains[i].ref.Ptr)
+			if !opts.PhaseLocked {
+				ds.mu.Unlock()
+			}
+		}
+	}
 	if eerr != nil {
 		if dataStarted {
 			// Some drains may be blocked on sockets that will never fill;
@@ -278,12 +322,17 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 			}
 		}
 		wg.Wait()
+		releaseLanded()
 		return nil, nil, eerr
 	}
 
 	if opts.PhaseLocked {
 		for i, dst := range dsts {
-			drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len)
+			if err := CtxErr(opts.Ctx); err != nil {
+				drains[i].err = err
+				break
+			}
+			drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len, opts.Ctx)
 			if drains[i].err != nil {
 				break
 			}
@@ -293,6 +342,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 	}
 	for i, d := range drains {
 		if d.err != nil {
+			releaseLanded()
 			return nil, nil, fmt.Errorf("multicast receive at %s: %w", dsts[i].name, d.err)
 		}
 	}
@@ -350,8 +400,9 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 // receiveFromHose runs the target half of Algorithm 1 over the target-side
 // descriptors of ch: socket → target hose → linear memory. Callers hold the
 // target's VM lock. Descriptors stay open — teardown belongs to the
-// channel's lifecycle, not the transfer.
-func receiveFromHose(dst *Function, ch *channel, n uint32) (InboundRef, metrics.Breakdown, error) {
+// channel's lifecycle, not the transfer. ctx (nil = never cancelled) is
+// polled at every chunk boundary.
+func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) (InboundRef, metrics.Breakdown, error) {
 	dstShim := dst.shim
 	var bd metrics.Breakdown
 
@@ -371,6 +422,12 @@ func receiveFromHose(dst *Function, ch *channel, n uint32) (InboundRef, metrics.
 	received := 0
 	swR := metrics.NewStopwatch(dstShim.now)
 	for received < int(n) {
+		if err := CtxErr(ctx); err != nil {
+			// Cancelled mid-drain: hand the (top-of-heap, VM lock held)
+			// allocation back so the target's bump heap rewinds.
+			_ = dst.view.Deallocate(dstPtr)
+			return InboundRef{}, bd, err
+		}
 		chunk := int(n) - received
 		if chunk > dstShim.hoseCap {
 			chunk = dstShim.hoseCap

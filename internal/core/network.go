@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
@@ -12,6 +13,11 @@ import (
 
 // NetworkOptions tunes a network-mode transfer.
 type NetworkOptions struct {
+	// Ctx cancels the transfer; nil means never cancelled. Cancellation is
+	// observed at pipeline entry, at the stage boundary, and at every hose
+	// chunk of both stage loops; an aborted transfer destroys the pair's
+	// channel (draining stranded pages) exactly as other failures do.
+	Ctx context.Context
 	// Link is the modeled network path between the two nodes; nil means
 	// no network time is attributed (testing).
 	Link *netsim.Link
@@ -83,6 +89,7 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 		kind:        kind,
 		perCall:     opts.NoChannelCache,
 		phaseLocked: opts.PhaseLocked,
+		ctx:         opts.Ctx,
 		gates:       opts.Gates,
 		src:         src,
 		dst:         dst,
@@ -164,6 +171,9 @@ func networkEgress(opts NetworkOptions) func(*Function, *channel, func(OutputRef
 				s.proc.BeginBatch()
 			}
 			for off := 0; off < len(view); {
+				if err := CtxErr(opts.Ctx); err != nil {
+					return OutputRef{}, err
+				}
 				chunk := len(view) - off
 				if chunk > s.hoseCap {
 					chunk = s.hoseCap
@@ -219,8 +229,18 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 
 		// network_data_transfer_target (Algorithm 1 lines 21-29).
 		swR := metrics.NewStopwatch(s.now)
+		// A cancelled drain deallocates the region it allocated above —
+		// the drain holds the VM lock, so it is the top allocation and the
+		// bump heap rewinds to its pre-transfer position.
+		abort := func(err error) (InboundRef, error) {
+			_ = f.view.Deallocate(dstPtr)
+			return InboundRef{}, err
+		}
 		if opts.ForceCopyPath {
 			for off := 0; off < len(wv); {
+				if err := CtxErr(opts.Ctx); err != nil {
+					return abort(err)
+				}
 				n, err := s.proc.Read(ch.sfd, wv[off:])
 				if err != nil {
 					return InboundRef{}, fmt.Errorf("copy-path recv: %w", err)
@@ -239,6 +259,9 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 			}
 			received := 0
 			for received < int(out.Len) {
+				if err := CtxErr(opts.Ctx); err != nil {
+					return abort(err)
+				}
 				chunk := int(out.Len) - received
 				if chunk > s.hoseCap {
 					chunk = s.hoseCap

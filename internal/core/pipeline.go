@@ -33,6 +33,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -45,6 +46,25 @@ import (
 // failed before announcing the payload size; the egress error is the one
 // reported.
 var errEgressAborted = errors.New("core: source stage aborted before announcing output")
+
+// CtxErr reports a context's cancellation non-blockingly, treating a nil
+// context as never cancelled. The data plane polls it at its cancellation
+// points: pipeline entry, stage entry, and every chunk boundary of a stage
+// loop — a cancelled transfer aborts through the ordinary error path, which
+// poisons (destroys) the pair's channel, drains any stranded pages back to
+// the pool and closes the channel's descriptors, so cancellation conserves
+// the same FD and page baselines every other transfer failure does.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // PipelineGates carries test instrumentation for the staged pipeline. All
 // fields are optional; production callers leave the struct nil.
@@ -98,8 +118,9 @@ func modeledOverlap(k int, e, w, i time.Duration) time.Duration {
 type pipelineSpec struct {
 	mode        string // report mode tag
 	kind        chanKind
-	perCall     bool // NoChannelCache: ephemeral channel, per-call teardown
-	phaseLocked bool // ablation: both VM locks for the whole transfer
+	perCall     bool            // NoChannelCache: ephemeral channel, per-call teardown
+	phaseLocked bool            // ablation: both VM locks for the whole transfer
+	ctx         context.Context // cancellation; nil means never cancelled
 	gates       *PipelineGates
 	src, dst    *Function
 	link        *netsim.Link // modeled wire; nil = no network time
@@ -150,6 +171,11 @@ func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error)
 	pl := srcShim.pairLock(dstShim, spec.kind)
 	pl.Lock()
 	defer pl.Unlock()
+	// First cancellation point: a transfer cancelled while waiting on the
+	// pair lock aborts before acquiring a channel or touching either VM.
+	if err := CtxErr(spec.ctx); err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := dstShim.acct.Snapshot()
 
@@ -177,6 +203,17 @@ func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error)
 		}
 		if spec.gates != nil && spec.gates.BeforeIngress != nil {
 			spec.gates.BeforeIngress()
+		}
+		// Stage-boundary cancellation point: the payload is on the wire
+		// (queued in the channel), neither VM lock held. The destroy both
+		// releases the queued pages back to the pool and unblocks an
+		// egress still pushing into a full ring (its write fails with
+		// ring-closed, which the error join below overrides with the
+		// cancellation).
+		if err := CtxErr(spec.ctx); err != nil {
+			ch.destroy()
+			ingressCh <- ingressResult{err: err}
+			return
 		}
 		var res ingressResult
 		dstShim.mu.Lock()
@@ -206,7 +243,15 @@ func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error)
 			// destroys it again below — destroy is idempotent.
 			ch.destroy()
 		}
-		<-ingressCh
+		ires := <-ingressCh
+		// A cancelled ingress poisons the channel to unblock the egress,
+		// whose push then fails with ring-closed: when the discarded
+		// ingress result carries the cancellation, that is the cause and
+		// the error reported. A genuine egress fault that merely coincides
+		// with an expiring context keeps its own error.
+		if cerr := CtxErr(spec.ctx); cerr != nil && errors.Is(ires.err, cerr) {
+			eerr = cerr
+		}
 		return InboundRef{}, metrics.TransferReport{}, eerr
 	}
 	ires := <-ingressCh
@@ -231,6 +276,9 @@ func runPhaseLocked(spec *pipelineSpec) (InboundRef, metrics.TransferReport, err
 	pl := srcShim.pairLock(dstShim, spec.kind)
 	pl.Lock()
 	defer pl.Unlock()
+	if err := CtxErr(spec.ctx); err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
 	locked := lockShims(srcShim, dstShim)
 	defer unlockShims(locked)
 	beforeSrc := srcShim.acct.Snapshot()
@@ -246,6 +294,11 @@ func runPhaseLocked(spec *pipelineSpec) (InboundRef, metrics.TransferReport, err
 	var em stageMetrics
 	out, err := spec.egress(spec.src, ch, func(OutputRef) {}, &em)
 	if err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
+	}
+	// Stage boundary: the phases run strictly sequentially here, so this is
+	// the one cancellation point between send-all and receive-all.
+	if err := CtxErr(spec.ctx); err != nil {
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
 	var im stageMetrics

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
@@ -20,6 +21,10 @@ type InboundRef struct {
 
 // UserOptions tunes a user-space transfer.
 type UserOptions struct {
+	// Ctx cancels the transfer; nil means never cancelled. The user-space
+	// path is a single locked stage, so cancellation is only observed at
+	// entry.
+	Ctx context.Context
 	// SourceRef pins the source region to transfer instead of asking the
 	// guest for its latest output: set_output + locate run atomically
 	// inside the transfer, which is what lets streaming chains hand a
@@ -45,6 +50,9 @@ func UserSpaceTransfer(src, dst *Function, opts UserOptions) (InboundRef, metric
 	}
 	if src.shim.workflow != dst.shim.workflow {
 		return InboundRef{}, metrics.TransferReport{}, ErrWorkflowMismatch
+	}
+	if err := CtxErr(opts.Ctx); err != nil {
+		return InboundRef{}, metrics.TransferReport{}, err
 	}
 	s := src.shim
 	s.mu.Lock()
@@ -81,6 +89,11 @@ func UserSpaceTransfer(src, dst *Function, opts UserOptions) (InboundRef, metric
 
 // KernelOptions tunes a kernel-space transfer.
 type KernelOptions struct {
+	// Ctx cancels the transfer; nil means never cancelled. Cancellation is
+	// observed at pipeline entry, at the stage boundary, and at each read
+	// of the ingress drain loop; an aborted transfer destroys the pair's
+	// channel exactly as every other transfer failure does.
+	Ctx context.Context
 	// NoChannelCache forces per-call socketpair establishment and teardown
 	// (the pre-cache behavior; the cold-path ablation). By default the IPC
 	// channel is a persistent cached socketpair reused across transfers of
@@ -120,6 +133,7 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 		kind:        chanKernel,
 		perCall:     opts.NoChannelCache,
 		phaseLocked: opts.PhaseLocked,
+		ctx:         opts.Ctx,
 		gates:       opts.Gates,
 		src:         src,
 		dst:         dst,
@@ -171,6 +185,13 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 				return InboundRef{}, err
 			}
 			for off := 0; off < len(wv); {
+				if err := CtxErr(opts.Ctx); err != nil {
+					// The drain holds the VM lock, so dstPtr is the VM's
+					// top allocation: hand it back so a cancelled ingress
+					// leaves the target's bump heap where it found it.
+					_ = f.view.Deallocate(dstPtr)
+					return InboundRef{}, err
+				}
 				n, err := s.proc.Read(ch.fdB, wv[off:])
 				if err != nil {
 					return InboundRef{}, fmt.Errorf("ipc recv: %w", err)

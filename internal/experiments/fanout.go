@@ -131,7 +131,7 @@ func intraFanoutPoints(degree, n int) ([]Point, error) {
 				return nil, err
 			}
 		}
-		reports, err := p.Fanout(src, targets, n)
+		_, reports, err := p.Fanout(src, targets, n)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +158,7 @@ func intraFanoutPoints(degree, n int) ([]Point, error) {
 				return nil, err
 			}
 		}
-		reports, err := p.Fanout(src, targets, n)
+		_, reports, err := p.Fanout(src, targets, n)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +261,7 @@ func interFanoutPoints(degree, n int) ([]Point, error) {
 				return nil, err
 			}
 		}
-		reports, err := p.Fanout(src, targets, n)
+		_, reports, err := p.Fanout(src, targets, n)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -86,6 +87,39 @@ func (p *Pool) Submit(fn func()) error {
 	p.mu.Unlock()
 	p.tasks <- fn
 	return nil
+}
+
+// SubmitCtx is Submit with cancellable admission: while the queue is full it
+// waits for a slot only as long as ctx lives, returning ctx's error when
+// cancellation wins the race. An accepted task is guaranteed to run — once
+// SubmitCtx returns nil the task is the pool's responsibility and the
+// caller's ctx no longer influences whether it executes (tasks that must
+// observe cancellation watch the ctx themselves).
+func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
+	if ctx == nil {
+		return p.Submit(fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.submitted.Add(1)
+	p.mu.Unlock()
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		// Undo the reservation: the task was never queued, so the counters
+		// must not show a submission that will never complete.
+		p.submitted.Add(-1)
+		p.inflight.Done()
+		return ctx.Err()
+	}
 }
 
 // Wait blocks until every task submitted so far has finished.

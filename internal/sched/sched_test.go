@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRunsEverySubmittedTask(t *testing.T) {
@@ -68,5 +70,50 @@ func TestSubmitBlocksOnFullQueueThenDrains(t *testing.T) {
 	p.Close()
 	if got := ran.Load(); got != 5 {
 		t.Fatalf("ran %d of 5 tasks", got)
+	}
+}
+
+// TestSubmitCtxCancelledAdmission: a cancelled context aborts a submission
+// blocked on a full queue, without running the task and without corrupting
+// the pool's counters; a live context admits normally.
+func TestSubmitCtxCancelledAdmission(t *testing.T) {
+	p := New(1, 1)
+	defer p.Close()
+
+	// Occupy the single worker and fill the single queue slot.
+	block := make(chan struct{})
+	if err := p.Submit(func() { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitCtx(context.Background(), func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The queue is full: a cancelled admission must return ctx.Err() and
+	// never run its task.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	var leaked atomic.Bool
+	if err := p.SubmitCtx(ctx, func() { leaked.Store(true) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SubmitCtx = %v, want context.Canceled", err)
+	}
+	close(block)
+	p.Wait()
+	if leaked.Load() {
+		t.Fatal("cancelled submission ran its task")
+	}
+	st := p.Stats()
+	if st.Submitted != st.Completed {
+		t.Fatalf("counters skewed after cancelled admission: %+v", st)
+	}
+
+	// An already-cancelled context is rejected before reserving anything.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if err := p.SubmitCtx(done, func() {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled SubmitCtx = %v, want context.Canceled", err)
 	}
 }

@@ -13,6 +13,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -30,18 +32,23 @@ import (
 // "pipeline" field (pipelined vs phase-locked data plane) and the "chain"
 // mode (chain-depth scaling over a line of functions); version 4 added the
 // "replicas" and "placement" fields (replicated instance pools routed by
-// the invoker plane's placement policy).
-const SchemaVersion = 4
+// the invoker plane's placement policy); version 5 added the "deadline_ns"
+// field and "cancelled" counter (per-operation context timeouts) and the
+// "plan" mode (a small Plan/Submit DAG per iteration).
+const SchemaVersion = 5
 
 // Modes the generator can drive. Mixed chains one hop of each mechanism;
 // chain runs a Hops-deep line of functions alternating kernel and network
-// hops (the chain-depth scaling scenario for the staged pipeline).
+// hops (the chain-depth scaling scenario for the staged pipeline); plan
+// submits a small DAG per iteration through the Plan/Submit plane (an
+// invoke feeding two parallel transfers).
 const (
 	ModeMixed   = "mixed"
 	ModeUser    = "user"
 	ModeKernel  = "kernel"
 	ModeNetwork = "network"
 	ModeChain   = "chain"
+	ModePlan    = "plan"
 )
 
 // Config parameterizes one load run.
@@ -88,6 +95,10 @@ type Config struct {
 	// Placement names the invoker plane's policy: "locality" (default),
 	// "least-loaded" or "round-robin".
 	Placement string
+	// Deadline bounds every execution with a per-operation context timeout
+	// (0 = none). Executions that trip it count in the result's "cancelled"
+	// counter, not as errors — cancellation is load shedding, not failure.
+	Deadline time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -99,6 +110,8 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	switch c.Mode {
 	case ModeMixed, ModeUser, ModeKernel, ModeNetwork, ModeChain:
+	case ModePlan:
+		c.Hops = 3 // the DAG's shape is fixed: invoke + two transfers
 	default:
 		return c, fmt.Errorf("workload: unknown mode %q", c.Mode)
 	}
@@ -180,12 +193,14 @@ type Result struct {
 	Hops          int    `json:"hops"`
 	PayloadBytes  int    `json:"payload_bytes"`
 	Concurrency   int    `json:"concurrency"`
-	Replicas      int    `json:"replicas"`  // instance-pool size per function
-	Placement     string `json:"placement"` // invoker-plane routing policy
+	Replicas      int    `json:"replicas"`    // instance-pool size per function
+	Placement     string `json:"placement"`   // invoker-plane routing policy
+	DeadlineNS    int64  `json:"deadline_ns"` // per-operation ctx timeout (0 = none)
 
-	Ops       int64   `json:"ops"`    // completed workflow executions
-	Errors    int64   `json:"errors"` // failed executions
-	Bytes     int64   `json:"bytes"`  // payload bytes delivered (all hops)
+	Ops       int64   `json:"ops"`       // completed workflow executions
+	Errors    int64   `json:"errors"`    // failed executions
+	Cancelled int64   `json:"cancelled"` // executions shed by the ctx deadline
+	Bytes     int64   `json:"bytes"`     // payload bytes delivered (all hops)
 	ElapsedNS int64   `json:"elapsed_ns"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	MBPerSec  float64 `json:"mb_per_sec"`
@@ -315,6 +330,23 @@ func deployInstance(p *roadrunner.Platform, mode string, hops, replicas, i int) 
 			return nil, err
 		}
 		fns = append(fns, b, c, d)
+	case ModePlan:
+		// The DAG's four corners: b co-located with a (kernel edge for the
+		// invoke), c and d across the link (network edges for the parallel
+		// transfers).
+		b, err := deploy("b", "edge", nil)
+		if err != nil {
+			return nil, err
+		}
+		c, err := deploy("c", "cloud", nil)
+		if err != nil {
+			return nil, err
+		}
+		d, err := deploy("d", "cloud", nil)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, b, c, d)
 	case ModeChain:
 		// A hops-deep line of dedicated shims placed edge,edge,cloud,cloud,
 		// edge,… so the chain alternates kernel-space and network hops —
@@ -336,8 +368,19 @@ func deployInstance(p *roadrunner.Platform, mode string, hops, replicas, i int) 
 
 // execute runs one workflow execution on the instance: produce at the head,
 // then Hops transfers around the function ring, then release every region
-// so linear memory stays flat across executions.
+// so linear memory stays flat across executions. With a Deadline configured
+// every operation runs under a context timeout; tripping it returns the
+// context error, which the recorder counts as cancelled rather than failed.
 func (r *Runner) execute(inst *instance) error {
+	ctx := context.Background()
+	if r.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Deadline)
+		defer cancel()
+	}
+	if r.cfg.Mode == ModePlan {
+		return r.executePlan(ctx, inst)
+	}
 	cfg := r.cfg
 	fns := inst.fns
 	head := fns[0]
@@ -380,7 +423,7 @@ func (r *Runner) execute(inst *instance) error {
 			opts[len(opts)-1] = roadrunner.WithSourceRef(out)
 		}
 		var err error
-		ref, _, err = r.platform.Transfer(src, dst, opts...)
+		ref, _, err = r.platform.TransferCtx(ctx, src, dst, opts...)
 		if err != nil {
 			return fmt.Errorf("hop %d %s->%s: %w", h, src.Name(), dst.Name(), err)
 		}
@@ -401,6 +444,63 @@ func (r *Runner) execute(inst *instance) error {
 	return nil
 }
 
+// executePlan runs one plan-mode iteration: a Plan DAG — invoke a->b (the
+// kernel edge), whose delivery feeds two parallel network transfers b->c
+// and b->d (From dataflow edges) — submitted under ctx, then every region
+// the DAG allocated released so linear memory stays flat.
+func (r *Runner) executePlan(ctx context.Context, inst *instance) error {
+	cfg := r.cfg
+	a, b, c, d := inst.fns[0], inst.fns[1], inst.fns[2], inst.fns[3]
+
+	pl := roadrunner.NewPlan()
+	n1 := pl.Invoke(a, b, cfg.PayloadBytes, r.topts...)
+	n2 := pl.Xfer(b, c, r.topts...).From(n1)
+	n3 := pl.Xfer(b, d, r.topts...).From(n1)
+
+	job, err := r.platform.Submit(ctx, pl)
+	if err != nil {
+		return err
+	}
+	// Wait unbounded: ctx cancels the work itself, after which the job
+	// resolves promptly; abandoning the wait would release the instance
+	// lock while nodes are still in flight.
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		return err
+	}
+	// Verify while the delivery is live, then release everything the DAG
+	// allocated: leaves before the shared input, then the invoke's produce
+	// — each region is its VM's only allocation this iteration, so the
+	// bump allocators rewind exactly.
+	var verr error
+	if cfg.Verify && res.Err == nil {
+		sum, err := c.ActiveInstance().Checksum(res.Node(n2).Ref())
+		switch {
+		case err != nil:
+			verr = fmt.Errorf("checksum: %w", err)
+		case sum != roadrunner.ExpectedChecksum(cfg.PayloadBytes):
+			verr = fmt.Errorf("checksum mismatch: got %#x want %#x", sum, roadrunner.ExpectedChecksum(cfg.PayloadBytes))
+		}
+	}
+	for _, leaf := range []struct {
+		node *roadrunner.PlanNode
+		fn   *roadrunner.Function
+	}{{n2, c}, {n3, d}, {n1, b}} {
+		if nr := res.Node(leaf.node); nr.Err == nil {
+			_ = leaf.fn.ActiveInstance().Release(nr.Ref())
+		}
+	}
+	if inv := res.Node(n1).Invocation; inv != nil {
+		if out, err := inv.Source.Output(); err == nil {
+			_ = inv.Source.Release(out)
+		}
+	}
+	if res.Err != nil {
+		return res.Err
+	}
+	return verr
+}
+
 // Run executes the configured load and aggregates the result. The loop is
 // open when RatePerSec > 0, closed otherwise.
 func (r *Runner) Run() (*Result, error) {
@@ -415,10 +515,15 @@ type recorder struct {
 	latencies []time.Duration
 	services  []time.Duration
 	errs      atomic.Int64
+	cancelled atomic.Int64
 	ops       atomic.Int64
 }
 
 func (rec *recorder) record(sojourn, service time.Duration, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		rec.cancelled.Add(1)
+		return
+	}
 	if err != nil {
 		rec.errs.Add(1)
 		return
@@ -454,8 +559,10 @@ func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open 
 		Concurrency:   cfg.Concurrency,
 		Replicas:      cfg.Replicas,
 		Placement:     cfg.Placement,
+		DeadlineNS:    int64(cfg.Deadline),
 		Ops:           rec.ops.Load(),
 		Errors:        rec.errs.Load(),
+		Cancelled:     rec.cancelled.Load(),
 		ElapsedNS:     int64(elapsed),
 		Latency:       percentiles(rec.latencies),
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestClosedLoopAllModes(t *testing.T) {
-	for _, mode := range []string{ModeMixed, ModeUser, ModeKernel, ModeNetwork, ModeChain} {
+	for _, mode := range []string{ModeMixed, ModeUser, ModeKernel, ModeNetwork, ModeChain, ModePlan} {
 		t.Run(mode, func(t *testing.T) {
 			res, err := Run(Config{
 				Workflows:    4,
@@ -268,5 +268,87 @@ func TestPercentilesCeilNearestRank(t *testing.T) {
 func TestBadModeRejected(t *testing.T) {
 	if _, err := Run(Config{Mode: "quantum"}); err == nil {
 		t.Fatal("expected error for unknown mode")
+	}
+}
+
+// TestPlanModeDrivesDAG: the plan mode executes the invoke + two-transfer
+// DAG (3 hops per iteration), verified end to end, with memory flat enough
+// to survive repetition (the releases rewind every touched allocator).
+func TestPlanModeDrivesDAG(t *testing.T) {
+	res, err := Run(Config{
+		Workflows:    2,
+		Requests:     16,
+		PayloadBytes: 8 << 10,
+		Mode:         ModePlan,
+		Verify:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaVersion != SchemaVersion || res.Mode != ModePlan {
+		t.Fatalf("result tags = v%d %q", res.SchemaVersion, res.Mode)
+	}
+	if res.Errors != 0 || res.Cancelled != 0 {
+		t.Fatalf("errors = %d cancelled = %d, want 0/0", res.Errors, res.Cancelled)
+	}
+	if res.Hops != 3 {
+		t.Fatalf("plan hops = %d, want 3", res.Hops)
+	}
+	if res.Ops != 16 || res.Transfers != 48 {
+		t.Fatalf("ops = %d transfers = %d, want 16/48", res.Ops, res.Transfers)
+	}
+}
+
+// TestDeadlineShedsAsCancelled: an unmeetable per-op deadline sheds every
+// execution into the cancelled counter — no errors, no ops — and the JSON
+// carries both new schema-v5 fields.
+func TestDeadlineShedsAsCancelled(t *testing.T) {
+	res, err := Run(Config{
+		Workflows:    2,
+		Requests:     6,
+		PayloadBytes: 64 << 10,
+		Mode:         ModePlan,
+		Deadline:     time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != 6 || res.Errors != 0 || res.Ops != 0 {
+		t.Fatalf("cancelled = %d errors = %d ops = %d, want 6/0/0", res.Cancelled, res.Errors, res.Ops)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"cancelled", "deadline_ns"} {
+		if _, ok := decoded[field]; !ok {
+			t.Fatalf("schema v5 JSON lacks %q: %s", field, raw)
+		}
+	}
+	if decoded["deadline_ns"].(float64) != 1 {
+		t.Fatalf("deadline_ns = %v, want 1", decoded["deadline_ns"])
+	}
+}
+
+// TestDeadlineGenerousCompletesAll: a deadline far beyond the work's cost
+// never sheds — the ctx plumbing must not cancel healthy executions.
+func TestDeadlineGenerousCompletesAll(t *testing.T) {
+	res, err := Run(Config{
+		Workflows:    2,
+		Requests:     6,
+		PayloadBytes: 8 << 10,
+		Mode:         ModeMixed,
+		Verify:       true,
+		Deadline:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 6 || res.Cancelled != 0 || res.Errors != 0 {
+		t.Fatalf("ops = %d cancelled = %d errors = %d, want 6/0/0", res.Ops, res.Cancelled, res.Errors)
 	}
 }

@@ -214,7 +214,7 @@ func TestFanoutRunsOnWorkerPool(t *testing.T) {
 	}
 	before := p.SchedulerStats().Submitted
 	const n = 64 << 10
-	reports, err := p.Fanout(src, targets, n)
+	_, reports, err := p.Fanout(src, targets, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestFanoutParallelThroughput(t *testing.T) {
 			targets[i] = deploy(t, p, roadrunner.FunctionSpec{Name: fmt.Sprintf("t%d", i), Node: "cloud"})
 		}
 		// Prime channels so both measurements are warm.
-		if _, err := p.Fanout(src, targets, n); err != nil {
+		if _, _, err := p.Fanout(src, targets, n); err != nil {
 			t.Fatal(err)
 		}
 		return p, src, targets
@@ -260,7 +260,7 @@ func TestFanoutParallelThroughput(t *testing.T) {
 
 	p1, src1, targets1 := build()
 	start := time.Now()
-	if _, err := p1.Fanout(src1, targets1, n); err != nil {
+	if _, _, err := p1.Fanout(src1, targets1, n); err != nil {
 		t.Fatal(err)
 	}
 	parallel := time.Since(start)

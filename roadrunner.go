@@ -14,19 +14,35 @@
 // (see DESIGN.md §4). See DESIGN.md §1 for the substitution map against the
 // paper's testbed.
 //
+// The public API is a context-first Plan/Submit plane (DESIGN.md §7): a
+// Plan declares a DAG of operations (Xfer, Hop chains, Cast, Fan, Invoke)
+// with From dataflow edges, Platform.Submit(ctx, plan) executes it through
+// the invoker plane and worker pool, and cancellation reaches queue
+// admission, hop scheduling and the pipeline's stage boundaries. The
+// one-shot entry points below are thin wrappers over single-node plans,
+// each with a ...Ctx twin.
+//
 // Quick start:
 //
 //	p := roadrunner.New(roadrunner.WithNodes("edge", "cloud"))
 //	defer p.Close()
 //	a, _ := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "edge"})
 //	b, _ := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "cloud"})
+//	plan := roadrunner.NewPlan()
+//	inv := plan.Invoke(a, b, 8<<20)
+//	job, _ := p.Submit(ctx, plan)
+//	res, _ := job.Wait(ctx)
+//	sum, _ := b.Checksum(res.Node(inv).Ref())
+//	fmt.Println(res.Node(inv).Report().Latency(), sum)
+//
+// Or, the one-shot shortcut:
+//
 //	a.Produce(8 << 20)
-//	ref, report, _ := p.Transfer(a, b)
-//	sum, _ := b.Checksum(ref)
-//	fmt.Println(report.Latency(), sum)
+//	ref, report, _ := p.Transfer(a, b) // TransferCtx(ctx, ...) to bound it
 package roadrunner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -497,6 +513,11 @@ type transferConfig struct {
 	sourceRef   *DataRef
 	srcInst     *Instance
 	dstInst     *Instance
+	// ctx is the operation's cancellation context, set by the ...Ctx entry
+	// points (never by a TransferOption); nil means never cancelled.
+	ctx context.Context
+	// gates carries pipeline test instrumentation (export_test.go only).
+	gates *core.PipelineGates
 }
 
 // WithMode forces a specific transfer mechanism. On a replicated target the
@@ -586,29 +607,58 @@ type DataRef struct {
 // locality unless a mode is forced. The source side reads from src's
 // active instance (the holder of its current output) unless pinned with
 // WithSourceInstance; the target instance is chosen by the platform's
-// placement policy unless pinned with WithTargetInstance.
+// placement policy unless pinned with WithTargetInstance. Transfer never
+// cancels; TransferCtx is the context-aware form.
 func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef, Report, error) {
-	if err := p.beginOp(); err != nil {
+	return p.TransferCtx(context.Background(), src, dst, opts...)
+}
+
+// TransferCtx is Transfer bounded by ctx: cancellation (or a deadline) is
+// honored at queue admission and at the pipeline's stage boundaries, and an
+// aborted transfer restores the FD, page-pool and channel-cache baselines
+// exactly as any other transfer failure does. It executes as a single-node
+// Plan (DESIGN.md §7).
+func (p *Platform) TransferCtx(ctx context.Context, src, dst *Function, opts ...TransferOption) (DataRef, Report, error) {
+	pl := NewPlan()
+	n := pl.Xfer(src, dst, opts...)
+	res, err := p.runPlan(ctx, pl)
+	if err != nil {
 		return DataRef{}, Report{}, err
 	}
+	nr := res.Node(n)
+	return nr.Ref(), nr.Report(), nr.Err
+}
+
+// transferCtx executes one transfer under ctx — the engine behind Xfer plan
+// nodes and therefore behind Transfer/TransferCtx/TransferAsync. It also
+// returns the concrete instance the delivery landed on, feeding plan
+// dataflow (From) edges.
+func (p *Platform) transferCtx(ctx context.Context, src, dst *Function, opts []TransferOption) (DataRef, Report, *Instance, error) {
+	if err := p.beginOp(); err != nil {
+		return DataRef{}, Report{}, nil, err
+	}
 	defer p.endOp()
-	cfg := transferConfig{flows: 1}
+	if err := ctxErr(ctx); err != nil {
+		return DataRef{}, Report{}, nil, err
+	}
+	cfg := transferConfig{flows: 1, ctx: ctx}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	si, err := resolveSource(src, &cfg)
 	if err != nil {
-		return DataRef{}, Report{}, err
+		return DataRef{}, Report{}, nil, err
 	}
 	di, err := p.resolveTarget(si, dst, &cfg)
 	if err != nil {
-		return DataRef{}, Report{}, err
+		return DataRef{}, Report{}, nil, err
 	}
 	ref, rep, err := p.transferInstances(si, di, &cfg)
-	if err == nil {
-		dst.setActive(di)
+	if err != nil {
+		return DataRef{}, Report{}, nil, err
 	}
-	return ref, rep, err
+	dst.setActive(di)
+	return ref, rep, di, nil
 }
 
 // resolveSource returns the instance a transfer reads from: the pinned one
@@ -698,13 +748,18 @@ func (p *Platform) transferResolved(si, di *Instance, cfg *transferConfig) (Data
 	srcRef := coreSourceRef(cfg.sourceRef)
 	switch mode {
 	case ModeUserSpace:
-		ref, rep, err := core.UserSpaceTransfer(si.inner, di.inner, core.UserOptions{SourceRef: srcRef})
+		ref, rep, err := core.UserSpaceTransfer(si.inner, di.inner, core.UserOptions{
+			Ctx:       cfg.ctx,
+			SourceRef: srcRef,
+		})
 		return convert(ref, rep, err)
 	case ModeKernelSpace:
 		ref, rep, err := core.KernelSpaceTransfer(si.inner, di.inner, core.KernelOptions{
+			Ctx:            cfg.ctx,
 			NoChannelCache: cfg.coldChannel,
 			PhaseLocked:    cfg.phaseLocked,
 			SourceRef:      srcRef,
+			Gates:          cfg.gates,
 		})
 		return convert(ref, rep, err)
 	case ModeNetwork:
@@ -713,11 +768,13 @@ func (p *Platform) transferResolved(si, di *Instance, cfg *transferConfig) (Data
 		}
 		link := p.topo.LinkBetween(si.node, di.node)
 		ref, rep, err := core.NetworkTransfer(si.inner, di.inner, core.NetworkOptions{
+			Ctx:            cfg.ctx,
 			Link:           link,
 			Flows:          flows,
 			NoChannelCache: cfg.coldChannel,
 			PhaseLocked:    cfg.phaseLocked,
 			SourceRef:      srcRef,
+			Gates:          cfg.gates,
 		})
 		return convert(ref, rep, err)
 	default:
@@ -750,11 +807,38 @@ type Invocation struct {
 // replicated functions: everything the caller needs to continue (or verify)
 // the flow is in the returned Invocation.
 func (p *Platform) Invoke(src, dst *Function, n int, opts ...TransferOption) (*Invocation, error) {
+	return p.InvokeCtx(context.Background(), src, dst, n, opts...)
+}
+
+// InvokeCtx is Invoke bounded by ctx. A cancelled invocation releases the
+// region it produced at the source instance and restores the data-plane
+// baselines like any other failed transfer. It executes as a single-node
+// Plan (DESIGN.md §7).
+func (p *Platform) InvokeCtx(ctx context.Context, src, dst *Function, n int, opts ...TransferOption) (*Invocation, error) {
+	pl := NewPlan()
+	node := pl.Invoke(src, dst, n, opts...)
+	res, err := p.runPlan(ctx, pl)
+	if err != nil {
+		return nil, err
+	}
+	nr := res.Node(node)
+	if nr.Err != nil {
+		return nil, nr.Err
+	}
+	return nr.Invocation, nil
+}
+
+// invokeCtx executes one routed invocation under ctx — the engine behind
+// Invoke plan nodes and therefore behind Invoke/InvokeCtx.
+func (p *Platform) invokeCtx(ctx context.Context, src, dst *Function, n int, opts []TransferOption) (*Invocation, error) {
 	if err := p.beginOp(); err != nil {
 		return nil, err
 	}
 	defer p.endOp()
-	cfg := transferConfig{flows: 1}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	cfg := transferConfig{flows: 1, ctx: ctx}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -777,6 +861,10 @@ func (p *Platform) Invoke(src, dst *Function, n int, opts ...TransferOption) (*I
 	cfg.sourceRef = &out
 	ref, rep, err := p.transferResolved(si, di, &cfg)
 	if err != nil {
+		// The invocation owns the region it produced; hand it back to the
+		// guest allocator so an aborted (e.g. cancelled) invocation leaves
+		// the source instance's linear memory where it found it.
+		_ = si.inner.Deallocate(out.Ptr)
 		return nil, err
 	}
 	dst.setActive(di)

@@ -177,7 +177,7 @@ func TestFanout(t *testing.T) {
 		targets[i] = deploy(t, p, roadrunner.FunctionSpec{Name: "t", Node: "cloud"})
 	}
 	const n = 100_000
-	reports, err := p.Fanout(src, targets, n)
+	_, reports, err := p.Fanout(src, targets, n)
 	if err != nil {
 		t.Fatal(err)
 	}
