@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint staticcheck vuln cover clean
+.PHONY: all build test race chaos bench lint staticcheck vuln cover clean
 
 all: lint build race bench
 
@@ -25,6 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+## chaos: the failure-domain suite under -race (CI's chaos job); the seed is
+## logged and CHAOS_SEED=N reruns a schedule
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos|TestSubmitSurvives|TestFaultedOps' .
+
 ## bench: one iteration of every benchmark plus the harness smoke runs
 bench:
 	$(GO) test -run 'XXX' -bench . -benchtime 1x ./...
@@ -39,6 +44,8 @@ bench:
 		| python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["cancelled"] == 0 and d["ops"] == 4, d'
 	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -replicas 3 -compact
 	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 8 -replicas 3 -placement round-robin -compact
+	$(GO) run ./cmd/roadrunner-load -workflows 2 -requests 40 -replicas 4 -mode kernel -placement round-robin -kills 1 -compact \
+		| python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["kills"] == 1 and d["ops"] >= 28 and d["cancelled"] == 0, d'
 	$(GO) run ./cmd/roadrunner-bench -exp fig7 -sizes 1 -json
 	@mkdir -p artifacts
 	$(GO) run ./cmd/roadrunner-bench -exp chancache -sizes 1,4 -json > artifacts/bench-chancache.json
@@ -47,8 +54,10 @@ bench:
 	@cat BENCH_3.json
 	$(GO) run ./cmd/roadrunner-bench -exp placement -json > BENCH_4.json
 	@cat BENCH_4.json
+	$(GO) run ./cmd/roadrunner-bench -exp failure -json > BENCH_6.json
+	@cat BENCH_6.json
 
-## lint: vet + gofmt + ctx-coverage gates
+## lint: vet + gofmt + ctx-coverage + godoc gates
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; \
@@ -56,6 +65,7 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 	$(GO) run ./cmd/ctxcheck .
+	$(GO) run ./cmd/doccheck .
 
 ## staticcheck: static-analysis gate (CI's lint job; needs the binary or network)
 staticcheck:

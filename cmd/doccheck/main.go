@@ -1,0 +1,129 @@
+// Command doccheck is the vet-level gate of the godoc contract: every
+// exported declaration of the root roadrunner package — functions, methods,
+// types, and each exported name inside var/const blocks — must carry a doc
+// comment. The public API is the paper's interface to its readers; an
+// undocumented export fails CI here, with the declaration named.
+//
+// A grouped var/const block is covered by the block's own doc comment only
+// if every spec inside is unexported or individually documented; exported
+// specs need their own comment (or a same-line trailing comment), matching
+// how godoc renders them.
+//
+// Usage: doccheck [package-dir] (default ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	violations, err := check(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: exported declarations without doc comments:")
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: every exported declaration is documented")
+}
+
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				violations = append(violations, checkDecl(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// checkDecl reports the undocumented exported names one top-level
+// declaration introduces.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s is exported but has no doc comment", p.Filename, p.Line, what))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			report(d.Pos(), signature(d))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// Inside a grouped block each exported spec needs its own
+				// comment; an ungrouped decl's doc covers its one spec.
+				covered := s.Doc != nil || s.Comment != nil || (!d.Lparen.IsValid() && d.Doc != nil)
+				if covered {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report(name.Pos(), kindWord(d.Tok)+" "+name.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// signature names a function or method the way godoc lists it.
+func signature(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	recv := ""
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+		recv = "*"
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		recv += ident.Name
+	}
+	return fmt.Sprintf("(%s).%s", recv, d.Name.Name)
+}
+
+// kindWord names a value declaration's kind ("var", "const").
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -13,6 +13,7 @@
 //	roadrunner-load -replicas 4 -placement round-robin # placement-oblivious ablation
 //	roadrunner-load -mode plan               # a Plan/Submit DAG per iteration
 //	roadrunner-load -deadline 5ms            # per-operation ctx timeout ("cancelled" counter)
+//	roadrunner-load -replicas 4 -kills 1     # degrade-under-kill: crash 1 replica per pool mid-load
 //	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
 package main
 
@@ -50,6 +51,7 @@ func run(args []string) error {
 		replicas  = fs.Int("replicas", 1, "warm instance-pool size per function, spread across both nodes")
 		placement = fs.String("placement", "locality", "invoker-plane placement policy: locality, least-loaded or round-robin")
 		deadline  = fs.Duration("deadline", 0, "per-operation context timeout (0 = none); tripped executions count as cancelled")
+		kills     = fs.Int("kills", 0, "replicas crashed mid-load per function pool (requires -replicas > kills)")
 		compact   = fs.Bool("compact", false, "single-line JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +73,7 @@ func run(args []string) error {
 		Replicas:     *replicas,
 		Placement:    *placement,
 		Deadline:     *deadline,
+		Kills:        *kills,
 	})
 	if err != nil {
 		return err

@@ -46,3 +46,18 @@ func TestingWithGates(before func()) TransferOption {
 		c.gates = &core.PipelineGates{BeforeIngress: before}
 	}
 }
+
+// TestingPruneChannels destroys every unpinned cached channel on every shim
+// — the quiescence step the chaos suite runs before snapshotting baselines,
+// so channels that rerouted deliveries established (or faults poisoned) do
+// not read as FD/active-count drift. It returns the number destroyed.
+func TestingPruneChannels(p *Platform) int {
+	p.mu.RLock()
+	shims := p.shims
+	p.mu.RUnlock()
+	n := 0
+	for _, s := range shims {
+		n += s.PruneChannels()
+	}
+	return n
+}

@@ -57,9 +57,25 @@ func (f *Function) setActive(inst *Instance) {
 }
 
 // pickInstance routes a peerless invocation (produce, a direct call) to an
-// instance via the platform's placement policy.
-func (f *Function) pickInstance() *Instance {
-	return f.insts[f.platform.place.PickOne(f.route, f.eps, nil)]
+// instance via the platform's placement policy; it fails with
+// ErrNoHealthyInstance when the health FSM has excluded the whole pool.
+func (f *Function) pickInstance() (*Instance, error) {
+	return f.pickInstanceExcluding(nil)
+}
+
+// pickInstanceExcluding is pickInstance with a retry-with-exclusion set:
+// replicas in excluded are skipped even when the health FSM still admits
+// them, so a produce re-route never lands on the replica that just faulted.
+func (f *Function) pickInstanceExcluding(excluded map[*Instance]bool) (*Instance, error) {
+	var eligible func(int) bool
+	if len(excluded) > 0 {
+		eligible = func(i int) bool { return !excluded[f.insts[i]] }
+	}
+	i := f.platform.place.PickOne(f.route, f.eps, eligible)
+	if i < 0 {
+		return nil, fmt.Errorf("%s: %w", f.name, ErrNoHealthyInstance)
+	}
+	return f.insts[i], nil
 }
 
 // ColdStart reports the accumulated sandbox + VM initialization time across
@@ -142,7 +158,10 @@ func (f *Function) Call(export string, args ...uint64) ([]uint64, error) {
 		return nil, err
 	}
 	defer f.platform.endOp()
-	inst := f.pickInstance()
+	inst, err := f.pickInstance()
+	if err != nil {
+		return nil, err
+	}
 	f.route.Enter(inst.index)
 	defer f.route.Exit(inst.index)
 	res, err := inst.inner.Call(export, args...)
@@ -236,7 +255,13 @@ func (p *Platform) chainWithCtx(ctx context.Context, n int, opts []TransferOptio
 	}
 	defer p.endOp()
 
-	head := fns[0].pickInstance()
+	head, err := fns[0].pickInstance()
+	if err != nil {
+		return DataRef{}, Report{}, nil, fmt.Errorf("chain head: %w", err)
+	}
+	// The head's in-flight mark is retired on every path out of the produce
+	// — the bracket must not outlive the operation, or the gauge baseline
+	// drifts and LeastLoaded steers around a phantom invocation forever.
 	fns[0].route.Enter(head.index)
 	ref, err := head.produceAt(n)
 	fns[0].route.Exit(head.index)
@@ -274,14 +299,14 @@ func (p *Platform) chainWithCtx(ctx context.Context, n int, opts []TransferOptio
 		src := ref
 		cfg.sourceRef = &src
 		cfg.srcInst, cfg.dstInst = nil, nil
-		di, err := p.resolveTarget(cur, fns[i+1], &cfg)
+		// deliverRouted retries a hop whose target replica faults on the
+		// survivors of the next function's pool; the hop's source is the
+		// previous delivery and is never re-routed (its region is fixed).
+		var rep Report
+		var di *Instance
+		ref, rep, di, err = p.deliverRouted(cur, fns[i+1], &cfg)
 		if err != nil {
 			return fail(fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), fns[i+1].Name(), err))
-		}
-		var rep Report
-		ref, rep, err = p.transferInstances(cur, di, &cfg)
-		if err != nil {
-			return fail(fmt.Errorf("hop %d/%d (%s->%s): %w", i+1, hops, cur.Name(), di.Name(), err))
 		}
 		allocs = append(allocs, chainAlloc{di, ref})
 		fns[i+1].setActive(di)
@@ -361,6 +386,12 @@ func (p *Platform) multicastCtx(ctx context.Context, src *Function, targets []*F
 			// No remote replica; pick among all and let the core layer
 			// reject the co-located target with its own error.
 			j = p.place.PickTarget(si.endpoint(), t.route, t.eps, nil, p.linkCost)
+		}
+		if j < 0 {
+			// Multicast legs share one tee pass over the source, so a
+			// failed leg cannot be re-routed mid-hose: no retry here
+			// (DESIGN.md §8), and an exhausted pool fails the operation.
+			return nil, nil, fmt.Errorf("multicast to %s: %w", t.Name(), ErrNoHealthyInstance)
 		}
 		chosen[i] = t.insts[j]
 		inner[i] = chosen[i].inner
@@ -475,22 +506,18 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 	if pool == nil {
 		return fail(ErrClosed)
 	}
-	// Resolve every target before submitting any delivery: a routing
-	// failure must not strand already-running transfers reading the pinned
-	// source region after this call returns.
+	// Each delivery routes (and, on an instance fault, re-routes) inside
+	// its own worker; the pinned source region is only released after every
+	// worker has returned, so no routing failure can strand a running
+	// transfer reading it.
 	chosen := make([]*Instance, len(targets))
 	cfgs := make([]transferConfig, len(targets))
-	for i, dst := range targets {
+	for i := range targets {
 		cfg := base
 		cfg.flows = len(targets)
 		srcRef := out
 		cfg.sourceRef = &srcRef
 		cfg.srcInst, cfg.dstInst = nil, nil
-		di, err := p.resolveTarget(si, dst, &cfg)
-		if err != nil {
-			return fail(fmt.Errorf("fanout to %s: %w", dst.Name(), err))
-		}
-		chosen[i] = di
 		cfgs[i] = cfg
 	}
 	refs := make([]DataRef, len(targets))
@@ -502,7 +529,7 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 		wg.Add(1)
 		if err := pool.SubmitCtx(ctx, func() {
 			defer wg.Done()
-			refs[i], reports[i], errs[i] = p.transferInstances(si, chosen[i], &cfgs[i])
+			refs[i], reports[i], chosen[i], errs[i] = p.deliverRouted(si, targets[i], &cfgs[i])
 		}); err != nil {
 			errs[i] = err
 			wg.Done()
@@ -526,32 +553,13 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 			for _, k := range landed {
 				_ = chosen[k].inner.Deallocate(refs[k].Ptr)
 			}
-			return fail(fmt.Errorf("fanout to %s: %w", chosen[i].Name(), err))
+			return fail(fmt.Errorf("fanout to %s: %w", targets[i].Name(), err))
 		}
 	}
 	for i := range targets {
 		targets[i].setActive(chosen[i])
 	}
 	return refs, reports, nil
-}
-
-// produceRouted is the guarded routed-produce entry for async batch paths:
-// it picks an instance by policy, produces there, and returns the concrete
-// instance together with the produced region, so the caller can pin both
-// into deliveries that outlive the call.
-func (p *Platform) produceRouted(src *Function, n int) (*Instance, DataRef, error) {
-	if err := p.beginOp(); err != nil {
-		return nil, DataRef{}, err
-	}
-	defer p.endOp()
-	si := src.pickInstance()
-	src.route.Enter(si.index)
-	defer src.route.Exit(si.index)
-	out, err := si.produceAt(n)
-	if err != nil {
-		return nil, DataRef{}, err
-	}
-	return si, out, nil
 }
 
 // resolveProducer picks the instance a fresh payload is produced at: the
@@ -563,7 +571,7 @@ func resolveProducer(src *Function, cfg *transferConfig) (*Instance, error) {
 		}
 		return cfg.srcInst, nil
 	}
-	return src.pickInstance(), nil
+	return src.pickInstance()
 }
 
 // SaveState snapshots the active instance's current output under a named

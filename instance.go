@@ -221,6 +221,9 @@ type InstanceAccount struct {
 	InFlight int64
 	// Invocations is the cumulative count ever routed to it.
 	Invocations int64
+	// Health is the replica's position in the routing-health FSM
+	// (DESIGN.md §8); Unhealthy replicas are excluded from routing.
+	Health HealthState
 	// Usage is the replica's sandbox account snapshot.
 	Usage Usage
 }
@@ -255,6 +258,7 @@ func (f *Function) Report() FunctionReport {
 			Node:        inst.node,
 			InFlight:    f.route.InFlight(i),
 			Invocations: f.route.Total(i),
+			Health:      f.route.Health(i),
 			Usage:       fromUsage(u),
 		})
 		if acct := inst.inner.Shim().Account(); !seen[acct] {

@@ -143,6 +143,13 @@ func (c *channel) destroy() {
 		delete(c.dst.inbound, c)
 		c.dst.chanMu.Unlock()
 	}
+	c.closeFDs()
+}
+
+// closeFDs closes every descriptor on both sides of the channel, draining
+// any stranded payload back to the page pool. Closing an already-closed
+// descriptor is a harmless EBADF (descriptors never recycle).
+func (c *channel) closeFDs() {
 	switch c.kind {
 	case chanKernel:
 		_ = c.src.proc.Close(c.fdA)
@@ -321,6 +328,50 @@ func (s *Shim) pairLock(dst *Shim, kind chanKind) *sync.Mutex {
 		s.pairMu[key] = m
 	}
 	return m
+}
+
+// PoisonChannels force-closes the descriptors of every cached channel the
+// shim originates while leaving the stale entries registered — simulating a
+// peer reset the cache cannot see. The next transfer acquiring a poisoned
+// channel gets a cache hit, fails its first data-plane call with EBADF, and
+// the failure path destroys the channel (idempotently — descriptors never
+// recycle) so a later transfer of the pair re-establishes a fresh hose.
+// Returns the number of channels poisoned. It is the channel-level fault of
+// the chaos taxonomy; node- and shim-level faults are injected at the
+// kernel layer.
+func (s *Shim) PoisonChannels() int {
+	s.chanMu.Lock()
+	stale := make([]*channel, 0, len(s.channels))
+	for _, c := range s.channels {
+		stale = append(stale, c)
+	}
+	s.chanMu.Unlock()
+	for _, c := range stale {
+		c.closeFDs()
+	}
+	return len(stale)
+}
+
+// PruneChannels destroys every currently unpinned cached channel the shim
+// originates, draining stranded pages and closing descriptors. Chaos tests
+// use it to quiesce a deployment back to a channel-free steady state before
+// comparing conservation baselines, since randomized rerouting establishes
+// hoses for pairs the baseline snapshot never saw.
+func (s *Shim) PruneChannels() int {
+	s.chanMu.Lock()
+	victims := make([]*channel, 0, len(s.channels))
+	for k, c := range s.channels {
+		if c.pins == 0 {
+			delete(s.channels, k)
+			victims = append(victims, c)
+			s.chanEvictions++
+		}
+	}
+	s.chanMu.Unlock()
+	for _, c := range victims {
+		c.destroy()
+	}
+	return len(victims)
 }
 
 // closeChannels destroys every channel the shim participates in, as source

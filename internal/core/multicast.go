@@ -411,9 +411,16 @@ func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) 
 	if err != nil {
 		return InboundRef{}, bd, err
 	}
+	// dstPtr is the (VM lock held) top allocation: every failure past this
+	// point — cancellation or a faulted syscall — hands it back so an
+	// aborted ingress leaves the target's bump heap where it found it.
+	abort := func(err error) (InboundRef, metrics.Breakdown, error) {
+		_ = dst.view.Deallocate(dstPtr)
+		return InboundRef{}, bd, err
+	}
 	wv, err := dst.view.WritableView(dstPtr, n)
 	if err != nil {
-		return InboundRef{}, bd, err
+		return abort(err)
 	}
 	allocT := swIO.Lap()
 	dstShim.acct.CPU(metrics.User, allocT)
@@ -423,10 +430,7 @@ func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) 
 	swR := metrics.NewStopwatch(dstShim.now)
 	for received < int(n) {
 		if err := CtxErr(ctx); err != nil {
-			// Cancelled mid-drain: hand the (top-of-heap, VM lock held)
-			// allocation back so the target's bump heap rewinds.
-			_ = dst.view.Deallocate(dstPtr)
-			return InboundRef{}, bd, err
+			return abort(err)
 		}
 		chunk := int(n) - received
 		if chunk > dstShim.hoseCap {
@@ -435,7 +439,7 @@ func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) 
 		for moved := 0; moved < chunk; {
 			m, err := dstShim.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
 			if err != nil {
-				return InboundRef{}, bd, fmt.Errorf("splice in: %w", err)
+				return abort(fmt.Errorf("splice in: %w", err))
 			}
 			moved += m
 		}
@@ -446,7 +450,7 @@ func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) 
 		swW := metrics.NewStopwatch(dstShim.now)
 		hoseRefs, err := dstShim.proc.ReadRefs(ch.trfd, chunk)
 		if err != nil {
-			return InboundRef{}, bd, fmt.Errorf("drain hose: %w", err)
+			return abort(fmt.Errorf("drain hose: %w", err))
 		}
 		off := received
 		for _, ref := range hoseRefs {

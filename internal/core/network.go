@@ -219,9 +219,17 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 		if err != nil {
 			return InboundRef{}, err
 		}
+		// Every failure past this point — cancellation, a faulted syscall,
+		// a dead channel — deallocates the region allocated above: the
+		// drain holds the VM lock, so it is the top allocation and the
+		// bump heap rewinds to its pre-transfer position.
+		abort := func(err error) (InboundRef, error) {
+			_ = f.view.Deallocate(dstPtr)
+			return InboundRef{}, err
+		}
 		wv, err := f.view.WritableView(dstPtr, out.Len)
 		if err != nil {
-			return InboundRef{}, err
+			return abort(err)
 		}
 		allocT := swIO.Lap()
 		s.acct.CPU(metrics.User, allocT)
@@ -229,13 +237,6 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 
 		// network_data_transfer_target (Algorithm 1 lines 21-29).
 		swR := metrics.NewStopwatch(s.now)
-		// A cancelled drain deallocates the region it allocated above —
-		// the drain holds the VM lock, so it is the top allocation and the
-		// bump heap rewinds to its pre-transfer position.
-		abort := func(err error) (InboundRef, error) {
-			_ = f.view.Deallocate(dstPtr)
-			return InboundRef{}, err
-		}
 		if opts.ForceCopyPath {
 			for off := 0; off < len(wv); {
 				if err := CtxErr(opts.Ctx); err != nil {
@@ -243,10 +244,10 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 				}
 				n, err := s.proc.Read(ch.sfd, wv[off:])
 				if err != nil {
-					return InboundRef{}, fmt.Errorf("copy-path recv: %w", err)
+					return abort(fmt.Errorf("copy-path recv: %w", err))
 				}
 				if n == 0 {
-					return InboundRef{}, fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed)
+					return abort(fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed))
 				}
 				off += n
 			}
@@ -270,7 +271,7 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 				for moved := 0; moved < chunk; {
 					n, err := s.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
 					if err != nil {
-						return InboundRef{}, fmt.Errorf("splice in: %w", err)
+						return abort(fmt.Errorf("splice in: %w", err))
 					}
 					moved += n
 				}
@@ -284,7 +285,7 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 				swW := metrics.NewStopwatch(s.now)
 				refs, err := s.proc.ReadRefs(ch.trfd, chunk)
 				if err != nil {
-					return InboundRef{}, fmt.Errorf("drain hose: %w", err)
+					return abort(fmt.Errorf("drain hose: %w", err))
 				}
 				off := received
 				for _, ref := range refs {
@@ -309,7 +310,7 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 			swDe := metrics.NewStopwatch(s.now)
 			decOut, err := f.callPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
 			if err != nil {
-				return InboundRef{}, fmt.Errorf("deserialize ablation: %w", err)
+				return abort(fmt.Errorf("deserialize ablation: %w", err))
 			}
 			m.serialization += swDe.Lap()
 			resultRef = InboundRef{Ptr: decOut.Ptr, Len: decOut.Len}

@@ -175,6 +175,14 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 			if err != nil {
 				return InboundRef{}, err
 			}
+			// The drain holds the VM lock, so dstPtr is the VM's top
+			// allocation: every failure past this point — cancellation or a
+			// faulted syscall — hands it back so an aborted ingress leaves
+			// the target's bump heap where it found it.
+			abort := func(err error) (InboundRef, error) {
+				_ = f.view.Deallocate(dstPtr)
+				return InboundRef{}, err
+			}
 			allocT := swIO.Lap()
 			s.acct.CPU(metrics.User, allocT)
 			m.wasmIO += allocT
@@ -182,25 +190,21 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 			swR := metrics.NewStopwatch(s.now)
 			wv, err := f.view.WritableView(dstPtr, out.Len)
 			if err != nil {
-				return InboundRef{}, err
+				return abort(err)
 			}
 			for off := 0; off < len(wv); {
 				if err := CtxErr(opts.Ctx); err != nil {
-					// The drain holds the VM lock, so dstPtr is the VM's
-					// top allocation: hand it back so a cancelled ingress
-					// leaves the target's bump heap where it found it.
-					_ = f.view.Deallocate(dstPtr)
-					return InboundRef{}, err
+					return abort(err)
 				}
 				n, err := s.proc.Read(ch.fdB, wv[off:])
 				if err != nil {
-					return InboundRef{}, fmt.Errorf("ipc recv: %w", err)
+					return abort(fmt.Errorf("ipc recv: %w", err))
 				}
 				if n == 0 {
 					// A zero-progress read means the channel can never
 					// deliver the remaining bytes; looping would spin
 					// forever.
-					return InboundRef{}, fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed)
+					return abort(fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed))
 				}
 				off += n
 			}

@@ -92,8 +92,10 @@ func Quick() Options {
 // the chancache warm/cold experiment; version 4 added the breakdown's
 // Overlap component (critical-path credit of the staged pipeline) and the
 // pipeline chain experiment; version 5 added the placement experiment
-// (locality vs round-robin routing over replicated instance pools).
-const SchemaVersion = 5
+// (locality vs round-robin routing over replicated instance pools);
+// version 6 added the failure experiment (aggregate throughput with 1 of
+// 16 replicas killed mid-load, pinned to proportional degradation).
+const SchemaVersion = 6
 
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
@@ -264,11 +266,12 @@ var Registry = map[string]func(Options) (*Result, error){
 	"chancache": ChanCache,
 	"pipeline":  Pipeline,
 	"placement": Placement,
+	"failure":   Failure,
 }
 
 // IDs lists the experiment identifiers, paper figures first.
 func IDs() []string {
-	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement"}
+	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement", "failure"}
 }
 
 // RunAll executes every experiment and prints the results.

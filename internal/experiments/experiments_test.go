@@ -306,6 +306,30 @@ func TestPlacementExperimentWin(t *testing.T) {
 	}
 }
 
+// TestFailureDegradeUnderKill pins the degrade-under-kill acceptance bar:
+// Failure itself errors when any invocation fails outright or throughput
+// degrades by more than 2× the killed capacity fraction, so the test only
+// re-asserts the shape of the result. The makespan model is count-driven
+// (homogeneous kernel-space transfers), so the bar holds under the race
+// detector.
+func TestFailureDegradeUnderKill(t *testing.T) {
+	res, err := Failure(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := bySystem(res.Points, failureReplicas)
+	base, killed := sys[SysRRAllHealthy], sys[SysRRDegraded]
+	if base.RPS <= 0 || killed.RPS <= 0 {
+		t.Fatalf("missing points: %+v", sys)
+	}
+	if killed.RPS >= base.RPS {
+		t.Fatalf("kill run faster than healthy run: %.1f vs %.1f rps — the kill did not bite", killed.RPS, base.RPS)
+	}
+	if len(res.Notes) < 2 {
+		t.Fatalf("failure experiment notes = %v", res.Notes)
+	}
+}
+
 func TestResultPrint(t *testing.T) {
 	res := &Result{
 		ID:     "figX",

@@ -1,0 +1,240 @@
+package invoke
+
+import (
+	"fmt"
+	"time"
+)
+
+// HealthState is one instance's position in the routing-health FSM:
+//
+//	           strike                  strikes ≥ FailureThreshold
+//	Healthy ──────────▶ Suspect ───────────────────────▶ Unhealthy
+//	   ▲                   │                                 │
+//	   │      success      │                                 │ cooldown
+//	   ◀───────────────────┘                                 │ elapses
+//	   │                                                     ▼
+//	   └──────────────────────────────────────────────  Recovering
+//	      ProbeSuccesses consecutive probe successes         │
+//	                                                         │ probe fails:
+//	                                 back to Unhealthy, cooldown doubled
+//	                                 (capped) — the flap suppression
+//
+// Healthy and Suspect instances are routing candidates; Unhealthy ones
+// leave every placement policy's candidate pool; Recovering ones admit
+// bounded probe traffic until a probe outcome resolves them.
+type HealthState uint8
+
+// Health states.
+const (
+	// Healthy instances are full routing candidates.
+	Healthy HealthState = iota
+	// Suspect instances have failed recently but remain candidates; more
+	// consecutive strikes demote them, one success clears them.
+	Suspect
+	// Unhealthy instances are excluded from every policy's candidate pool
+	// until their probe cooldown elapses.
+	Unhealthy
+	// Recovering instances admit probe invocations: the next routed
+	// operation decides between re-admission and another exclusion round.
+	Recovering
+)
+
+// String names the state.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Unhealthy:
+		return "unhealthy"
+	case Recovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(h))
+	}
+}
+
+// HealthConfig tunes the per-instance health FSM. The zero value yields the
+// defaults below; health tracking itself is always on — a pool that never
+// sees a strike never leaves the atomic fast path.
+type HealthConfig struct {
+	// FailureThreshold is the consecutive strike count that demotes a
+	// Suspect instance to Unhealthy (default 3; minimum 1).
+	FailureThreshold int
+	// LatencyLimit, when positive, counts successful observations slower
+	// than it as strikes — the latency half of the error/latency signal
+	// (default 0: latency strikes off).
+	LatencyLimit time.Duration
+	// ProbeAfter is how long an Unhealthy instance is excluded before it may
+	// admit a probe (default 100ms).
+	ProbeAfter time.Duration
+	// ProbeBackoff multiplies the exclusion cooldown after every failed
+	// probe, suppressing flapping instances (default 2; minimum 1).
+	ProbeBackoff float64
+	// MaxProbeAfter caps the backed-off cooldown (default 30×ProbeAfter).
+	MaxProbeAfter time.Duration
+	// ProbeSuccesses is the consecutive probe success count that re-admits a
+	// Recovering instance (default 1).
+	ProbeSuccesses int
+	// Now injects a clock for deterministic tests (default time.Now).
+	Now func() time.Time
+}
+
+// withDefaults fills unset fields.
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = 100 * time.Millisecond
+	}
+	if c.ProbeBackoff < 1 {
+		c.ProbeBackoff = 2
+	}
+	if c.MaxProbeAfter <= 0 {
+		c.MaxProbeAfter = 30 * c.ProbeAfter
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// healthSlot is one instance's FSM state; guarded by State.hmu.
+type healthSlot struct {
+	state   HealthState
+	strikes int           // consecutive strikes (Healthy/Suspect)
+	probeOK int           // consecutive probe successes (Recovering)
+	cool    time.Duration // current exclusion cooldown
+	retryAt time.Time     // when an Unhealthy slot may admit a probe
+	// probing marks one probe in flight on a Recovering slot, bounding
+	// probe traffic to one routed operation at a time; probeBy expires a
+	// probe whose bracketing never observed an outcome.
+	probing bool
+	probeBy time.Time
+}
+
+// Observe feeds one routed operation's outcome into instance i's FSM:
+// err != nil (or a success slower than LatencyLimit) is a strike, anything
+// else a success. The engine calls it with instance-fault-classified errors
+// only — cancellations and caller errors say nothing about the instance.
+func (st *State) Observe(i int, d time.Duration, err error) {
+	strike := err != nil || (st.hcfg.LatencyLimit > 0 && d > st.hcfg.LatencyLimit)
+	if !strike && !st.degraded.Load() {
+		return // healthy pool, healthy outcome: nothing can change
+	}
+	st.hmu.Lock()
+	defer st.hmu.Unlock()
+	s := &st.health[i]
+	switch s.state {
+	case Healthy, Suspect:
+		if !strike {
+			s.state, s.strikes = Healthy, 0
+			return
+		}
+		st.degraded.Store(true)
+		s.strikes++
+		s.state = Suspect
+		if s.strikes >= st.hcfg.FailureThreshold {
+			s.state = Unhealthy
+			s.cool = st.hcfg.ProbeAfter
+			s.retryAt = st.hcfg.Now().Add(s.cool)
+		}
+	case Recovering:
+		s.probing = false
+		if strike {
+			// Failed probe: back out with a longer cooldown — the
+			// exponential backoff that keeps a flapping instance from
+			// oscillating in and out of the candidate pool.
+			s.cool = time.Duration(float64(s.cool) * st.hcfg.ProbeBackoff)
+			if s.cool > st.hcfg.MaxProbeAfter {
+				s.cool = st.hcfg.MaxProbeAfter
+			}
+			s.state = Unhealthy
+			s.retryAt = st.hcfg.Now().Add(s.cool)
+			s.probeOK = 0
+			return
+		}
+		s.probeOK++
+		if s.probeOK >= st.hcfg.ProbeSuccesses {
+			s.state, s.strikes, s.probeOK = Healthy, 0, 0
+			s.cool = st.hcfg.ProbeAfter
+		}
+	case Unhealthy:
+		// An outcome from a pinned (policy-bypassing) invocation: treat it
+		// as a probe result.
+		if strike {
+			s.retryAt = st.hcfg.Now().Add(s.cool)
+			return
+		}
+		s.probeOK++
+		if s.probeOK >= st.hcfg.ProbeSuccesses {
+			s.state, s.strikes, s.probeOK = Healthy, 0, 0
+			s.cool = st.hcfg.ProbeAfter
+		}
+	}
+}
+
+// Eligible reports whether instance i is a routing candidate: Healthy and
+// Suspect always, Unhealthy never — until the cooldown elapses, which
+// promotes the slot to Recovering — and Recovering only while no probe is
+// already in flight. Every placement policy consults it for every
+// candidate, so unhealthy replicas leave every candidate pool.
+func (st *State) Eligible(i int) bool {
+	if !st.degraded.Load() {
+		return true
+	}
+	st.hmu.Lock()
+	defer st.hmu.Unlock()
+	s := &st.health[i]
+	switch s.state {
+	case Healthy, Suspect:
+		return true
+	case Unhealthy:
+		if st.hcfg.Now().Before(s.retryAt) {
+			return false
+		}
+		s.state = Recovering
+		s.probing = false
+		return true
+	case Recovering:
+		return !s.probing || st.hcfg.Now().After(s.probeBy)
+	default:
+		return false
+	}
+}
+
+// Health reports instance i's current FSM state without side effects.
+func (st *State) Health(i int) HealthState {
+	if !st.degraded.Load() {
+		return Healthy
+	}
+	st.hmu.Lock()
+	defer st.hmu.Unlock()
+	return st.health[i].state
+}
+
+// markProbe is Enter's health half: routing an operation onto a Recovering
+// slot claims the probe, so concurrent picks skip it until Observe resolves
+// the outcome (or the claim expires — some bracketed operations never
+// observe).
+func (st *State) markProbe(i int) {
+	if !st.degraded.Load() {
+		return
+	}
+	st.hmu.Lock()
+	defer st.hmu.Unlock()
+	s := &st.health[i]
+	if s.state == Recovering && !s.probing {
+		s.probing = true
+		s.probeBy = st.hcfg.Now().Add(10 * st.hcfg.MaxProbeAfter)
+	}
+}
+
+// degradedState reports whether any slot has ever left Healthy (the fast
+// path gate; test helper).
+func (st *State) degradedState() bool { return st.degraded.Load() }

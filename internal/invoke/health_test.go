@@ -1,0 +1,316 @@
+package invoke
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var errStrike = errors.New("injected instance fault")
+
+// healthHarness is a one-instance FSM under a controllable clock.
+type healthHarness struct {
+	st  *State
+	now time.Time
+}
+
+func newHealthHarness(n int, cfg HealthConfig) *healthHarness {
+	h := &healthHarness{now: time.Unix(1000, 0)}
+	cfg.Now = func() time.Time { return h.now }
+	h.st = NewStateWithHealth(n, cfg)
+	return h
+}
+
+// step is one action in a table-driven FSM scenario.
+type step struct {
+	do        string        // "ok", "strike", "slow", "advance", "enter", "exit"
+	d         time.Duration // advance amount / observation latency
+	wantState HealthState   // checked after the action
+	wantElig  bool          // Eligible(0) after the action
+}
+
+// TestHealthFSMEdges drives every FSM edge through instance 0.
+func TestHealthFSMEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   HealthConfig
+		steps []step
+	}{
+		{
+			name: "success keeps healthy",
+			steps: []step{
+				{do: "ok", wantState: Healthy, wantElig: true},
+				{do: "ok", wantState: Healthy, wantElig: true},
+			},
+		},
+		{
+			name: "first strike demotes to suspect, suspect stays eligible",
+			steps: []step{
+				{do: "strike", wantState: Suspect, wantElig: true},
+			},
+		},
+		{
+			name: "success clears suspect back to healthy",
+			steps: []step{
+				{do: "strike", wantState: Suspect, wantElig: true},
+				{do: "strike", wantState: Suspect, wantElig: true},
+				{do: "ok", wantState: Healthy, wantElig: true},
+				// strikes were reset: two more strikes stay below the
+				// threshold of 3 again.
+				{do: "strike", wantState: Suspect, wantElig: true},
+				{do: "strike", wantState: Suspect, wantElig: true},
+			},
+		},
+		{
+			name: "threshold strikes demote to unhealthy and exclude",
+			steps: []step{
+				{do: "strike", wantState: Suspect, wantElig: true},
+				{do: "strike", wantState: Suspect, wantElig: true},
+				{do: "strike", wantState: Unhealthy, wantElig: false},
+			},
+		},
+		{
+			name: "cooldown elapse promotes to recovering and re-admits",
+			cfg:  HealthConfig{FailureThreshold: 1, ProbeAfter: 100 * time.Millisecond},
+			steps: []step{
+				{do: "strike", wantState: Unhealthy, wantElig: false},
+				{do: "advance", d: 50 * time.Millisecond, wantState: Unhealthy, wantElig: false},
+				{do: "advance", d: 50 * time.Millisecond, wantState: Recovering, wantElig: true},
+			},
+		},
+		{
+			name: "probe success re-admits to healthy",
+			cfg:  HealthConfig{FailureThreshold: 1, ProbeAfter: time.Millisecond},
+			steps: []step{
+				{do: "strike", wantState: Unhealthy, wantElig: false},
+				{do: "advance", d: time.Millisecond, wantState: Recovering, wantElig: true},
+				{do: "ok", wantState: Healthy, wantElig: true},
+			},
+		},
+		{
+			name: "ProbeSuccesses gates re-admission",
+			cfg:  HealthConfig{FailureThreshold: 1, ProbeAfter: time.Millisecond, ProbeSuccesses: 2},
+			steps: []step{
+				{do: "strike", wantState: Unhealthy, wantElig: false},
+				{do: "advance", d: time.Millisecond, wantState: Recovering, wantElig: true},
+				{do: "ok", wantState: Recovering, wantElig: true},
+				{do: "ok", wantState: Healthy, wantElig: true},
+			},
+		},
+		{
+			name: "latency above limit strikes",
+			cfg:  HealthConfig{LatencyLimit: 10 * time.Millisecond},
+			steps: []step{
+				{do: "slow", d: 20 * time.Millisecond, wantState: Suspect, wantElig: true},
+				{do: "slow", d: 5 * time.Millisecond, wantState: Healthy, wantElig: true},
+			},
+		},
+		{
+			name: "in-flight probe gates further picks until observed",
+			cfg:  HealthConfig{FailureThreshold: 1, ProbeAfter: time.Millisecond},
+			steps: []step{
+				{do: "strike", wantState: Unhealthy, wantElig: false},
+				{do: "advance", d: time.Millisecond, wantState: Recovering, wantElig: true},
+				{do: "enter", wantState: Recovering, wantElig: false},
+				{do: "ok", wantState: Healthy, wantElig: true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHealthHarness(1, tc.cfg)
+			for n, s := range tc.steps {
+				switch s.do {
+				case "ok":
+					h.st.Observe(0, 0, nil)
+				case "strike":
+					h.st.Observe(0, 0, errStrike)
+				case "slow":
+					h.st.Observe(0, s.d, nil)
+				case "advance":
+					h.now = h.now.Add(s.d)
+				case "enter":
+					h.st.Enter(0)
+				case "exit":
+					h.st.Exit(0)
+				}
+				if elig := h.st.Eligible(0); elig != s.wantElig {
+					t.Fatalf("step %d (%s): Eligible = %v, want %v", n, s.do, elig, s.wantElig)
+				}
+				if got := h.st.Health(0); got != s.wantState {
+					t.Fatalf("step %d (%s): Health = %v, want %v", n, s.do, got, s.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestHealthProbeFlapSuppression pins the exponential probe backoff: each
+// failed probe doubles the exclusion window (capped at MaxProbeAfter), so a
+// flapping instance oscillates ever more slowly instead of churning the
+// candidate pool.
+func TestHealthProbeFlapSuppression(t *testing.T) {
+	h := newHealthHarness(1, HealthConfig{
+		FailureThreshold: 1,
+		ProbeAfter:       100 * time.Millisecond,
+		ProbeBackoff:     2,
+		MaxProbeAfter:    300 * time.Millisecond,
+	})
+	h.st.Observe(0, 0, errStrike) // Unhealthy, cooldown 100ms
+
+	for round, wantCool := range []time.Duration{
+		200 * time.Millisecond, // first failed probe: doubled
+		300 * time.Millisecond, // second: doubled again but capped
+		300 * time.Millisecond, // third: stays at the cap
+	} {
+		// Wait out the current cooldown (generously) and fail the probe.
+		h.now = h.now.Add(time.Second)
+		if !h.st.Eligible(0) {
+			t.Fatalf("round %d: not re-admitted after cooldown", round)
+		}
+		h.st.Observe(0, 0, errStrike)
+		if got := h.st.Health(0); got != Unhealthy {
+			t.Fatalf("round %d: Health after failed probe = %v, want Unhealthy", round, got)
+		}
+		// Just before the backed-off cooldown elapses: still excluded.
+		h.now = h.now.Add(wantCool - time.Millisecond)
+		if h.st.Eligible(0) {
+			t.Fatalf("round %d: eligible %v before backed-off cooldown elapsed", round, wantCool)
+		}
+		h.now = h.now.Add(time.Millisecond)
+		if !h.st.Eligible(0) {
+			t.Fatalf("round %d: not eligible after cooldown %v elapsed", round, wantCool)
+		}
+	}
+
+	// A successful probe resets the cooldown to ProbeAfter.
+	h.st.Observe(0, 0, nil)
+	if got := h.st.Health(0); got != Healthy {
+		t.Fatalf("Health after successful probe = %v, want Healthy", got)
+	}
+	h.st.Observe(0, 0, errStrike)
+	h.now = h.now.Add(100 * time.Millisecond)
+	if !h.st.Eligible(0) {
+		t.Fatal("cooldown was not reset to ProbeAfter by the successful probe")
+	}
+}
+
+// TestHealthExpiredProbeReadmits pins the probe-claim expiry: a routed probe
+// whose outcome is never observed cannot wedge the slot in Recovering.
+func TestHealthExpiredProbeReadmits(t *testing.T) {
+	h := newHealthHarness(1, HealthConfig{FailureThreshold: 1, ProbeAfter: time.Millisecond, MaxProbeAfter: time.Millisecond})
+	h.st.Observe(0, 0, errStrike)
+	h.now = h.now.Add(time.Millisecond)
+	if !h.st.Eligible(0) {
+		t.Fatal("not re-admitted after cooldown")
+	}
+	h.st.Enter(0) // probe routed, outcome never observed
+	if h.st.Eligible(0) {
+		t.Fatal("eligible while probe in flight")
+	}
+	h.now = h.now.Add(time.Second) // well past the probe claim deadline
+	if !h.st.Eligible(0) {
+		t.Fatal("expired probe claim did not re-admit the slot")
+	}
+}
+
+// TestHealthyPoolStaysOnFastPath pins the fast path: successes on a
+// never-degraded pool never touch the mutex-guarded slots.
+func TestHealthyPoolStaysOnFastPath(t *testing.T) {
+	st := NewState(4)
+	for i := 0; i < 4; i++ {
+		st.Observe(i, time.Hour, nil) // slow but LatencyLimit is off
+	}
+	if st.degradedState() {
+		t.Fatal("successes flipped the degraded flag")
+	}
+	for i := 0; i < 4; i++ {
+		if !st.Eligible(i) || st.Health(i) != Healthy {
+			t.Fatalf("instance %d not healthy on fast path", i)
+		}
+	}
+}
+
+// unhealthify drives instance i of st to Unhealthy.
+func unhealthify(t *testing.T, st *State, i int) {
+	t.Helper()
+	for n := 0; n < 3; n++ {
+		st.Observe(i, 0, errStrike)
+	}
+	if st.Health(i) != Unhealthy {
+		t.Fatalf("instance %d: %v after 3 strikes, want Unhealthy", i, st.Health(i))
+	}
+}
+
+// TestUnhealthyExcludedFromEveryPolicy pins the candidate-pool guarantee:
+// an Unhealthy replica is never selected by PickOne, PickTarget or PickPair
+// under any policy, with or without an extra eligibility filter.
+func TestUnhealthyExcludedFromEveryPolicy(t *testing.T) {
+	const n, sick = 4, 2
+	eps := []Endpoint{{Node: "a"}, {Node: "a"}, {Node: "b"}, {Node: "c"}}
+	src := Endpoint{Node: "b"} // same node as the sick replica: Locality bait
+
+	for _, p := range []Policy{Locality, LeastLoaded, RoundRobin} {
+		t.Run(p.String(), func(t *testing.T) {
+			st := newHealthHarness(n, HealthConfig{ProbeAfter: time.Hour}).st
+			srcSt := NewState(n)
+			unhealthify(t, st, sick)
+
+			for trial := 0; trial < 4*n; trial++ {
+				if got := p.PickOne(st, eps, nil); got == sick {
+					t.Fatalf("PickOne chose unhealthy instance %d", sick)
+				} else if got < 0 {
+					t.Fatal("PickOne found no candidate in a 3-healthy pool")
+				}
+				if got := p.PickTarget(src, st, eps, nil, nil); got == sick {
+					t.Fatalf("PickTarget chose unhealthy instance %d", sick)
+				} else if got < 0 {
+					t.Fatal("PickTarget found no candidate in a 3-healthy pool")
+				}
+				if si, di := p.PickPair(srcSt, eps, st, eps, nil, nil); di == sick {
+					t.Fatalf("PickPair chose unhealthy target %d", sick)
+				} else if si < 0 || di < 0 {
+					t.Fatal("PickPair found no pair in a 3-healthy pool")
+				}
+				if si, _ := p.PickPair(st, eps, srcSt, eps, nil, nil); si == sick {
+					t.Fatalf("PickPair chose unhealthy source %d", sick)
+				}
+			}
+
+			// With a filter that also rejects instance 0, only 1 and 3 remain.
+			notZero := func(i int) bool { return i != 0 }
+			for trial := 0; trial < 4*n; trial++ {
+				got := p.PickOne(st, eps, notZero)
+				if got == sick || got == 0 {
+					t.Fatalf("PickOne with filter chose excluded instance %d", got)
+				}
+			}
+		})
+	}
+}
+
+// TestAllUnhealthyYieldsNoCandidate pins the -1 contract when the whole pool
+// is excluded — the engine turns this into ErrNoHealthyInstance.
+func TestAllUnhealthyYieldsNoCandidate(t *testing.T) {
+	const n = 3
+	eps := []Endpoint{{Node: "a"}, {Node: "b"}, {Node: "c"}}
+	for _, p := range []Policy{Locality, LeastLoaded, RoundRobin} {
+		st := newHealthHarness(n, HealthConfig{ProbeAfter: time.Hour}).st
+		healthy := NewState(n)
+		for i := 0; i < n; i++ {
+			unhealthify(t, st, i)
+		}
+		if got := p.PickOne(st, eps, nil); got != -1 {
+			t.Fatalf("%v: PickOne on all-unhealthy pool = %d, want -1", p, got)
+		}
+		if got := p.PickTarget(Endpoint{Node: "a"}, st, eps, nil, nil); got != -1 {
+			t.Fatalf("%v: PickTarget on all-unhealthy pool = %d, want -1", p, got)
+		}
+		if si, di := p.PickPair(healthy, eps, st, eps, nil, nil); si != -1 || di != -1 {
+			t.Fatalf("%v: PickPair with all-unhealthy targets = (%d,%d), want (-1,-1)", p, si, di)
+		}
+		if si, di := p.PickPair(st, eps, healthy, eps, nil, nil); si != -1 || di != -1 {
+			t.Fatalf("%v: PickPair with all-unhealthy sources = (%d,%d), want (-1,-1)", p, si, di)
+		}
+	}
+}

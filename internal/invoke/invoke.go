@@ -23,6 +23,7 @@ package invoke
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -43,12 +44,22 @@ type Endpoint struct {
 // wire time). A nil LinkCost treats all cross-node pairs as equal.
 type LinkCost func(a, b string) time.Duration
 
-// State is one function's routing state: a round-robin cursor plus
-// per-instance in-flight and cumulative invocation counters. All fields are
-// atomics; a State is shared by every concurrent invocation of its function.
+// State is one function's routing state: a round-robin cursor, per-instance
+// in-flight and cumulative invocation counters, and the per-instance health
+// FSM (health.go). The counters are atomics; the health slots share one
+// mutex behind an atomic fast-path flag that a never-degraded pool never
+// sets. A State is shared by every concurrent invocation of its function.
 type State struct {
 	cursor atomic.Uint64
 	slots  []slot
+
+	// Per-instance health FSM (see health.go). degraded is set on the first
+	// strike and never cleared: while false, Eligible/Observe/markProbe skip
+	// hmu entirely.
+	hcfg     HealthConfig
+	degraded atomic.Bool
+	hmu      sync.Mutex
+	health   []healthSlot
 }
 
 type slot struct {
@@ -56,9 +67,20 @@ type slot struct {
 	total    atomic.Int64
 }
 
-// NewState returns routing state for a function with n instances.
+// NewState returns routing state for a function with n instances, using the
+// default health configuration.
 func NewState(n int) *State {
-	return &State{slots: make([]slot, n)}
+	return NewStateWithHealth(n, HealthConfig{})
+}
+
+// NewStateWithHealth returns routing state for a function with n instances
+// and an explicit health configuration.
+func NewStateWithHealth(n int, cfg HealthConfig) *State {
+	return &State{
+		slots:  make([]slot, n),
+		hcfg:   cfg.withDefaults(),
+		health: make([]healthSlot, n),
+	}
 }
 
 // Len reports the instance count the state was built for.
@@ -67,9 +89,11 @@ func (st *State) Len() int { return len(st.slots) }
 // Enter marks one invocation in flight on instance i (and counts it toward
 // the instance's cumulative total). The engine brackets every routed
 // operation with Enter/Exit; LeastLoaded and tie-breaking read the gauges.
+// Entering a Recovering instance claims its probe slot (health.go).
 func (st *State) Enter(i int) {
 	st.slots[i].inflight.Add(1)
 	st.slots[i].total.Add(1)
+	st.markProbe(i)
 }
 
 // Exit retires one in-flight invocation from instance i.
@@ -167,6 +191,7 @@ func lessLoaded(st *State, i, j int) bool {
 // PickOne selects an instance for a peerless invocation (produce, a direct
 // guest call): RoundRobin advances the cursor, the other policies pick the
 // least-loaded instance. eligible, when non-nil, restricts the candidates;
+// unhealthy instances (health.go) are never candidates under any policy.
 // PickOne returns -1 when none qualifies.
 func (p Policy) PickOne(st *State, eps []Endpoint, eligible func(int) bool) int {
 	if p == RoundRobin {
@@ -174,7 +199,7 @@ func (p Policy) PickOne(st *State, eps []Endpoint, eligible func(int) bool) int 
 	}
 	best := -1
 	for i := range eps {
-		if eligible != nil && !eligible(i) {
+		if !st.Eligible(i) || (eligible != nil && !eligible(i)) {
 			continue
 		}
 		if best < 0 || lessLoaded(st, i, best) {
@@ -184,12 +209,12 @@ func (p Policy) PickOne(st *State, eps []Endpoint, eligible func(int) bool) int 
 	return best
 }
 
-// nextEligible advances the round-robin cursor to the next eligible index,
-// scanning at most n positions.
+// nextEligible advances the round-robin cursor to the next eligible,
+// healthy index, scanning at most n positions.
 func (st *State) nextEligible(n int, eligible func(int) bool) int {
 	for scanned := 0; scanned < n; scanned++ {
 		i := int((st.cursor.Add(1) - 1) % uint64(n))
-		if eligible == nil || eligible(i) {
+		if st.Eligible(i) && (eligible == nil || eligible(i)) {
 			return i
 		}
 	}
@@ -210,7 +235,7 @@ func (p Policy) PickTarget(src Endpoint, st *State, dst []Endpoint, eligible fun
 		bestTier := 0
 		var bestCost time.Duration
 		for i := range dst {
-			if eligible != nil && !eligible(i) {
+			if !st.Eligible(i) || (eligible != nil && !eligible(i)) {
 				continue
 			}
 			t, c := pairCost(src, dst[i], cost)
@@ -233,9 +258,13 @@ func (p Policy) PickPair(srcSt *State, src []Endpoint, dstSt *State, dst []Endpo
 	switch p {
 	case RoundRobin:
 		// Cursor both sides; when an eligibility filter couples the ends,
-		// scan targets (then sources) until a pair qualifies.
+		// scan targets (then sources) until a pair qualifies. nextEligible
+		// already skips unhealthy instances on both ends.
 		for scanned := 0; scanned < len(src); scanned++ {
 			si := srcSt.nextEligible(len(src), nil)
+			if si < 0 {
+				return -1, -1
+			}
 			di := dstSt.nextEligible(len(dst), func(j int) bool {
 				return eligible == nil || eligible(si, j)
 			})
@@ -247,8 +276,11 @@ func (p Policy) PickPair(srcSt *State, src []Endpoint, dstSt *State, dst []Endpo
 	case LeastLoaded:
 		bi, bj := -1, -1
 		for i := range src {
+			if !srcSt.Eligible(i) {
+				continue
+			}
 			for j := range dst {
-				if eligible != nil && !eligible(i, j) {
+				if !dstSt.Eligible(j) || (eligible != nil && !eligible(i, j)) {
 					continue
 				}
 				if bi < 0 || pairLessLoaded(srcSt, dstSt, i, j, bi, bj) {
@@ -262,8 +294,11 @@ func (p Policy) PickPair(srcSt *State, src []Endpoint, dstSt *State, dst []Endpo
 		bestTier := 0
 		var bestCost time.Duration
 		for i := range src {
+			if !srcSt.Eligible(i) {
+				continue
+			}
 			for j := range dst {
-				if eligible != nil && !eligible(i, j) {
+				if !dstSt.Eligible(j) || (eligible != nil && !eligible(i, j)) {
 					continue
 				}
 				t, c := pairCost(src[i], dst[j], cost)

@@ -1,0 +1,153 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrIO is the default error schedulable fault plans surface: the simulated
+// EIO a crashed sandbox, a dropped wire or a dying node produces. The engine
+// layer classifies it (together with ErrBadFD and ErrClosed) as an instance
+// fault — the class of failure that is the instance's, not the caller's,
+// and is therefore worth retrying on a surviving replica.
+var ErrIO = errors.New("kernel: input/output error (EIO)")
+
+// hoseOps are the page-movement operations of the virtual data hose
+// (Algorithm 1): the calls a mid-transfer wire drop kills while plain
+// control traffic would still flow.
+var hoseOps = []string{"vmsplice", "splice", "tee", "readrefs"}
+
+// FaultSpec schedules one reproducible fault against a process's data plane.
+// Specs compose into a FaultPlan, whose hook is installed with
+// Proc.InjectFault (one sandbox) or Kernel.InjectFault (every sandbox on a
+// node).
+type FaultSpec struct {
+	// Ops restricts the fault to the named data-plane operations ("write",
+	// "read", "vmsplice", "splice", "tee", "readrefs"); empty matches every
+	// data-plane operation. Control-plane calls (pipe, connect, socketpair,
+	// close) are never intercepted, so teardown always works.
+	Ops []string
+	// After is the number of matching calls that succeed before the fault
+	// arms: 0 fails the first matching call, n fails every call from the
+	// (n+1)th on — the crash-at-Nth-syscall schedule.
+	After int64
+	// Count bounds how many matching calls fail once armed; 0 means every
+	// one from After on (a crash rather than a transient glitch).
+	Count int64
+	// Err is the error the failed calls surface; nil defaults to ErrIO.
+	Err error
+}
+
+// matches reports whether the spec covers the named operation.
+func (s *FaultSpec) matches(op string) bool {
+	if len(s.Ops) == 0 {
+		return true
+	}
+	for _, o := range s.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultPlan compiles FaultSpecs into a schedulable, replayable fault hook.
+// Each spec keeps its own match counter, so a plan deterministically fails
+// the same calls on every identical replay — which is what lets the chaos
+// suite pin conservation baselines against randomized schedules: the seed
+// reproduces the schedule, the plan reproduces the faults.
+type FaultPlan struct {
+	mu    sync.Mutex
+	specs []faultSpecState
+	trips int64
+}
+
+type faultSpecState struct {
+	FaultSpec
+	matched int64
+}
+
+// NewFaultPlan compiles specs into a plan. The zero-spec plan never fires.
+func NewFaultPlan(specs ...FaultSpec) *FaultPlan {
+	fp := &FaultPlan{specs: make([]faultSpecState, len(specs))}
+	for i, s := range specs {
+		fp.specs[i] = faultSpecState{FaultSpec: s}
+	}
+	return fp
+}
+
+// Crash returns a plan failing every data-plane operation from the first
+// call on — a dead sandbox whose control plane (teardown) still works.
+func Crash() *FaultPlan { return NewFaultPlan(FaultSpec{}) }
+
+// CrashAfter returns a plan that lets n data-plane calls succeed and fails
+// every one after — the crash-at-Nth-syscall schedule.
+func CrashAfter(n int64) *FaultPlan { return NewFaultPlan(FaultSpec{After: n}) }
+
+// DropWire returns a plan failing the hose page-movement operations
+// (vmsplice, splice, tee, readrefs) after n successful ones — a wire drop
+// mid-hose: payload pages already queued in the channel are stranded until
+// the channel is destroyed and drained.
+func DropWire(after int64) *FaultPlan {
+	return NewFaultPlan(FaultSpec{Ops: hoseOps, After: after})
+}
+
+// Hook adapts the plan to the Proc.InjectFault / Kernel.InjectFault
+// signature.
+func (fp *FaultPlan) Hook() func(op string) error { return fp.check }
+
+// check advances every matching spec's counter and fails the call when any
+// spec is armed. All matching specs advance before the verdict, so
+// overlapping specs stay deterministic regardless of declaration order.
+func (fp *FaultPlan) check(op string) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	var ferr error
+	for i := range fp.specs {
+		s := &fp.specs[i]
+		if !s.matches(op) {
+			continue
+		}
+		s.matched++
+		armed := s.matched > s.After && (s.Count == 0 || s.matched <= s.After+s.Count)
+		if armed && ferr == nil {
+			ferr = s.Err
+			if ferr == nil {
+				ferr = ErrIO
+			}
+		}
+	}
+	if ferr != nil {
+		fp.trips++
+	}
+	return ferr
+}
+
+// Trips reports how many data-plane calls the plan has failed so far.
+func (fp *FaultPlan) Trips() int64 {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.trips
+}
+
+// InjectFault installs fn as the kernel-wide fault hook: every data-plane
+// operation of every process on this kernel consults it (after the
+// process's own hook), modeling node-level failure — a node dropping out
+// fails every sandbox it hosts at once. Installing nil clears the hook.
+func (k *Kernel) InjectFault(fn func(op string) error) {
+	k.faultMu.Lock()
+	k.faultFn = fn
+	k.faultMu.Unlock()
+}
+
+// fault consults the kernel-wide hook (see Proc.fault for the per-process
+// half of the chain).
+func (k *Kernel) fault(op string) error {
+	k.faultMu.Lock()
+	fn := k.faultFn
+	k.faultMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op)
+}

@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/metrics"
+)
+
+// TestCrashAfterFailsFromNthCall pins the crash-at-Nth-syscall schedule:
+// exactly After data-plane calls succeed, every later one fails with ErrIO,
+// and the control plane (close) still works on the crashed process.
+func TestCrashAfterFailsFromNthCall(t *testing.T) {
+	p, _ := newTestProc(t)
+	rfd, wfd := p.Pipe()
+
+	plan := CrashAfter(2)
+	p.InjectFault(plan.Hook())
+
+	if _, err := p.Write(wfd, []byte("a")); err != nil {
+		t.Fatalf("call 1 (within After budget): %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := p.Read(rfd, buf); err != nil {
+		t.Fatalf("call 2 (within After budget): %v", err)
+	}
+	for i := 3; i <= 5; i++ {
+		if _, err := p.Write(wfd, []byte("b")); !errors.Is(err, ErrIO) {
+			t.Fatalf("call %d = %v, want ErrIO", i, err)
+		}
+	}
+	if got := plan.Trips(); got != 3 {
+		t.Fatalf("Trips() = %d, want 3", got)
+	}
+	// Control plane is never intercepted: teardown works on a dead sandbox.
+	if err := p.Close(rfd); err != nil {
+		t.Fatalf("close on crashed proc: %v", err)
+	}
+	if err := p.Close(wfd); err != nil {
+		t.Fatalf("close on crashed proc: %v", err)
+	}
+}
+
+// TestDropWireFailsHoseOpsOnly pins the wire-drop schedule: page-movement
+// operations fail while plain write/read traffic still flows.
+func TestDropWireFailsHoseOpsOnly(t *testing.T) {
+	p, _ := newTestProc(t)
+	rfd, wfd := p.Pipe()
+
+	p.InjectFault(DropWire(0).Hook())
+
+	if _, err := p.Vmsplice(wfd, make([]byte, 8)); !errors.Is(err, ErrIO) {
+		t.Fatalf("vmsplice = %v, want ErrIO", err)
+	}
+	if _, err := p.ReadRefs(rfd, 8); !errors.Is(err, ErrIO) {
+		t.Fatalf("readrefs = %v, want ErrIO", err)
+	}
+	if _, err := p.Write(wfd, []byte("x")); err != nil {
+		t.Fatalf("write through dropped wire = %v, want nil (not a hose op)", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := p.Read(rfd, buf); err != nil {
+		t.Fatalf("read through dropped wire = %v, want nil (not a hose op)", err)
+	}
+}
+
+// TestFaultSpecCountBoundsTransient pins transient faults: Count armed calls
+// fail, then the fault clears on its own.
+func TestFaultSpecCountBoundsTransient(t *testing.T) {
+	p, _ := newTestProc(t)
+	_, wfd := p.Pipe()
+
+	custom := errors.New("flaky NIC")
+	p.InjectFault(NewFaultPlan(FaultSpec{Ops: []string{"write"}, After: 1, Count: 2, Err: custom}).Hook())
+
+	if _, err := p.Write(wfd, []byte("a")); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	for i := 2; i <= 3; i++ {
+		if _, err := p.Write(wfd, []byte("a")); !errors.Is(err, custom) {
+			t.Fatalf("call %d = %v, want injected error", i, err)
+		}
+	}
+	if _, err := p.Write(wfd, []byte("a")); err != nil {
+		t.Fatalf("call 4 (past Count) = %v, want recovered", err)
+	}
+}
+
+// TestKernelInjectFaultCoversEveryProc pins node-level failure: a kernel-wide
+// hook fails data-plane calls of every process on the node, and clearing it
+// recovers them all.
+func TestKernelInjectFaultCoversEveryProc(t *testing.T) {
+	k := New("node")
+	a := k.NewProc("a", &metrics.Account{})
+	b := k.NewProc("b", &metrics.Account{})
+	t.Cleanup(a.CloseAll)
+	t.Cleanup(b.CloseAll)
+	_, awfd := a.Pipe()
+	_, bwfd := b.Pipe()
+
+	k.InjectFault(Crash().Hook())
+	if _, err := a.Write(awfd, []byte("x")); !errors.Is(err, ErrIO) {
+		t.Fatalf("proc a on crashed node = %v, want ErrIO", err)
+	}
+	if _, err := b.Write(bwfd, []byte("x")); !errors.Is(err, ErrIO) {
+		t.Fatalf("proc b on crashed node = %v, want ErrIO", err)
+	}
+
+	k.InjectFault(nil)
+	if _, err := a.Write(awfd, []byte("x")); err != nil {
+		t.Fatalf("proc a after node recovery: %v", err)
+	}
+	if _, err := b.Write(bwfd, []byte("x")); err != nil {
+		t.Fatalf("proc b after node recovery: %v", err)
+	}
+}
+
+// TestFaultPlanReplaysDeterministically pins that two identical plans fail
+// the same calls in the same order — the property the chaos suite's seeded
+// schedules rely on.
+func TestFaultPlanReplaysDeterministically(t *testing.T) {
+	run := func() []bool {
+		p, _ := newTestProc(t)
+		_, wfd := p.Pipe()
+		p.InjectFault(NewFaultPlan(
+			FaultSpec{Ops: []string{"write"}, After: 2, Count: 1},
+			FaultSpec{After: 5},
+		).Hook())
+		var outcome []bool
+		for i := 0; i < 8; i++ {
+			_, err := p.Write(wfd, []byte("x"))
+			outcome = append(outcome, err == nil)
+		}
+		return outcome
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at call %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -66,6 +66,11 @@ type Kernel struct {
 	mu    sync.Mutex
 	costs CostModel
 	procs []*Proc
+
+	// kernel-wide fault injection hook (node-level failure), see
+	// Kernel.InjectFault in fault.go.
+	faultMu sync.Mutex
+	faultFn func(op string) error
 }
 
 // New returns a kernel for the named node using the default cost model.
@@ -164,16 +169,19 @@ func (p *Proc) InjectFault(fn func(op string) error) {
 	p.faultMu.Unlock()
 }
 
-// fault consults the injection hook; a non-nil error aborts the calling
-// operation before any syscall is charged or any state changes.
+// fault consults the injection hooks — the process's own, then the
+// kernel-wide one (node-level failure) — and a non-nil error aborts the
+// calling operation before any syscall is charged or any state changes.
 func (p *Proc) fault(op string) error {
 	p.faultMu.Lock()
 	fn := p.faultFn
 	p.faultMu.Unlock()
-	if fn == nil {
-		return nil
+	if fn != nil {
+		if err := fn(op); err != nil {
+			return err
+		}
 	}
-	return fn(op)
+	return p.k.fault(op)
 }
 
 // NumFDs reports the number of open descriptors in the process's FD table

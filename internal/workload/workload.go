@@ -34,8 +34,10 @@ import (
 // "replicas" and "placement" fields (replicated instance pools routed by
 // the invoker plane's placement policy); version 5 added the "deadline_ns"
 // field and "cancelled" counter (per-operation context timeouts) and the
-// "plan" mode (a small Plan/Submit DAG per iteration).
-const SchemaVersion = 5
+// "plan" mode (a small Plan/Submit DAG per iteration); version 6 added the
+// "kills" field (replicas crashed mid-load per pool, served by
+// health-aware retry-with-exclusion routing).
+const SchemaVersion = 6
 
 // Modes the generator can drive. Mixed chains one hop of each mechanism;
 // chain runs a Hops-deep line of functions alternating kernel and network
@@ -99,6 +101,15 @@ type Config struct {
 	// (0 = none). Executions that trip it count in the result's "cancelled"
 	// counter, not as errors — cancellation is load shedding, not failure.
 	Deadline time.Duration
+	// Kills crashes this many replicas (the highest-indexed ones) in every
+	// function pool two data-plane syscalls into the run — the
+	// degrade-under-kill regime. The surviving replicas absorb the load
+	// through health-aware retry-with-exclusion; expect a handful of failed
+	// executions while the health FSM converges on the corpses (and an
+	// occasional one per probe window thereafter). Requires
+	// Kills < Replicas. Functions deployed into a shared VM share a
+	// sandbox, so a kill there covers the co-located replicas too.
+	Kills int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -143,6 +154,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if _, err := roadrunner.ParsePlacement(c.Placement); err != nil {
 		return c, fmt.Errorf("workload: %w", err)
+	}
+	if c.Kills < 0 || (c.Kills > 0 && c.Kills >= c.Replicas) {
+		return c, fmt.Errorf("workload: kills=%d must leave at least one of %d replicas alive", c.Kills, c.Replicas)
 	}
 	return c, nil
 }
@@ -196,6 +210,7 @@ type Result struct {
 	Replicas      int    `json:"replicas"`    // instance-pool size per function
 	Placement     string `json:"placement"`   // invoker-plane routing policy
 	DeadlineNS    int64  `json:"deadline_ns"` // per-operation ctx timeout (0 = none)
+	Kills         int    `json:"kills"`       // replicas crashed mid-load per pool
 
 	Ops       int64   `json:"ops"`       // completed workflow executions
 	Errors    int64   `json:"errors"`    // failed executions
@@ -258,6 +273,16 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, err
 		}
 		r.instances = append(r.instances, inst)
+	}
+	// The degrade-under-kill regime: crash the highest-indexed replicas of
+	// every pool two data-plane syscalls in, so each dies partway through
+	// its first delivery of the run rather than before the load starts.
+	for k := 0; k < cfg.Kills; k++ {
+		for _, inst := range r.instances {
+			for _, fn := range inst.fns {
+				fn.Instance(cfg.Replicas - 1 - k).CrashAfter(2)
+			}
+		}
 	}
 	return r, nil
 }
@@ -560,6 +585,7 @@ func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open 
 		Replicas:      cfg.Replicas,
 		Placement:     cfg.Placement,
 		DeadlineNS:    int64(cfg.Deadline),
+		Kills:         cfg.Kills,
 		Ops:           rec.ops.Load(),
 		Errors:        rec.errs.Load(),
 		Cancelled:     rec.cancelled.Load(),

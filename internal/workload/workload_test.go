@@ -75,6 +75,44 @@ func TestReplicatedPools(t *testing.T) {
 	}
 }
 
+// TestKillsDegradeNotCollapse drives the degrade-under-kill regime: one
+// replica of every pool crashes partway into its first delivery, and the
+// health-aware retry-with-exclusion routing must keep the vast majority of
+// executions completing on the survivors (a handful may fail while the FSM
+// converges on the corpses).
+func TestKillsDegradeNotCollapse(t *testing.T) {
+	const requests = 80
+	res, err := Run(Config{
+		Workflows:    2,
+		Requests:     requests,
+		PayloadBytes: 8 << 10,
+		Mode:         ModeKernel,
+		Replicas:     4,
+		Placement:    "round-robin",
+		Verify:       true,
+		Kills:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 1 || res.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema tagging: %+v", res)
+	}
+	if res.Ops+res.Errors != requests || res.Cancelled != 0 {
+		t.Fatalf("ops=%d errors=%d cancelled=%d, want %d total", res.Ops, res.Errors, res.Cancelled, requests)
+	}
+	// Degrade, not collapse: at least 3/4 of the executions complete even
+	// though 1/4 of every pool is dead.
+	if res.Ops < requests*3/4 {
+		t.Fatalf("only %d/%d executions survived the kill", res.Ops, requests)
+	}
+	// Config echo plus validation: a kill count that leaves no replica is
+	// rejected.
+	if _, err := Run(Config{Replicas: 2, Kills: 2}); err == nil {
+		t.Fatal("kills >= replicas must be rejected")
+	}
+}
+
 func TestOpenLoopReportsSojournAndService(t *testing.T) {
 	res, err := Run(Config{
 		Workflows:    4,

@@ -61,6 +61,7 @@ const (
 	opInvoke
 )
 
+// String names the operation as PlanError messages spell it.
 func (k opKind) String() string {
 	switch k {
 	case opXfer:

@@ -62,8 +62,11 @@ type Bandwidth = netsim.Bandwidth
 
 // Bandwidth units.
 const (
+	// Kbps is one kilobit per second.
 	Kbps = netsim.Kbps
+	// Mbps is one megabit per second.
 	Mbps = netsim.Mbps
+	// Gbps is one gigabit per second.
 	Gbps = netsim.Gbps
 )
 
@@ -74,9 +77,13 @@ type Mode int
 // node → kernel space, otherwise network — Roadrunner optimizes
 // communication regardless of the scheduler's placement (§2.2).
 const (
+	// ModeAuto lets placement pick the cheapest reachable mechanism.
 	ModeAuto Mode = iota
+	// ModeUserSpace forces the shared-VM memcpy path.
 	ModeUserSpace
+	// ModeKernelSpace forces the same-node IPC path.
 	ModeKernelSpace
+	// ModeNetwork forces the inter-node virtual data hose.
 	ModeNetwork
 )
 
@@ -105,11 +112,24 @@ type Workflow struct {
 
 // Platform errors.
 var (
-	ErrUnknownNode      = errors.New("roadrunner: unknown node")
+	// ErrUnknownNode reports a node name no kernel was configured for.
+	ErrUnknownNode = errors.New("roadrunner: unknown node")
+	// ErrWorkflowMismatch rejects VM sharing across trust boundaries.
 	ErrWorkflowMismatch = errors.New("roadrunner: functions of different workflows/tenants cannot share a VM")
-	ErrModeUnavailable  = errors.New("roadrunner: requested mode incompatible with function placement")
-	ErrClosed           = errors.New("roadrunner: platform closed")
-	ErrForeignInstance  = errors.New("roadrunner: pinned instance belongs to a different function")
+	// ErrModeUnavailable reports a forced transfer mode no healthy candidate
+	// pair can satisfy (e.g. ModeUserSpace across VMs).
+	ErrModeUnavailable = errors.New("roadrunner: requested mode incompatible with function placement")
+	// ErrClosed reports an operation submitted after Platform.Close.
+	ErrClosed = errors.New("roadrunner: platform closed")
+	// ErrForeignInstance rejects an instance pin (WithSourceInstance,
+	// WithTargetInstance) naming an instance of some other function.
+	ErrForeignInstance = errors.New("roadrunner: pinned instance belongs to a different function")
+	// ErrNoHealthyInstance reports that a function's entire replica pool is
+	// excluded by the health FSM (DESIGN.md §8): every instance is Unhealthy
+	// (or was excluded by this operation's earlier failed attempts). It is
+	// distinct from ErrModeUnavailable, which means healthy candidates exist
+	// but none is reachable under the requested transfer mode.
+	ErrNoHealthyInstance = errors.New("roadrunner: no healthy instance available")
 )
 
 // PlacementPolicy selects the concrete (source-instance, target-instance)
@@ -152,6 +172,7 @@ type Platform struct {
 	hose    int
 	state   *core.StateStore
 	place   PlacementPolicy
+	health  HealthConfig
 
 	workers  int
 	poolOnce sync.Once
@@ -177,6 +198,7 @@ type platformConfig struct {
 	hose    int
 	workers int
 	place   PlacementPolicy
+	health  HealthConfig
 }
 
 // WithNodes pre-registers node names (default: "edge" and "cloud").
@@ -220,6 +242,14 @@ func WithPlacement(p PlacementPolicy) Option {
 	return func(c *platformConfig) { c.place = p }
 }
 
+// WithHealth tunes the per-instance health FSM of every function deployed
+// after the option takes effect (DESIGN.md §8): strike thresholds, probe
+// cooldowns and the probe backoff. The FSM's clock defaults to the
+// platform's (WithClock), then to real time.
+func WithHealth(cfg HealthConfig) Option {
+	return func(c *platformConfig) { c.health = cfg }
+}
+
 // New creates a platform.
 func New(opts ...Option) *Platform {
 	cfg := platformConfig{
@@ -238,7 +268,11 @@ func New(opts ...Option) *Platform {
 		hose:    cfg.hose,
 		state:   core.NewStateStore(),
 		place:   cfg.place,
+		health:  cfg.health,
 		workers: cfg.workers,
+	}
+	if p.health.Now == nil {
+		p.health.Now = cfg.now // nil falls through to the FSM's default
 	}
 	for _, n := range cfg.nodes {
 		p.AddNode(n)
@@ -486,7 +520,7 @@ func (p *Platform) Deploy(spec FunctionSpec) (*Function, error) {
 		p.shims = append(p.shims, created...)
 		p.mu.Unlock()
 	}
-	f.route = invoke.NewState(replicas)
+	f.route = invoke.NewStateWithHealth(replicas, p.health)
 	f.active = f.insts[0]
 	return f, nil
 }
@@ -649,11 +683,7 @@ func (p *Platform) transferCtx(ctx context.Context, src, dst *Function, opts []T
 	if err != nil {
 		return DataRef{}, Report{}, nil, err
 	}
-	di, err := p.resolveTarget(si, dst, &cfg)
-	if err != nil {
-		return DataRef{}, Report{}, nil, err
-	}
-	ref, rep, err := p.transferInstances(si, di, &cfg)
+	ref, rep, di, err := p.deliverRouted(si, dst, &cfg)
 	if err != nil {
 		return DataRef{}, Report{}, nil, err
 	}
@@ -675,21 +705,45 @@ func resolveSource(src *Function, cfg *transferConfig) (*Instance, error) {
 
 // resolveTarget returns the instance a transfer delivers into: the pinned
 // one (validated), or the placement policy's choice among the target pool's
-// instances the requested mode can reach.
-func (p *Platform) resolveTarget(si *Instance, dst *Function, cfg *transferConfig) (*Instance, error) {
+// instances the requested mode can reach — minus the ones this operation's
+// earlier attempts excluded. Routing failures distinguish an exhausted pool
+// (ErrNoHealthyInstance) from a mode restriction (ErrModeUnavailable).
+func (p *Platform) resolveTarget(si *Instance, dst *Function, cfg *transferConfig, excluded map[*Instance]bool) (*Instance, error) {
 	if cfg.dstInst != nil {
 		if cfg.dstInst.fn != dst {
 			return nil, fmt.Errorf("target %s: %w", cfg.dstInst.Name(), ErrForeignInstance)
 		}
 		return cfg.dstInst, nil
 	}
-	eligible := modeEligible(si, dst, cfg.mode)
+	mode := modeEligible(si, dst, cfg.mode)
+	eligible := mode
+	if len(excluded) > 0 {
+		eligible = func(i int) bool {
+			return !excluded[dst.insts[i]] && (mode == nil || mode(i))
+		}
+	}
 	i := p.place.PickTarget(si.endpoint(), dst.route, dst.eps, eligible, p.linkCost)
 	if i < 0 {
+		if err := dst.noHealthyErr(excluded); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("no instance of %s reachable in mode %v from %s: %w",
 			dst.Name(), cfg.mode, si.Name(), ErrModeUnavailable)
 	}
 	return dst.insts[i], nil
+}
+
+// noHealthyErr reports ErrNoHealthyInstance when the function's whole pool
+// is excluded — by the health FSM or by the given per-operation exclusion
+// set — and nil when at least one healthy candidate remains (in which case
+// a routing failure is a mode restriction, not a health problem).
+func (f *Function) noHealthyErr(excluded map[*Instance]bool) error {
+	for i := range f.insts {
+		if !excluded[f.insts[i]] && f.route.Eligible(i) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: %w", f.name, ErrNoHealthyInstance)
 }
 
 // modeEligible restricts a replicated target's candidate instances to those
@@ -829,25 +883,77 @@ func (p *Platform) InvokeCtx(ctx context.Context, src, dst *Function, n int, opt
 }
 
 // invokeCtx executes one routed invocation under ctx — the engine behind
-// Invoke plan nodes and therefore behind Invoke/InvokeCtx.
+// Invoke plan nodes and therefore behind Invoke/InvokeCtx. Instance-fault
+// failures retry with exclusion on both ends: the target takes the strike
+// first; a source that keeps failing across distinct targets is excluded
+// too (when unpinned and replicated), so an invocation survives the death
+// of either end while any healthy pair remains.
 func (p *Platform) invokeCtx(ctx context.Context, src, dst *Function, n int, opts []TransferOption) (*Invocation, error) {
 	if err := p.beginOp(); err != nil {
 		return nil, err
 	}
 	defer p.endOp()
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
 	cfg := transferConfig{flows: 1, ctx: ctx}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	si, di, err := p.resolvePair(src, dst, &cfg)
-	if err != nil {
-		return nil, err
+	attempts := maxDeliveryAttempts
+	if cfg.srcInst != nil && cfg.dstInst != nil {
+		attempts = 1
 	}
-	// Both ends count as in flight from pick time, so concurrent Invokes
-	// see each other's pressure and spread across the pools.
+	var exSrc, exDst map[*Instance]bool
+	var lastSrc *Instance
+	srcFails := 0
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		si, di, err := p.resolvePair(src, dst, &cfg, exSrc, exDst)
+		if err != nil {
+			if lastErr != nil {
+				err = fmt.Errorf("%w (after delivery failure: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		inv, err := p.invokeOnce(si, di, n, &cfg)
+		if err == nil {
+			dst.setActive(di)
+			return inv, nil
+		}
+		if !isInstanceFault(err) {
+			return nil, err
+		}
+		// Blame the target first; a source failing with a second distinct
+		// target is excluded as well (its replicas permitting).
+		di.fn.route.Observe(di.index, 0, err)
+		if exDst == nil {
+			exDst = make(map[*Instance]bool, attempts)
+		}
+		exDst[di] = true
+		if si == lastSrc {
+			srcFails++
+		} else {
+			lastSrc, srcFails = si, 1
+		}
+		if srcFails >= 2 && cfg.srcInst == nil && len(src.insts) > 1 {
+			si.fn.route.Observe(si.index, 0, err)
+			if exSrc == nil {
+				exSrc = make(map[*Instance]bool, attempts)
+			}
+			exSrc[si] = true
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// invokeOnce is one invocation attempt on a resolved pair: both ends in
+// flight from pick time (so concurrent Invokes see each other's pressure),
+// produce at the source, deliver to the target, and on any failure release
+// the produced region so the attempt leaves the source instance's linear
+// memory where it found it.
+func (p *Platform) invokeOnce(si, di *Instance, n int, cfg *transferConfig) (*Invocation, error) {
 	si.fn.route.Enter(si.index)
 	defer si.fn.route.Exit(si.index)
 	if di.fn != si.fn || di.index != si.index {
@@ -858,27 +964,31 @@ func (p *Platform) invokeCtx(ctx context.Context, src, dst *Function, n int, opt
 	if err != nil {
 		return nil, fmt.Errorf("produce at %s: %w", si.Name(), err)
 	}
-	cfg.sourceRef = &out
-	ref, rep, err := p.transferResolved(si, di, &cfg)
+	attempt := *cfg
+	attempt.sourceRef = &out
+	ref, rep, err := p.transferResolved(si, di, &attempt)
 	if err != nil {
 		// The invocation owns the region it produced; hand it back to the
-		// guest allocator so an aborted (e.g. cancelled) invocation leaves
+		// guest allocator so an aborted (cancelled, faulted) attempt leaves
 		// the source instance's linear memory where it found it.
 		_ = si.inner.Deallocate(out.Ptr)
 		return nil, err
 	}
-	dst.setActive(di)
+	observeDelivery(si, di, rep, nil)
 	return &Invocation{Ref: ref, Report: rep, Source: si, Target: di}, nil
 }
 
-// resolvePair picks both instances of an invocation, honoring pinned ends.
-func (p *Platform) resolvePair(src, dst *Function, cfg *transferConfig) (*Instance, *Instance, error) {
+// resolvePair picks both instances of an invocation, honoring pinned ends
+// and the per-operation exclusion sets retry-with-exclusion builds. Routing
+// failures distinguish exhausted pools (ErrNoHealthyInstance) from mode
+// restrictions (ErrModeUnavailable).
+func (p *Platform) resolvePair(src, dst *Function, cfg *transferConfig, exSrc, exDst map[*Instance]bool) (*Instance, *Instance, error) {
 	if cfg.srcInst != nil {
 		si, err := resolveSource(src, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
-		di, err := p.resolveTarget(si, dst, cfg)
+		di, err := p.resolveTarget(si, dst, cfg, exDst)
 		return si, di, err
 	}
 	if cfg.dstInst != nil {
@@ -887,24 +997,42 @@ func (p *Platform) resolvePair(src, dst *Function, cfg *transferConfig) (*Instan
 		}
 		di := cfg.dstInst
 		eligible := func(i int) bool {
+			if exSrc[src.insts[i]] {
+				return false
+			}
 			e := modeEligible(src.insts[i], dst, cfg.mode)
 			return e == nil || e(di.index)
 		}
 		i := p.place.PickOne(src.route, src.eps, eligible)
 		if i < 0 {
+			if err := src.noHealthyErr(exSrc); err != nil {
+				return nil, nil, err
+			}
 			return nil, nil, fmt.Errorf("no instance of %s reachable in mode %v to %s: %w",
 				src.Name(), cfg.mode, di.Name(), ErrModeUnavailable)
 		}
 		return src.insts[i], di, nil
 	}
 	var eligible func(si, di int) bool
-	if cfg.mode != ModeAuto {
+	if cfg.mode != ModeAuto || len(exSrc) > 0 || len(exDst) > 0 {
 		eligible = func(si, di int) bool {
+			if exSrc[src.insts[si]] || exDst[dst.insts[di]] {
+				return false
+			}
+			if cfg.mode == ModeAuto {
+				return true
+			}
 			return modeEligible(src.insts[si], dst, cfg.mode)(di)
 		}
 	}
 	si, di := p.place.PickPair(src.route, src.eps, dst.route, dst.eps, eligible, p.linkCost)
 	if si < 0 || di < 0 {
+		if err := src.noHealthyErr(exSrc); err != nil {
+			return nil, nil, err
+		}
+		if err := dst.noHealthyErr(exDst); err != nil {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("no (%s, %s) instance pair reachable in mode %v: %w",
 			src.Name(), dst.Name(), cfg.mode, ErrModeUnavailable)
 	}
