@@ -57,15 +57,11 @@ bench:
 	$(GO) run ./cmd/roadrunner-bench -exp failure -json > BENCH_6.json
 	@cat BENCH_6.json
 
-## lint: vet + gofmt + ctx-coverage + godoc gates
+## lint: go vet plus the roadvet suite (regionrelease, gaugebalance,
+## lockorder, ctxpoll, errclass, ctxcheck, doccheck and the gofmt gate)
 lint:
 	$(GO) vet ./...
-	@out="$$(gofmt -l .)"; \
-	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
-	fi
-	$(GO) run ./cmd/ctxcheck .
-	$(GO) run ./cmd/doccheck .
+	$(GO) run ./cmd/roadvet ./...
 
 ## staticcheck: static-analysis gate (CI's lint job; needs the binary or network)
 staticcheck:
@@ -80,7 +76,7 @@ vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...; \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./...; \
 	fi
 
 ## cover: per-package coverage (CI's coverage job)

@@ -1,0 +1,85 @@
+// Command roadvet is the repository's static-analysis gate: a suite of
+// go/analysis passes that prove the data-plane's resource invariants,
+// each distilled from a bug an earlier PR shipped or nearly shipped.
+//
+//   - regionrelease: every region a View.Allocate returns reaches a
+//     Deallocate (or the caller) on every path — the ingress leak class.
+//   - gaugebalance: every invoker-plane State.Enter has a State.Exit on
+//     all paths of its function — the phantom in-flight load bug.
+//   - lockorder: nested Shim.mu acquisitions must go through the ordered
+//     lockShims helper — the AB/BA transfer deadlock.
+//   - ctxpoll: hose-chunk syscall loops poll the context per chunk, so
+//     cancellation lands mid-stream.
+//   - errclass: every exported kernel error is classified as instance
+//     fault (retryable) or caller fault (terminal) in the retry layer.
+//   - ctxcheck, doccheck: the context-first API and godoc contracts,
+//     ported from their former standalone commands.
+//
+// roadvet also enforces gofmt on every file it loads, so one invocation
+// replaces the previous vet+gofmt+ctxcheck+doccheck lint pipeline.
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//roadvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory, and an annotation that suppresses nothing is
+// itself an error — suppressions cannot outlive their justification.
+//
+// Usage: roadvet [packages] (default "./...")
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/ctxcheck"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/ctxpoll"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/doccheck"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/driver"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/errclass"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/gaugebalance"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/lockorder"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/regionrelease"
+)
+
+// suite is every analyzer the gate runs, in report order.
+var suite = []*analysis.Analyzer{
+	regionrelease.Analyzer,
+	gaugebalance.Analyzer,
+	lockorder.Analyzer,
+	ctxpoll.Analyzer,
+	errclass.Analyzer,
+	ctxcheck.Analyzer,
+	doccheck.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := driver.Vet(suite, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roadvet:", err)
+		os.Exit(2)
+	}
+	bad := false
+	for _, f := range res.Findings {
+		bad = true
+		fmt.Fprintln(os.Stderr, f)
+	}
+	for _, f := range res.Stale {
+		bad = true
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if bad {
+		os.Exit(1)
+	}
+	if res.Suppressed > 0 {
+		fmt.Printf("roadvet: ok (%d justified suppression(s))\n", res.Suppressed)
+	} else {
+		fmt.Println("roadvet: ok")
+	}
+}

@@ -1,0 +1,283 @@
+// Package analyzertest runs an analyzer over fixture packages and checks
+// its diagnostics against // want annotations — the offline counterpart of
+// golang.org/x/tools/go/analysis/analysistest, which cannot be vendored
+// from the Go distribution.
+//
+// Fixtures live under <testdata>/src/<importpath>/ as ordinary Go files.
+// A fixture file marks an expected diagnostic with a comment on the same
+// line:
+//
+//	badCall() // want "regexp matching the message"
+//
+// Multiple expectations on one line are written as consecutive quoted
+// regexps. A want may carry a signed line offset when the comment cannot
+// sit on the diagnosed line itself (e.g. a trailing comment would count
+// as documentation for the analyzer under test):
+//
+//	// want -2 "var UndocumentedVar"
+//
+// Every reported diagnostic must be matched by a want and every want must
+// match a diagnostic; any difference fails the test. Fixture packages may
+// import sibling fixture packages (by their path under src/) and the
+// standard library, whose export data is resolved through the go tool.
+package analyzertest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/driver"
+)
+
+// Run applies the analyzer to each named fixture package under
+// testdata/src and asserts its diagnostics equal the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		root:  filepath.Join(testdata, "src"),
+		fset:  fset,
+		cache: make(map[string]*types.Package),
+	}
+	pkg, err := imp.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	findings, err := driver.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	checkWants(t, pkg, findings)
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	offsetRe = regexp.MustCompile(`^([+-]\d+)\s+`)
+)
+
+// checkWants diffs findings against the fixture's want annotations.
+func checkWants(t *testing.T, pkg *driver.Package, findings []driver.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				line := pos.Line
+				if om := offsetRe.FindStringSubmatch(rest); om != nil {
+					off, _ := strconv.Atoi(om[1])
+					line += off
+					rest = strings.TrimSpace(rest[len(om[0]):])
+				}
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want %q", pos.Filename, pos.Line, rest)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, q)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: line, re: re, raw: pat})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// fixtureImporter resolves fixture-local imports from the testdata tree
+// and everything else through go list export data.
+type fixtureImporter struct {
+	root    string
+	fset    *token.FileSet
+	cache   map[string]*types.Package
+	exports map[string]string
+}
+
+// load parses and type-checks one fixture package, returning it in the
+// driver's package form.
+func (imp *fixtureImporter) load(pkgPath string) (*driver.Package, error) {
+	dir := filepath.Join(imp.root, pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(imp.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := driver.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, imp.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", pkgPath, err)
+	}
+	imp.cache[pkgPath] = tpkg
+	return &driver.Package{
+		PkgPath:   pkgPath,
+		Fset:      imp.fset,
+		Files:     files,
+		FileNames: names,
+		Types:     tpkg,
+		Info:      info,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}, nil
+}
+
+// Import resolves an import: fixture packages first, then the standard
+// library via compiled export data.
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := imp.cache[path]; ok {
+		return p, nil
+	}
+	if st, err := os.Stat(filepath.Join(imp.root, path)); err == nil && st.IsDir() {
+		p, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if imp.exports == nil {
+		if err := imp.listExports(); err != nil {
+			return nil, err
+		}
+	}
+	gc := importer.ForCompiler(imp.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := imp.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return gc.Import(path)
+}
+
+// listExports resolves export data for every non-fixture import mentioned
+// anywhere under the testdata tree, in one go tool invocation.
+func (imp *fixtureImporter) listExports() error {
+	paths := make(map[string]bool)
+	err := filepath.WalkDir(imp.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, perr := parser.ParseFile(token.NewFileSet(), p, nil, parser.ImportsOnly)
+		if perr != nil {
+			return nil // the package load will report it with context
+		}
+		for _, spec := range f.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			if st, serr := os.Stat(filepath.Join(imp.root, path)); serr == nil && st.IsDir() {
+				continue
+			}
+			paths[path] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	imp.exports = make(map[string]string)
+	if len(paths) == 0 {
+		return nil
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}
+	for p := range paths {
+		args = append(args, p)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list for fixture imports: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			imp.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package ctxcheck is the analyzer form of the context-first API
+// contract (previously the standalone cmd/ctxcheck gate): every public
+// data-plane entry point of the root roadrunner package must be
+// cancellable. Every exported method on *Platform whose parameters
+// mention *Function must take a context, end in Async (cancelled via
+// futures), or have a <Name>Ctx sibling whose first parameter is a
+// context; and every exported Wait method without a ctx needs a WaitCtx
+// sibling.
+package ctxcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// rootPkg is the only package the contract applies to: the public API
+// surface. Fixtures mimic it by naming their package the same.
+const rootPkg = "roadrunner"
+
+// Analyzer is the ctxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "check that every public data-plane entry point has a ctx-taking form",
+	Run:  run,
+}
+
+// method describes one exported method of the package.
+type method struct {
+	decl     *ast.FuncDecl
+	recv     string // receiver base type name
+	name     string
+	takesCtx bool // any parameter is context.Context
+	firstCtx bool // the FIRST parameter is context.Context
+	touches  bool // parameters mention *Function or []*Function
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() != rootPkg {
+		return nil, nil
+	}
+	var methods []method
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() {
+				continue
+			}
+			methods = append(methods, describe(fn))
+		}
+	}
+
+	byRecv := make(map[string]map[string]method)
+	for _, m := range methods {
+		if byRecv[m.recv] == nil {
+			byRecv[m.recv] = make(map[string]method)
+		}
+		byRecv[m.recv][m.name] = m
+	}
+
+	for _, m := range methods {
+		if m.recv == "Platform" && m.touches && !m.takesCtx &&
+			!strings.HasSuffix(m.name, "Async") && !strings.HasSuffix(m.name, "Ctx") {
+			sib, ok := byRecv[m.recv][m.name+"Ctx"]
+			if !ok || !sib.firstCtx {
+				pass.Reportf(m.decl.Pos(),
+					"(*%s).%s: data-plane entry point with no ctx parameter and no %sCtx sibling", m.recv, m.name, m.name)
+			}
+		}
+		if m.name == "Wait" && !m.takesCtx {
+			sib, ok := byRecv[m.recv]["WaitCtx"]
+			if !ok || !sib.firstCtx {
+				pass.Reportf(m.decl.Pos(),
+					"(*%s).Wait: blocking wait with no ctx parameter and no WaitCtx sibling", m.recv)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func describe(fn *ast.FuncDecl) method {
+	m := method{decl: fn, recv: recvName(fn), name: fn.Name.Name}
+	for i, field := range fn.Type.Params.List {
+		t := typeString(field.Type)
+		if t == "context.Context" {
+			m.takesCtx = true
+			if i == 0 {
+				m.firstCtx = true
+			}
+		}
+		if strings.Contains(t, "*Function") {
+			m.touches = true
+		}
+	}
+	return m
+}
+
+// recvName extracts the receiver's base type name ("Platform" from
+// "*Platform").
+func recvName(fn *ast.FuncDecl) string {
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// typeString renders the subset of type expressions the check cares about.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.ArrayType:
+		return "[]" + typeString(t.Elt)
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	default:
+		return ""
+	}
+}

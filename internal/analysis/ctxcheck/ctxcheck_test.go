@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/ctxcheck"
+)
+
+func TestCtxCheck(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxcheck.Analyzer, "api")
+}

@@ -1,0 +1,41 @@
+// Package roadrunner mimics the root package's public surface for the
+// ctxcheck contract: Platform data-plane entry points and future Waits.
+package roadrunner
+
+import "context"
+
+// Function mimics the data-plane handle type.
+type Function struct{}
+
+// Platform mimics the root platform type.
+type Platform struct{}
+
+// Transfer is a data-plane entry point with no ctx story.
+func (p *Platform) Transfer(src, dst *Function) error { return nil } // want "no TransferCtx sibling"
+
+// Invoke is covered by its InvokeCtx sibling below.
+func (p *Platform) Invoke(f *Function) error { return nil }
+
+// InvokeCtx is the context-taking form of Invoke.
+func (p *Platform) InvokeCtx(ctx context.Context, f *Function) error { return nil }
+
+// SubmitCtx takes the context itself.
+func (p *Platform) SubmitCtx(ctx context.Context, fns []*Function) error { return nil }
+
+// TransferAsync is exempt: asynchronous forms cancel through futures.
+func (p *Platform) TransferAsync(src, dst *Function) *Future { return nil }
+
+// Future mimics an async result with no cancellable wait.
+type Future struct{}
+
+// Wait blocks forever with no ctx escape hatch.
+func (f *Future) Wait() error { return nil } // want "no WaitCtx sibling"
+
+// CancellableFuture pairs Wait with WaitCtx.
+type CancellableFuture struct{}
+
+// Wait blocks; WaitCtx below is its cancellable sibling.
+func (f *CancellableFuture) Wait() error { return nil }
+
+// WaitCtx is the cancellable wait.
+func (f *CancellableFuture) WaitCtx(ctx context.Context) error { return nil }

@@ -1,0 +1,137 @@
+// Package ctxpoll proves the pipeline's cancellation-latency invariant:
+// any loop that moves hose chunks through kernel syscalls must poll the
+// context at chunk granularity, so a cancel lands within one chunk
+// rather than after a whole (unbounded) payload. A syscall loop is
+// compliant when it — or an enclosing loop in the same function — calls
+// CtxErr (or ctx.Err) somewhere in its body.
+package ctxpoll
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+)
+
+// procType and chunkSyscalls identify the kernel data-movement calls
+// whose loops must stay cancellable.
+const procType = "Proc"
+
+var chunkSyscalls = []string{"Read", "Write", "Splice", "Vmsplice", "Tee", "ReadRefs"}
+
+// Analyzer is the ctxpoll pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "check that hose-chunk syscall loops poll the context at chunk granularity",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc finds each chunk-syscall call in one function body and
+// verifies its enclosing loop chain polls the context. Nested function
+// literals are separate functions: a loop cannot poll on behalf of a
+// closure it spawns, so traversal stops at FuncLit boundaries.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	reported := make(map[ast.Node]bool)
+	var loops []ast.Node // enclosing for/range statements, outermost first
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, s)
+			inspectChildren(s, walk)
+			loops = loops[:len(loops)-1]
+			return
+		case *ast.CallExpr:
+			if isChunkSyscall(pass, s) && len(loops) > 0 && !anyLoopPolls(loops) {
+				inner := loops[len(loops)-1]
+				if !reported[inner] {
+					reported[inner] = true
+					pass.Reportf(inner.Pos(),
+						"syscall loop does not poll the context: call CtxErr per chunk so cancellation lands mid-stream instead of after the whole payload")
+				}
+			}
+		}
+		inspectChildren(n, walk)
+	}
+	inspectChildren(body, walk)
+}
+
+// inspectChildren applies fn to the direct children of n (one level).
+func inspectChildren(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			fn(m)
+		}
+		return false
+	})
+}
+
+// isChunkSyscall reports whether the call is a Proc data-movement
+// syscall.
+func isChunkSyscall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, m := range chunkSyscalls {
+		if _, ok := matchutil.Method(pass.TypesInfo, call, procType, m); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// anyLoopPolls reports whether any loop in the chain contains a context
+// poll (CtxErr helper or a .Err() method call) outside nested literals.
+func anyLoopPolls(loops []ast.Node) bool {
+	for _, l := range loops {
+		if loopPolls(l) {
+			return true
+		}
+	}
+	return false
+}
+
+func loopPolls(loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch matchutil.CalleeName(call) {
+			case "CtxErr", "Err":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

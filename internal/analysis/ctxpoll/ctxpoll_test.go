@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxpoll.Analyzer, "a")
+}

@@ -1,0 +1,80 @@
+// Package a exercises the ctxpoll analyzer: mimics of the kernel Proc
+// syscall surface and the pipeline's CtxErr helper, with drain loops that
+// do and do not poll.
+package a
+
+import "context"
+
+// Proc mimics kernel.Proc's data-movement syscalls.
+type Proc struct{}
+
+func (p *Proc) Read(fd int, b []byte) (int, error)     { return len(b), nil }
+func (p *Proc) Write(fd int, b []byte) (int, error)    { return len(b), nil }
+func (p *Proc) Splice(infd, outfd, n int) (int, error) { return n, nil }
+
+// CtxErr mimics core.CtxErr, the non-blocking cancellation poll.
+func CtxErr(ctx context.Context) error { return ctx.Err() }
+
+// unpolledDrain is the unbounded-cancellation-latency bug: the chunk loop
+// never polls, so a cancel lands only after the whole payload.
+func unpolledDrain(p *Proc, fd int, buf []byte) error {
+	for off := 0; off < len(buf); { // want "does not poll the context"
+		n, err := p.Read(fd, buf[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// polledDrain polls per chunk; no diagnostic.
+func polledDrain(ctx context.Context, p *Proc, fd int, buf []byte) error {
+	for off := 0; off < len(buf); {
+		if err := CtxErr(ctx); err != nil {
+			return err
+		}
+		n, err := p.Read(fd, buf[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// innerMoveLoop is the per-chunk shape of the real ingress drains: the
+// outer loop polls, the inner loop finishes one chunk; no diagnostic.
+func innerMoveLoop(ctx context.Context, p *Proc, fd int, buf []byte, chunk int) error {
+	for off := 0; off < len(buf); off += chunk {
+		if err := CtxErr(ctx); err != nil {
+			return err
+		}
+		for moved := 0; moved < chunk; {
+			n, err := p.Write(fd, buf[off+moved:off+chunk])
+			if err != nil {
+				return err
+			}
+			moved += n
+		}
+	}
+	return nil
+}
+
+// singleShot is not a loop; no diagnostic.
+func singleShot(p *Proc, fd int, buf []byte) error {
+	_, err := p.Write(fd, buf)
+	return err
+}
+
+// spliceLoop moves through the zero-copy syscall without polling.
+func spliceLoop(p *Proc, in, out, total int) error {
+	for moved := 0; moved < total; { // want "does not poll the context"
+		n, err := p.Splice(in, out, total-moved)
+		if err != nil {
+			return err
+		}
+		moved += n
+	}
+	return nil
+}

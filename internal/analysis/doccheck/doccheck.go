@@ -1,0 +1,100 @@
+// Package doccheck is the analyzer form of the godoc contract
+// (previously the standalone cmd/doccheck gate): every exported
+// declaration of the root roadrunner package — functions, methods,
+// types, and each exported name inside var/const blocks — must carry a
+// doc comment. A grouped var/const block is covered by the block's own
+// doc comment only if every spec inside is unexported or individually
+// documented; exported specs need their own comment (or a same-line
+// trailing comment), matching how godoc renders them.
+package doccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// rootPkg is the only package the contract applies to: the public API
+// surface. Fixtures mimic it by naming their package the same.
+const rootPkg = "roadrunner"
+
+// Analyzer is the doccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccheck",
+	Doc:  "check that every exported declaration of the public API carries a doc comment",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() != rootPkg {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			checkDecl(pass, decl)
+		}
+	}
+	return nil, nil
+}
+
+// checkDecl reports the undocumented exported names one top-level
+// declaration introduces.
+func checkDecl(pass *analysis.Pass, decl ast.Decl) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s is exported but has no doc comment", what)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			report(d.Pos(), signature(d))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// Inside a grouped block each exported spec needs its own
+				// comment; an ungrouped decl's doc covers its one spec.
+				covered := s.Doc != nil || s.Comment != nil || (!d.Lparen.IsValid() && d.Doc != nil)
+				if covered {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report(name.Pos(), kindWord(d.Tok)+" "+name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// signature names a function or method the way godoc lists it.
+func signature(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	recv := ""
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+		recv = "*"
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		recv += ident.Name
+	}
+	return fmt.Sprintf("(%s).%s", recv, d.Name.Name)
+}
+
+// kindWord names a value declaration's kind ("var", "const").
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,12 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/doccheck"
+)
+
+func TestDocCheck(t *testing.T) {
+	analyzertest.Run(t, "testdata", doccheck.Analyzer, "api")
+}

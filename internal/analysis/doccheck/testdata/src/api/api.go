@@ -1,0 +1,46 @@
+// Package roadrunner mimics the root package's surface for the doccheck
+// godoc contract. Wants for types and var/const specs use line offsets:
+// a trailing comment on those lines would itself count as documentation.
+package roadrunner
+
+// Documented carries a doc comment; no diagnostic.
+func Documented() {}
+
+func Undocumented() {} // want "func Undocumented is exported but has no doc comment"
+
+// Platform is documented.
+type Platform struct{}
+
+// Invoke is a documented method.
+func (p *Platform) Invoke() {}
+
+func (p *Platform) Transfer() {} // want `\(\*Platform\).Transfer is exported but has no doc comment`
+
+type Undoc struct{}
+
+// want -2 "type Undoc is exported"
+
+// Grouped block: the block's own doc does not cover exported specs that
+// lack their own comment.
+var (
+	// DocumentedVar is documented.
+	DocumentedVar = 1
+
+	UndocumentedVar = 2
+)
+
+// want -3 "var UndocumentedVar is exported"
+
+// SingleVar is covered by the ungrouped declaration's doc.
+var SingleVar = 3
+
+const (
+	// DocumentedConst is documented.
+	DocumentedConst = iota
+
+	UndocumentedConst
+)
+
+// want -3 "const UndocumentedConst is exported"
+
+func unexported() {}

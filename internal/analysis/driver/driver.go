@@ -1,0 +1,450 @@
+// Package driver is the roadvet analysis driver: it loads Go packages
+// with the go tool's export data (no network, no go/packages), runs a set
+// of golang.org/x/tools/go/analysis analyzers over them in dependency
+// order, and applies the repository's suppression annotation
+//
+//	//roadvet:ignore <analyzer> <reason>
+//
+// to the produced diagnostics. An annotation suppresses diagnostics of the
+// named analyzer on its own line and on the line directly below it (the
+// usual position: a whole-line comment above the flagged statement). Every
+// annotation must carry a non-empty reason, and every annotation must
+// suppress at least one diagnostic in the run — a stale ignore (the code it
+// excused was fixed or moved) is itself a violation, so suppressions can
+// never outlive their justification.
+//
+// The driver is deliberately minimal compared to multichecker: it runs the
+// whole analysis in one process, resolves imports through `go list -export`
+// compiled export data, and keeps analyzer facts in memory. Cross-package
+// facts are not propagated (no analyzer in this repository needs them; the
+// ctrlflow pass degrades gracefully by assuming imported functions return).
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	FileNames []string
+	Types     *types.Package
+	Info      *types.Info
+	Sizes     types.Sizes
+}
+
+// Finding is one diagnostic, tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the vet style: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Result is the outcome of a Vet run.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Finding
+	// Stale are ignore annotations that suppressed nothing — each is a
+	// violation in its own right.
+	Stale []Finding
+	// Suppressed counts diagnostics an ignore annotation absorbed.
+	Suppressed int
+}
+
+// listPackage is the subset of `go list -json` output the driver reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns with the go tool, type-checks
+// the non-dependency matches against their dependencies' compiled export
+// data, and returns them ready for analysis. Test files are excluded, as
+// with the predecessor gates (cmd/ctxcheck, cmd/doccheck).
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(t, lookup)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package against export data.
+func typecheck(t *listPackage, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, name := range t.GoFiles {
+		full := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", full, err)
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   t.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		FileNames: names,
+		Types:     tpkg,
+		Info:      info,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers read allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// factKey identifies one stored fact: subject (object or package) × type.
+type factKey struct {
+	obj types.Object
+	pkg *types.Package
+	t   reflect.Type
+}
+
+// RunAnalyzers applies analyzers (and, first, their transitive Requires)
+// to one package and returns the diagnostics they report. Facts live in
+// memory for the duration of the call.
+func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	order, err := toposort(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[*analysis.Analyzer]bool, len(analyzers))
+	for _, a := range analyzers {
+		wanted[a] = true
+	}
+
+	facts := make(map[factKey]analysis.Fact)
+	results := make(map[*analysis.Analyzer]interface{})
+	var findings []Finding
+	for _, a := range order {
+		resultOf := make(map[*analysis.Analyzer]interface{}, len(a.Requires))
+		for _, req := range a.Requires {
+			resultOf[req] = results[req]
+		}
+		cur := a
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			TypesSizes: pkg.Sizes,
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if wanted[cur] {
+					findings = append(findings, Finding{
+						Analyzer: cur.Name,
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				}
+			},
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return readFact(facts, factKey{obj: obj, t: reflect.TypeOf(fact)}, fact)
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				facts[factKey{obj: obj, t: reflect.TypeOf(fact)}] = fact
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				return readFact(facts, factKey{pkg: p, t: reflect.TypeOf(fact)}, fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				facts[factKey{pkg: pkg.Types, t: reflect.TypeOf(fact)}] = fact
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+			AllPackageFacts: func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		if a.ResultType != nil && res != nil && reflect.TypeOf(res) != a.ResultType {
+			return nil, fmt.Errorf("%s on %s: result type %T, want %s", a.Name, pkg.PkgPath, res, a.ResultType)
+		}
+		results[a] = res
+	}
+	return findings, nil
+}
+
+// readFact copies a stored fact into the caller's pointer, reporting
+// whether one was found.
+func readFact(facts map[factKey]analysis.Fact, key factKey, out analysis.Fact) bool {
+	stored, ok := facts[key]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(out).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// toposort orders the analyzers so every Requires dependency runs first.
+func toposort(roots []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var order []*analysis.Analyzer
+	state := make(map[*analysis.Analyzer]int) // 0 new, 1 visiting, 2 done
+	var visit func(a *analysis.Analyzer) error
+	visit = func(a *analysis.Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range roots {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// ignoreRe matches the suppression annotation: analyzer name, then a
+// mandatory free-text reason.
+var ignoreRe = regexp.MustCompile(`^//roadvet:ignore\s+(\S+)\s*(.*)$`)
+
+// ignore is one parsed //roadvet:ignore annotation.
+type ignore struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	used     bool
+}
+
+// collectIgnores parses every //roadvet:ignore annotation in the package.
+// Annotations with a missing reason are returned as malformed findings.
+func collectIgnores(pkg *Package) ([]*ignore, []Finding) {
+	var igs []*ignore
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					malformed = append(malformed, Finding{
+						Analyzer: "roadvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//roadvet:ignore %s needs a reason", m[1]),
+					})
+					continue
+				}
+				igs = append(igs, &ignore{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return igs, malformed
+}
+
+// Vet loads the packages matching patterns, runs the analyzers, applies
+// //roadvet:ignore suppressions and the gofmt gate, and returns the
+// surviving findings plus any stale annotations.
+func Vet(analyzers []*analysis.Analyzer, patterns []string) (*Result, error) {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		findings, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, gofmtFindings(pkg)...)
+		igs, malformed := collectIgnores(pkg)
+		findings = append(findings, malformed...)
+		for _, f := range findings {
+			if ig := matchIgnore(igs, f); ig != nil {
+				ig.used = true
+				res.Suppressed++
+				continue
+			}
+			res.Findings = append(res.Findings, f)
+		}
+		for _, ig := range igs {
+			if !ig.used {
+				res.Stale = append(res.Stale, Finding{
+					Analyzer: "roadvet",
+					Pos:      token.Position{Filename: ig.file, Line: ig.line},
+					Message:  fmt.Sprintf("stale //roadvet:ignore %s (%s): suppresses nothing; delete it", ig.analyzer, ig.reason),
+				})
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Stale)
+	return res, nil
+}
+
+// matchIgnore finds an annotation covering the finding: same file, same
+// analyzer, on the finding's line or the line directly above.
+func matchIgnore(igs []*ignore, f Finding) *ignore {
+	for _, ig := range igs {
+		if ig.analyzer != f.Analyzer || ig.file != f.Pos.Filename {
+			continue
+		}
+		if ig.line == f.Pos.Line || ig.line == f.Pos.Line-1 {
+			return ig
+		}
+	}
+	return nil
+}
+
+// gofmtFindings reports files whose bytes differ from their gofmt form —
+// the gate previously run as a separate CI step.
+func gofmtFindings(pkg *Package) []Finding {
+	var out []Finding
+	for _, name := range pkg.FileNames {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		formatted, err := format.Source(src)
+		if err != nil || bytes.Equal(src, formatted) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "gofmt",
+			Pos:      token.Position{Filename: name, Line: 1},
+			Message:  "file is not gofmt-formatted",
+		})
+	}
+	return out
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

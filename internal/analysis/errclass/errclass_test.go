@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analyzertest.Run(t, "testdata", errclass.Analyzer, "a", "b")
+}

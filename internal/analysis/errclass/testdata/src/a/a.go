@@ -1,0 +1,25 @@
+// Package a exercises the errclass analyzer: a retry layer whose error
+// taxonomy has holes. ErrIO and ErrBadFD are classified as instance
+// faults and ErrNotSupported as a caller fault, but ErrInvalid appears
+// nowhere — the silent-misclassification bug the analyzer exists for.
+package a
+
+import (
+	"errors"
+
+	"kernel"
+)
+
+// callerFaults lists the terminal caller errors.
+var callerFaults = []error{kernel.ErrNotSupported}
+
+// isInstanceFault classifies retryable instance failures; ErrInvalid is
+// missing from both lists.
+func isInstanceFault(err error) bool { // want "ErrInvalid is not classified"
+	for _, cf := range callerFaults {
+		if errors.Is(err, cf) {
+			return false
+		}
+	}
+	return errors.Is(err, kernel.ErrIO) || errors.Is(err, kernel.ErrBadFD)
+}

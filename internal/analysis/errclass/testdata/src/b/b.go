@@ -1,0 +1,22 @@
+// Package b is the total taxonomy: every exported kernel error lands in
+// one of the two lists, so the analyzer stays silent.
+package b
+
+import (
+	"errors"
+
+	"kernel"
+)
+
+// callerFaults lists the terminal caller errors.
+var callerFaults = []error{kernel.ErrInvalid, kernel.ErrNotSupported}
+
+// isInstanceFault classifies retryable instance failures.
+func isInstanceFault(err error) bool {
+	for _, cf := range callerFaults {
+		if errors.Is(err, cf) {
+			return false
+		}
+	}
+	return errors.Is(err, kernel.ErrIO) || errors.Is(err, kernel.ErrBadFD)
+}

@@ -1,0 +1,15 @@
+// Package kernel mimics the real kernel package's exported error surface.
+package kernel
+
+import "errors"
+
+var (
+	// ErrIO is the simulated EIO.
+	ErrIO = errors.New("kernel: input/output error")
+	// ErrBadFD is the simulated EBADF.
+	ErrBadFD = errors.New("kernel: bad file descriptor")
+	// ErrInvalid is the simulated EINVAL.
+	ErrInvalid = errors.New("kernel: invalid argument")
+	// ErrNotSupported is the simulated ENOTSUP.
+	ErrNotSupported = errors.New("kernel: not supported")
+)

@@ -1,0 +1,218 @@
+// Package gaugebalance proves the invoker plane's in-flight accounting
+// invariant: every State.Enter must be balanced by a State.Exit on every
+// control-flow path out of the same function — via a defer (covering all
+// exits) or explicitly before each return. PR 6 found the motivating bug
+// in chainWithCtx: the head produce's Enter bracket outlived the produce
+// on the error path, leaving a phantom in-flight invocation that made the
+// least-loaded placement policy steer around a healthy replica forever.
+package gaugebalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+)
+
+// gaugeType is the named type whose Enter/Exit methods move the gauge.
+const gaugeType = "State"
+
+// Analyzer is the gaugebalance pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "gaugebalance",
+	Doc:      "check that every in-flight gauge Enter has an Exit on all paths of the function",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body, cfgs.FuncDecl(fn))
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body, cfgs.FuncLit(fn))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// bracketKey identifies one gauge bracket: the rendered receiver
+// expression and index argument ("src.route", "si.index"). Textual
+// matching keeps loop brackets (one Enter per element, Exits in a
+// deferred loop over the same elements) paired.
+type bracketKey struct {
+	recv, arg string
+}
+
+// keyOf extracts the bracket key of an Enter/Exit call.
+func keyOf(pass *analysis.Pass, call *ast.CallExpr, method string) (bracketKey, bool) {
+	recv, ok := matchutil.Method(pass.TypesInfo, call, gaugeType, method)
+	if !ok || len(call.Args) != 1 {
+		return bracketKey{}, false
+	}
+	return bracketKey{recv: types.ExprString(recv), arg: types.ExprString(call.Args[0])}, true
+}
+
+// checkFunc verifies every Enter in one function body (nested function
+// literals are their own functions and checked separately).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+	if g == nil {
+		return
+	}
+	type enterSite struct {
+		call *ast.CallExpr
+		key  bracketKey
+	}
+	var enters []enterSite
+	deferred := make(map[bracketKey]bool)
+	inspect := func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if key, ok := keyOf(pass, s, "Enter"); ok {
+				enters = append(enters, enterSite{call: s, key: key})
+			}
+		case *ast.DeferStmt:
+			// A deferred Exit — direct or anywhere inside a deferred
+			// closure — covers every exit path of the function.
+			if key, ok := keyOf(pass, s.Call, "Exit"); ok {
+				deferred[key] = true
+			}
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if key, ok := keyOf(pass, call, "Exit"); ok {
+							deferred[key] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			inspect(n)
+		}
+		return true
+	})
+
+	for _, e := range enters {
+		if deferred[e.key] {
+			continue
+		}
+		if !exitsOnAllPaths(pass, g, e.call, e.key) {
+			pass.Reportf(e.call.Pos(), "%s.Enter(%s) is not balanced by an Exit on every path: the in-flight gauge leaks and least-loaded placement steers around a phantom invocation",
+				e.key.recv, e.key.arg)
+		}
+	}
+}
+
+// exitsOnAllPaths walks the CFG from the Enter call and requires a
+// matching Exit before any function exit.
+func exitsOnAllPaths(pass *analysis.Pass, g *cfg.CFG, enter *ast.CallExpr, key bracketKey) bool {
+	var start *cfg.Block
+	startIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if containsNode(n, enter) {
+				start, startIdx = b, i
+				break
+			}
+		}
+		if start != nil {
+			break
+		}
+	}
+	if start == nil {
+		return true
+	}
+
+	ok := true
+	type state struct {
+		block  int32
+		exited bool
+	}
+	seen := make(map[state]bool)
+	var visit func(b *cfg.Block, from int, exited bool)
+	visit = func(b *cfg.Block, from int, exited bool) {
+		if !ok {
+			return
+		}
+		st := state{block: b.Index, exited: exited}
+		if from == 0 {
+			if seen[st] {
+				return
+			}
+			seen[st] = true
+		}
+		for i := from; i < len(b.Nodes); i++ {
+			n := b.Nodes[i]
+			if !exited && nodeExits(pass, n, key) {
+				exited = true
+			}
+			if _, isRet := n.(*ast.ReturnStmt); isRet {
+				if !exited {
+					ok = false
+				}
+				return
+			}
+		}
+		if len(b.Succs) == 0 {
+			if !exited && b.Return() == nil {
+				ok = false
+			}
+			return
+		}
+		for _, s := range b.Succs {
+			visit(s, 0, exited)
+		}
+	}
+	visit(start, startIdx+1, false)
+	return ok
+}
+
+// nodeExits reports whether the node contains a matching Exit call
+// (outside nested function literals, which run at another time).
+func nodeExits(pass *analysis.Pass, n ast.Node, key bracketKey) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if k, ok := keyOf(pass, call, "Exit"); ok && k == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsNode reports whether outer contains (or is) the target node.
+func containsNode(outer, target ast.Node) bool {
+	found := false
+	ast.Inspect(outer, func(n ast.Node) bool {
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

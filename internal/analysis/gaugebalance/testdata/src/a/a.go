@@ -1,0 +1,81 @@
+// Package a exercises the gaugebalance analyzer: a mimic of the invoker
+// plane's State gauge plus a reproduction of the PR 6 phantom-load bug.
+package a
+
+import "errors"
+
+// State mimics invoke.State, the per-function routing state whose
+// Enter/Exit bracket moves the in-flight gauge.
+type State struct{}
+
+func (st *State) Enter(i int) {}
+func (st *State) Exit(i int)  {}
+
+type fn struct {
+	route *State
+	index int
+}
+
+var errProduce = errors.New("produce failed")
+
+func produce(f *fn) (uint32, error) { return 0, errProduce }
+
+// phantomLoad reproduces the PR 6 gauge leak: the produce's Enter bracket
+// outlives the produce on the error path, so the in-flight gauge never
+// comes back down and least-loaded placement steers around a healthy
+// replica forever.
+func phantomLoad(f *fn) (uint32, error) {
+	f.route.Enter(f.index) // want "not balanced"
+	out, err := produce(f)
+	if err != nil {
+		return 0, err
+	}
+	f.route.Exit(f.index)
+	return out, nil
+}
+
+// bracketFixed is the PR 6 fix: Exit immediately after the produce,
+// before the error branch.
+func bracketFixed(f *fn) (uint32, error) {
+	f.route.Enter(f.index)
+	out, err := produce(f)
+	f.route.Exit(f.index)
+	if err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// deferredExit covers every path at once.
+func deferredExit(f *fn) (uint32, error) {
+	f.route.Enter(f.index)
+	defer f.route.Exit(f.index)
+	return produce(f)
+}
+
+// deferredClosureExit is the multicast shape: Enters in a loop, Exits in
+// one deferred closure over the same elements.
+func deferredClosureExit(fns []*fn) error {
+	for _, f := range fns {
+		f.route.Enter(f.index)
+	}
+	defer func() {
+		for _, f := range fns {
+			f.route.Exit(f.index)
+		}
+	}()
+	_, err := produce(fns[0])
+	return err
+}
+
+// exitBothBranches balances explicitly on each path.
+func exitBothBranches(f *fn) error {
+	f.route.Enter(f.index)
+	_, err := produce(f)
+	if err != nil {
+		f.route.Exit(f.index)
+		return err
+	}
+	f.route.Exit(f.index)
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockorder.Analyzer, "a")
+}

@@ -1,0 +1,72 @@
+// Package a exercises the lockorder analyzer: a mimic of the VM-lock
+// protocol around Shim.mu and the ordered lockShims helper.
+package a
+
+import "sync"
+
+// Shim mimics core.Shim: mu is the VM lock.
+type Shim struct {
+	mu sync.Mutex
+	id int
+}
+
+// lockShims is the ordered multi-shim helper; it owns the ordering
+// discipline, so its nested acquisitions are exempt.
+func lockShims(shims ...*Shim) {
+	for _, s := range shims {
+		s.mu.Lock()
+	}
+}
+
+// unlockShims releases in reverse; exempt like lockShims.
+func unlockShims(shims ...*Shim) {
+	for i := len(shims) - 1; i >= 0; i-- {
+		shims[i].mu.Unlock()
+	}
+}
+
+// transferDeadlock reproduces the AB/BA hazard: transfer A→B locking
+// (A, B) races transfer B→A locking (B, A).
+func transferDeadlock(src, dst *Shim) {
+	src.mu.Lock()
+	dst.mu.Lock() // want "nested VM-lock"
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+// transferOrdered is the fix: the ordered helper takes both locks.
+func transferOrdered(src, dst *Shim) {
+	lockShims(src, dst)
+	defer unlockShims(src, dst)
+}
+
+// sequential takes the locks one at a time; never nested, no diagnostic.
+func sequential(a, b *Shim) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// reacquireAfterBranch drops the lock on one path and re-takes it; the
+// held-set tracking must not confuse the paths.
+func reacquireAfterBranch(a, b *Shim, flip bool) {
+	a.mu.Lock()
+	if flip {
+		a.mu.Unlock()
+		b.mu.Lock()
+		b.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+}
+
+// deferredUnlock holds across the body; taking another shim's lock under
+// it is still a nesting violation.
+func deferredUnlock(a, b *Shim) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "nested VM-lock"
+	defer b.mu.Unlock()
+	return a.id + b.id
+}

@@ -1,0 +1,99 @@
+// Package matchutil holds the small type- and AST-matching helpers the
+// roadvet analyzers share. Matching is structural — a method's name plus
+// the name of its receiver's defining type — so the analyzers apply both
+// to the real data-plane packages and to analyzertest fixtures that mimic
+// them with local stub types.
+package matchutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Method reports whether call invokes a method named methodName whose
+// receiver's type (after dereferencing) is a named type called typeName,
+// returning the receiver expression.
+func Method(info *types.Info, call *ast.CallExpr, typeName, methodName string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != methodName {
+		return nil, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, false
+	}
+	if namedName(s.Recv()) != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// MethodOnAny is Method over a set of acceptable receiver type names.
+func MethodOnAny(info *types.Info, call *ast.CallExpr, typeNames []string, methodName string) (ast.Expr, bool) {
+	for _, tn := range typeNames {
+		if recv, ok := Method(info, call, tn, methodName); ok {
+			return recv, true
+		}
+	}
+	return nil, false
+}
+
+// MutexField matches calls of the form owner.<field>.Lock() /
+// owner.<field>.Unlock() where <field> is a sync.Mutex-like field named
+// fieldName on a named type called ownerType. It returns the owner
+// expression and the operation name ("Lock"/"Unlock").
+func MutexField(info *types.Info, call *ast.CallExpr, ownerType, fieldName string) (owner ast.Expr, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return nil, "", false
+	}
+	inner, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel || inner.Sel.Name != fieldName {
+		return nil, "", false
+	}
+	fs, found := info.Selections[inner]
+	if !found || fs.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	if namedName(fs.Recv()) != ownerType {
+		return nil, "", false
+	}
+	return inner.X, sel.Sel.Name, true
+}
+
+// CalleeName returns the bare name a call invokes: the identifier for
+// f(...), the selector for pkg.f(...) or x.f(...). Empty when the callee
+// has another shape.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// Obj resolves an identifier to its object, through either a use or a
+// definition.
+func Obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// namedName unwraps pointers and aliases and returns the receiver type's
+// declared name, or "" when it is not a named type.
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	if a, ok := t.(*types.Alias); ok {
+		return a.Obj().Name()
+	}
+	return ""
+}

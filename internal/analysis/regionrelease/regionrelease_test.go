@@ -1,0 +1,12 @@
+package regionrelease_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/regionrelease"
+)
+
+func TestRegionRelease(t *testing.T) {
+	analyzertest.Run(t, "testdata", regionrelease.Analyzer, "a")
+}

@@ -1,0 +1,119 @@
+// Package a exercises the regionrelease analyzer: mimic types matching
+// the data-plane's View.Allocate/Deallocate shape, plus reproductions of
+// the historical ingress leaks and the patterns that fixed them.
+package a
+
+// View mimics abi.View's bump allocator.
+type View struct{}
+
+func (v *View) Allocate(n uint32) (uint32, error) { return 0, nil }
+func (v *View) Deallocate(p uint32) error         { return nil }
+func (v *View) Write(b []byte, p uint32) error    { return nil }
+
+// Ref mimics core.InboundRef.
+type Ref struct{ Ptr, Len uint32 }
+
+var data []byte
+
+// ingressLeak reproduces the PR 5/6 ingress region leak: the target
+// region is allocated, then a later failure returns without handing it
+// back, stranding the destination's bump heap above baseline.
+func ingressLeak(v *View, n uint32) (Ref, error) {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		return Ref{}, err // want "may leak"
+	}
+	return Ref{Ptr: p, Len: n}, nil
+}
+
+// ingressFixed is the shape the fix introduced: every failure past the
+// allocation goes through an abort helper that rewinds the heap.
+func ingressFixed(v *View, n uint32) (Ref, error) {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return Ref{}, err
+	}
+	abort := func(err error) (Ref, error) {
+		_ = v.Deallocate(p) // want "Deallocate error discarded"
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		return abort(err)
+	}
+	return Ref{Ptr: p, Len: n}, nil
+}
+
+// deferredRelease covers every exit at once; no diagnostic.
+func deferredRelease(v *View, n uint32) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if derr := v.Deallocate(p); derr != nil {
+			_ = derr
+		}
+	}()
+	return v.Write(data, p)
+}
+
+// handledRelease releases on the failure path with the error joined; no
+// diagnostic.
+func handledRelease(v *View, n uint32) (Ref, error) {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		if derr := v.Deallocate(p); derr != nil {
+			err = derr
+		}
+		return Ref{}, err
+	}
+	return Ref{Ptr: p, Len: n}, nil
+}
+
+// aliasReturn hands the region out wrapped in a ref built earlier; no
+// diagnostic.
+func aliasReturn(v *View, n uint32) (Ref, error) {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return Ref{}, err
+	}
+	ref := Ref{Ptr: p, Len: n}
+	return ref, nil
+}
+
+// store mimics handing ownership to a longer-lived structure.
+type store struct{ refs []Ref }
+
+// escapes stores the region; this function's paths are no longer
+// accountable, so no diagnostic.
+func escapes(s *store, v *View, n uint32) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	s.refs = append(s.refs, Ref{Ptr: p, Len: n})
+	return nil
+}
+
+// discarded drops the region pointer on the floor.
+func discarded(v *View, n uint32) {
+	_, err := v.Allocate(n) // want "allocated region is discarded"
+	if err != nil {
+		return
+	}
+}
+
+// fallsOff leaks on both exits: the early return and the fall-off end
+// (which the CFG models as an implicit return at the closing brace).
+func fallsOff(v *View, n uint32) {
+	p, _ := v.Allocate(n)
+	if p == 0 {
+		return // want "may leak"
+	}
+} // want "may leak"

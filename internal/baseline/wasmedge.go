@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -181,12 +182,21 @@ func (f *WasmEdgeFunction) Transfer(dst *WasmEdgeFunction, env TransferEnv) (ptr
 	if err != nil {
 		return fail(err)
 	}
+	// Failures past the receive allocation rewind the destination's bump
+	// heap (the staging buffer is its top allocation) before surfacing, so
+	// an aborted baseline transfer does not strand the buffer.
+	abort := func(e error) (uint32, uint32, metrics.TransferReport, error) {
+		if derr := dst.view.Deallocate(dstPtr); derr != nil {
+			e = errors.Join(e, derr)
+		}
+		return fail(e)
+	}
 	res, err = dst.inst.Call(guest.ExportSockRecvExact, uint64(sfd), uint64(dstPtr), uint64(encLen))
 	if err != nil {
-		return fail(fmt.Errorf("wasmedge recv: %w", err))
+		return abort(fmt.Errorf("wasmedge recv: %w", err))
 	}
 	if uint32(res[0]) != 0 {
-		return fail(fmt.Errorf("wasmedge recv errno %d", res[0]))
+		return abort(fmt.Errorf("wasmedge recv errno %d", res[0]))
 	}
 	recvT := swR.Lap()
 	dst.acct.CPU(metrics.Kernel, recvT)
@@ -195,7 +205,7 @@ func (f *WasmEdgeFunction) Transfer(dst *WasmEdgeFunction, env TransferEnv) (ptr
 	swDe := metrics.NewStopwatch(dst.now)
 	res, err = dst.inst.Call(guest.ExportDeserialize, uint64(dstPtr), uint64(encLen))
 	if err != nil {
-		return fail(fmt.Errorf("wasmedge deserialize: %w", err))
+		return abort(fmt.Errorf("wasmedge deserialize: %w", err))
 	}
 	decPtr, decLen := abi.Unpack(res[0])
 	deT := swDe.Lap()
@@ -216,5 +226,6 @@ func (f *WasmEdgeFunction) Transfer(dst *WasmEdgeFunction, env TransferEnv) (ptr
 		Usage: usage,
 		Mode:  "wasmedge-http",
 	}
+	//roadvet:ignore regionrelease the decoded output sits above the encoded staging buffer in the guest bump heap, so rewinding it would free the result; the buffer is reclaimed with the instance, mirroring the baseline's in-sandbox garbage
 	return decPtr, decLen, report, nil
 }

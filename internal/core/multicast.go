@@ -304,6 +304,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 			if !opts.PhaseLocked {
 				ds.mu.Lock()
 			}
+			//roadvet:ignore regionrelease best-effort top-down unwind of the landed drains under each destination's VM lock; the multicast's first error wins
 			_ = dsts[i].view.Deallocate(drains[i].ref.Ptr)
 			if !opts.PhaseLocked {
 				ds.mu.Unlock()
@@ -415,6 +416,7 @@ func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) 
 	// point — cancellation or a faulted syscall — hands it back so an
 	// aborted ingress leaves the target's bump heap where it found it.
 	abort := func(err error) (InboundRef, metrics.Breakdown, error) {
+		//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
 		_ = dst.view.Deallocate(dstPtr)
 		return InboundRef{}, bd, err
 	}

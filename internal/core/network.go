@@ -224,6 +224,7 @@ func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *s
 		// drain holds the VM lock, so it is the top allocation and the
 		// bump heap rewinds to its pre-transfer position.
 		abort := func(err error) (InboundRef, error) {
+			//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
 			_ = f.view.Deallocate(dstPtr)
 			return InboundRef{}, err
 		}

@@ -98,6 +98,11 @@ func (s *StateStore) Get(f *Function, name string) (InboundRef, error) {
 		return InboundRef{}, fmt.Errorf("state get %q: %w", name, err)
 	}
 	if err := f.view.Write(data, ptr); err != nil {
+		// The entry never landed; hand the region back so a failed Get
+		// leaves the requesting function's linear memory at baseline.
+		if derr := f.view.Deallocate(ptr); derr != nil {
+			err = errors.Join(err, derr)
+		}
 		return InboundRef{}, fmt.Errorf("state get %q: %w", name, err)
 	}
 	return InboundRef{Ptr: ptr, Len: uint32(len(data))}, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/kernel"
@@ -73,6 +74,12 @@ func UserSpaceTransfer(src, dst *Function, opts UserOptions) (InboundRef, metric
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
 	if err := dst.view.Write(view, dstPtr); err != nil {
+		// The copy never landed; rewind the destination's bump heap (the
+		// region is its top allocation) so the aborted transfer leaves the
+		// target where it found it.
+		if derr := dst.view.Deallocate(dstPtr); derr != nil {
+			err = errors.Join(err, derr)
+		}
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
 
@@ -180,6 +187,7 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 			// faulted syscall — hands it back so an aborted ingress leaves
 			// the target's bump heap where it found it.
 			abort := func(err error) (InboundRef, error) {
+				//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
 				_ = f.view.Deallocate(dstPtr)
 				return InboundRef{}, err
 			}

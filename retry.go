@@ -35,12 +35,27 @@ const (
 // re-routed onto surviving replicas at most this many times in total.
 const maxDeliveryAttempts = 3
 
+// callerFaults is the explicit caller-error marker of the retry taxonomy:
+// kernel errors that condemn the request, not the replica. EINVAL and
+// ENOTSUP reproduce identically on any instance, so retrying them would
+// burn delivery attempts and strike healthy replicas for the caller's
+// mistake. roadvet's errclass analyzer enforces that every exported kernel
+// error appears either here or in isInstanceFault, keeping the taxonomy
+// total as the kernel grows.
+var callerFaults = []error{kernel.ErrInvalid, kernel.ErrNotSupported}
+
 // isInstanceFault classifies an error as the instance's own failure — the
 // simulated EIO/EBADF/EPIPE class a crashed sandbox, dropped wire or
 // poisoned channel surfaces — as opposed to the caller's (cancellation, a
-// mode restriction, a guest-level error). Only instance faults strike the
-// health FSM and justify retrying on another replica.
+// mode restriction, a guest-level error, or the callerFaults kernel
+// errors). Only instance faults strike the health FSM and justify retrying
+// on another replica.
 func isInstanceFault(err error) bool {
+	for _, cf := range callerFaults {
+		if errors.Is(err, cf) {
+			return false
+		}
+	}
 	return errors.Is(err, kernel.ErrIO) ||
 		errors.Is(err, kernel.ErrBadFD) ||
 		errors.Is(err, kernel.ErrClosed)

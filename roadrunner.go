@@ -971,6 +971,7 @@ func (p *Platform) invokeOnce(si, di *Instance, n int, cfg *transferConfig) (*In
 		// The invocation owns the region it produced; hand it back to the
 		// guest allocator so an aborted (cancelled, faulted) attempt leaves
 		// the source instance's linear memory where it found it.
+		//roadvet:ignore regionrelease best-effort rewind: the transfer's own error is what the invocation surfaces
 		_ = si.inner.Deallocate(out.Ptr)
 		return nil, err
 	}
