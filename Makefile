@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench lint staticcheck vuln cover clean
+.PHONY: all build test race chaos bench perfgate lint staticcheck vuln cover clean
 
-all: lint build race bench
+all: lint build race bench perfgate
 
 ## build: compile every package, command and example
 build:
@@ -56,9 +56,21 @@ bench:
 	@cat BENCH_4.json
 	$(GO) run ./cmd/roadrunner-bench -exp failure -json > BENCH_6.json
 	@cat BENCH_6.json
+	$(GO) run ./cmd/roadrunner-bench -exp hotpath -json > BENCH_8.json
+	@cat BENCH_8.json
 
-## lint: go vet plus the roadvet suite (regionrelease, gaugebalance,
-## lockorder, ctxpoll, errclass, ctxcheck, doccheck and the gofmt gate)
+## perfgate: regenerate the hot-path trajectory and gate it against the
+## committed BENCH_8.json (CI's perf-gate job); also re-pins the allocation
+## ceilings (0 allocs/op on the warm transfer fast path)
+perfgate:
+	@mkdir -p artifacts
+	$(GO) run ./cmd/roadrunner-bench -exp hotpath -json > artifacts/bench8-fresh.json
+	$(GO) run ./cmd/perfgate -baseline BENCH_8.json -fresh artifacts/bench8-fresh.json
+	$(GO) test -run TestAllocCeilings -v .
+
+## lint: go vet plus the roadvet suite (regionrelease, poolreturn,
+## gaugebalance, lockorder, ctxpoll, errclass, ctxcheck, doccheck and the
+## gofmt gate)
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/roadvet ./...

@@ -1,0 +1,153 @@
+package roadrunner_test
+
+import (
+	"context"
+	"testing"
+
+	roadrunner "github.com/polaris-slo-cloud/roadrunner-go"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/sched"
+)
+
+// Allocation ceilings for the data plane's steady state, pinned by
+// TestAllocCeilings. The transfer fast path is the zero-alloc invariant
+// (DESIGN.md §10): a warm same-node kernel transfer allocates nothing in
+// the layers this repo owns. Plan submission builds a DAG, a job and its
+// result set, so it has a small fixed budget instead; pool submission is a
+// ring-buffer enqueue and must stay allocation-free. Raising any of these
+// numbers is a hot-path regression and needs DESIGN.md §10 justification
+// in the same change.
+const (
+	allocCeilingWarmTransfer = 0
+	allocCeilingPlanSubmit   = 20
+	allocCeilingPoolSubmit   = 0
+)
+
+// allocBenchPayload keeps the ceiling measurements about per-operation
+// bookkeeping, not payload size: one simulated kernel page.
+const allocBenchPayload = 4 << 10
+
+// buildWarmPair deploys two single-replica functions on one node, produces
+// the source payload, and warms the kernel channel with one untimed
+// transfer so the measured loop is pure steady state.
+func buildWarmPair(tb testing.TB) (*roadrunner.Platform, *roadrunner.Function, *roadrunner.Function) {
+	tb.Helper()
+	p := roadrunner.New(roadrunner.WithNodes("node"))
+	tb.Cleanup(p.Close)
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "a", Node: "node"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "b", Node: "node"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := src.Produce(allocBenchPayload); err != nil {
+		tb.Fatal(err)
+	}
+	ref, _, err := p.Transfer(src, dst)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := dst.Release(ref); err != nil {
+		tb.Fatal(err)
+	}
+	return p, src, dst
+}
+
+// benchWarmKernelTransfer is the transfer fast path's allocation probe:
+// warm channel, recycled pipeline state, pooled config — expected 0
+// allocs/op.
+func benchWarmKernelTransfer(b *testing.B) {
+	p, src, dst := buildWarmPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _, err := p.Transfer(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPlanSubmit measures one single-Xfer plan through the DAG plane:
+// build, submit, wait, release. The plan plane's bookkeeping (plan, node,
+// job, result set) is its fixed per-operation budget.
+func benchPlanSubmit(b *testing.B) {
+	p, src, dst := buildWarmPair(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := roadrunner.NewPlan()
+		node := pl.Xfer(src, dst)
+		job, err := p.Submit(ctx, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := job.Wait(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nr := res.Node(node)
+		if nr.Err != nil {
+			b.Fatal(nr.Err)
+		}
+		if err := dst.Release(nr.Ref()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPoolSubmit measures the scheduler's submit path alone: b.N no-op
+// tasks through the sharded pool, drained once outside the timed window's
+// per-op accounting. Submit is a ring-buffer enqueue and must not allocate.
+func benchPoolSubmit(b *testing.B) {
+	pool := sched.New(2, 1024)
+	defer pool.Close()
+	task := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pool.Submit(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pool.Wait()
+}
+
+func BenchmarkAllocWarmKernelTransfer(b *testing.B) { benchWarmKernelTransfer(b) }
+func BenchmarkAllocPlanSubmit(b *testing.B)         { benchPlanSubmit(b) }
+func BenchmarkAllocPoolSubmit(b *testing.B)         { benchPoolSubmit(b) }
+
+// TestAllocCeilings pins allocs/op ceilings for the three hot paths and
+// fails on any increase — the in-tree half of the perf gate (cmd/perfgate
+// guards the throughput trajectory; this guards the allocation one).
+func TestAllocCeilings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	cases := []struct {
+		name    string
+		ceiling int64
+		bench   func(b *testing.B)
+	}{
+		{"warm-kernel-transfer", allocCeilingWarmTransfer, benchWarmKernelTransfer},
+		{"plan-submit", allocCeilingPlanSubmit, benchPlanSubmit},
+		{"pool-submit", allocCeilingPoolSubmit, benchPoolSubmit},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := testing.Benchmark(c.bench)
+			if got := r.AllocsPerOp(); got > c.ceiling {
+				t.Errorf("%s: %d allocs/op, ceiling %d — hot-path allocation regression (see DESIGN.md §10)",
+					c.name, got, c.ceiling)
+			}
+		})
+	}
+}

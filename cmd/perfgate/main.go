@@ -1,0 +1,194 @@
+// Command perfgate compares a fresh roadrunner-bench JSON document against
+// a committed BENCH_*.json baseline and fails (exit 1) when the fresh run's
+// throughput trajectory regresses beyond a tolerance band.
+//
+// Usage:
+//
+//	perfgate -baseline BENCH_8.json -fresh fresh.json [-tolerance 0.35]
+//	roadrunner-bench -exp hotpath -json | perfgate -baseline BENCH_8.json
+//
+// Machines differ, so absolute requests/second are not comparable between
+// the box that committed the baseline and the CI runner re-measuring it.
+// The gate therefore normalizes every point by its result's anchor — the
+// mean RPS across systems at the result's smallest x — and compares the
+// normalized trajectories. Machine speed divides out (both systems run on
+// the same host in one document), while the shape regressions the gate
+// exists for (the sharded scheduler re-serializing, a pooled path starting
+// to allocate and falling off its scaling curve) survive normalization and
+// trip the band. Only points present in both documents are compared, so a
+// baseline recorded on a small machine still gates the overlapping worker
+// counts of a larger runner's sweep.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+}
+
+// doc is the roadrunner-bench -json document.
+type doc struct {
+	SchemaVersion int                   `json:"schema_version"`
+	Results       []*experiments.Result `json:"results"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("perfgate", flag.ContinueOnError)
+	var (
+		baseFlag = fs.String("baseline", "", "committed BENCH_*.json baseline (required)")
+		freshVal = fs.String("fresh", "", "fresh roadrunner-bench -json output (default: stdin)")
+		tolFlag  = fs.Float64("tolerance", 0.35, "allowed fractional drop in normalized throughput before failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseFlag == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	if *tolFlag < 0 || *tolFlag >= 1 {
+		return fmt.Errorf("-tolerance %g out of range [0, 1)", *tolFlag)
+	}
+
+	base, err := loadDoc(*baseFlag)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var fresh *doc
+	if *freshVal == "" {
+		fresh, err = decodeDoc(stdin, "stdin")
+	} else {
+		fresh, err = loadDoc(*freshVal)
+	}
+	if err != nil {
+		return fmt.Errorf("fresh: %w", err)
+	}
+	return gate(stdout, base, fresh, *tolFlag)
+}
+
+func loadDoc(path string) (*doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeDoc(f, path)
+}
+
+func decodeDoc(r io.Reader, name string) (*doc, error) {
+	var d doc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if d.SchemaVersion == 0 || len(d.Results) == 0 {
+		return nil, fmt.Errorf("%s: not a roadrunner-bench document (schema_version/results missing)", name)
+	}
+	return &d, nil
+}
+
+// pointKey identifies one measurement across documents.
+type pointKey struct {
+	system string
+	x      float64
+}
+
+// normalized maps every point of one result to its RPS divided by the
+// result's anchor (mean RPS at the smallest x). Returns nil when the
+// result has no positive-throughput anchor to normalize by.
+func normalized(r *experiments.Result) map[pointKey]float64 {
+	minX, anchor, n := 0.0, 0.0, 0
+	for i, p := range r.Points {
+		if i == 0 || p.X < minX {
+			minX = p.X
+		}
+	}
+	for _, p := range r.Points {
+		if p.X == minX && p.RPS > 0 {
+			anchor += p.RPS
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	anchor /= float64(n)
+	out := make(map[pointKey]float64, len(r.Points))
+	for _, p := range r.Points {
+		if p.RPS > 0 {
+			out[pointKey{p.System, p.X}] = p.RPS / anchor
+		}
+	}
+	return out
+}
+
+// gate compares every result present in both documents and reports each
+// regression beyond the tolerance band; any regression fails the gate.
+func gate(w io.Writer, base, fresh *doc, tol float64) error {
+	if base.SchemaVersion != fresh.SchemaVersion {
+		return fmt.Errorf("schema mismatch: baseline v%d, fresh v%d — regenerate the committed baseline",
+			base.SchemaVersion, fresh.SchemaVersion)
+	}
+	baseByID := make(map[string]*experiments.Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByID[r.ID] = r
+	}
+
+	compared, regressions := 0, 0
+	for _, fr := range fresh.Results {
+		br, ok := baseByID[fr.ID]
+		if !ok {
+			fmt.Fprintf(w, "perfgate: %s: no committed baseline, skipping\n", fr.ID)
+			continue
+		}
+		bn, fn := normalized(br), normalized(fr)
+		if bn == nil || fn == nil {
+			return fmt.Errorf("%s: no positive-throughput anchor point", fr.ID)
+		}
+		keys := make([]pointKey, 0, len(fn))
+		for k := range fn {
+			if _, ok := bn[k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].system != keys[j].system {
+				return keys[i].system < keys[j].system
+			}
+			return keys[i].x < keys[j].x
+		})
+		if len(keys) == 0 {
+			return fmt.Errorf("%s: no overlapping (system, %s) points between baseline and fresh run", fr.ID, fr.XLabel)
+		}
+		for _, k := range keys {
+			compared++
+			have, want := fn[k], bn[k]
+			floor := want * (1 - tol)
+			status := "ok"
+			if have < floor {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "perfgate: %-10s %s @ %s=%g: normalized rps %.3f (baseline %.3f, floor %.3f) %s\n",
+				fr.ID, k.system, fr.XLabel, k.x, have, want, floor, status)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable results between baseline and fresh documents")
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d point(s) regressed beyond the %.0f%% tolerance band", regressions, compared, tol*100)
+	}
+	fmt.Fprintf(w, "perfgate: %d point(s) within the %.0f%% band\n", compared, tol*100)
+	return nil
+}

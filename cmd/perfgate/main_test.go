@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/experiments"
+)
+
+// benchDoc builds a hotpath-shaped document: sharded and single-queue
+// throughput at worker counts 1, 2, 4, 8, scaled by perWorkerRPS (the
+// machine-speed factor normalization must cancel).
+func benchDoc(perWorkerRPS float64, shardedScale func(w float64) float64) *doc {
+	r := &experiments.Result{ID: "hotpath", Mode: "sched-scaling", XLabel: "workers"}
+	for _, w := range []float64{1, 2, 4, 8} {
+		r.Points = append(r.Points,
+			experiments.Point{System: experiments.SysSharded, X: w, RPS: perWorkerRPS * shardedScale(w)},
+			experiments.Point{System: experiments.SysSingleQueue, X: w, RPS: perWorkerRPS * 1.2},
+		)
+	}
+	return &doc{SchemaVersion: experiments.SchemaVersion, Results: []*experiments.Result{r}}
+}
+
+// linearScaling is a healthy sharded pool: throughput grows with workers.
+func linearScaling(w float64) float64 { return w }
+
+// serializedScaling is the deliberate regression: the sharded pool funnels
+// through one queue again, so adding workers adds nothing.
+func serializedScaling(float64) float64 { return 1.1 }
+
+func TestGatePassesIdenticalRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := gate(&out, benchDoc(1000, linearScaling), benchDoc(1000, linearScaling), 0.35); err != nil {
+		t.Fatalf("identical runs failed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateCancelsMachineSpeed(t *testing.T) {
+	// Same scaling shape on a machine 3x faster than the baseline's: the
+	// normalized trajectories match, so the gate must pass.
+	var out bytes.Buffer
+	if err := gate(&out, benchDoc(1000, linearScaling), benchDoc(3000, linearScaling), 0.35); err != nil {
+		t.Fatalf("machine-speed difference failed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateFailsDeliberateRegression(t *testing.T) {
+	// Re-serializing the sharded pool collapses its scaling curve; the
+	// gate must fail and name the regressed points.
+	var out bytes.Buffer
+	err := gate(&out, benchDoc(1000, linearScaling), benchDoc(1000, serializedScaling), 0.35)
+	if err == nil {
+		t.Fatalf("re-serialized pool passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("diff output does not mark regressed points:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), experiments.SysSharded) {
+		t.Fatalf("diff output does not name the regressed system:\n%s", out.String())
+	}
+}
+
+func TestGateToleratesRunnerNoise(t *testing.T) {
+	// 20% slower at every point is within the 35% band.
+	noisy := func(w float64) float64 { return w * 0.8 }
+	var out bytes.Buffer
+	if err := gate(&out, benchDoc(1000, linearScaling), benchDoc(1000, noisy), 0.35); err != nil {
+		t.Fatalf("in-band noise failed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateSchemaMismatch(t *testing.T) {
+	base := benchDoc(1000, linearScaling)
+	fresh := benchDoc(1000, linearScaling)
+	fresh.SchemaVersion = base.SchemaVersion + 1
+	if err := gate(&bytes.Buffer{}, base, fresh, 0.35); err == nil {
+		t.Fatal("schema mismatch passed the gate")
+	}
+}
+
+func TestGateComparesOnlyOverlappingPoints(t *testing.T) {
+	// Baseline from a 1-core box (w=1 only) still gates a larger runner's
+	// sweep on the shared point.
+	small := benchDoc(1000, linearScaling)
+	small.Results[0].Points = small.Results[0].Points[:2] // w=1 pair only
+	var out bytes.Buffer
+	if err := gate(&out, small, benchDoc(1000, linearScaling), 0.35); err != nil {
+		t.Fatalf("partial-overlap comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "workers=1") {
+		t.Fatalf("expected the w=1 overlap to be compared:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "workers=8") {
+		t.Fatalf("compared a point absent from the baseline:\n%s", out.String())
+	}
+}
+
+func TestGateNoOverlapFails(t *testing.T) {
+	base := benchDoc(1000, linearScaling)
+	base.Results[0].ID = "other"
+	if err := gate(&bytes.Buffer{}, base, benchDoc(1000, linearScaling), 0.35); err == nil {
+		t.Fatal("documents with no shared results passed the gate")
+	}
+}

@@ -15,6 +15,7 @@
 //	roadrunner-load -deadline 5ms            # per-operation ctx timeout ("cancelled" counter)
 //	roadrunner-load -replicas 4 -kills 1     # degrade-under-kill: crash 1 replica per pool mid-load
 //	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
+//	roadrunner-load -profile ./prof          # cpu.pprof + heap.pprof around the measured window
 package main
 
 import (
@@ -52,6 +53,7 @@ func run(args []string) error {
 		placement = fs.String("placement", "locality", "invoker-plane placement policy: locality, least-loaded or round-robin")
 		deadline  = fs.Duration("deadline", 0, "per-operation context timeout (0 = none); tripped executions count as cancelled")
 		kills     = fs.Int("kills", 0, "replicas crashed mid-load per function pool (requires -replicas > kills)")
+		profile   = fs.String("profile", "", "write cpu.pprof and heap.pprof into this directory, bracketing the measured window")
 		compact   = fs.Bool("compact", false, "single-line JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +76,7 @@ func run(args []string) error {
 		Placement:    *placement,
 		Deadline:     *deadline,
 		Kills:        *kills,
+		ProfileDir:   *profile,
 	})
 	if err != nil {
 		return err

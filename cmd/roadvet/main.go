@@ -8,6 +8,9 @@
 //     all paths of its function — the phantom in-flight load bug.
 //   - lockorder: nested Shim.mu acquisitions must go through the ordered
 //     lockShims helper — the AB/BA transfer deadlock.
+//   - poolreturn: every object taken from a sync.Pool recycler reaches
+//     its Put (or a consumer that puts it) on every path — the hot-path
+//     recycle leak class.
 //   - ctxpoll: hose-chunk syscall loops poll the context per chunk, so
 //     cancellation lands mid-stream.
 //   - errclass: every exported kernel error is classified as instance
@@ -41,12 +44,14 @@ import (
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/errclass"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/gaugebalance"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/lockorder"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/poolreturn"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/regionrelease"
 )
 
 // suite is every analyzer the gate runs, in report order.
 var suite = []*analysis.Analyzer{
 	regionrelease.Analyzer,
+	poolreturn.Analyzer,
 	gaugebalance.Analyzer,
 	lockorder.Analyzer,
 	ctxpoll.Analyzer,

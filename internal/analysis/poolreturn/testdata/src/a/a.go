@@ -1,0 +1,167 @@
+// Package a exercises the poolreturn analyzer: the repository's real
+// sync.Pool recycling shapes (direct Put, clearing put-helper, deferred
+// put, ownership handoff) plus the leak shapes the analyzer must flag.
+package a
+
+import "sync"
+
+// config mimics the data plane's pooled per-call state (transferConfig,
+// pipelineState).
+type config struct {
+	n    int
+	next *config
+}
+
+var pool = sync.Pool{New: func() any { return new(config) }}
+
+// putConfig is the clearing put-helper shape (putTransferConfig,
+// putPipelineState): callers recycle through it.
+func putConfig(c *config) {
+	*c = config{}
+	pool.Put(c)
+}
+
+// putConfigIndirect forwards to another helper; the fixpoint must still
+// classify it as a put-helper.
+func putConfigIndirect(c *config) {
+	putConfig(c)
+}
+
+var sink int
+
+// directPut is the kernel Write/Vmsplice shape: Get, use, Put inline on
+// the single path. No diagnostic.
+func directPut() {
+	c := pool.Get().(*config)
+	sink += c.n
+	pool.Put(c)
+}
+
+// helperAllPaths is the transferCtx shape: every exit goes through the
+// put-helper. No diagnostic.
+func helperAllPaths(fail bool) error {
+	c := pool.Get().(*config)
+	if fail {
+		putConfig(c)
+		return errFail
+	}
+	sink += c.n
+	putConfigIndirect(c)
+	return nil
+}
+
+// leakOnError reproduces the recycle-leak class this gate exists for: the
+// early error return skips the Put, silently reverting the path to
+// allocating.
+func leakOnError(fail bool) error {
+	c := pool.Get().(*config)
+	if fail {
+		return errFail // want "may leak"
+	}
+	putConfig(c)
+	return nil
+}
+
+// leakFallsOff loses the object on the implicit fall-off exit.
+func leakFallsOff(fail bool) {
+	c := pool.Get().(*config)
+	if fail {
+		return // want "may leak"
+	}
+	sink += c.n
+} // want "may leak"
+
+// deferredPut covers every exit at once. No diagnostic.
+func deferredPut(fail bool) error {
+	c := pool.Get().(*config)
+	defer putConfig(c)
+	if fail {
+		return errFail
+	}
+	sink += c.n
+	return nil
+}
+
+// deferredClosurePut recycles inside a deferred literal. No diagnostic.
+func deferredClosurePut() {
+	c := pool.Get().(*config)
+	defer func() {
+		pool.Put(c)
+	}()
+	sink += c.n
+}
+
+// abortClosure is the releasing-closure shape: the named closure puts, so
+// returning through it recycles. No diagnostic.
+func abortClosure(fail bool) error {
+	c := pool.Get().(*config)
+	abort := func(err error) error {
+		putConfig(c)
+		return err
+	}
+	if fail {
+		return abort(errFail)
+	}
+	putConfig(c)
+	return nil
+}
+
+// pooledConstructor returns the Get to its caller — ownership moves with
+// it (the pooled-helper shape). No diagnostic.
+func pooledConstructor(n int) *config {
+	c := pool.Get().(*config)
+	c.n = n
+	return c
+}
+
+// handoffSend is the dispatchIngress shape: the object crosses a channel
+// to a consumer that owns the Put from there. No diagnostic.
+func handoffSend(q chan *config) {
+	c := pool.Get().(*config)
+	c.n = 1
+	q <- c
+}
+
+// handoffGo transfers ownership to a spawned goroutine. No diagnostic.
+func handoffGo() {
+	c := pool.Get().(*config)
+	go consume(c)
+}
+
+func consume(c *config) {
+	sink += c.n
+	putConfig(c)
+}
+
+// handoffStore links the object into a longer-lived structure; whoever
+// owns the structure owns the Put. No diagnostic.
+func handoffStore(head *config) {
+	c := pool.Get().(*config)
+	head.next = c
+}
+
+// usedButNeverPut passes the object around without ever recycling it:
+// plain calls are uses, not handoffs.
+func usedButNeverPut() {
+	c := pool.Get().(*config)
+	consumeValueOnly(c)
+	sink++
+} // want "may leak"
+
+// consumeValueOnly reads the config without putting it, so calling it
+// must not count as a recycle.
+func consumeValueOnly(c *config) {
+	sink += c.n
+}
+
+// discardedGet throws the pooled object away on the spot.
+func discardedGet() {
+	_ = pool.Get() // want "discarded"
+	pool.Get()     // want "discarded"
+}
+
+var errFail = errDummy{}
+
+type errDummy struct{}
+
+func (errDummy) Error() string { return "fail" }

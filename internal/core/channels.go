@@ -272,12 +272,12 @@ func (s *Shim) acquireChannel(dst *Shim, kind chanKind) (*channel, bool, error) 
 
 // acquireTransferChannel is the shared entry of the unicast transfer paths:
 // it acquires (or, perCall, freshly establishes) the channel, measures the
-// cold establishment time and charges it to src as kernel CPU, and returns
-// a finish func the caller must defer with the transfer's outcome — failed
-// transfers poison the channel (payload may be stranded in it), and
-// per-call channels always tear down, matching Algorithm 1's close_all.
-// Cached channels come back pinned; finish unpins them.
-func acquireTransferChannel(src, dst *Shim, kind chanKind, perCall bool) (*channel, time.Duration, func(healthy bool), error) {
+// cold establishment time and charges it to src as kernel CPU. The caller
+// must pair it with releaseTransferChannel on every exit path, passing the
+// transfer's outcome. Cached channels come back pinned; release unpins
+// them. (An explicit release call, not a returned closure: allocating a
+// capture per transfer would put a heap object on the zero-alloc hot path.)
+func acquireTransferChannel(src, dst *Shim, kind chanKind, perCall bool) (*channel, time.Duration, error) {
 	sw := metrics.NewStopwatch(src.now)
 	var (
 		c   *channel
@@ -290,20 +290,24 @@ func acquireTransferChannel(src, dst *Shim, kind chanKind, perCall bool) (*chann
 		c, hit, err = src.acquireChannel(dst, kind)
 	}
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, err
 	}
 	var setup time.Duration
 	if !hit {
 		setup = sw.Lap()
 		src.acct.CPU(metrics.Kernel, setup)
 	}
-	finish := func(healthy bool) {
-		c.unpin()
-		if perCall || !healthy {
-			c.destroy()
-		}
+	return c, setup, nil
+}
+
+// releaseTransferChannel ends a transfer's use of its channel: failed
+// transfers poison the channel (payload may be stranded in it), and
+// per-call channels always tear down, matching Algorithm 1's close_all.
+func releaseTransferChannel(c *channel, perCall, healthy bool) {
+	c.unpin()
+	if perCall || !healthy {
+		c.destroy()
 	}
-	return c, setup, finish, nil
 }
 
 // pairLock returns the mutex serializing every transfer of the ordered

@@ -81,10 +81,14 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 		return InboundRef{}, metrics.TransferReport{}, ErrSameNode
 	}
 	kind := chanNetwork
+	chunkBytes := src.shim.hoseCap
 	if opts.ForceCopyPath {
 		kind = chanNetworkCopy // plain write/read needs no hose pipes
+		// The copy-path ablation moves the payload as one write/read
+		// exchange and gets no chunk pipelining.
+		chunkBytes = 0
 	}
-	spec := &pipelineSpec{
+	spec := pipelineSpec{
 		mode:        "network",
 		kind:        kind,
 		perCall:     opts.NoChannelCache,
@@ -95,17 +99,15 @@ func NetworkTransfer(src, dst *Function, opts NetworkOptions) (InboundRef, metri
 		dst:         dst,
 		link:        opts.Link,
 		flows:       opts.Flows,
-		egress:      networkEgress(opts),
-		ingress:     networkIngress(opts),
+		chunkBytes:  chunkBytes,
+		sourceRef:   opts.SourceRef,
+		ops:         networkOps{},
+
+		forceCopy:      opts.ForceCopyPath,
+		serializeFirst: opts.SerializeFirst,
+		batchSyscalls:  opts.BatchSyscalls,
 	}
-	if !opts.ForceCopyPath {
-		// Pipeline depth = hose chunks; the copy-path ablation moves the
-		// payload as one write/read exchange and gets no chunk pipelining.
-		spec.chunkCount = func(out OutputRef) int {
-			return hoseChunks(out, src.shim.hoseCap)
-		}
-	}
-	return runPipeline(spec)
+	return runPipeline(&spec)
 }
 
 // hoseChunks is the number of hose-sized chunks a payload crosses in.
@@ -120,202 +122,203 @@ func hoseChunks(out OutputRef, hoseCap int) int {
 	return k
 }
 
-// networkEgress is FunctionA's side of Algorithm 1 (lines 1-13): locate the
+// networkOps is the network-mode stage pair; like kernelOps it is a
+// zero-size stateless type, with the mode's knobs (forceCopy,
+// serializeFirst, batchSyscalls) read from the spec.
+type networkOps struct{}
+
+// egress is FunctionA's side of Algorithm 1 (lines 1-13): locate the
 // output region, optionally serialize (ablation), take the zero-copy view,
 // then vmsplice each chunk into the data hose and splice it onward into the
 // socket. Runs under the source VM lock.
-func networkEgress(opts NetworkOptions) func(*Function, *channel, func(OutputRef), *stageMetrics) (OutputRef, error) {
-	return func(f *Function, ch *channel, announce func(OutputRef), m *stageMetrics) (OutputRef, error) {
-		s := f.shim
+func (networkOps) egress(st *pipelineState) (OutputRef, error) {
+	sp := &st.spec
+	f := sp.src
+	s := f.shim
+	ch := st.ch
 
-		// Algorithm 1 lines 1-4: locate the output region.
-		swIO := metrics.NewStopwatch(s.now)
-		out, err := f.sourceOutput(opts.SourceRef)
-		if err != nil {
-			return OutputRef{}, err
-		}
-		locT := swIO.Lap()
-		s.acct.CPU(metrics.User, locT)
-		m.wasmIO += locT
-
-		// Optional ablation: re-enable in-guest serialization.
-		if opts.SerializeFirst {
-			swSer := metrics.NewStopwatch(s.now)
-			encOut, err := f.callPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
-			if err != nil {
-				return OutputRef{}, fmt.Errorf("serialize ablation: %w", err)
-			}
-			m.serialization += swSer.Lap()
-			out = encOut
-		}
-
-		// read_memory_host: zero-copy view of the source region.
-		swIO2 := metrics.NewStopwatch(s.now)
-		view, err := f.view.ReadView(out.Ptr, out.Len)
-		if err != nil {
-			return OutputRef{}, err
-		}
-		viewT := swIO2.Lap()
-		s.acct.CPU(metrics.User, viewT)
-		m.wasmIO += viewT
-		announce(out)
-
-		// network_data_transfer_source (Algorithm 1 lines 6-13).
-		swT := metrics.NewStopwatch(s.now)
-		if opts.ForceCopyPath {
-			if _, err := s.proc.Write(ch.cfd, view); err != nil {
-				return OutputRef{}, fmt.Errorf("copy-path send: %w", err)
-			}
-		} else {
-			if opts.BatchSyscalls {
-				s.proc.BeginBatch()
-			}
-			for off := 0; off < len(view); {
-				if err := CtxErr(opts.Ctx); err != nil {
-					return OutputRef{}, err
-				}
-				chunk := len(view) - off
-				if chunk > s.hoseCap {
-					chunk = s.hoseCap
-				}
-				// vmsplice(vdh, address, length): gift the guest pages into
-				// the hose without copying.
-				if _, err := s.proc.Vmsplice(ch.wfd, view[off:off+chunk]); err != nil {
-					return OutputRef{}, fmt.Errorf("vmsplice: %w", err)
-				}
-				// splice(vdh, socket, length): move page references to the
-				// socket.
-				for moved := 0; moved < chunk; {
-					n, err := s.proc.Splice(ch.rfd, ch.cfd, chunk-moved)
-					if err != nil {
-						return OutputRef{}, fmt.Errorf("splice out: %w", err)
-					}
-					moved += n
-				}
-				off += chunk
-			}
-			if opts.BatchSyscalls {
-				s.proc.EndBatch()
-			}
-		}
-		sendT := swT.Lap()
-		s.acct.CPU(metrics.Kernel, sendT)
-		m.transfer += sendT
-		return out, nil
+	// Algorithm 1 lines 1-4: locate the output region.
+	swIO := metrics.NewStopwatch(s.now)
+	out, err := f.sourceOutput(sp.sourceRef)
+	if err != nil {
+		return OutputRef{}, err
 	}
+	locT := swIO.Lap()
+	s.acct.CPU(metrics.User, locT)
+	st.em.wasmIO += locT
+
+	// Optional ablation: re-enable in-guest serialization.
+	if sp.serializeFirst {
+		swSer := metrics.NewStopwatch(s.now)
+		encOut, err := f.callPacked(guest.ExportSerialize, uint64(out.Ptr), uint64(out.Len))
+		if err != nil {
+			return OutputRef{}, fmt.Errorf("serialize ablation: %w", err)
+		}
+		st.em.serialization += swSer.Lap()
+		out = encOut
+	}
+
+	// read_memory_host: zero-copy view of the source region.
+	swIO2 := metrics.NewStopwatch(s.now)
+	view, err := f.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return OutputRef{}, err
+	}
+	viewT := swIO2.Lap()
+	s.acct.CPU(metrics.User, viewT)
+	st.em.wasmIO += viewT
+	st.announce(out)
+
+	// network_data_transfer_source (Algorithm 1 lines 6-13).
+	swT := metrics.NewStopwatch(s.now)
+	if sp.forceCopy {
+		if _, err := s.proc.Write(ch.cfd, view); err != nil {
+			return OutputRef{}, fmt.Errorf("copy-path send: %w", err)
+		}
+	} else {
+		if sp.batchSyscalls {
+			s.proc.BeginBatch()
+		}
+		for off := 0; off < len(view); {
+			if err := CtxErr(sp.ctx); err != nil {
+				return OutputRef{}, err
+			}
+			chunk := len(view) - off
+			if chunk > s.hoseCap {
+				chunk = s.hoseCap
+			}
+			// vmsplice(vdh, address, length): gift the guest pages into
+			// the hose without copying.
+			if _, err := s.proc.Vmsplice(ch.wfd, view[off:off+chunk]); err != nil {
+				return OutputRef{}, fmt.Errorf("vmsplice: %w", err)
+			}
+			// splice(vdh, socket, length): move page references to the
+			// socket.
+			for moved := 0; moved < chunk; {
+				n, err := s.proc.Splice(ch.rfd, ch.cfd, chunk-moved)
+				if err != nil {
+					return OutputRef{}, fmt.Errorf("splice out: %w", err)
+				}
+				moved += n
+			}
+			off += chunk
+		}
+		if sp.batchSyscalls {
+			s.proc.EndBatch()
+		}
+	}
+	sendT := swT.Lap()
+	s.acct.CPU(metrics.Kernel, sendT)
+	st.em.transfer += sendT
+	return out, nil
 }
 
-// networkIngress is FunctionB's side of Algorithm 1 (lines 15-29): allocate
+// ingress is FunctionB's side of Algorithm 1 (lines 15-29): allocate
 // target memory, splice each chunk from the socket into the target hose and
 // deposit its pages into linear memory — the single unavoidable copy of the
 // near-zero-copy path — then optionally deserialize (ablation). Runs under
 // the target VM lock.
-func networkIngress(opts NetworkOptions) func(*Function, *channel, OutputRef, *stageMetrics) (InboundRef, error) {
-	return func(f *Function, ch *channel, out OutputRef, m *stageMetrics) (InboundRef, error) {
-		s := f.shim
+func (networkOps) ingress(st *pipelineState, out OutputRef) (InboundRef, error) {
+	sp := &st.spec
+	f := sp.dst
+	s := f.shim
+	ch := st.ch
 
-		swIO := metrics.NewStopwatch(s.now)
-		dstPtr, err := f.view.Allocate(out.Len)
-		if err != nil {
-			return InboundRef{}, err
-		}
-		// Every failure past this point — cancellation, a faulted syscall,
-		// a dead channel — deallocates the region allocated above: the
-		// drain holds the VM lock, so it is the top allocation and the
-		// bump heap rewinds to its pre-transfer position.
-		abort := func(err error) (InboundRef, error) {
-			//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
-			_ = f.view.Deallocate(dstPtr)
-			return InboundRef{}, err
-		}
-		wv, err := f.view.WritableView(dstPtr, out.Len)
-		if err != nil {
-			return abort(err)
-		}
-		allocT := swIO.Lap()
-		s.acct.CPU(metrics.User, allocT)
-		m.wasmIO += allocT
-
-		// network_data_transfer_target (Algorithm 1 lines 21-29).
-		swR := metrics.NewStopwatch(s.now)
-		if opts.ForceCopyPath {
-			for off := 0; off < len(wv); {
-				if err := CtxErr(opts.Ctx); err != nil {
-					return abort(err)
-				}
-				n, err := s.proc.Read(ch.sfd, wv[off:])
-				if err != nil {
-					return abort(fmt.Errorf("copy-path recv: %w", err))
-				}
-				if n == 0 {
-					return abort(fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed))
-				}
-				off += n
-			}
-			recvT := swR.Lap()
-			s.acct.CPU(metrics.Kernel, recvT)
-			m.transfer += recvT
-		} else {
-			if opts.BatchSyscalls {
-				s.proc.BeginBatch()
-			}
-			received := 0
-			for received < int(out.Len) {
-				if err := CtxErr(opts.Ctx); err != nil {
-					return abort(err)
-				}
-				chunk := int(out.Len) - received
-				if chunk > s.hoseCap {
-					chunk = s.hoseCap
-				}
-				// splice(socket_fd, target_vdh, length).
-				for moved := 0; moved < chunk; {
-					n, err := s.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
-					if err != nil {
-						return abort(fmt.Errorf("splice in: %w", err))
-					}
-					moved += n
-				}
-				kernelT := swR.Lap()
-				s.acct.CPU(metrics.Kernel, kernelT)
-				m.transfer += kernelT
-
-				// write_memory_host: deposit the hose pages directly into
-				// the target VM's linear memory — the single unavoidable
-				// copy of the near-zero-copy path.
-				swW := metrics.NewStopwatch(s.now)
-				refs, err := s.proc.ReadRefs(ch.trfd, chunk)
-				if err != nil {
-					return abort(fmt.Errorf("drain hose: %w", err))
-				}
-				off := received
-				for _, ref := range refs {
-					off += copy(wv[off:], ref.Bytes())
-				}
-				pagebuf.ReleaseAll(refs)
-				s.acct.Copy(metrics.User, off-received)
-				received = off
-				wIO := swW.Lap()
-				s.acct.CPU(metrics.User, wIO)
-				m.wasmIO += wIO
-				swR = metrics.NewStopwatch(s.now)
-			}
-			if opts.BatchSyscalls {
-				s.proc.EndBatch()
-			}
-		}
-
-		// Ablation follow-up: decode in the target guest.
-		resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}
-		if opts.SerializeFirst {
-			swDe := metrics.NewStopwatch(s.now)
-			decOut, err := f.callPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
-			if err != nil {
-				return abort(fmt.Errorf("deserialize ablation: %w", err))
-			}
-			m.serialization += swDe.Lap()
-			resultRef = InboundRef{Ptr: decOut.Ptr, Len: decOut.Len}
-		}
-		return resultRef, nil
+	swIO := metrics.NewStopwatch(s.now)
+	dstPtr, err := f.view.Allocate(out.Len)
+	if err != nil {
+		return InboundRef{}, err
 	}
+	// Every failure past this point rewinds the allocation above via
+	// ingressAbort: the drain holds the VM lock, so it is the top
+	// allocation and the bump heap returns to its pre-transfer position.
+	wv, err := f.view.WritableView(dstPtr, out.Len)
+	if err != nil {
+		return ingressAbort(f, dstPtr, err)
+	}
+	allocT := swIO.Lap()
+	s.acct.CPU(metrics.User, allocT)
+	st.im.wasmIO += allocT
+
+	// network_data_transfer_target (Algorithm 1 lines 21-29).
+	swR := metrics.NewStopwatch(s.now)
+	if sp.forceCopy {
+		for off := 0; off < len(wv); {
+			if err := CtxErr(sp.ctx); err != nil {
+				return ingressAbort(f, dstPtr, err)
+			}
+			n, err := s.proc.Read(ch.sfd, wv[off:])
+			if err != nil {
+				return ingressAbort(f, dstPtr, fmt.Errorf("copy-path recv: %w", err))
+			}
+			if n == 0 {
+				return ingressAbort(f, dstPtr, fmt.Errorf("copy-path recv: zero-progress read: %w", kernel.ErrClosed))
+			}
+			off += n
+		}
+		recvT := swR.Lap()
+		s.acct.CPU(metrics.Kernel, recvT)
+		st.im.transfer += recvT
+	} else {
+		if sp.batchSyscalls {
+			s.proc.BeginBatch()
+		}
+		received := 0
+		for received < int(out.Len) {
+			if err := CtxErr(sp.ctx); err != nil {
+				return ingressAbort(f, dstPtr, err)
+			}
+			chunk := int(out.Len) - received
+			if chunk > s.hoseCap {
+				chunk = s.hoseCap
+			}
+			// splice(socket_fd, target_vdh, length).
+			for moved := 0; moved < chunk; {
+				n, err := s.proc.Splice(ch.sfd, ch.twfd, chunk-moved)
+				if err != nil {
+					return ingressAbort(f, dstPtr, fmt.Errorf("splice in: %w", err))
+				}
+				moved += n
+			}
+			kernelT := swR.Lap()
+			s.acct.CPU(metrics.Kernel, kernelT)
+			st.im.transfer += kernelT
+
+			// write_memory_host: deposit the hose pages directly into
+			// the target VM's linear memory — the single unavoidable
+			// copy of the near-zero-copy path.
+			swW := metrics.NewStopwatch(s.now)
+			refs, err := s.proc.ReadRefs(ch.trfd, chunk)
+			if err != nil {
+				return ingressAbort(f, dstPtr, fmt.Errorf("drain hose: %w", err))
+			}
+			off := received
+			for _, ref := range refs {
+				off += copy(wv[off:], ref.Bytes())
+			}
+			pagebuf.ReleaseAll(refs)
+			s.acct.Copy(metrics.User, off-received)
+			received = off
+			wIO := swW.Lap()
+			s.acct.CPU(metrics.User, wIO)
+			st.im.wasmIO += wIO
+			swR = metrics.NewStopwatch(s.now)
+		}
+		if sp.batchSyscalls {
+			s.proc.EndBatch()
+		}
+	}
+
+	// Ablation follow-up: decode in the target guest.
+	resultRef := InboundRef{Ptr: dstPtr, Len: out.Len}
+	if sp.serializeFirst {
+		swDe := metrics.NewStopwatch(s.now)
+		decOut, err := f.callPacked(guest.ExportDeserialize, uint64(dstPtr), uint64(out.Len))
+		if err != nil {
+			return ingressAbort(f, dstPtr, fmt.Errorf("deserialize ablation: %w", err))
+		}
+		st.im.serialization += swDe.Lap()
+		resultRef = InboundRef{Ptr: decOut.Ptr, Len: decOut.Len}
+	}
+	return resultRef, nil
 }

@@ -2,8 +2,9 @@
 // network, multicast) is the same skeleton — resolve the source region,
 // acquire the pair's channel, push pages in (egress), drain pages out into
 // the target's linear memory (ingress), assemble usage and breakdown — and
-// this file owns that skeleton. The per-mode files (transfer.go, network.go,
-// multicast.go) contribute only the two stage bodies.
+// this file owns that skeleton. The per-mode files (transfer.go, network.go)
+// contribute only the two stage bodies, as stateless stageOps
+// implementations; multicast.go orchestrates its fan-out itself.
 //
 // Concurrency model (DESIGN.md §3): the pre-pipeline engine held BOTH VM
 // locks for a transfer's whole duration, so a chain's interior VMs sat
@@ -30,11 +31,22 @@
 // between their stages. lockShims (ordered whole-transfer locking) remains
 // the discipline wherever two VM locks must still nest: the phase-locked
 // ablation regime below.
+//
+// Memory model (DESIGN.md §10): the steady-state transfer path allocates
+// nothing. Per-transfer state — the announce/result channels, both stages'
+// metrics, the spec itself — lives in a pooled pipelineState recycled
+// through a sync.Pool, and the ingress stage runs on a parked stage worker
+// fed through an unbuffered queue rather than a freshly spawned goroutine
+// (a `go` statement with arguments allocates its closure). The recycled
+// channels are never closed: an aborting egress sends an explicit sentinel
+// message instead, so the same channel instance can carry the next
+// transfer's announcement.
 package core
 
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/guest"
@@ -42,7 +54,7 @@ import (
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/netsim"
 )
 
-// errEgressAborted is the ingress goroutine's result when the source stage
+// errEgressAborted is the ingress stage's result when the source stage
 // failed before announcing the payload size; the egress error is the one
 // reported.
 var errEgressAborted = errors.New("core: source stage aborted before announcing output")
@@ -112,9 +124,26 @@ func modeledOverlap(k int, e, w, i time.Duration) time.Duration {
 	return (e + w + i - longest) * time.Duration(k-1) / time.Duration(k)
 }
 
+// stageOps is one transfer mode's pair of stage bodies. Implementations are
+// stateless zero-size types (kernelOps, networkOps): everything a stage
+// needs rides in the pipelineState, so storing an implementation in a spec
+// allocates nothing.
+type stageOps interface {
+	// egress runs under the source VM lock: resolve the output region,
+	// announce it via st.announce (unblocking the target stage), push the
+	// payload into st.ch. It must call st.announce exactly once, before
+	// the first byte moves.
+	egress(st *pipelineState) (OutputRef, error)
+	// ingress runs under the target VM lock: drain st.ch into the
+	// target's linear memory and return the delivered region.
+	ingress(st *pipelineState, out OutputRef) (InboundRef, error)
+}
+
 // pipelineSpec describes one staged cross-sandbox transfer. The engine owns
-// locking, channel lifecycle, stage scheduling and report assembly; egress
-// and ingress are the mode-specific stage bodies.
+// locking, channel lifecycle, stage scheduling and report assembly; ops
+// carries the mode-specific stage bodies, and the remaining fields are the
+// union of the modes' knobs (a plain value struct keeps the spec free of
+// per-call closures).
 type pipelineSpec struct {
 	mode        string // report mode tag
 	kind        chanKind
@@ -125,20 +154,145 @@ type pipelineSpec struct {
 	src, dst    *Function
 	link        *netsim.Link // modeled wire; nil = no network time
 	flows       int
-	// chunkCount reports how many channel chunks the payload crosses in —
-	// the pipeline depth for overlap attribution. Nil means 1 (no
-	// pipelining within the transfer, e.g. the kernel path's single
-	// write/read exchange).
-	chunkCount func(out OutputRef) int
+	// chunkBytes is the channel chunk size the payload crosses in — the
+	// pipeline depth for overlap attribution is ceil(len/chunkBytes).
+	// Zero means 1 chunk (no pipelining within the transfer, e.g. the
+	// kernel path's single write/read exchange).
+	chunkBytes int
+	sourceRef  *OutputRef // pinned source region (see UserOptions.SourceRef)
+	ops        stageOps
 
-	// egress runs under the source VM lock: resolve the output region,
-	// announce it (unblocking the target stage), push the payload into the
-	// channel. It must call announce exactly once, before the first byte
-	// moves.
-	egress func(f *Function, ch *channel, announce func(OutputRef), m *stageMetrics) (OutputRef, error)
-	// ingress runs under the target VM lock: drain the channel into the
-	// target's linear memory and return the delivered region.
-	ingress func(f *Function, ch *channel, out OutputRef, m *stageMetrics) (InboundRef, error)
+	// Network-mode knobs (see NetworkOptions).
+	forceCopy      bool
+	serializeFirst bool
+	batchSyscalls  bool
+}
+
+// chunks is the transfer's pipeline depth for a payload of out.Len bytes.
+func (sp *pipelineSpec) chunks(out OutputRef) int {
+	if sp.chunkBytes <= 0 {
+		return 1
+	}
+	return hoseChunks(out, sp.chunkBytes)
+}
+
+// announceMsg carries the egress announcement to the ingress stage. The
+// aborted sentinel replaces closing the channel — the channels are pooled
+// and reused, and a closed channel could never be.
+type announceMsg struct {
+	out     OutputRef
+	aborted bool
+}
+
+// ingressResult is the ingress stage's outcome.
+type ingressResult struct {
+	ref InboundRef
+	m   stageMetrics
+	err error
+}
+
+// pipelineState is the per-transfer scratch: the spec, the acquired
+// channel, both stages' metrics and the two rendezvous channels. States are
+// recycled through statePool, so a warm transfer allocates none of it; the
+// channels are never closed (see announceMsg) and carry exactly one message
+// each per transfer, which is what makes recycling safe — after the caller
+// receives the ingress result both channels are empty and no goroutine
+// retains the state.
+type pipelineState struct {
+	spec       pipelineSpec
+	ch         *channel
+	em, im     stageMetrics
+	out        OutputRef
+	announced  bool
+	announceCh chan announceMsg
+	ingressCh  chan ingressResult
+}
+
+var statePool = sync.Pool{New: func() any {
+	return &pipelineState{
+		announceCh: make(chan announceMsg, 1),
+		ingressCh:  make(chan ingressResult, 1),
+	}
+}}
+
+// putPipelineState clears the state's references (so a pooled state pins no
+// platform graph) and recycles it.
+func putPipelineState(st *pipelineState) {
+	st.spec = pipelineSpec{}
+	st.ch = nil
+	st.em, st.im = stageMetrics{}, stageMetrics{}
+	st.out = OutputRef{}
+	st.announced = false
+	statePool.Put(st)
+}
+
+// announce records the source's output region and, in the pipelined regime,
+// unblocks the ingress stage. Stage bodies call it exactly once, before the
+// first payload byte moves.
+func (st *pipelineState) announce(o OutputRef) {
+	st.out = o
+	st.announced = true
+	if !st.spec.phaseLocked {
+		st.announceCh <- announceMsg{out: o}
+	}
+}
+
+// ingressQ hands states to parked stage workers. It is unbuffered on
+// purpose: a send succeeds only when a worker is already parked on the
+// other side, and dispatchIngress grows the worker set otherwise.
+var ingressQ = make(chan *pipelineState)
+
+// dispatchIngress schedules st's ingress stage: on a parked stage worker
+// when one is available (the warm path — no goroutine spawn, no
+// allocation), else on a new worker that parks afterwards. Workers live for
+// the process and their population is bounded by the peak number of
+// concurrent transfers.
+func dispatchIngress(st *pipelineState) {
+	select {
+	case ingressQ <- st:
+	default:
+		go ingressWorker(st)
+	}
+}
+
+func ingressWorker(st *pipelineState) {
+	for {
+		st.runIngress()
+		// The state was handed back through st.ingressCh; it must not be
+		// touched again — park for the next transfer's state.
+		st = <-ingressQ
+	}
+}
+
+// runIngress is the target stage: wait for the announced output, then drain
+// under the target VM lock alone. It sends exactly one result on
+// st.ingressCh and touches st never again afterwards.
+func (st *pipelineState) runIngress() {
+	msg := <-st.announceCh
+	if msg.aborted {
+		st.ingressCh <- ingressResult{err: errEgressAborted}
+		return
+	}
+	sp := &st.spec
+	if sp.gates != nil && sp.gates.BeforeIngress != nil {
+		sp.gates.BeforeIngress()
+	}
+	// Stage-boundary cancellation point: the payload is on the wire
+	// (queued in the channel), neither VM lock held. The destroy both
+	// releases the queued pages back to the pool and unblocks an egress
+	// still pushing into a full ring (its write fails with ring-closed,
+	// which the error join in runPipeline overrides with the
+	// cancellation).
+	if err := CtxErr(sp.ctx); err != nil {
+		st.ch.destroy()
+		st.ingressCh <- ingressResult{err: err}
+		return
+	}
+	dstShim := sp.dst.shim
+	dstShim.mu.Lock()
+	ref, err := sp.ops.ingress(st, msg.out)
+	dstShim.mu.Unlock()
+	st.ingressCh <- ingressResult{ref: ref, m: st.im, err: err}
 }
 
 // sourceOutput resolves the region a transfer's source stage reads: the
@@ -160,7 +314,7 @@ func (f *Function) sourceOutput(pinned *OutputRef) (OutputRef, error) {
 // runPipeline executes a staged transfer. Stage scheduling:
 //
 //	caller goroutine:  pair lock → channel → [src lock: egress] → join
-//	ingress goroutine:         wait announce → [dst lock: ingress]
+//	stage worker:              wait announce → [dst lock: ingress]
 //
 // The pair lock is the only lock held across stages; VM locks never nest.
 func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error) {
@@ -179,71 +333,32 @@ func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error)
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := dstShim.acct.Snapshot()
 
-	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, spec.kind, spec.perCall)
+	ch, setup, err := acquireTransferChannel(srcShim, dstShim, spec.kind, spec.perCall)
 	if err != nil {
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
-	healthy := false
-	defer func() { finish(healthy) }()
 
-	// Target stage: waits for the announced output, then drains under the
-	// target VM lock alone.
-	type ingressResult struct {
-		ref InboundRef
-		m   stageMetrics
-		err error
-	}
-	announceCh := make(chan OutputRef, 1)
-	ingressCh := make(chan ingressResult, 1)
-	go func() {
-		out, ok := <-announceCh
-		if !ok {
-			ingressCh <- ingressResult{err: errEgressAborted}
-			return
-		}
-		if spec.gates != nil && spec.gates.BeforeIngress != nil {
-			spec.gates.BeforeIngress()
-		}
-		// Stage-boundary cancellation point: the payload is on the wire
-		// (queued in the channel), neither VM lock held. The destroy both
-		// releases the queued pages back to the pool and unblocks an
-		// egress still pushing into a full ring (its write fails with
-		// ring-closed, which the error join below overrides with the
-		// cancellation).
-		if err := CtxErr(spec.ctx); err != nil {
-			ch.destroy()
-			ingressCh <- ingressResult{err: err}
-			return
-		}
-		var res ingressResult
-		dstShim.mu.Lock()
-		res.ref, res.err = spec.ingress(spec.dst, ch, out, &res.m)
-		dstShim.mu.Unlock()
-		ingressCh <- res
-	}()
+	st := statePool.Get().(*pipelineState)
+	st.spec = *spec
+	st.ch = ch
+	dispatchIngress(st)
 
 	// Source stage, inline, under the source VM lock alone.
-	announced := false
-	var out OutputRef
-	announce := func(o OutputRef) {
-		out = o
-		announced = true
-		announceCh <- o
-	}
-	var em stageMetrics
 	srcShim.mu.Lock()
-	_, eerr := spec.egress(spec.src, ch, announce, &em)
+	_, eerr := spec.ops.egress(st)
 	srcShim.mu.Unlock()
 	if eerr != nil {
-		if !announced {
-			close(announceCh)
+		if !st.announced {
+			st.announceCh <- announceMsg{aborted: true}
 		} else {
 			// The target stage may be blocked draining a channel that will
-			// never fill; poisoning the channel unblocks it. finish
-			// destroys it again below — destroy is idempotent.
+			// never fill; poisoning the channel unblocks it. The release
+			// below destroys it again — destroy is idempotent.
 			ch.destroy()
 		}
-		ires := <-ingressCh
+		ires := <-st.ingressCh
+		putPipelineState(st)
+		releaseTransferChannel(ch, spec.perCall, false)
 		// A cancelled ingress poisons the channel to unblock the egress,
 		// whose push then fails with ring-closed: when the discarded
 		// ingress result carries the cancellation, that is the cause and
@@ -254,11 +369,14 @@ func runPipeline(spec *pipelineSpec) (InboundRef, metrics.TransferReport, error)
 		}
 		return InboundRef{}, metrics.TransferReport{}, eerr
 	}
-	ires := <-ingressCh
+	ires := <-st.ingressCh
+	out, em := st.out, st.em
+	putPipelineState(st)
 	if ires.err != nil {
+		releaseTransferChannel(ch, spec.perCall, false)
 		return InboundRef{}, metrics.TransferReport{}, ires.err
 	}
-	healthy = true
+	releaseTransferChannel(ch, spec.perCall, true)
 
 	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
 	report := assembleReport(spec, out, setup, em, ires.m, usage)
@@ -284,29 +402,38 @@ func runPhaseLocked(spec *pipelineSpec) (InboundRef, metrics.TransferReport, err
 	beforeSrc := srcShim.acct.Snapshot()
 	beforeDst := dstShim.acct.Snapshot()
 
-	ch, setup, finish, err := acquireTransferChannel(srcShim, dstShim, spec.kind, spec.perCall)
+	ch, setup, err := acquireTransferChannel(srcShim, dstShim, spec.kind, spec.perCall)
 	if err != nil {
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
-	healthy := false
-	defer func() { finish(healthy) }()
 
-	var em stageMetrics
-	out, err := spec.egress(spec.src, ch, func(OutputRef) {}, &em)
+	// The state carries the spec and channel to the stage bodies exactly
+	// as in the pipelined regime; phaseLocked makes announce record-only,
+	// and both stages run inline on this goroutine.
+	st := statePool.Get().(*pipelineState)
+	st.spec = *spec
+	st.ch = ch
+
+	out, err := spec.ops.egress(st)
+	if err == nil {
+		// Stage boundary: the phases run strictly sequentially here, so
+		// this is the one cancellation point between send-all and
+		// receive-all.
+		err = CtxErr(spec.ctx)
+	}
 	if err != nil {
+		putPipelineState(st)
+		releaseTransferChannel(ch, spec.perCall, false)
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
-	// Stage boundary: the phases run strictly sequentially here, so this is
-	// the one cancellation point between send-all and receive-all.
-	if err := CtxErr(spec.ctx); err != nil {
-		return InboundRef{}, metrics.TransferReport{}, err
-	}
-	var im stageMetrics
-	ref, err := spec.ingress(spec.dst, ch, out, &im)
+	ref, err := spec.ops.ingress(st, out)
+	em, im := st.em, st.im
+	putPipelineState(st)
 	if err != nil {
+		releaseTransferChannel(ch, spec.perCall, false)
 		return InboundRef{}, metrics.TransferReport{}, err
 	}
-	healthy = true
+	releaseTransferChannel(ch, spec.perCall, true)
 
 	usage := srcShim.acct.Snapshot().Sub(beforeSrc).Add(dstShim.acct.Snapshot().Sub(beforeDst))
 	report := assembleReport(spec, out, setup, em, im, usage)
@@ -330,11 +457,7 @@ func assembleReport(spec *pipelineSpec, out OutputRef, setup time.Duration, em, 
 		bd.Network = spec.link.TransferTime(int64(out.Len), spec.flows)
 	}
 	if !spec.phaseLocked {
-		chunks := 1
-		if spec.chunkCount != nil {
-			chunks = spec.chunkCount(out)
-		}
-		bd.Overlap = modeledOverlap(chunks, em.activity(), bd.Network, im.activity())
+		bd.Overlap = modeledOverlap(spec.chunks(out), em.activity(), bd.Network, im.activity())
 	}
 	return metrics.TransferReport{
 		Bytes:     int64(out.Len),

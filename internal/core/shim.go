@@ -230,7 +230,8 @@ func (s *Shim) AddFunction(name string) (*Function, error) {
 	imports.Add(abi.ImportModule, abi.ImportSendToHost, abi.SendToHostImport(func(ptr, n uint32) {
 		if f.view != nil {
 			f.view.RegisterOutput(ptr, n)
-			f.out = &OutputRef{Ptr: ptr, Len: n}
+			f.out = OutputRef{Ptr: ptr, Len: n}
+			f.hasOut = true
 		}
 	}))
 
@@ -300,7 +301,12 @@ type Function struct {
 	shim *Shim
 	inst *wasm.Instance
 	view *abi.View
-	out  *OutputRef
+	// out is the function's current output region, valid when hasOut is
+	// set. A value field rather than a pointer: locate runs on every
+	// transfer, and re-boxing the region each time was a per-transfer heap
+	// allocation.
+	out    OutputRef
+	hasOut bool
 }
 
 // Name returns the function name.
@@ -322,10 +328,10 @@ func (f *Function) Instance() *wasm.Instance { return f.inst }
 func (f *Function) Output() (OutputRef, error) {
 	f.shim.mu.Lock()
 	defer f.shim.mu.Unlock()
-	if f.out == nil {
+	if !f.hasOut {
 		return OutputRef{}, fmt.Errorf("%s: %w", f.name, ErrNoOutput)
 	}
-	return *f.out, nil
+	return f.out, nil
 }
 
 // call runs a guest export, measuring its duration as user CPU. Callers hold
@@ -346,8 +352,9 @@ func (f *Function) callPacked(name string, args ...uint64) (OutputRef, error) {
 	if err != nil {
 		return OutputRef{}, fmt.Errorf("%s: %s: %w", f.name, name, err)
 	}
-	f.out = &OutputRef{Ptr: ptr, Len: n}
-	return *f.out, nil
+	f.out = OutputRef{Ptr: ptr, Len: n}
+	f.hasOut = true
+	return f.out, nil
 }
 
 // CallPacked invokes a packed-result guest export (produce/serialize style),
@@ -358,11 +365,19 @@ func (f *Function) CallPacked(name string, args ...uint64) (OutputRef, error) {
 	return f.callPacked(name, args...)
 }
 
-// Call invokes any guest export, charging guest time as user CPU.
+// Call invokes any guest export, charging guest time as user CPU. The
+// results are copied before the VM lock drops: the interpreter's return
+// slice aliases a recycled call frame that the next call on this VM
+// overwrites, and unlike the transfer paths (which consume results while
+// still holding the lock) Call's callers read them afterwards.
 func (f *Function) Call(name string, args ...uint64) ([]uint64, error) {
 	f.shim.mu.Lock()
 	defer f.shim.mu.Unlock()
-	return f.call(name, args...)
+	res, err := f.call(name, args...)
+	if len(res) > 0 {
+		res = append([]uint64(nil), res...)
+	}
+	return res, err
 }
 
 // Deallocate returns a delivered region to the guest allocator
@@ -393,6 +408,7 @@ func (f *Function) locateQuiet() (OutputRef, error) {
 	if err != nil {
 		return OutputRef{}, err
 	}
-	f.out = &OutputRef{Ptr: ptr, Len: n}
-	return *f.out, nil
+	f.out = OutputRef{Ptr: ptr, Len: n}
+	f.hasOut = true
+	return f.out, nil
 }

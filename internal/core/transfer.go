@@ -20,6 +20,16 @@ type InboundRef struct {
 	Len uint32
 }
 
+// ingressAbort rewinds an aborted ingress stage: the drain holds the VM
+// lock, so dstPtr is the VM's top allocation and handing it back leaves the
+// target's bump heap where the transfer found it. Shared by every ingress
+// failure path — cancellation, a faulted syscall, a dead channel.
+func ingressAbort(f *Function, dstPtr uint32, err error) (InboundRef, error) {
+	//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
+	_ = f.view.Deallocate(dstPtr)
+	return InboundRef{}, err
+}
+
 // UserOptions tunes a user-space transfer.
 type UserOptions struct {
 	// Ctx cancels the transfer; nil means never cancelled. The user-space
@@ -116,6 +126,81 @@ type KernelOptions struct {
 	Gates *PipelineGates
 }
 
+// kernelOps is the kernel-mode stage pair. A zero-size stateless type:
+// everything the stages need travels in the pipelineState, so a warm
+// transfer builds no per-call closures.
+type kernelOps struct{}
+
+// egress is steps 1-2 then the send half: locate + zero-copy read of the
+// source region (Wasm IO), one copy_from_user into the socketpair. Runs
+// under the source VM lock.
+func (kernelOps) egress(st *pipelineState) (OutputRef, error) {
+	f := st.spec.src
+	s := f.shim
+	swIO := metrics.NewStopwatch(s.now)
+	out, err := f.sourceOutput(st.spec.sourceRef)
+	if err != nil {
+		return OutputRef{}, err
+	}
+	view, err := f.view.ReadView(out.Ptr, out.Len)
+	if err != nil {
+		return OutputRef{}, err
+	}
+	ioT := swIO.Lap()
+	s.acct.CPU(metrics.User, ioT)
+	st.em.wasmIO += ioT
+	st.announce(out)
+
+	swT := metrics.NewStopwatch(s.now)
+	if _, err := s.proc.Write(st.ch.fdA, view); err != nil {
+		return OutputRef{}, fmt.Errorf("ipc send: %w", err)
+	}
+	sendT := swT.Lap()
+	s.acct.CPU(metrics.Kernel, sendT)
+	st.em.transfer += sendT
+	return out, nil
+}
+
+// ingress is steps 4-6: allocate in the target and receive straight into
+// its linear memory. Runs under the target VM lock.
+func (kernelOps) ingress(st *pipelineState, out OutputRef) (InboundRef, error) {
+	f := st.spec.dst
+	s := f.shim
+	swIO := metrics.NewStopwatch(s.now)
+	dstPtr, err := f.view.Allocate(out.Len)
+	if err != nil {
+		return InboundRef{}, err
+	}
+	allocT := swIO.Lap()
+	s.acct.CPU(metrics.User, allocT)
+	st.im.wasmIO += allocT
+
+	swR := metrics.NewStopwatch(s.now)
+	wv, err := f.view.WritableView(dstPtr, out.Len)
+	if err != nil {
+		return ingressAbort(f, dstPtr, err)
+	}
+	for off := 0; off < len(wv); {
+		if err := CtxErr(st.spec.ctx); err != nil {
+			return ingressAbort(f, dstPtr, err)
+		}
+		n, err := s.proc.Read(st.ch.fdB, wv[off:])
+		if err != nil {
+			return ingressAbort(f, dstPtr, fmt.Errorf("ipc recv: %w", err))
+		}
+		if n == 0 {
+			// A zero-progress read means the channel can never deliver the
+			// remaining bytes; looping would spin forever.
+			return ingressAbort(f, dstPtr, fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed))
+		}
+		off += n
+	}
+	recvT := swR.Lap()
+	s.acct.CPU(metrics.Kernel, recvT)
+	st.im.transfer += recvT
+	return InboundRef{Ptr: dstPtr, Len: out.Len}, nil
+}
+
 // KernelSpaceTransfer moves the source's output to a function in a different
 // sandbox on the same host via Unix-socket IPC (§4.2, Fig. 4b; §5 uses Unix
 // sockets as the IPC mechanism). The payload crosses the kernel exactly
@@ -135,7 +220,7 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 	if src.shim.Kernel() != dst.shim.Kernel() {
 		return InboundRef{}, metrics.TransferReport{}, ErrDifferentNode
 	}
-	spec := &pipelineSpec{
+	spec := pipelineSpec{
 		mode:        "kernel",
 		kind:        chanKernel,
 		perCall:     opts.NoChannelCache,
@@ -144,83 +229,8 @@ func KernelSpaceTransfer(src, dst *Function, opts KernelOptions) (InboundRef, me
 		gates:       opts.Gates,
 		src:         src,
 		dst:         dst,
-
-		// Steps 1-2 then the send half: locate + zero-copy read of the
-		// source region (Wasm IO), one copy_from_user into the socketpair.
-		egress: func(f *Function, ch *channel, announce func(OutputRef), m *stageMetrics) (OutputRef, error) {
-			s := f.shim
-			swIO := metrics.NewStopwatch(s.now)
-			out, err := f.sourceOutput(opts.SourceRef)
-			if err != nil {
-				return OutputRef{}, err
-			}
-			view, err := f.view.ReadView(out.Ptr, out.Len)
-			if err != nil {
-				return OutputRef{}, err
-			}
-			ioT := swIO.Lap()
-			s.acct.CPU(metrics.User, ioT)
-			m.wasmIO += ioT
-			announce(out)
-
-			swT := metrics.NewStopwatch(s.now)
-			if _, err := s.proc.Write(ch.fdA, view); err != nil {
-				return OutputRef{}, fmt.Errorf("ipc send: %w", err)
-			}
-			sendT := swT.Lap()
-			s.acct.CPU(metrics.Kernel, sendT)
-			m.transfer += sendT
-			return out, nil
-		},
-
-		// Steps 4-6: allocate in the target and receive straight into its
-		// linear memory.
-		ingress: func(f *Function, ch *channel, out OutputRef, m *stageMetrics) (InboundRef, error) {
-			s := f.shim
-			swIO := metrics.NewStopwatch(s.now)
-			dstPtr, err := f.view.Allocate(out.Len)
-			if err != nil {
-				return InboundRef{}, err
-			}
-			// The drain holds the VM lock, so dstPtr is the VM's top
-			// allocation: every failure past this point — cancellation or a
-			// faulted syscall — hands it back so an aborted ingress leaves
-			// the target's bump heap where it found it.
-			abort := func(err error) (InboundRef, error) {
-				//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
-				_ = f.view.Deallocate(dstPtr)
-				return InboundRef{}, err
-			}
-			allocT := swIO.Lap()
-			s.acct.CPU(metrics.User, allocT)
-			m.wasmIO += allocT
-
-			swR := metrics.NewStopwatch(s.now)
-			wv, err := f.view.WritableView(dstPtr, out.Len)
-			if err != nil {
-				return abort(err)
-			}
-			for off := 0; off < len(wv); {
-				if err := CtxErr(opts.Ctx); err != nil {
-					return abort(err)
-				}
-				n, err := s.proc.Read(ch.fdB, wv[off:])
-				if err != nil {
-					return abort(fmt.Errorf("ipc recv: %w", err))
-				}
-				if n == 0 {
-					// A zero-progress read means the channel can never
-					// deliver the remaining bytes; looping would spin
-					// forever.
-					return abort(fmt.Errorf("ipc recv: zero-progress read: %w", kernel.ErrClosed))
-				}
-				off += n
-			}
-			recvT := swR.Lap()
-			s.acct.CPU(metrics.Kernel, recvT)
-			m.transfer += recvT
-			return InboundRef{Ptr: dstPtr, Len: out.Len}, nil
-		},
+		sourceRef:   opts.SourceRef,
+		ops:         kernelOps{},
 	}
-	return runPipeline(spec)
+	return runPipeline(&spec)
 }

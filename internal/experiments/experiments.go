@@ -94,8 +94,11 @@ func Quick() Options {
 // pipeline chain experiment; version 5 added the placement experiment
 // (locality vs round-robin routing over replicated instance pools);
 // version 6 added the failure experiment (aggregate throughput with 1 of
-// 16 replicas killed mid-load, pinned to proportional degradation).
-const SchemaVersion = 6
+// 16 replicas killed mid-load, pinned to proportional degradation);
+// version 7 added the hotpath experiment (aggregate small-transfer
+// throughput, 1..GOMAXPROCS workers, sharded run queues vs the
+// single-queue scheduler baseline).
+const SchemaVersion = 7
 
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
@@ -267,11 +270,12 @@ var Registry = map[string]func(Options) (*Result, error){
 	"pipeline":  Pipeline,
 	"placement": Placement,
 	"failure":   Failure,
+	"hotpath":   Hotpath,
 }
 
 // IDs lists the experiment identifiers, paper figures first.
 func IDs() []string {
-	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement", "failure"}
+	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement", "failure", "hotpath"}
 }
 
 // RunAll executes every experiment and prints the results.

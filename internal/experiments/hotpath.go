@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	roadrunner "github.com/polaris-slo-cloud/roadrunner-go"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/sched"
+)
+
+// System labels for the hotpath experiment.
+const (
+	SysSharded     = "Sharded run queues"
+	SysSingleQueue = "Single queue (pre-shard baseline)"
+)
+
+const (
+	// hotpathPayload is one simulated kernel page: the smallest transfer
+	// the data plane moves, which maximises the scheduler's share of each
+	// task and makes the experiment a dispatch benchmark rather than a
+	// bandwidth benchmark.
+	hotpathPayload = 4 << 10
+	// hotpathTasksPerWorker scales the load with the worker count so every
+	// sweep point measures the same per-worker task pressure; sized for
+	// tens of milliseconds of steady state per point, enough to dampen
+	// scheduler-noise jitter in the recorded trajectory.
+	hotpathTasksPerWorker = 4096
+	// hotpathQueue is the per-point submission-queue depth; deep enough
+	// that admission backpressure never idles a worker mid-run.
+	hotpathQueue = 256
+)
+
+// hotpathSpeedupBound is the acceptance bar BENCH_8 pins on machines with
+// enough cores to expose submit-side contention: at GOMAXPROCS >= 8, the
+// sharded pool must deliver at least this multiple of the single-queue
+// baseline's aggregate small-transfer throughput at the full worker count.
+// Below 8 cores the sweep still runs and records both systems, but the
+// ratio is dominated by the data plane rather than the scheduler, so the
+// bound is not enforced.
+const hotpathSpeedupBound = 5.0
+
+// hotpathEnforceAt is the GOMAXPROCS threshold above which the speedup
+// bound applies.
+const hotpathEnforceAt = 8
+
+// submitPool is the slice of the scheduler API the experiment drives —
+// satisfied by both sched.Pool and sched.SingleQueuePool, so the sweep can
+// run the identical workload through each implementation.
+type submitPool interface {
+	Submit(fn func()) error
+	Wait()
+	Close()
+}
+
+// Hotpath measures aggregate small-transfer throughput across a warm
+// replicated pool as the worker count grows from 1 to GOMAXPROCS — the
+// BENCH_8 scheduler-scaling experiment (not a paper figure; the paper's
+// sweeps hold concurrency fixed and grow the payload). Each task is one
+// warm same-node kernel-space transfer of a single 4 KiB page between a
+// pinned (source, target) replica pair, so the per-task data-plane cost is
+// as small as the platform can make it and the run's scaling is governed
+// by the dispatch path: the sharded per-worker run queues versus the
+// pre-shard single mutex-guarded queue. On machines with GOMAXPROCS >= 8
+// the run errors if the sharded pool's aggregate throughput at the full
+// worker count is not at least 5x the single-queue baseline's — the bound
+// that keeps the scheduler shard from silently re-serializing.
+func Hotpath(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	maxW := runtime.GOMAXPROCS(0)
+	res := &Result{
+		ID:     "hotpath",
+		Mode:   "sched-scaling",
+		Title:  fmt.Sprintf("Aggregate %d KiB kernel-transfer throughput, 1..%d workers", hotpathPayload>>10, maxW),
+		XLabel: "workers",
+	}
+
+	var shardedBest, singleBest float64
+	for _, w := range hotpathWorkerAxis(maxW) {
+		sharded, err := hotpathPoint(SysSharded, w, sched.New(w, hotpathQueue))
+		if err != nil {
+			return nil, fmt.Errorf("sharded w=%d: %w", w, err)
+		}
+		single, err := hotpathPoint(SysSingleQueue, w, sched.NewSingleQueue(w, hotpathQueue))
+		if err != nil {
+			return nil, fmt.Errorf("single-queue w=%d: %w", w, err)
+		}
+		res.Points = append(res.Points, sharded, single)
+		if w == maxW {
+			shardedBest, singleBest = sharded.RPS, single.RPS
+		}
+	}
+
+	if singleBest <= 0 || shardedBest <= 0 {
+		return nil, fmt.Errorf("degenerate throughput: sharded %.1f rps, single-queue %.1f rps", shardedBest, singleBest)
+	}
+	speedup := shardedBest / singleBest
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"aggregate throughput at %d worker(s): %.0f rps sharded vs %.0f rps single-queue (%.2fx; bound %.0fx enforced at GOMAXPROCS>=%d)",
+		maxW, shardedBest, singleBest, speedup, hotpathSpeedupBound, hotpathEnforceAt))
+	if maxW >= hotpathEnforceAt && speedup < hotpathSpeedupBound {
+		return nil, fmt.Errorf("sharded pool delivered %.2fx the single-queue baseline at %d workers — below the %.0fx bound",
+			speedup, maxW, hotpathSpeedupBound)
+	}
+	return res, nil
+}
+
+// hotpathWorkerAxis returns the sweep's worker counts: powers of two from 1
+// up to, and always including, GOMAXPROCS.
+func hotpathWorkerAxis(maxW int) []int {
+	axis := []int{}
+	for w := 1; w < maxW; w <<= 1 {
+		axis = append(axis, w)
+	}
+	return append(axis, maxW)
+}
+
+// hotpathPoint drives one (system, workers) measurement: a fresh platform
+// with w source and w target replicas on one node, every (i, i) replica
+// pair's kernel channel warmed by an untimed transfer, then w *
+// hotpathTasksPerWorker transfers submitted through the pool and drained.
+// Throughput is tasks over the submit-to-drain wall clock; latency is the
+// mean per-transfer occupancy (wall clock times workers over tasks).
+func hotpathPoint(system string, w int, pool submitPool) (Point, error) {
+	defer pool.Close()
+	p := roadrunner.New()
+	defer p.Close()
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "src", Replicas: w, Node: "cloud"})
+	if err != nil {
+		return Point{}, err
+	}
+	dst, err := p.Deploy(roadrunner.FunctionSpec{Name: "dst", Replicas: w, Node: "cloud"})
+	if err != nil {
+		return Point{}, err
+	}
+
+	// Pin each lane to its own replica pair: distinct shims execute in
+	// parallel, and the warm-up transfer below establishes each pair's
+	// persistent kernel channel so the timed run is all warm path. The
+	// source produces its page once; every transfer re-reads that output.
+	xfer := func(lane int) error {
+		ref, _, err := p.Transfer(src, dst,
+			roadrunner.WithSourceInstance(src.Instance(lane)),
+			roadrunner.WithTargetInstance(dst.Instance(lane)))
+		if err != nil {
+			return err
+		}
+		return dst.Instance(lane).Release(ref)
+	}
+	for lane := 0; lane < w; lane++ {
+		if err := src.Instance(lane).Produce(hotpathPayload); err != nil {
+			return Point{}, fmt.Errorf("produce lane %d: %w", lane, err)
+		}
+		if err := xfer(lane); err != nil {
+			return Point{}, fmt.Errorf("warm-up lane %d: %w", lane, err)
+		}
+	}
+
+	tasks := w * hotpathTasksPerWorker
+	var failed atomic.Pointer[error]
+	start := time.Now()
+	for k := 0; k < tasks; k++ {
+		lane := k % w
+		if err := pool.Submit(func() {
+			if err := xfer(lane); err != nil {
+				failed.CompareAndSwap(nil, &err)
+			}
+		}); err != nil {
+			return Point{}, fmt.Errorf("submit %d: %w", k, err)
+		}
+	}
+	pool.Wait()
+	wall := time.Since(start)
+	if perr := failed.Load(); perr != nil {
+		return Point{}, *perr
+	}
+	if wall <= 0 {
+		return Point{}, fmt.Errorf("degenerate wall clock %v", wall)
+	}
+
+	pt := pointFromPublic(system, float64(w), roadrunner.Report{})
+	pt.RPS = float64(tasks) / wall.Seconds()
+	pt.Latency = wall * time.Duration(w) / time.Duration(tasks)
+	return pt, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestHotpathWorkerAxis(t *testing.T) {
+	cases := []struct {
+		maxW int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+		{16, []int{1, 2, 4, 8, 16}},
+	}
+	for _, c := range cases {
+		got := hotpathWorkerAxis(c.maxW)
+		if len(got) != len(c.want) {
+			t.Fatalf("axis(%d) = %v, want %v", c.maxW, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("axis(%d) = %v, want %v", c.maxW, got, c.want)
+			}
+		}
+	}
+}
+
+// TestHotpathShape runs the sweep and pins its structure: both systems
+// measured at every worker count up to GOMAXPROCS, every point with
+// positive throughput. The 5x speedup bound is enforced inside Hotpath
+// itself when the machine has >= 8 cores, so a passing run on such a
+// machine is also the acceptance check.
+func TestHotpathShape(t *testing.T) {
+	res, err := Hotpath(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := hotpathWorkerAxis(runtime.GOMAXPROCS(0))
+	if len(res.Points) != 2*len(axis) {
+		t.Fatalf("got %d points, want %d (2 systems x %d worker counts)", len(res.Points), 2*len(axis), len(axis))
+	}
+	for _, w := range axis {
+		pts := bySystem(res.Points, float64(w))
+		for _, sys := range []string{SysSharded, SysSingleQueue} {
+			pt, ok := pts[sys]
+			if !ok {
+				t.Fatalf("workers=%d: missing system %q", w, sys)
+			}
+			if pt.RPS <= 0 || pt.Latency <= 0 {
+				t.Fatalf("workers=%d %s: degenerate point %+v", w, sys, pt)
+			}
+		}
+	}
+	if len(res.Notes) == 0 {
+		t.Fatal("expected a speedup note")
+	}
+}

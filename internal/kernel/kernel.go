@@ -280,6 +280,16 @@ func (p *Proc) CloseAll() {
 	}
 }
 
+// refScratch recycles the transient []Ref runs Write builds between
+// AppendCopy and writeRefs. The run only carries references across that
+// window — buffers copy the Ref values into their own queues — so the
+// backing array is reusable the moment writeRefs returns, and a warm Write
+// allocates nothing.
+var refScratch = sync.Pool{New: func() any {
+	s := make([]pagebuf.Ref, 0, 64)
+	return &s
+}}
+
 // Write copies b from user space into the file's kernel buffer, exactly as
 // write(2) does: one syscall, one copy_from_user of the full payload. It
 // blocks until the buffer accepts all bytes.
@@ -293,9 +303,16 @@ func (p *Proc) Write(fd int, b []byte) (int, error) {
 	}
 	p.syscall()
 	p.acct.Copy(metrics.Kernel, len(b))
-	refs := p.k.pool.Copy(b)
-	if err := f.writeRefs(refs); err != nil {
-		return 0, fmt.Errorf("write fd %d: %w", fd, err)
+	sp := refScratch.Get().(*[]pagebuf.Ref)
+	refs := p.k.pool.AppendCopy((*sp)[:0], b)
+	werr := f.writeRefs(refs)
+	// Clear before recycling: a pooled array must not pin pages the buffer
+	// now owns. (On error writeRefs already released the refs it rejected.)
+	clear(refs)
+	*sp = refs[:0]
+	refScratch.Put(sp)
+	if werr != nil {
+		return 0, fmt.Errorf("write fd %d: %w", fd, werr)
 	}
 	return len(b), nil
 }
@@ -332,8 +349,17 @@ func (p *Proc) Vmsplice(fd int, b []byte) (int, error) {
 		return 0, fmt.Errorf("vmsplice fd %d: %w", fd, ErrNotSupported)
 	}
 	p.syscall()
-	if err := f.writeRefs(pagebuf.Gift(b)); err != nil {
-		return 0, fmt.Errorf("vmsplice fd %d: %w", fd, err)
+	// The ref run rides the pooled scratch (the pipe copies the values);
+	// only the gifted page headers — which live until the pages drain —
+	// are allocated, in one run-sized block inside AppendGift.
+	sp := refScratch.Get().(*[]pagebuf.Ref)
+	refs := pagebuf.AppendGift((*sp)[:0], b)
+	werr := f.writeRefs(refs)
+	clear(refs)
+	*sp = refs[:0]
+	refScratch.Put(sp)
+	if werr != nil {
+		return 0, fmt.Errorf("vmsplice fd %d: %w", fd, werr)
 	}
 	return len(b), nil
 }

@@ -15,6 +15,7 @@ package pagebuf
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -24,6 +25,14 @@ import (
 // moves by reference.
 const PageSize = 4096
 
+// maxFreePages bounds how many spare pages the pool keeps for reuse across
+// all shards — 1024 pages, i.e. 4 MiB of recycled buffer memory. Pages
+// returned beyond the bound are dropped to the garbage collector, so a
+// burst that inflates the pool does not pin its high-water mark forever.
+// (This names the former magic 1024 in put; the per-shard share is derived
+// from it in NewPool.)
+const maxFreePages = 1024
+
 // ErrReleased is returned when a Ref is used after its page was released.
 var ErrReleased = errors.New("pagebuf: use of released page reference")
 
@@ -31,9 +40,10 @@ var ErrReleased = errors.New("pagebuf: use of released page reference")
 // (allocated by a Pool, returned to it when the count drops to zero) or
 // gifted (wrapping caller memory; simply dropped when released).
 type page struct {
-	data []byte // always len <= PageSize for pool pages; arbitrary for gifted
-	refs atomic.Int32
-	pool *Pool // nil for gifted pages
+	data  []byte // always len <= PageSize for pool pages; arbitrary for gifted
+	refs  atomic.Int32
+	pool  *Pool  // nil for gifted pages
+	shard uint32 // home free-list shard for pool pages
 }
 
 // Ref is a view of a sub-range of a page. Refs are the unit of zero-copy
@@ -98,17 +108,51 @@ func (r Ref) Slice(from, to int) Ref {
 	return nr
 }
 
+// poolShard is one stripe of the pool's free list. The trailing pad keeps
+// each shard on its own cache line so two cores recycling pages do not
+// false-share.
+type poolShard struct {
+	mu   sync.Mutex
+	free []*page
+	_    [32]byte
+}
+
 // Pool allocates and recycles pages, tracking resident bytes so the metrics
 // layer can report kernel-buffer memory usage.
+//
+// The free list is striped across GOMAXPROCS-sized shards (rounded up to a
+// power of two for cheap masking). An allocation run visits exactly one
+// shard — AppendCopy pops every recycled page it needs under a single lock
+// hold — and a released page returns to the shard it came from, so parallel
+// transfers recycle pages without funnelling through one mutex. Resident
+// and peak accounting stay exact: they are global atomics updated once per
+// batch with the batch's full byte count.
 type Pool struct {
-	mu       sync.Mutex
-	free     []*page
+	shards       []poolShard
+	mask         uint32 // len(shards) - 1; shard count is a power of two
+	perShardFree int    // maxFreePages / len(shards), at least 1
+	cursor       atomic.Uint32
+
 	resident atomic.Int64 // bytes currently held by live pool pages
 	peak     atomic.Int64
 }
 
-// NewPool returns an empty page pool.
-func NewPool() *Pool { return &Pool{} }
+// NewPool returns an empty page pool striped for the current GOMAXPROCS.
+func NewPool() *Pool {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	per := maxFreePages / n
+	if per < 1 {
+		per = 1
+	}
+	return &Pool{
+		shards:       make([]poolShard, n),
+		mask:         uint32(n - 1),
+		perShardFree: per,
+	}
+}
 
 // Resident reports the number of bytes in live (referenced) pool pages.
 func (pl *Pool) Resident() int64 { return pl.resident.Load() }
@@ -116,50 +160,133 @@ func (pl *Pool) Resident() int64 { return pl.resident.Load() }
 // PeakResident reports the maximum observed resident size.
 func (pl *Pool) PeakResident() int64 { return pl.peak.Load() }
 
-func (pl *Pool) get() *page {
-	pl.mu.Lock()
-	var p *page
-	if n := len(pl.free); n > 0 {
-		p = pl.free[n-1]
-		pl.free = pl.free[:n-1]
-	}
-	pl.mu.Unlock()
-	if p == nil {
-		p = &page{data: make([]byte, PageSize), pool: pl}
-	}
-	p.refs.Store(1)
-	res := pl.resident.Add(PageSize)
+// account records a batch of got pages against the resident gauge and
+// advances the peak watermark.
+func (pl *Pool) account(bytes int64) {
+	res := pl.resident.Add(bytes)
 	for {
 		peak := pl.peak.Load()
 		if res <= peak || pl.peak.CompareAndSwap(peak, res) {
-			break
+			return
 		}
 	}
-	return p
 }
 
+// put returns a single dead page to its home shard.
 func (pl *Pool) put(p *page) {
 	pl.resident.Add(-PageSize)
-	pl.mu.Lock()
-	if len(pl.free) < 1024 { // bound the free list; excess pages go to GC
-		pl.free = append(pl.free, p)
+	sh := &pl.shards[p.shard]
+	sh.mu.Lock()
+	if len(sh.free) < pl.perShardFree {
+		sh.free = append(sh.free, p)
 	}
-	pl.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// putBatch returns a run of dead pages, one lock hold per contiguous
+// same-shard group (a run allocated together comes from one shard, so the
+// common case is a single hold).
+func (pl *Pool) putBatch(pages []*page) {
+	if len(pages) == 0 {
+		return
+	}
+	pl.resident.Add(-int64(len(pages)) * PageSize)
+	for i := 0; i < len(pages); {
+		s := pages[i].shard
+		j := i + 1
+		for j < len(pages) && pages[j].shard == s {
+			j++
+		}
+		sh := &pl.shards[s]
+		sh.mu.Lock()
+		for _, p := range pages[i:j] {
+			if len(sh.free) < pl.perShardFree {
+				sh.free = append(sh.free, p)
+			}
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+}
+
+// AppendCopy copies b into pool pages and appends the references to refs,
+// returning the extended slice. It is the batched allocation path: all
+// recycled pages for the run are popped from one shard under one lock hold,
+// fresh pages fill the remainder, and the resident/peak accounting is one
+// atomic update for the whole run. Passing a pre-sized refs slice makes the
+// call allocation-free. This models copy_from_user into kernel pages (e.g.
+// a plain write(2) to a pipe or socket); the copy is real; the caller
+// meters it.
+func (pl *Pool) AppendCopy(refs []Ref, b []byte) []Ref {
+	if len(b) == 0 {
+		return refs
+	}
+	need := (len(b) + PageSize - 1) / PageSize
+	base := len(refs)
+	si := pl.cursor.Add(1) & pl.mask
+	// Pop recycled pages shard by shard, starting at the cursor's pick: a
+	// run that outsizes one shard's cache steals from the others before
+	// falling back to fresh allocation, one lock hold per shard visited
+	// (one total in the common case of a run within the home shard).
+	got := 0
+	for i := uint32(0); i <= pl.mask && got < need; i++ {
+		sh := &pl.shards[(si+i)&pl.mask]
+		sh.mu.Lock()
+		take := need - got
+		if n := len(sh.free); take > n {
+			take = n
+		}
+		for j := 0; j < take; j++ {
+			p := sh.free[len(sh.free)-1]
+			sh.free = sh.free[:len(sh.free)-1]
+			refs = append(refs, Ref{p: p})
+		}
+		sh.mu.Unlock()
+		got += take
+	}
+	for i := got; i < need; i++ {
+		refs = append(refs, Ref{p: &page{data: make([]byte, PageSize), pool: pl, shard: si}})
+	}
+	pl.account(int64(need) * PageSize)
+	for i := base; i < len(refs); i++ {
+		p := refs[i].p
+		p.refs.Store(1)
+		n := copy(p.data[:PageSize], b)
+		refs[i].off = 0
+		refs[i].n = n
+		b = b[n:]
+	}
+	return refs
 }
 
 // Copy copies b into freshly allocated pool pages and returns the references.
-// This models copy_from_user into kernel pages (e.g. a plain write(2) to a
-// pipe or socket). The copy is real; the caller meters it.
 func (pl *Pool) Copy(b []byte) []Ref {
 	if len(b) == 0 {
 		return nil
 	}
-	refs := make([]Ref, 0, (len(b)+PageSize-1)/PageSize)
-	for len(b) > 0 {
-		p := pl.get()
-		n := copy(p.data, b)
-		refs = append(refs, Ref{p: p, n: n})
-		b = b[n:]
+	return pl.AppendCopy(make([]Ref, 0, (len(b)+PageSize-1)/PageSize), b)
+}
+
+// AppendGift wraps caller memory in page references without copying,
+// appending to refs. The page headers for the whole run come from a single
+// allocation, so a large vmsplice does not pay one header allocation per
+// chunk; with a pre-sized refs slice the call performs exactly one.
+func AppendGift(refs []Ref, b []byte) []Ref {
+	if len(b) == 0 {
+		return refs
+	}
+	chunks := (len(b) + PageSize - 1) / PageSize
+	pages := make([]page, chunks)
+	for i := 0; i < chunks; i++ {
+		off := i * PageSize
+		end := off + PageSize
+		if end > len(b) {
+			end = len(b)
+		}
+		p := &pages[i]
+		p.data = b[off:end]
+		p.refs.Store(1)
+		refs = append(refs, Ref{p: p, n: end - off})
 	}
 	return refs
 }
@@ -172,17 +299,7 @@ func Gift(b []byte) []Ref {
 	if len(b) == 0 {
 		return nil
 	}
-	refs := make([]Ref, 0, (len(b)+PageSize-1)/PageSize)
-	for off := 0; off < len(b); off += PageSize {
-		end := off + PageSize
-		if end > len(b) {
-			end = len(b)
-		}
-		p := &page{data: b[off:end]}
-		p.refs.Store(1)
-		refs = append(refs, Ref{p: p, n: end - off})
-	}
-	return refs
+	return AppendGift(make([]Ref, 0, (len(b)+PageSize-1)/PageSize), b)
 }
 
 // TotalLen sums the payload length of a reference run.
@@ -194,9 +311,35 @@ func TotalLen(refs []Ref) int {
 	return n
 }
 
-// ReleaseAll releases every reference in refs.
+// ReleaseAll releases every reference in refs, returning pages that die
+// together to their pool in shard-grouped batches instead of one put per
+// page. The scratch buffer lives on the stack, so the batching itself
+// allocates nothing.
 func ReleaseAll(refs []Ref) {
+	var scratch [16]*page
+	dead := scratch[:0]
+	var pool *Pool
 	for _, r := range refs {
-		r.Release()
+		if r.p == nil {
+			continue
+		}
+		n := r.p.refs.Add(-1)
+		if n < 0 {
+			panic(ErrReleased)
+		}
+		if n != 0 || r.p.pool == nil {
+			continue
+		}
+		if r.p.pool != pool || len(dead) == cap(dead) {
+			if pool != nil {
+				pool.putBatch(dead)
+			}
+			dead = dead[:0]
+			pool = r.p.pool
+		}
+		dead = append(dead, r.p)
+	}
+	if pool != nil {
+		pool.putBatch(dead)
 	}
 }

@@ -19,11 +19,21 @@ var (
 // both pipes (the paper's virtual data hose) and socket buffers in the
 // simulated kernel. Capacity is expressed in bytes, rounded to whole pages,
 // mirroring the fixed number of pipe buffers in Linux.
+//
+// The reference queue is a circular buffer: pushes and pops move head/count
+// indices instead of re-slicing, so once the backing array has grown to the
+// ring's working set the steady state enqueues and dequeues without
+// allocating — the head-slide append/re-slice FIFO this replaces allocated
+// on every wrap. ReadInto copies straight out of the queued references under
+// the lock, so the drain loop of a warm transfer performs no allocation at
+// all.
 type Ring struct {
 	mu       sync.Mutex
 	notEmpty sync.Cond
 	notFull  sync.Cond
-	refs     []Ref
+	buf      []Ref // circular; buf[head..head+count) are live
+	head     int
+	count    int
 	size     int // payload bytes queued
 	capacity int
 	closed   bool // write side closed; reads drain then return io.EOF
@@ -61,6 +71,34 @@ func (r *Ring) Close() {
 	r.notFull.Broadcast()
 }
 
+// pushOne appends one reference to the circular buffer, growing the backing
+// array only when the working set exceeds everything seen before. Caller
+// holds r.mu.
+func (r *Ring) pushOne(ref Ref) {
+	if r.count == len(r.buf) {
+		grown := make([]Ref, max(16, 2*len(r.buf)))
+		for i := 0; i < r.count; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = ref
+	r.count++
+	r.size += ref.n
+}
+
+// popOne removes and returns the head reference, clearing the slot so the
+// ring does not pin a dead page. Caller holds r.mu and ensures count > 0.
+func (r *Ring) popOne() Ref {
+	ref := r.buf[r.head]
+	r.buf[r.head] = Ref{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.size -= ref.n
+	return ref
+}
+
 // Push queues page references, blocking while the ring is over capacity.
 // Ownership of the references transfers to the ring. Push accepts a run that
 // is larger than the remaining capacity by enqueueing it in page-sized steps,
@@ -77,8 +115,7 @@ func (r *Ring) Push(refs []Ref) error {
 			ReleaseAll(refs[i:])
 			return ErrClosedRing
 		}
-		r.refs = append(r.refs, ref)
-		r.size += ref.n
+		r.pushOne(ref)
 		r.notEmpty.Signal()
 	}
 	r.mu.Unlock()
@@ -97,50 +134,54 @@ func (r *Ring) TryPush(refs []Ref) error {
 		return ErrWouldBlock
 	}
 	for _, ref := range refs {
-		r.refs = append(r.refs, ref)
-		r.size += ref.n
+		r.pushOne(ref)
 	}
 	r.notEmpty.Broadcast()
 	return nil
 }
 
-// Pop dequeues up to max payload bytes as page references, blocking until at
-// least one byte is available or the ring is closed (then io.EOF). Ownership
-// of the returned references transfers to the caller. References are split as
-// needed so the returned run never exceeds max bytes.
-func (r *Ring) Pop(max int) ([]Ref, error) {
+// PopAppend dequeues up to max payload bytes as page references, appending
+// them to dst and blocking until at least one byte is available or the ring
+// is closed (then io.EOF). Ownership of the appended references transfers to
+// the caller; passing a pre-sized dst makes the call allocation-free.
+// References are split as needed so the appended run never exceeds max
+// bytes.
+func (r *Ring) PopAppend(dst []Ref, max int) ([]Ref, error) {
 	if max <= 0 {
-		return nil, nil
+		return dst, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for r.size == 0 {
 		if r.closed {
-			return nil, io.EOF
+			return dst, io.EOF
 		}
 		r.notEmpty.Wait()
 	}
-	var out []Ref
 	taken := 0
-	for taken < max && len(r.refs) > 0 {
-		ref := r.refs[0]
+	for taken < max && r.count > 0 {
+		ref := r.buf[r.head]
 		if taken+ref.n <= max {
-			r.refs = r.refs[1:]
-			out = append(out, ref)
+			dst = append(dst, r.popOne())
 			taken += ref.n
 		} else {
+			// Split in place: hand out a retained sub-reference and shrink
+			// the queued head, with no release/re-retain churn.
 			want := max - taken
-			head := ref.Slice(0, want)
-			tail := ref.Slice(want, ref.n)
-			ref.Release()
-			r.refs[0] = tail
-			out = append(out, head)
-			taken += want
+			dst = append(dst, ref.Slice(0, want))
+			r.buf[r.head].off += want
+			r.buf[r.head].n -= want
+			r.size -= want
+			taken = max
 		}
 	}
-	r.size -= taken
 	r.notFull.Broadcast()
-	return out, nil
+	return dst, nil
+}
+
+// Pop dequeues up to max payload bytes as page references (see PopAppend).
+func (r *Ring) Pop(max int) ([]Ref, error) {
+	return r.PopAppend(nil, max)
 }
 
 // Clone returns retained references to the first max queued bytes without
@@ -161,10 +202,8 @@ func (r *Ring) Clone(max int) ([]Ref, error) {
 	}
 	var out []Ref
 	taken := 0
-	for _, ref := range r.refs {
-		if taken >= max {
-			break
-		}
+	for i := 0; i < r.count && taken < max; i++ {
+		ref := r.buf[(r.head+i)%len(r.buf)]
 		if taken+ref.n <= max {
 			out = append(out, ref.Retain())
 			taken += ref.n
@@ -179,16 +218,59 @@ func (r *Ring) Clone(max int) ([]Ref, error) {
 // ReadInto copies queued bytes into dst (copy_to_user), blocking until at
 // least one byte is available. It returns the number of bytes copied and
 // io.EOF once the ring is closed and drained. The copy is real; the caller
-// meters it.
+// meters it. The copy happens directly out of the queued references — no
+// intermediate reference slice is materialized — so a warm drain loop does
+// not allocate.
 func (r *Ring) ReadInto(dst []byte) (int, error) {
-	refs, err := r.Pop(len(dst))
-	if err != nil {
-		return 0, err
+	if len(dst) == 0 {
+		return 0, nil
 	}
+	r.mu.Lock()
+	for r.size == 0 {
+		if r.closed {
+			r.mu.Unlock()
+			return 0, io.EOF
+		}
+		r.notEmpty.Wait()
+	}
+	var scratch [16]*page
+	dead := scratch[:0]
 	n := 0
-	for _, ref := range refs {
-		n += copy(dst[n:], ref.Bytes())
-		ref.Release()
+	var pool *Pool
+	for n < len(dst) && r.count > 0 {
+		ref := r.buf[r.head]
+		c := copy(dst[n:], ref.Bytes())
+		n += c
+		if c == ref.n {
+			got := r.popOne()
+			// Inline the release so dead pool pages return in shard
+			// batches; gifted pages just drop.
+			if p := got.p; p != nil {
+				refs := p.refs.Add(-1)
+				if refs < 0 {
+					panic(ErrReleased)
+				}
+				if refs == 0 && p.pool != nil {
+					if p.pool != pool || len(dead) == cap(dead) {
+						if pool != nil {
+							pool.putBatch(dead)
+						}
+						dead = dead[:0]
+						pool = p.pool
+					}
+					dead = append(dead, p)
+				}
+			}
+		} else {
+			r.buf[r.head].off += c
+			r.buf[r.head].n -= c
+			r.size -= c
+		}
+	}
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+	if pool != nil {
+		pool.putBatch(dead)
 	}
 	return n, nil
 }
@@ -196,9 +278,10 @@ func (r *Ring) ReadInto(dst []byte) (int, error) {
 // Drain removes and releases everything queued. Used on connection teardown.
 func (r *Ring) Drain() {
 	r.mu.Lock()
-	refs := r.refs
-	r.refs = nil
-	r.size = 0
+	refs := make([]Ref, 0, r.count)
+	for r.count > 0 {
+		refs = append(refs, r.popOne())
+	}
 	r.mu.Unlock()
 	ReleaseAll(refs)
 	r.notFull.Broadcast()

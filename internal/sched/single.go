@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SingleQueuePool is the pre-shard pool: one mutex-guarded closed flag and
+// one shared task channel that every worker and every submitter funnels
+// through. It is kept verbatim as the ablation baseline for the hotpath
+// experiment (BENCH_8) — the aggregate-throughput comparison against the
+// sharded Pool is only honest if the baseline is the design it replaced,
+// not a degraded strawman. It is not used on any production path.
+type SingleQueuePool struct {
+	tasks chan func()
+	quit  chan struct{}
+
+	workers int
+	wg      sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submitted, not yet finished tasks
+
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+// NewSingleQueue creates a single-queue pool with the same parameter
+// conventions as New: workers <= 0 means GOMAXPROCS, queue <= 0 means
+// 2×workers.
+func NewSingleQueue(workers, queue int) *SingleQueuePool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &SingleQueuePool{
+		tasks:   make(chan func(), queue),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *SingleQueuePool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+			p.completed.Add(1)
+			p.inflight.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Submit enqueues a task, blocking while the queue is full. It returns
+// ErrClosed once Close has begun; an accepted task is guaranteed to run.
+func (p *SingleQueuePool) Submit(fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.submitted.Add(1)
+	p.mu.Unlock()
+	p.tasks <- fn
+	return nil
+}
+
+// SubmitCtx is Submit with cancellable admission (see Pool.SubmitCtx).
+func (p *SingleQueuePool) SubmitCtx(ctx context.Context, fn func()) error {
+	if ctx == nil {
+		return p.Submit(fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.submitted.Add(1)
+	p.mu.Unlock()
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		p.submitted.Add(-1)
+		p.inflight.Done()
+		return ctx.Err()
+	}
+}
+
+// Wait blocks until every task submitted so far has finished.
+func (p *SingleQueuePool) Wait() { p.inflight.Wait() }
+
+// Close rejects further submissions, drains every accepted task, and stops
+// the workers. It is idempotent.
+func (p *SingleQueuePool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.inflight.Wait()
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// Stats reports pool counters (Submitted - Completed is the in-flight count).
+func (p *SingleQueuePool) Stats() Stats {
+	return Stats{
+		Workers:   p.workers,
+		QueueCap:  cap(p.tasks),
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+	}
+}

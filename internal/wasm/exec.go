@@ -15,40 +15,85 @@ type execLabel struct {
 	arity  int
 }
 
+// execFrame is the recycled scratch of one interpreter frame: operand
+// stack, control stack and locals. An Instance keeps one frame per call
+// depth and executes one call tree at a time (callers serialize, as the
+// shim's VM lock does), so a warm call reuses the frames its predecessors
+// grew and allocates nothing.
+type execFrame struct {
+	st     []uint64
+	labels []execLabel
+	locals []uint64
+}
+
+// frame returns the recycled frame for the given call depth, growing the
+// per-instance stack on first descent.
+func (inst *Instance) frame(depth int) *execFrame {
+	for len(inst.frames) <= depth {
+		inst.frames = append(inst.frames, &execFrame{})
+	}
+	return inst.frames[depth]
+}
+
 func (inst *Instance) call(fnIdx uint32, args []uint64) ([]uint64, error) {
 	return inst.invoke(fnIdx, args, 0)
 }
 
+// invoke runs one function. The returned slice aliases the depth's recycled
+// frame (or the host function's own return): it is valid until the next
+// call on this instance, which every caller respects by consuming results
+// before calling again.
 func (inst *Instance) invoke(fnIdx uint32, args []uint64, depth int) ([]uint64, error) {
 	if depth > inst.maxDepth {
 		return nil, TrapCallDepth
 	}
 	f := &inst.funcs[fnIdx]
+	fr := inst.frame(depth)
 	if f.host != nil {
-		return f.host.Fn(&HostContext{Instance: inst}, args)
+		// Pass a frame-owned copy of args so the incoming slice does not
+		// leak into the host call: it keeps callers' variadic argument
+		// slices on their stacks.
+		if cap(fr.locals) < len(args) {
+			fr.locals = make([]uint64, len(args))
+		}
+		hargs := fr.locals[:len(args)]
+		copy(hargs, args)
+		return f.host.Fn(&inst.hostCtx, hargs)
 	}
-	locals := make([]uint64, f.cf.numLocals)
-	copy(locals, args)
-	return inst.exec(f.cf, locals, depth)
+	if cap(fr.locals) < f.cf.numLocals {
+		fr.locals = make([]uint64, f.cf.numLocals)
+	}
+	locals := fr.locals[:f.cf.numLocals]
+	n := copy(locals, args)
+	// Wasm locals beyond the parameters start at zero; a recycled frame
+	// still holds the previous call's values.
+	clear(locals[n:])
+	return inst.exec(f.cf, fr, locals, depth)
 }
 
 // exec runs one compiled function body. The operand stack holds raw 64-bit
-// values: i32 in the low 32 bits, floats as IEEE bits.
-func (inst *Instance) exec(cf *compiledFunc, locals []uint64, depth int) ([]uint64, error) {
+// values: i32 in the low 32 bits, floats as IEEE bits. Stack and control
+// scratch live in the depth's frame; growth is persisted back on every exit
+// so the steady state runs in place.
+func (inst *Instance) exec(cf *compiledFunc, fr *execFrame, locals []uint64, depth int) ([]uint64, error) {
 	var (
-		st     = make([]uint64, 0, 32)
-		labels = make([]execLabel, 0, 8)
+		st     = fr.st[:0]
+		labels = fr.labels[:0]
 		code   = cf.code
 		mem    = inst.mem
 	)
+	defer func() {
+		fr.st = st[:0]
+		fr.labels = labels[:0]
+	}()
 
 	returnResults := func() ([]uint64, error) {
 		if len(st) < cf.numResults {
 			return nil, TrapStackUnderflow
 		}
-		res := make([]uint64, cf.numResults)
-		copy(res, st[len(st)-cf.numResults:])
-		return res, nil
+		// Results alias the frame; the caller consumes them before the
+		// frame's next use (see invoke).
+		return st[len(st)-cf.numResults:], nil
 	}
 
 	for pc := 0; pc < len(code); pc++ {
@@ -751,8 +796,10 @@ func (inst *Instance) doCall(fi uint32, st []uint64, depth int) ([]uint64, error
 	if len(st) < nArgs {
 		return nil, TrapStackUnderflow
 	}
-	args := make([]uint64, nArgs)
-	copy(args, st[len(st)-nArgs:])
+	// The callee's arguments are the top of this frame's stack, in place:
+	// invoke copies them into the callee frame (or a host scratch) before
+	// anything can overwrite them.
+	args := st[len(st)-nArgs:]
 	st = st[:len(st)-nArgs]
 	results, err := inst.invoke(fi, args, depth+1)
 	if err != nil {

@@ -67,6 +67,11 @@ type Config struct {
 
 // Instance is an instantiated module: the paper's "Wasm VM" sandbox holding
 // linear memory, globals and the function table.
+//
+// An Instance executes one call tree at a time and is not safe for
+// concurrent Call use — callers serialize, as the shim's VM lock does. This
+// is what lets the interpreter recycle its per-depth frames (see execFrame)
+// and run warm calls without allocating.
 type Instance struct {
 	module   *Module
 	mem      *Memory
@@ -76,6 +81,8 @@ type Instance struct {
 	table    []int32 // function indices; -1 = uninitialized element
 	exports  map[string]Export
 	maxDepth int
+	frames   []*execFrame // recycled interpreter frames, indexed by depth
+	hostCtx  HostContext  // reused context for host-function calls
 }
 
 // Instantiate links a decoded module against host imports, compiles every
@@ -90,6 +97,7 @@ func Instantiate(m *Module, imports Imports, cfg *Config) (*Instance, error) {
 		maxDepth = 512
 	}
 	inst := &Instance{module: m, maxDepth: maxDepth, exports: make(map[string]Export, len(m.Exports))}
+	inst.hostCtx = HostContext{Instance: inst}
 
 	// Resolve imports (functions only; memory/global/table imports are not
 	// needed by any module in this repo and are rejected explicitly).

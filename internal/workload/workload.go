@@ -17,7 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -110,6 +113,14 @@ type Config struct {
 	// Kills < Replicas. Functions deployed into a shared VM share a
 	// sandbox, so a kill there covers the co-located replicas too.
 	Kills int
+	// ProfileDir, when non-empty, writes cpu.pprof and heap.pprof into the
+	// directory (created if missing), bracketing exactly the measured
+	// window: the CPU profile covers the load loop but not deployment or
+	// teardown, and the heap profile is taken right after the loop drains,
+	// post-GC, so it shows what the steady state keeps live. This is the
+	// evidence-first entry point for perf work — flamegraph before
+	// optimizing (DESIGN.md §10).
+	ProfileDir string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -527,12 +538,61 @@ func (r *Runner) executePlan(ctx context.Context, inst *instance) error {
 }
 
 // Run executes the configured load and aggregates the result. The loop is
-// open when RatePerSec > 0, closed otherwise.
+// open when RatePerSec > 0, closed otherwise. With ProfileDir set, the
+// measured window is bracketed by pprof collection.
 func (r *Runner) Run() (*Result, error) {
-	if r.cfg.RatePerSec > 0 {
-		return r.runOpen()
+	stop, err := startProfiles(r.cfg.ProfileDir)
+	if err != nil {
+		return nil, err
 	}
-	return r.runClosed()
+	var res *Result
+	if r.cfg.RatePerSec > 0 {
+		res, err = r.runOpen()
+	} else {
+		res, err = r.runClosed()
+	}
+	if perr := stop(); perr != nil && err == nil {
+		return nil, perr
+	}
+	return res, err
+}
+
+// startProfiles begins CPU profiling into dir/cpu.pprof and returns a stop
+// function that ends it and writes a post-GC heap profile to
+// dir/heap.pprof. With dir empty both are no-ops.
+func startProfiles(dir string) (func() error, error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("workload: profile dir: %w", err)
+	}
+	cf, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("workload: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, fmt.Errorf("workload: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cf.Close(); err != nil {
+			return fmt.Errorf("workload: cpu profile: %w", err)
+		}
+		hf, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return fmt.Errorf("workload: heap profile: %w", err)
+		}
+		// A forced GC first, so the profile shows steady-state live
+		// objects rather than whatever garbage the loop's tail left.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(hf); err != nil {
+			hf.Close()
+			return fmt.Errorf("workload: heap profile: %w", err)
+		}
+		return hf.Close()
+	}, nil
 }
 
 type recorder struct {

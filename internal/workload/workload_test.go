@@ -2,6 +2,8 @@ package workload
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -388,5 +390,36 @@ func TestDeadlineGenerousCompletesAll(t *testing.T) {
 	}
 	if res.Ops != 6 || res.Cancelled != 0 || res.Errors != 0 {
 		t.Fatalf("ops = %d cancelled = %d errors = %d, want 6/0/0", res.Ops, res.Cancelled, res.Errors)
+	}
+}
+
+// TestProfileDirWritesProfiles runs a small closed loop with profiling on
+// and verifies both pprof artifacts land in the directory, non-empty: the
+// CPU profile bracketing the measured window and the post-GC heap profile
+// taken after the loop drains.
+func TestProfileDirWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Config{
+		Workflows:    2,
+		Requests:     4,
+		PayloadBytes: 8 << 10,
+		Mode:         ModeKernel,
+		Verify:       true,
+		ProfileDir:   dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d failed executions", res.Errors)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s: empty profile", name)
+		}
 	}
 }

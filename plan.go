@@ -220,41 +220,72 @@ func (pl *Plan) validate(p *Platform) ([]int, error) {
 	return pl.topoOrder()
 }
 
+// checkFn validates one of the node's functions against the platform.
+func (n *PlanNode) checkFn(p *Platform, f *Function) error {
+	if f == nil {
+		return n.fail(errNilFunction)
+	}
+	if f.platform != p {
+		return n.fail(fmt.Errorf("%s: %w", f.Name(), errForeignFn))
+	}
+	return nil
+}
+
 // check validates one node's functions, options and mode against the
-// platform.
+// platform. It allocates only on failure, so the direct single-node entry
+// points (TransferCtx) can run it per call.
 func (n *PlanNode) check(p *Platform) error {
-	fns := make([]*Function, 0, 2+len(n.fns)+len(n.targets))
 	switch n.op {
 	case opXfer, opInvoke:
-		fns = append(fns, n.src, n.dst)
+		if err := n.checkFn(p, n.src); err != nil {
+			return err
+		}
+		if err := n.checkFn(p, n.dst); err != nil {
+			return err
+		}
 	case opHop:
 		if len(n.fns) < 2 {
 			return n.fail(fmt.Errorf("%w, got %d", errChainShort, len(n.fns)))
 		}
-		fns = append(fns, n.fns...)
+		for _, f := range n.fns {
+			if err := n.checkFn(p, f); err != nil {
+				return err
+			}
+		}
 	case opCast, opFan:
 		if len(n.targets) == 0 {
 			return n.fail(errNoTargets)
 		}
-		fns = append(fns, n.src)
-		fns = append(fns, n.targets...)
-	}
-	for _, f := range fns {
-		if f == nil {
-			return n.fail(errNilFunction)
+		if err := n.checkFn(p, n.src); err != nil {
+			return err
 		}
-		if f.platform != p {
-			return n.fail(fmt.Errorf("%s: %w", f.Name(), errForeignFn))
+		for _, f := range n.targets {
+			if err := n.checkFn(p, f); err != nil {
+				return err
+			}
 		}
 	}
 	if n.bytes < 0 {
 		return n.fail(errNegBytes)
 	}
 
-	cfg := transferConfig{}
+	cfg := cfgPool.Get().(*transferConfig)
+	*cfg = transferConfig{}
 	for _, opt := range n.opts {
-		opt(&cfg)
+		opt(cfg)
 	}
+	cerr := n.checkOpts(cfg)
+	putTransferConfig(cfg)
+	if cerr != nil {
+		return cerr
+	}
+	return n.checkInput()
+}
+
+// checkOpts validates the node's resolved transfer options. Split from
+// check so the pooled config can be returned on one path regardless of
+// which validation fails.
+func (n *PlanNode) checkOpts(cfg *transferConfig) error {
 	switch n.op {
 	case opCast:
 		if cfg.mode != ModeAuto && cfg.mode != ModeNetwork {
@@ -274,11 +305,11 @@ func (n *PlanNode) check(p *Platform) error {
 		if cfg.dstInst != nil && cfg.dstInst.fn != n.dst {
 			return n.fail(fmt.Errorf("target %s: %w", cfg.dstInst.Name(), ErrForeignInstance))
 		}
-		if err := n.checkModeReachable(cfg); err != nil {
+		if err := n.checkModeReachable(*cfg); err != nil {
 			return err
 		}
 	}
-	return n.checkInput()
+	return nil
 }
 
 // checkInput validates a From dataflow edge: only Xfer and Cast consume an

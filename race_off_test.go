@@ -1,0 +1,5 @@
+//go:build !race
+
+package roadrunner_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package roadrunner_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation changes allocation counts and wall-clock ratios
+// that some tests pin.
+const raceEnabled = true

@@ -554,6 +554,19 @@ type transferConfig struct {
 	gates *core.PipelineGates
 }
 
+// cfgPool recycles transferConfig values. Applying a TransferOption calls
+// through a func value, which makes the config pointer escape, so a
+// stack-declared config would heap-allocate on every transfer; drawing it
+// from a pool keeps option application off the zero-alloc hot path.
+var cfgPool = sync.Pool{New: func() any { return new(transferConfig) }}
+
+// putTransferConfig clears a pooled config — it holds context, instance
+// and region pointers that must not outlive the call — and returns it.
+func putTransferConfig(cfg *transferConfig) {
+	*cfg = transferConfig{}
+	cfgPool.Put(cfg)
+}
+
 // WithMode forces a specific transfer mechanism. On a replicated target the
 // invoker plane only considers instances the mode can reach (same VM for
 // user space, same node for kernel space, other nodes for network);
@@ -650,17 +663,20 @@ func (p *Platform) Transfer(src, dst *Function, opts ...TransferOption) (DataRef
 // TransferCtx is Transfer bounded by ctx: cancellation (or a deadline) is
 // honored at queue admission and at the pipeline's stage boundaries, and an
 // aborted transfer restores the FD, page-pool and channel-cache baselines
-// exactly as any other transfer failure does. It executes as a single-node
-// Plan (DESIGN.md §7).
+// exactly as any other transfer failure does. It is semantically a
+// single-Xfer Plan (DESIGN.md §7) and runs that node's validation, but
+// executes the node body directly: a warm transfer builds no DAG, keeping
+// the whole call allocation-free above the pipeline.
 func (p *Platform) TransferCtx(ctx context.Context, src, dst *Function, opts ...TransferOption) (DataRef, Report, error) {
-	pl := NewPlan()
-	n := pl.Xfer(src, dst, opts...)
-	res, err := p.runPlan(ctx, pl)
-	if err != nil {
+	n := PlanNode{op: opXfer, src: src, dst: dst, opts: opts, label: "xfer#0"}
+	if err := n.check(p); err != nil {
 		return DataRef{}, Report{}, err
 	}
-	nr := res.Node(n)
-	return nr.Ref(), nr.Report(), nr.Err
+	if err := ctxErr(ctx); err != nil {
+		return DataRef{}, Report{}, err
+	}
+	ref, rep, _, err := p.transferCtx(ctx, src, dst, opts)
+	return ref, rep, err
 }
 
 // transferCtx executes one transfer under ctx — the engine behind Xfer plan
@@ -675,15 +691,18 @@ func (p *Platform) transferCtx(ctx context.Context, src, dst *Function, opts []T
 	if err := ctxErr(ctx); err != nil {
 		return DataRef{}, Report{}, nil, err
 	}
-	cfg := transferConfig{flows: 1, ctx: ctx}
+	cfg := cfgPool.Get().(*transferConfig)
+	*cfg = transferConfig{flows: 1, ctx: ctx}
 	for _, opt := range opts {
-		opt(&cfg)
+		opt(cfg)
 	}
-	si, err := resolveSource(src, &cfg)
+	si, err := resolveSource(src, cfg)
 	if err != nil {
+		putTransferConfig(cfg)
 		return DataRef{}, Report{}, nil, err
 	}
-	ref, rep, di, err := p.deliverRouted(si, dst, &cfg)
+	ref, rep, di, err := p.deliverRouted(si, dst, cfg)
+	putTransferConfig(cfg)
 	if err != nil {
 		return DataRef{}, Report{}, nil, err
 	}
