@@ -20,7 +20,17 @@ const (
 	allocCeilingWarmTransfer = 0
 	allocCeilingPlanSubmit   = 20
 	allocCeilingPoolSubmit   = 0
+	// A warm same-node fan-out is one shared-egress multicast pass: the
+	// per-operation slices (channels, drains, refs, reports, configs), one
+	// drain goroutine per target and the gift-page headers of the tee pass.
+	// Its budget is per operation, not per target — the shared pass is what
+	// keeps it from scaling with N payload copies.
+	allocCeilingWarmFanout = 120
 )
+
+// allocFanoutDegree sizes the fan-out ceiling probe: enough targets that a
+// per-target O(N) payload-copy regression would blow the budget.
+const allocFanoutDegree = 8
 
 // allocBenchPayload keeps the ceiling measurements about per-operation
 // bookkeeping, not payload size: one simulated kernel page.
@@ -67,6 +77,67 @@ func benchWarmKernelTransfer(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := dst.Release(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildWarmFanout deploys one source and allocFanoutDegree single-replica
+// targets on one node and warms the socketpair channels with one untimed
+// shared-egress fan-out.
+func buildWarmFanout(tb testing.TB) (*roadrunner.Platform, *roadrunner.Function, []*roadrunner.Function) {
+	tb.Helper()
+	p := roadrunner.New(roadrunner.WithNodes("node"), roadrunner.WithWorkers(4))
+	tb.Cleanup(p.Close)
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "src", Node: "node"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	targets := make([]*roadrunner.Function, allocFanoutDegree)
+	for i := range targets {
+		if targets[i], err = p.Deploy(roadrunner.FunctionSpec{Name: "t" + string(rune('0'+i)), Node: "node"}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	refs, _, err := p.Fanout(src, targets, allocBenchPayload)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := range targets {
+		if err := targets[i].Release(refs[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if out, err := src.Instance(0).Output(); err == nil {
+		if err := src.Instance(0).Release(out); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return p, src, targets
+}
+
+// benchWarmFanout is the shared-egress fan-out's allocation probe: warm
+// socketpair channels, one multicast tee group, fixed per-operation
+// bookkeeping regardless of payload.
+func benchWarmFanout(b *testing.B) {
+	p, src, targets := buildWarmFanout(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs, _, err := p.Fanout(src, targets, allocBenchPayload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := range targets {
+			if err := targets[k].Release(refs[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		out, err := src.Instance(0).Output()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := src.Instance(0).Release(out); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,6 +190,7 @@ func benchPoolSubmit(b *testing.B) {
 }
 
 func BenchmarkAllocWarmKernelTransfer(b *testing.B) { benchWarmKernelTransfer(b) }
+func BenchmarkAllocWarmFanout(b *testing.B)         { benchWarmFanout(b) }
 func BenchmarkAllocPlanSubmit(b *testing.B)         { benchPlanSubmit(b) }
 func BenchmarkAllocPoolSubmit(b *testing.B)         { benchPoolSubmit(b) }
 
@@ -138,6 +210,7 @@ func TestAllocCeilings(t *testing.T) {
 		bench   func(b *testing.B)
 	}{
 		{"warm-kernel-transfer", allocCeilingWarmTransfer, benchWarmKernelTransfer},
+		{"warm-fanout", allocCeilingWarmFanout, benchWarmFanout},
 		{"plan-submit", allocCeilingPlanSubmit, benchPlanSubmit},
 		{"pool-submit", allocCeilingPoolSubmit, benchPoolSubmit},
 	}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -388,6 +389,27 @@ func TestFaultedOpsLeaveNoInFlightResidue(t *testing.T) {
 			}
 		}
 	})
+	t.Run("shared-egress fanout with crashed co-located target", func(t *testing.T) {
+		// All targets on the source's node: the fan-out runs as one
+		// multicast tee group. With the single-replica target crashed the
+		// group faults, the per-target fallback has nowhere to re-route,
+		// and the surfaced failure must leave no in-flight residue.
+		p := roadrunner.New(roadrunner.WithNodes("edge"))
+		t.Cleanup(p.Close)
+		fns := make([]*roadrunner.Function, 3)
+		for i, letter := range []string{"a", "b", "c"} {
+			f, err := p.Deploy(roadrunner.FunctionSpec{Name: letter, Node: "edge"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fns[i] = f
+		}
+		fns[1].Instance(0).Crash()
+		if _, _, err := p.Fanout(fns[0], []*roadrunner.Function{fns[1], fns[2]}, chaosPayload); err == nil {
+			t.Fatal("same-node fanout with crashed target succeeded")
+		}
+		assertIdle(t, fns)
+	})
 	t.Run("poisoned channel heals in place", func(t *testing.T) {
 		p, fns := newTrio(t)
 		// Warm the channel, poison it, and require the next transfer to
@@ -419,4 +441,158 @@ func TestFaultedOpsLeaveNoInFlightResidue(t *testing.T) {
 		}
 		assertIdle(t, fns)
 	})
+}
+
+// fanoutFixture deploys one source and degree single-replica targets on one
+// node, so every Fanout runs the shared-egress multicast tee group.
+type fanoutFixture struct {
+	p       *roadrunner.Platform
+	src     *roadrunner.Function
+	targets []*roadrunner.Function
+	all     []*roadrunner.Function
+}
+
+func newFanoutFixture(t *testing.T, degree int) *fanoutFixture {
+	t.Helper()
+	p := roadrunner.New(roadrunner.WithNodes("edge"), roadrunner.WithWorkers(4))
+	t.Cleanup(p.Close)
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "src", Node: "edge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]*roadrunner.Function, degree)
+	for i := range targets {
+		if targets[i], err = p.Deploy(roadrunner.FunctionSpec{Name: "t" + string(rune('0'+i)), Node: "edge"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fanoutFixture{p: p, src: src, targets: targets, all: append([]*roadrunner.Function{src}, targets...)}
+}
+
+// fanoutAndRelease runs one fan-out and hands back every region a success
+// landed, source region included.
+func (fx *fanoutFixture) fanoutAndRelease(n int) error {
+	refs, _, err := fx.p.Fanout(fx.src, fx.targets, n)
+	if err == nil {
+		for i, t := range fx.targets {
+			_ = t.Release(refs[i])
+		}
+	}
+	si := fx.src.Instance(0)
+	if out, oerr := si.Output(); oerr == nil {
+		_ = si.Release(out)
+	}
+	return err
+}
+
+// heal clears instance faults on every function of the fixture.
+func (fx *fanoutFixture) heal() {
+	for _, f := range fx.all {
+		for _, inst := range f.Instances() {
+			inst.Recover()
+		}
+	}
+}
+
+// TestChaosMidTeeCrashConservesBaselines injects seeded crash-after-N
+// budgets into the shared-egress fan-out — on the source mid-tee or on a
+// target mid-drain — and asserts every conserved baseline (FD tables, page
+// pool, channel cache, residency, bump allocators) at each healed
+// quiescence point with the refcounted pool in play.
+func TestChaosMidTeeCrashConservesBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(chaosSeed(t)))
+	fx := newFanoutFixture(t, 4)
+	nodes := []string{"edge"}
+
+	// Warm up fault-free (memory high-water, warm socketpair channels),
+	// then quiesce and snapshot.
+	for i := 0; i < 3; i++ {
+		if err := fx.fanoutAndRelease(chaosPayload); err != nil {
+			t.Fatalf("warmup fanout: %v", err)
+		}
+	}
+	roadrunner.TestingPruneChannels(fx.p)
+	base := snapshotBaselines(t, fx.p, nodes, fx.all...)
+
+	rounds := 8
+	if testing.Short() {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		// A tee pass at this payload runs a handful of data-plane syscalls
+		// per participant; a small budget lands the fault mid-tee (source)
+		// or mid-drain (target).
+		budget := int64(rng.Intn(12))
+		if rng.Intn(2) == 0 {
+			fx.src.Instance(0).CrashAfter(budget)
+		} else {
+			fx.targets[rng.Intn(len(fx.targets))].Instance(0).CrashAfter(budget)
+		}
+		// Failures are the point; successes (budget not reached, or the
+		// per-target fallback re-delivered) release what they landed.
+		_ = fx.fanoutAndRelease(chaosPayload)
+		fx.heal()
+		if err := fx.fanoutAndRelease(chaosPayload); err != nil {
+			t.Fatalf("round %d: healed fanout: %v", round, err)
+		}
+		roadrunner.TestingPruneChannels(fx.p)
+		assertBaselines(t, fx.p, nodes, base, fx.all...)
+		for _, f := range fx.all {
+			if got := f.Instance(0).InFlight(); got != 0 {
+				t.Fatalf("round %d: %s InFlight = %d after quiescence, want 0", round, f.Instance(0).Name(), got)
+			}
+		}
+	}
+}
+
+// TestChaosCancelDuringSharedEgressConservesBaselines cancels a same-node
+// fan-out from inside the tee group's first drain: the operation must
+// return context.Canceled, destroy the group's channels (draining every
+// teed page reference), release whatever landed plus the produced source
+// region, and conserve all baselines — then recover with a clean
+// shared-egress pass.
+func TestChaosCancelDuringSharedEgressConservesBaselines(t *testing.T) {
+	fx := newFanoutFixture(t, 4)
+	nodes := []string{"edge"}
+	const n = 256 << 10
+
+	cancelled := func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once atomic.Bool
+		gate := func() {
+			if once.CompareAndSwap(false, true) {
+				cancel()
+			}
+		}
+		_, _, err := fx.p.FanoutCtx(ctx, fx.src, fx.targets, n, roadrunner.TestingWithGates(gate))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled shared-egress fanout = %v, want context.Canceled", err)
+		}
+		si := fx.src.Instance(0)
+		if out, oerr := si.Output(); oerr == nil {
+			_ = si.Release(out)
+		}
+	}
+	cancelled() // absorb warm-up (the aborted group destroys its channels)
+	roadrunner.TestingPruneChannels(fx.p)
+	base := snapshotBaselines(t, fx.p, nodes, fx.all...)
+	cancelled()
+	roadrunner.TestingPruneChannels(fx.p)
+	assertBaselines(t, fx.p, nodes, base, fx.all...)
+
+	// The plane recovers: the same fan-out lands shared-egress afterwards.
+	refs, reps, err := fx.p.Fanout(fx.src, fx.targets, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := roadrunner.ExpectedChecksum(n)
+	for i, tgt := range fx.targets {
+		if reps[i].Mode != "kernel-multicast" {
+			t.Fatalf("recovery target %d mode = %q, want kernel-multicast", i, reps[i].Mode)
+		}
+		sum, err := tgt.Checksum(refs[i])
+		if err != nil || sum != want {
+			t.Fatalf("recovery target %d checksum = %#x (%v), want %#x", i, sum, err, want)
+		}
+	}
 }

@@ -1,11 +1,18 @@
 // Command perfgate compares a fresh roadrunner-bench JSON document against
-// a committed BENCH_*.json baseline and fails (exit 1) when the fresh run's
-// throughput trajectory regresses beyond a tolerance band.
+// one or more committed BENCH_*.json baselines and fails (exit 1) when the
+// fresh run's throughput trajectory regresses beyond a tolerance band.
 //
 // Usage:
 //
 //	perfgate -baseline BENCH_8.json -fresh fresh.json [-tolerance 0.35]
 //	roadrunner-bench -exp hotpath -json | perfgate -baseline BENCH_8.json
+//	roadrunner-bench -exp hotpath,fanoutshare -json | perfgate -baseline BENCH_8.json,BENCH_9.json
+//
+// -baseline takes a comma-separated list; the documents are merged by
+// result ID (each experiment may appear in exactly one baseline file), so
+// one fresh sweep can be gated against the hot-path trajectory pinned by
+// BENCH_8.json and the shared-egress fan-out trajectory pinned by
+// BENCH_9.json in a single invocation.
 //
 // Machines differ, so absolute requests/second are not comparable between
 // the box that committed the baseline and the CI runner re-measuring it.
@@ -27,6 +34,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/experiments"
 )
@@ -47,7 +55,7 @@ type doc struct {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("perfgate", flag.ContinueOnError)
 	var (
-		baseFlag = fs.String("baseline", "", "committed BENCH_*.json baseline (required)")
+		baseFlag = fs.String("baseline", "", "committed BENCH_*.json baseline(s), comma-separated (required)")
 		freshVal = fs.String("fresh", "", "fresh roadrunner-bench -json output (default: stdin)")
 		tolFlag  = fs.Float64("tolerance", 0.35, "allowed fractional drop in normalized throughput before failing")
 	)
@@ -61,7 +69,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("-tolerance %g out of range [0, 1)", *tolFlag)
 	}
 
-	base, err := loadDoc(*baseFlag)
+	base, err := loadBaselines(*baseFlag)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
@@ -75,6 +83,44 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("fresh: %w", err)
 	}
 	return gate(stdout, base, fresh, *tolFlag)
+}
+
+// loadBaselines reads each comma-separated BENCH_*.json path and merges
+// them into one baseline document. All files must agree on the schema
+// version, and no experiment ID may appear twice — each result keeps one
+// authoritative committed trajectory.
+func loadBaselines(paths string) (*doc, error) {
+	var merged *doc
+	seen := make(map[string]string)
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		d, err := loadDoc(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range d.Results {
+			if prev, dup := seen[r.ID]; dup {
+				return nil, fmt.Errorf("%s: result %q already pinned by %s", path, r.ID, prev)
+			}
+			seen[r.ID] = path
+		}
+		if merged == nil {
+			merged = d
+			continue
+		}
+		if d.SchemaVersion != merged.SchemaVersion {
+			return nil, fmt.Errorf("%s: schema v%d differs from earlier baseline's v%d — regenerate the committed baselines together",
+				path, d.SchemaVersion, merged.SchemaVersion)
+		}
+		merged.Results = append(merged.Results, d.Results...)
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("no baseline paths in %q", paths)
+	}
+	return merged, nil
 }
 
 func loadDoc(path string) (*doc, error) {

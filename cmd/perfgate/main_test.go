@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -101,5 +104,62 @@ func TestGateNoOverlapFails(t *testing.T) {
 	base.Results[0].ID = "other"
 	if err := gate(&bytes.Buffer{}, base, benchDoc(1000, linearScaling), 0.35); err == nil {
 		t.Fatal("documents with no shared results passed the gate")
+	}
+}
+
+// writeDoc marshals d into dir/name and returns the path.
+func writeDoc(t *testing.T, dir, name string, d *doc) string {
+	t.Helper()
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadBaselinesMerges exercises the comma-separated baseline list: two
+// committed files gate one fresh document, duplicate experiment IDs are
+// rejected, and mixed schema versions are rejected.
+func TestLoadBaselinesMerges(t *testing.T) {
+	dir := t.TempDir()
+	hot := benchDoc(1000, linearScaling)
+	fan := benchDoc(1000, linearScaling)
+	fan.Results[0].ID = "fanoutshare"
+	p8 := writeDoc(t, dir, "BENCH_8.json", hot)
+	p9 := writeDoc(t, dir, "BENCH_9.json", fan)
+
+	merged, err := loadBaselines(p8 + "," + p9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != 2 {
+		t.Fatalf("merged %d results, want 2", len(merged.Results))
+	}
+	fresh := benchDoc(1000, linearScaling)
+	fresh.Results = append(fresh.Results, fan.Results[0])
+	var out bytes.Buffer
+	if err := gate(&out, merged, fresh, 0.35); err != nil {
+		t.Fatalf("merged baselines failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fanoutshare") || !strings.Contains(out.String(), "hotpath") {
+		t.Fatalf("gate did not compare both baselines' results:\n%s", out.String())
+	}
+
+	if _, err := loadBaselines(p8 + "," + p8); err == nil {
+		t.Fatal("duplicate experiment IDs across baselines must be rejected")
+	}
+	stale := benchDoc(1000, linearScaling)
+	stale.SchemaVersion++
+	stale.Results[0].ID = "fanoutshare"
+	pStale := writeDoc(t, dir, "BENCH_stale.json", stale)
+	if _, err := loadBaselines(p8 + "," + pStale); err == nil {
+		t.Fatal("mixed baseline schema versions must be rejected")
+	}
+	if _, err := loadBaselines(" , "); err == nil {
+		t.Fatal("an empty baseline list must be rejected")
 	}
 }

@@ -12,6 +12,7 @@
 //	roadrunner-load -replicas 4              # 4-instance pools per function, locality-routed
 //	roadrunner-load -replicas 4 -placement round-robin # placement-oblivious ablation
 //	roadrunner-load -mode plan               # a Plan/Submit DAG per iteration
+//	roadrunner-load -mode fanout -targets 8  # one shared-egress fan-out to 8 same-node sandboxes per iteration
 //	roadrunner-load -deadline 5ms            # per-operation ctx timeout ("cancelled" counter)
 //	roadrunner-load -replicas 4 -kills 1     # degrade-under-kill: crash 1 replica per pool mid-load
 //	roadrunner-load -rate 500 -duration 2s   # open loop: 500 exec/s offered for 2s
@@ -45,7 +46,8 @@ func run(args []string) error {
 		requests  = fs.Int("requests", 0, "closed-loop total executions (default: 4×workflows)")
 		rate      = fs.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
 		duration  = fs.Duration("duration", time.Second, "open-loop offered-load window")
-		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel, network, chain or plan")
+		mode      = fs.String("mode", workload.ModeMixed, "transfer mode: mixed, user, kernel, network, chain, plan or fanout")
+		targets   = fs.Int("targets", 0, "fanout-mode deliveries per execution (default 4; requires -mode fanout)")
 		verify    = fs.Bool("verify", true, "checksum every final delivery")
 		cold      = fs.Bool("cold-channels", false, "disable the channel cache: per-call hose setup/teardown (cold regime)")
 		locked    = fs.Bool("phase-locked", false, "run transfers in the phase-locked (pre-pipeline) regime: both VM locks per hop, no stage overlap")
@@ -69,6 +71,7 @@ func run(args []string) error {
 		RatePerSec:   *rate,
 		Duration:     *duration,
 		Mode:         *mode,
+		Targets:      *targets,
 		Verify:       *verify,
 		ColdChannels: *cold,
 		PhaseLocked:  *locked,

@@ -11,6 +11,10 @@
 //   - poolreturn: every object taken from a sync.Pool recycler reaches
 //     its Put (or a consumer that puts it) on every path — the hot-path
 //     recycle leak class.
+//   - refbalance: every pagebuf page reference acquired from a producer
+//     (Retain, Ring.Clone/Pop, pool Copy/Gift, ReadRefs) reaches its
+//     Release/ReleaseAll — or a consumer that owns it — on every path;
+//     one leaking path under a tee group pins a page per fan-out target.
 //   - ctxpoll: hose-chunk syscall loops poll the context per chunk, so
 //     cancellation lands mid-stream.
 //   - errclass: every exported kernel error is classified as instance
@@ -45,6 +49,7 @@ import (
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/gaugebalance"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/lockorder"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/poolreturn"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/refbalance"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/regionrelease"
 )
 
@@ -52,6 +57,7 @@ import (
 var suite = []*analysis.Analyzer{
 	regionrelease.Analyzer,
 	poolreturn.Analyzer,
+	refbalance.Analyzer,
 	gaugebalance.Analyzer,
 	lockorder.Analyzer,
 	ctxpoll.Analyzer,

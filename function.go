@@ -321,21 +321,28 @@ func (p *Platform) chainWithCtx(ctx context.Context, n int, opts []TransferOptio
 	return ref, total, cur, nil
 }
 
-// Multicast delivers src's current output to every (remote) target in a
-// single pass over the virtual data hose, duplicating page references with
-// tee(2) semantics instead of re-reading the source per target — the
-// zero-copy fan-out extension of Algorithm 1. Replicated targets are routed
-// to an instance on a node other than the source instance's whenever the
-// pool has one. One report per target is returned.
+// Multicast delivers src's current output to every target in a single pass
+// over the virtual data hose, duplicating page references with tee(2)
+// semantics instead of re-reading the source per target — the zero-copy
+// fan-out extension of Algorithm 1. Targets may live anywhere except inside
+// the source instance's own VM: replicated targets are routed preferring an
+// instance co-located with the source (the same-node socketpair leg shares
+// pages without ever touching a wire — the cheapest leg of a fan-out),
+// falling back to cross-node instances, and a mixed target set splits into
+// one tee group feeding same-node sockets and per-link network sends from
+// the same source pass. One report per target is returned, Mode
+// "kernel-multicast" or "network-multicast" per leg.
 //
-// Wire time is modeled per target: each target's report charges the link
-// between the source instance's node and that target instance's node,
-// shared by the number of multicast targets using the same link (override
-// the sharing degree with WithFlows). Supported options are WithFlows,
-// WithChannelCache, WithPhaseLocked, WithSourceRef and WithSourceInstance;
-// forcing a transfer mechanism (or pinning a single target instance) is
-// rejected with ErrModeUnavailable, since multicast is by construction a
-// network-path operation with policy-routed targets.
+// Wire time is modeled per cross-node target: each such target's report
+// charges the link between the source instance's node and that target
+// instance's node, shared by the number of multicast targets using the same
+// link (override the sharing degree with WithFlows); same-node legs charge
+// no wire time. Supported options are WithFlows, WithChannelCache,
+// WithPhaseLocked, WithSourceRef, WithSourceInstance and WithMode
+// (ModeKernelSpace restricts routing to co-located instances, ModeNetwork
+// to cross-node ones); ModeUserSpace — like pinning a single target
+// instance — is rejected with ErrModeUnavailable, since multicast shares
+// kernel pages across VMs with policy-routed targets.
 func (p *Platform) Multicast(src *Function, targets []*Function, opts ...TransferOption) ([]DataRef, []Report, error) {
 	return p.MulticastCtx(context.Background(), src, targets, opts...)
 }
@@ -381,22 +388,44 @@ func (p *Platform) multicastCtx(ctx context.Context, src *Function, targets []*F
 	links := make([]*netsim.Link, len(targets))
 	chosen := make([]*Instance, len(targets))
 	for i, t := range targets {
+		t := t
+		colocated := func(j int) bool {
+			return t.insts[j].node == si.node && t.insts[j].inner.Shim() != si.inner.Shim()
+		}
 		remote := func(j int) bool { return t.insts[j].node != si.node }
-		j := p.place.PickTarget(si.endpoint(), t.route, t.eps, remote, p.linkCost)
-		if j < 0 {
-			// No remote replica; pick among all and let the core layer
-			// reject the co-located target with its own error.
-			j = p.place.PickTarget(si.endpoint(), t.route, t.eps, nil, p.linkCost)
+		j := -1
+		switch cfg.mode {
+		case ModeKernelSpace:
+			j = p.place.PickTarget(si.endpoint(), t.route, t.eps, colocated, p.linkCost)
+		case ModeNetwork:
+			j = p.place.PickTarget(si.endpoint(), t.route, t.eps, remote, p.linkCost)
+		default:
+			// ModeAuto: co-located legs first — a tee into a same-node
+			// socket shares pages without touching a wire — then
+			// cross-node ones, then whatever is left so the core layer
+			// can name the fault (e.g. a same-VM target) itself.
+			j = p.place.PickTarget(si.endpoint(), t.route, t.eps, colocated, p.linkCost)
+			if j < 0 {
+				j = p.place.PickTarget(si.endpoint(), t.route, t.eps, remote, p.linkCost)
+			}
+			if j < 0 {
+				j = p.place.PickTarget(si.endpoint(), t.route, t.eps, nil, p.linkCost)
+			}
 		}
 		if j < 0 {
 			// Multicast legs share one tee pass over the source, so a
 			// failed leg cannot be re-routed mid-hose: no retry here
 			// (DESIGN.md §8), and an exhausted pool fails the operation.
+			if cfg.mode == ModeKernelSpace || cfg.mode == ModeNetwork {
+				return nil, nil, fmt.Errorf("multicast to %s: no healthy instance reachable in mode %v: %w", t.Name(), cfg.mode, ErrModeUnavailable)
+			}
 			return nil, nil, fmt.Errorf("multicast to %s: %w", t.Name(), ErrNoHealthyInstance)
 		}
 		chosen[i] = t.insts[j]
 		inner[i] = chosen[i].inner
-		links[i] = p.topo.LinkBetween(si.node, chosen[i].node)
+		if chosen[i].node != si.node {
+			links[i] = p.topo.LinkBetween(si.node, chosen[i].node)
+		}
 	}
 	var flows []int
 	if cfg.flows > 0 {
@@ -440,17 +469,22 @@ func (p *Platform) multicastCtx(ctx context.Context, src *Function, targets []*F
 // Fanout produces an n-byte payload at a routed instance of src and
 // delivers it to every target (the fan-out pattern of §6.4), each target
 // routed to an instance by the placement policy. The produce step runs
-// once; the deliveries then execute across the platform's worker pool, all
-// reading the same pinned source region. With the staged pipeline the
-// source VM is occupied only while each transfer's pages enter its channel,
-// so the targets' ingress stages — the expensive copies into their linear
-// memories — run genuinely in parallel. Network transfers are modeled with
-// all targets' flows sharing the link. It returns one delivery ref and one
-// report per target, in target order — the same shape Multicast returns
-// (DESIGN.md §7 documents this change; the reports-only view remains one
-// Plan Fan-node result away). The produce side may be pinned with
-// WithSourceInstance; pinning a single target instance is rejected with
-// ErrModeUnavailable, since every target is routed by the placement policy.
+// once. Targets with a healthy replica co-located with the producing
+// instance form a shared-egress tee group served by one MulticastTransfer
+// pass: the source's pages are vmspliced once and tee(2)-duplicated into
+// every group member's socketpair, so N same-node deliveries share one
+// pinned read instead of paying N full transfers (Mode "kernel-multicast"
+// in their reports). The remaining targets execute across the platform's
+// worker pool as independent unicast deliveries reading the same pinned
+// source region, with network transfers modeled as all targets' flows
+// sharing the link. WithPerTargetFanout disables the tee group — the
+// ablation baseline the fan-out experiments compare against. It returns one
+// delivery ref and one report per target, in target order — the same shape
+// Multicast returns (DESIGN.md §7 documents this change; the reports-only
+// view remains one Plan Fan-node result away). The produce side may be
+// pinned with WithSourceInstance; pinning a single target instance is
+// rejected with ErrModeUnavailable, since every target is routed by the
+// placement policy.
 func (p *Platform) Fanout(src *Function, targets []*Function, n int, opts ...TransferOption) ([]DataRef, []Report, error) {
 	return p.FanoutCtx(context.Background(), src, targets, n, opts...)
 }
@@ -508,11 +542,32 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 	if pool == nil {
 		return fail(ErrClosed)
 	}
-	// Each delivery routes (and, on an instance fault, re-routes) inside
-	// its own worker; the pinned source region is only released after every
-	// worker has returned, so no routing failure can strand a running
-	// transfer reading it.
+	// Shared-egress grouping: targets with a healthy replica co-located
+	// with the producing instance (same node, different shim) are served by
+	// ONE multicast tee pass — N same-node deliveries share one pinned
+	// read — while the rest keep the per-target worker-pool path below.
+	// WithPerTargetFanout (the ablation baseline) and a forced network/user
+	// mode disable the group.
 	chosen := make([]*Instance, len(targets))
+	inGroup := make([]bool, len(targets))
+	group := make([]int, 0, len(targets))
+	if !base.perTargetFanout && (base.mode == ModeAuto || base.mode == ModeKernelSpace) {
+		for i, t := range targets {
+			t := t
+			colocated := func(j int) bool {
+				return t.insts[j].node == si.node && t.insts[j].inner.Shim() != si.inner.Shim()
+			}
+			if j := p.place.PickTarget(si.endpoint(), t.route, t.eps, colocated, p.linkCost); j >= 0 {
+				group = append(group, i)
+				chosen[i] = t.insts[j]
+				inGroup[i] = true
+			}
+		}
+	}
+	// Each remaining delivery routes (and, on an instance fault, re-routes)
+	// inside its own worker; the pinned source region is only released
+	// after every worker has returned, so no routing failure can strand a
+	// running transfer reading it.
 	cfgs := make([]transferConfig, len(targets))
 	for i := range targets {
 		cfg := base
@@ -527,6 +582,9 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i := range targets {
+		if inGroup[i] {
+			continue
+		}
 		i := i
 		wg.Add(1)
 		if err := pool.SubmitCtx(ctx, func() {
@@ -535,6 +593,23 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 		}); err != nil {
 			errs[i] = err
 			wg.Done()
+		}
+	}
+	if len(group) > 0 {
+		if gerr := p.fanoutGroup(ctx, si, group, chosen, &base, out, refs, reports); gerr != nil {
+			// The tee group fails atomically (one shared pass). A
+			// cancellation fails the whole fan-out; an instance fault falls
+			// back to the per-target path, whose retry-with-exclusion
+			// machinery strikes and re-routes around the faulted replica.
+			if ctxErr(ctx) != nil || !isInstanceFault(gerr) {
+				for _, i := range group {
+					errs[i] = gerr
+				}
+			} else {
+				for _, i := range group {
+					refs[i], reports[i], chosen[i], errs[i] = p.deliverRouted(si, targets[i], &cfgs[i])
+				}
+			}
 		}
 	}
 	wg.Wait()
@@ -563,6 +638,46 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 		targets[i].setActive(chosen[i])
 	}
 	return refs, reports, nil
+}
+
+// fanoutGroup delivers the fan-out's co-located targets through one
+// shared-egress multicast tee pass reading the pinned source region once,
+// filling refs and reports at the group's indices and feeding each landed
+// leg into the health observer. The group either lands whole or returns an
+// error having released everything it allocated (MulticastTransfer's own
+// failure contract), so the caller can retry its members individually.
+func (p *Platform) fanoutGroup(ctx context.Context, si *Instance, group []int, chosen []*Instance, base *transferConfig, out DataRef, refs []DataRef, reports []Report) error {
+	inner := make([]*core.Function, len(group))
+	for k, i := range group {
+		inner[k] = chosen[i].inner
+	}
+	si.fn.route.Enter(si.index)
+	for _, i := range group {
+		chosen[i].fn.route.Enter(chosen[i].index)
+	}
+	defer func() {
+		si.fn.route.Exit(si.index)
+		for _, i := range group {
+			chosen[i].fn.route.Exit(chosen[i].index)
+		}
+	}()
+	srcRef := out
+	coreRefs, reps, err := core.MulticastTransfer(si.inner, inner, core.MulticastOptions{
+		Ctx:            ctx,
+		NoChannelCache: base.coldChannel,
+		PhaseLocked:    base.phaseLocked,
+		SourceRef:      coreSourceRef(&srcRef),
+		Gates:          base.gates,
+	})
+	if err != nil {
+		return err
+	}
+	for k, i := range group {
+		refs[i] = DataRef{Ptr: coreRefs[k].Ptr, Len: coreRefs[k].Len}
+		reports[i] = fromReport(reps[k])
+		observeDelivery(si, chosen[i], reports[i], nil)
+	}
+	return nil
 }
 
 // resolveProducer picks the instance a fresh payload is produced at: the

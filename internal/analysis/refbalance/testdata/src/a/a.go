@@ -1,0 +1,243 @@
+// Package a is the refbalance fixture: stub types mimicking the pagebuf
+// surface (a Ref with Retain/Release, ReleaseAll, ring and pool
+// producers), plus the acquire/release shapes the data plane uses — and
+// the leaking variants of each.
+package a
+
+import "errors"
+
+type Ref struct{ pages int }
+
+func (r Ref) Retain() Ref   { return r }
+func (r Ref) Release()      {}
+func (r Ref) Bytes() []byte { return nil }
+
+func ReleaseAll(refs []Ref)   {}
+func TotalLen(refs []Ref) int { return len(refs) }
+
+type Ring struct{ refs []Ref }
+
+func (r *Ring) Clone(max int) ([]Ref, error) { return nil, nil }
+func (r *Ring) Pop(max int) ([]Ref, error)   { return nil, nil }
+func (r *Ring) Push(refs []Ref) error        { return nil }
+
+type Pool struct{}
+
+func (p *Pool) Copy(b []byte) []Ref                   { return nil }
+func (p *Pool) AppendCopy(refs []Ref, b []byte) []Ref { return refs }
+
+var errEmpty = errors.New("empty")
+
+// errReturnThenHandoff is the splice shape: the paired-error return is
+// exempt while the refs are untouched, and the Push hands ownership to
+// the destination ring.
+func errReturnThenHandoff(ring, out *Ring, n int) (int, error) {
+	refs, err := ring.Clone(n)
+	if err != nil {
+		return 0, err
+	}
+	moved := TotalLen(refs)
+	if err := out.Push(refs); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// releaseOnAllPaths releases explicitly on every exit.
+func releaseOnAllPaths(ring *Ring, n int) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	if TotalLen(refs) == 0 {
+		ReleaseAll(refs)
+		return errEmpty
+	}
+	ReleaseAll(refs)
+	return nil
+}
+
+// deferredRelease covers every exit with one defer.
+func deferredRelease(ring *Ring, n int) (int, error) {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return 0, err
+	}
+	defer ReleaseAll(refs)
+	if TotalLen(refs) == 0 {
+		return 0, errEmpty
+	}
+	return TotalLen(refs), nil
+}
+
+// rangeRelease tears the run down element by element — the per-target
+// teardown shape.
+func rangeRelease(ring *Ring, dst []byte, n int) (int, error) {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return 0, err
+	}
+	off := 0
+	for _, ref := range refs {
+		off += copy(dst[off:], ref.Bytes())
+	}
+	for _, ref := range refs {
+		ref.Release()
+	}
+	return off, nil
+}
+
+// sendHandoff passes ownership to the consumer on the channel.
+func sendHandoff(ring *Ring, ch chan []Ref, n int) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	ch <- refs
+	return nil
+}
+
+// goHandoff passes ownership to the spawned goroutine.
+func goHandoff(ring *Ring, n int) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	go ReleaseAll(refs)
+	return nil
+}
+
+// returnToCaller moves ownership out — the producer shape.
+func returnToCaller(ring *Ring, n int) ([]Ref, error) {
+	refs, err := ring.Clone(n)
+	if err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// retainRelease pairs a single-Ref Retain with its Release.
+func retainRelease(r Ref, dst []byte) int {
+	held := r.Retain()
+	n := copy(dst, held.Bytes())
+	held.Release()
+	return n
+}
+
+// closureRelease releases through an abort helper — calling the closure
+// counts as the release.
+func closureRelease(ring *Ring, n int) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	abort := func(e error) error {
+		ReleaseAll(refs)
+		return e
+	}
+	if TotalLen(refs) == 0 {
+		return abort(errEmpty)
+	}
+	ReleaseAll(refs)
+	return nil
+}
+
+// handoffEvenOnError relies on the consumer's contract: Push owns the
+// refs whether or not it errors (the writeRefs shape).
+func handoffEvenOnError(out *Ring, pool *Pool, b []byte) (int, error) {
+	refs := pool.Copy(b)
+	if err := out.Push(refs); err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// appendGrowth re-acquires through AppendCopy and hands the grown run
+// off; both acquire sites resolve through the final Push.
+func appendGrowth(pool *Pool, out *Ring, a, b []byte) error {
+	refs := pool.Copy(a)
+	refs = pool.AppendCopy(refs, b)
+	return out.Push(refs)
+}
+
+// appendRetains builds a run with the append builtin — each append is an
+// acquire of the destination, resolved by the handoff.
+func appendRetains(src []Ref, out *Ring) error {
+	var held []Ref
+	for _, r := range src {
+		held = append(held, r.Retain())
+	}
+	return out.Push(held)
+}
+
+// leakOnEarlyReturn measures the run, then returns without releasing on
+// the empty branch.
+func leakOnEarlyReturn(ring *Ring, n int) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	if TotalLen(refs) == 0 {
+		return errEmpty // want `page refs "refs" acquired at .* may leak`
+	}
+	ReleaseAll(refs)
+	return nil
+}
+
+// leakOnReusedError shows the exemption ending at first use: by the time
+// err is reassigned, refs holds live references, so returning err leaks
+// them.
+func leakOnReusedError(ring, out *Ring, n int) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	moved := TotalLen(refs)
+	_ = moved
+	err = out.Push(nil)
+	if err != nil {
+		return err // want `page refs "refs" acquired at .* may leak`
+	}
+	ReleaseAll(refs)
+	return nil
+}
+
+// leakOnOneBranch releases only when flushing.
+func leakOnOneBranch(ring *Ring, n int, flush bool) error {
+	refs, err := ring.Pop(n)
+	if err != nil {
+		return err
+	}
+	if flush {
+		ReleaseAll(refs)
+	}
+	return nil // want `page refs "refs" acquired at .* may leak`
+}
+
+// leakOnFallOff inspects the run and falls off the end of the function —
+// the implicit return at the closing brace is the leaking exit.
+func leakOnFallOff(ring *Ring, n int) {
+	refs, _ := ring.Pop(n) // want +2 `page refs "refs" acquired at .* may leak`
+	_ = TotalLen(refs)
+}
+
+// leakOnInspectedReturn returns a measurement, not the refs — ownership
+// stays here and leaks.
+func leakOnInspectedReturn(ring *Ring, n int) (int, error) {
+	refs, err := ring.Clone(n)
+	if err != nil {
+		return 0, err
+	}
+	return TotalLen(refs), nil // want `page refs "refs" acquired at .* may leak`
+}
+
+// discardedRetain throws the retained reference away.
+func discardedRetain(r Ref) {
+	r.Retain() // want `page refs discarded`
+}
+
+// discardedClone keeps the error but drops the references.
+func discardedClone(ring *Ring, n int) error {
+	_, err := ring.Clone(n) // want `page refs discarded`
+	return err
+}

@@ -20,9 +20,10 @@ type MulticastOptions struct {
 	// destroys its channels (draining stranded pages) like other failures.
 	Ctx context.Context
 	// Links models the network path per target; a nil slice (or nil entry)
-	// attributes no wire time. When set, len(Links) must equal the number
-	// of targets. Targets on different links are modeled independently —
-	// a slow edge uplink no longer taxes targets reached over a fast one.
+	// attributes no wire time — same-node targets always get a nil entry.
+	// When set, len(Links) must equal the number of targets. Targets on
+	// different links are modeled independently — a slow edge uplink no
+	// longer taxes targets reached over a fast one.
 	Links []*netsim.Link
 	// Flows overrides, per target, the number of concurrent flows sharing
 	// that target's link. Entries <= 0 (or a nil slice) default to the
@@ -50,18 +51,29 @@ type multicastDrain struct {
 	err error
 }
 
-// MulticastTransfer delivers the source's output to several remote targets
-// from a single pass over the virtual data hose — an extension of
-// Algorithm 1 for the paper's fan-out pattern (§6.4). Instead of re-running
-// the source pipeline per target, each hose chunk is vmspliced once and then
-// tee(2)-duplicated into every target's socket (the last target takes the
-// pages by splice): page references are shared, so the source side still
-// performs zero payload copies regardless of fan-out degree.
+// MulticastTransfer delivers the source's output to several targets from a
+// single pass over the virtual data hose — an extension of Algorithm 1 for
+// the paper's fan-out pattern (§6.4). Instead of re-running the source
+// pipeline per target, each hose chunk is vmspliced once and then
+// tee(2)-duplicated into every target's channel (the last target takes the
+// pages by splice): page references are shared, so the source side performs
+// zero payload copies regardless of fan-out degree.
+//
+// Targets may live anywhere except inside the source's own VM. A target
+// co-located on the source's node receives through the same-node socketpair
+// channel (§4.2): its drain pops the teed page references straight off its
+// socket into linear memory, no hose pipes and no wire — the cheapest legs
+// of a fan-out. A cross-node target receives over the network channel's
+// target hose as in unicast Algorithm 1. Mixed sets split naturally: one
+// tee group feeds same-node sockets and per-link connections from the same
+// source pass. The tee pass runs over the first cross-node channel's source
+// hose; an all-local fan-out creates a per-call hose pipe instead, closed
+// (and drained) by the transfer itself.
 //
 // Like the unicast paths, the fan-out runs as a staged pipeline: the source
-// VM is locked only for the tee pass, and each target drains its own socket
-// under its own VM lock, all targets in parallel, overlapping the source
-// pass. All targets must live on nodes different from the source's.
+// VM is locked only for the tee pass, and each target drains its own
+// channel under its own VM lock, all targets in parallel, overlapping the
+// source pass.
 func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) ([]InboundRef, []metrics.TransferReport, error) {
 	if len(dsts) == 0 {
 		return nil, nil, fmt.Errorf("core: multicast requires targets")
@@ -73,25 +85,33 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 		return nil, nil, fmt.Errorf("core: multicast got %d flow counts for %d targets", len(opts.Flows), len(dsts))
 	}
 	srcShim := src.shim
-	for _, dst := range dsts {
+	local := make([]bool, len(dsts))
+	for i, dst := range dsts {
 		if dst.shim == srcShim {
 			return nil, nil, ErrSameVM
 		}
-		if dst.shim.Kernel() == srcShim.Kernel() {
-			return nil, nil, ErrSameNode
+		local[i] = dst.shim.Kernel() == srcShim.Kernel()
+	}
+	chanKindFor := func(ds *Shim) chanKind {
+		if ds.Kernel() == srcShim.Kernel() {
+			return chanKernel
 		}
+		return chanNetwork
 	}
 
-	// Pair locks, one per distinct target shim, acquired in ascending shim
-	// creation order — the same global order lockShims uses, which keeps
-	// overlapping multicasts from one source deadlock-free. They are taken
-	// before any VM lock, per the pipeline's lock order.
+	// Pair locks, one per distinct target shim — the socketpair kind for
+	// co-located shims, the network kind otherwise, matching the locks the
+	// unicast paths take so a fan-out leg serializes with unicast transfers
+	// of the same pair — acquired in ascending shim creation order: the
+	// same global order lockShims uses, which keeps overlapping multicasts
+	// from one source deadlock-free. They are taken before any VM lock, per
+	// the pipeline's lock order.
 	dstShims := make([]*Shim, len(dsts))
 	for i, dst := range dsts {
 		dstShims[i] = dst.shim
 	}
 	for _, ds := range distinctBySeq(dstShims) {
-		m := srcShim.pairLock(ds, chanNetwork)
+		m := srcShim.pairLock(ds, chanKindFor(ds))
 		m.Lock()
 		defer m.Unlock()
 	}
@@ -114,18 +134,28 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 		beforeDst[i] = dst.shim.acct.Snapshot()
 	}
 
-	// One channel per target (connection + target hose), cached per shim
-	// pair like the unicast network path. Two targets inside one shim would
-	// collide on the pair's cached connection, so duplicates of an already
-	// acquired shim fall back to per-call channels. The first channel's
-	// source hose doubles as the shared multicast hose.
+	// One channel per target, cached per shim pair like the unicast paths:
+	// connection + target hose for cross-node targets, the IPC socketpair
+	// for same-node ones. Two targets inside one shim would collide on the
+	// pair's cached channel, so duplicates of an already acquired shim fall
+	// back to per-call channels. The first cross-node channel's source hose
+	// doubles as the shared multicast hose.
 	swSetup := metrics.NewStopwatch(srcShim.now)
 	chans := make([]*channel, len(dsts))
 	setups := make([]time.Duration, len(dsts))
 	seen := make(map[*Shim]bool, len(dsts))
 	healthy := false
 	dataStarted := false
+	hoseR, hoseW := -1, -1
+	ownHose := false
 	defer func() {
+		if ownHose {
+			// The per-call hose always tears down — control-plane closes are
+			// never fault-intercepted, and closing the read end drains any
+			// pages a failed tee pass stranded back to their pool.
+			_ = srcShim.proc.Close(hoseW)
+			_ = srcShim.proc.Close(hoseR)
+		}
 		for _, c := range chans {
 			if c == nil {
 				continue
@@ -144,31 +174,42 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 	for i, dst := range dsts {
 		var hit bool
 		var err error
+		kind := chanKindFor(dst.shim)
 		if opts.NoChannelCache || seen[dst.shim] {
 			// Ephemeral channels skip the source hose except for the first
-			// one, which supplies the fan-out's shared tee hose — per-call
-			// multicast then issues exactly the pre-cache trace: one source
-			// hose plus connection + target hose per target.
-			kind := chanNetworkTarget
-			if i == 0 {
-				kind = chanNetwork
+			// cross-node one, which supplies the fan-out's shared tee hose —
+			// per-call multicast then issues exactly the pre-cache trace:
+			// one source hose plus connection + target hose per target.
+			if kind == chanNetwork && hoseR >= 0 {
+				kind = chanNetworkTarget
 			}
 			chans[i], err = establishChannel(srcShim, dst.shim, kind)
 		} else {
 			// acquireChannel returns the channel pinned, shielding it from
 			// eviction by this fan-out's own later acquisitions (and by
 			// concurrent transfers of other pairs) until the deferred unpin.
-			chans[i], hit, err = srcShim.acquireChannel(dst.shim, chanNetwork)
+			chans[i], hit, err = srcShim.acquireChannel(dst.shim, kind)
 		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("multicast channel to %s: %w", dst.name, err)
 		}
 		seen[dst.shim] = true
+		if hoseR < 0 && chans[i].kind == chanNetwork {
+			hoseR, hoseW = chans[i].rfd, chans[i].wfd
+		}
 		if !hit {
 			setups[i] = swSetup.Lap()
 		} else {
 			swSetup.Lap()
 		}
+	}
+	if hoseR < 0 {
+		// All targets are same-node: no network channel supplies a source
+		// hose, so the tee pass runs over a per-call pipe owned (and always
+		// closed) by this transfer — see the deferred teardown above.
+		hoseR, hoseW = srcShim.proc.PipeSized(srcShim.hoseCap)
+		ownHose = true
+		setups[0] += swSetup.Lap()
 	}
 	var setupTotal time.Duration
 	for _, d := range setups {
@@ -179,13 +220,21 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 	// Target stages: spawned before the source pass so the drains overlap
 	// it, each waiting for the announced output size. Targets sharing a
 	// shim serialize naturally on its VM lock. Phase-locked runs them
-	// inline after the source pass instead.
+	// inline after the source pass instead. Same-node targets drain their
+	// socketpair end directly; cross-node ones run the Algorithm 1 ingress
+	// over their target hose.
 	var (
 		out       OutputRef
 		srcWasmIO time.Duration
 		sendT     time.Duration
 		announced bool
 	)
+	drainTarget := func(i int, dst *Function) (InboundRef, metrics.Breakdown, error) {
+		if local[i] {
+			return receiveFromPair(dst, chans[i], out.Len, opts.Ctx)
+		}
+		return receiveFromHose(dst, chans[i], out.Len, opts.Ctx)
+	}
 	ready := make(chan struct{})
 	drains := make([]multicastDrain, len(dsts))
 	var wg sync.WaitGroup
@@ -210,7 +259,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 				}
 				ds := dst.shim
 				ds.mu.Lock()
-				drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len, opts.Ctx)
+				drains[i].ref, drains[i].bd, drains[i].err = drainTarget(i, dst)
 				ds.mu.Unlock()
 			}(i, dst)
 		}
@@ -221,6 +270,12 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 	// phase-locked regime lockShims above already holds every VM lock.
 	if !opts.PhaseLocked {
 		srcShim.mu.Lock()
+	}
+	outFD := func(i int) int {
+		if local[i] {
+			return chans[i].fdA
+		}
+		return chans[i].cfd
 	}
 	eerr := func() error {
 		swIO := metrics.NewStopwatch(srcShim.now)
@@ -241,7 +296,6 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 		// Single hose, chunk-by-chunk: tee to all but the last target,
 		// splice to the last.
 		swT := metrics.NewStopwatch(srcShim.now)
-		hose := chans[0]
 		dataStarted = true
 		for off := 0; off < len(view); {
 			if err := CtxErr(opts.Ctx); err != nil {
@@ -251,14 +305,14 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 			if chunk > srcShim.hoseCap {
 				chunk = srcShim.hoseCap
 			}
-			if _, err := srcShim.proc.Vmsplice(hose.wfd, view[off:off+chunk]); err != nil {
+			if _, err := srcShim.proc.Vmsplice(hoseW, view[off:off+chunk]); err != nil {
 				return fmt.Errorf("multicast vmsplice: %w", err)
 			}
 			for i := 0; i < len(dsts)-1; i++ {
 				// tee(2) does not consume the pipe, so one call covers the
 				// whole (fully queued) chunk; a short clone would duplicate
 				// its prefix again and must be treated as a fault.
-				n, err := srcShim.proc.Tee(hose.rfd, chans[i].cfd, chunk)
+				n, err := srcShim.proc.Tee(hoseR, outFD(i), chunk)
 				if err != nil {
 					return fmt.Errorf("multicast tee to %s: %w", dsts[i].name, err)
 				}
@@ -268,7 +322,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 			}
 			last := len(dsts) - 1
 			for moved := 0; moved < chunk; {
-				n, err := srcShim.proc.Splice(hose.rfd, chans[last].cfd, chunk-moved)
+				n, err := srcShim.proc.Splice(hoseR, outFD(last), chunk-moved)
 				if err != nil {
 					return fmt.Errorf("multicast splice to %s: %w", dsts[last].name, err)
 				}
@@ -333,7 +387,7 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 				drains[i].err = err
 				break
 			}
-			drains[i].ref, drains[i].bd, drains[i].err = receiveFromHose(dst, chans[i], out.Len, opts.Ctx)
+			drains[i].ref, drains[i].bd, drains[i].err = drainTarget(i, dst)
 			if drains[i].err != nil {
 				break
 			}
@@ -387,15 +441,83 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 			srcShare := perTargetSend + srcWasmIO/time.Duration(len(dsts))
 			bd.Overlap = modeledOverlap(hoseChunks(out, srcShim.hoseCap), srcShare, bd.Network, drainActivity)
 		}
+		mode := "network-multicast"
+		if local[i] {
+			mode = "kernel-multicast"
+		}
 		reports[i] = metrics.TransferReport{
 			Bytes:     int64(out.Len),
 			Breakdown: bd,
 			Usage:     usage,
-			Mode:      "network-multicast",
+			Mode:      mode,
 		}
 	}
 	healthy = true
 	return refs, reports, nil
+}
+
+// receiveFromPair runs the same-node half of a fan-out's ingress: the teed
+// page references queued on the target's socketpair end are popped straight
+// off the socket (the socketpair IS the channel — no target hose) and copied
+// into linear memory, the single user-space copy the kernel path allows.
+// Callers hold the target's VM lock. Descriptors stay open — teardown
+// belongs to the channel's lifecycle, not the transfer. ctx (nil = never
+// cancelled) is polled at every chunk boundary.
+func receiveFromPair(dst *Function, ch *channel, n uint32, ctx context.Context) (InboundRef, metrics.Breakdown, error) {
+	dstShim := dst.shim
+	var bd metrics.Breakdown
+
+	swIO := metrics.NewStopwatch(dstShim.now)
+	dstPtr, err := dst.view.Allocate(n)
+	if err != nil {
+		return InboundRef{}, bd, err
+	}
+	// dstPtr is the (VM lock held) top allocation: every failure past this
+	// point — cancellation or a faulted syscall — hands it back so an
+	// aborted ingress leaves the target's bump heap where it found it.
+	abort := func(err error) (InboundRef, metrics.Breakdown, error) {
+		//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
+		_ = dst.view.Deallocate(dstPtr)
+		return InboundRef{}, bd, err
+	}
+	wv, err := dst.view.WritableView(dstPtr, n)
+	if err != nil {
+		return abort(err)
+	}
+	allocT := swIO.Lap()
+	dstShim.acct.CPU(metrics.User, allocT)
+	bd.WasmIO += allocT
+
+	received := 0
+	swW := metrics.NewStopwatch(dstShim.now)
+	for received < int(n) {
+		if err := CtxErr(ctx); err != nil {
+			return abort(err)
+		}
+		chunk := int(n) - received
+		if chunk > dstShim.hoseCap {
+			chunk = dstShim.hoseCap
+		}
+		pairRefs, err := dstShim.proc.ReadRefs(ch.fdB, chunk)
+		if err != nil {
+			return abort(fmt.Errorf("drain socketpair: %w", err))
+		}
+		off := received
+		for _, ref := range pairRefs {
+			off += copy(wv[off:], ref.Bytes())
+		}
+		pagebuf.ReleaseAll(pairRefs)
+		if off == received {
+			return abort(fmt.Errorf("drain socketpair: zero-byte read at offset %d of %d", received, n))
+		}
+		dstShim.acct.Copy(metrics.User, off-received)
+		received = off
+		wIO := swW.Lap()
+		dstShim.acct.CPU(metrics.User, wIO)
+		bd.WasmIO += wIO
+		swW = metrics.NewStopwatch(dstShim.now)
+	}
+	return InboundRef{Ptr: dstPtr, Len: n}, bd, nil
 }
 
 // receiveFromHose runs the target half of Algorithm 1 over the target-side

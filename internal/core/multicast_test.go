@@ -110,10 +110,157 @@ func TestMulticastValidations(t *testing.T) {
 	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameVM}, core.MulticastOptions{}); !errors.Is(err, core.ErrSameVM) {
 		t.Fatalf("same-VM target = %v", err)
 	}
-	s2 := newShim(t, "s2", k1)
-	sameNode := addFn(t, s2, "same-node")
-	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameNode}, core.MulticastOptions{}); !errors.Is(err, core.ErrSameNode) {
-		t.Fatalf("same-node target = %v", err)
+	links := []*netsim.Link{netsim.NewLink(100*netsim.Mbps, 0)}
+	if _, _, err := core.MulticastTransfer(src, []*core.Function{sameVM, sameVM}, core.MulticastOptions{Links: links}); err == nil {
+		t.Fatal("mismatched link count accepted")
+	}
+}
+
+// TestMulticastSameNodeKernelPath pins the shared-egress kernel path: targets
+// co-located with the source receive teed page references through their
+// socketpair channels — one vmsplice pass feeds every target, the source
+// copies nothing, and each target pays exactly the single user-space copy
+// into its linear memory. The page pool balances exactly afterwards.
+func TestMulticastSameNodeKernelPath(t *testing.T) {
+	k := kernel.New("edge")
+	sSrc := newShim(t, "src", k)
+	src := addFn(t, sSrc, "src")
+
+	const degree, n = 4, 1_500_000
+	dsts := make([]*core.Function, degree)
+	for i := range dsts {
+		sd := newShim(t, fmt.Sprintf("s%d", i), k)
+		dsts[i] = addFn(t, sd, fmt.Sprintf("t%d", i))
+	}
+	if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	before := sSrc.Account().Snapshot()
+	refs, reports, err := core.MulticastTransfer(src, dsts, core.MulticastOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDelta := sSrc.Account().Snapshot().Sub(before)
+	if srcDelta.TotalCopyBytes() != 0 {
+		t.Fatalf("source copied %d bytes, want 0", srcDelta.TotalCopyBytes())
+	}
+	for i, dst := range dsts {
+		verifyDelivery(t, dst, refs[i], n)
+		if reports[i].Mode != "kernel-multicast" {
+			t.Fatalf("target %d mode = %s", i, reports[i].Mode)
+		}
+		if reports[i].Usage.KernelCopyBytes != 0 {
+			t.Fatalf("target %d: %d kernel copy bytes", i, reports[i].Usage.KernelCopyBytes)
+		}
+		if reports[i].Breakdown.Network != 0 {
+			t.Fatalf("target %d charged wire time on a same-node leg", i)
+		}
+	}
+	if res := k.Pool().Resident(); res != 0 {
+		t.Fatalf("leaked %d resident kernel bytes", res)
+	}
+}
+
+// TestMulticastMixedSetSplits covers the mixed fan-out: one tee group feeds
+// a same-node socketpair and a cross-node connection from the same source
+// pass, each leg reporting its own mode and only the remote leg charged
+// wire time.
+func TestMulticastMixedSetSplits(t *testing.T) {
+	kEdge, kCloud := kernel.New("edge"), kernel.New("cloud")
+	sSrc := newShim(t, "src", kEdge)
+	src := addFn(t, sSrc, "src")
+	sLocal := newShim(t, "sl", kEdge)
+	sRemote := newShim(t, "sr", kCloud)
+	dsts := []*core.Function{addFn(t, sLocal, "near"), addFn(t, sRemote, "far")}
+
+	const n = 900_000
+	if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	links := []*netsim.Link{nil, netsim.NewLink(100*netsim.Mbps, 0)}
+	refs, reports, err := core.MulticastTransfer(src, dsts, core.MulticastOptions{Links: links})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dst := range dsts {
+		verifyDelivery(t, dst, refs[i], n)
+	}
+	if reports[0].Mode != "kernel-multicast" || reports[1].Mode != "network-multicast" {
+		t.Fatalf("modes = %s / %s", reports[0].Mode, reports[1].Mode)
+	}
+	if reports[0].Breakdown.Network != 0 {
+		t.Fatal("same-node leg charged wire time")
+	}
+	if reports[1].Breakdown.Network <= 0 {
+		t.Fatal("remote leg missing wire time")
+	}
+	if res := kEdge.Pool().Resident() + kCloud.Pool().Resident(); res != 0 {
+		t.Fatalf("leaked %d resident kernel bytes", res)
+	}
+}
+
+// TestMulticastSameNodePhaseLocked exercises the all-local fan-out in the
+// pre-pipeline regime, which drains targets strictly after the source pass —
+// the per-call hose pipe must absorb the whole payload and still tear down
+// clean.
+func TestMulticastSameNodePhaseLocked(t *testing.T) {
+	k := kernel.New("edge")
+	sSrc := newShim(t, "src", k)
+	src := addFn(t, sSrc, "src")
+	dsts := []*core.Function{
+		addFn(t, newShim(t, "s0", k), "t0"),
+		addFn(t, newShim(t, "s1", k), "t1"),
+	}
+	const n = 700_000
+	if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	refs, _, err := core.MulticastTransfer(src, dsts, core.MulticastOptions{PhaseLocked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dst := range dsts {
+		verifyDelivery(t, dst, refs[i], n)
+	}
+	if res := k.Pool().Resident(); res != 0 {
+		t.Fatalf("leaked %d resident kernel bytes", res)
+	}
+}
+
+// TestMulticastSourceSyscallsFlatSameNode is the same-node analogue of the
+// degree-independence test: extra co-located targets cost the source one
+// tee per chunk and nothing else — no extra reads of guest memory, no
+// copies, no per-target connections.
+func TestMulticastSourceSyscallsFlatSameNode(t *testing.T) {
+	sourceUsage := func(degree int) (syscalls int64, copies int64) {
+		k := kernel.New("edge")
+		sSrc := newShim(t, "src", k)
+		src := addFn(t, sSrc, "src")
+		dsts := make([]*core.Function, degree)
+		for i := range dsts {
+			sd := newShim(t, fmt.Sprintf("s%d", i), k)
+			dsts[i] = addFn(t, sd, fmt.Sprintf("t%d", i))
+		}
+		const n = 1 << 20
+		if _, err := src.CallPacked(guest.ExportProduce, uint64(n)); err != nil {
+			t.Fatal(err)
+		}
+		before := sSrc.Account().Snapshot()
+		if _, _, err := core.MulticastTransfer(src, dsts, core.MulticastOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		delta := sSrc.Account().Snapshot().Sub(before)
+		return delta.Syscalls, delta.TotalCopyBytes()
+	}
+	sys1, cp1 := sourceUsage(1)
+	sys8, cp8 := sourceUsage(8)
+	if cp1 != 0 || cp8 != 0 {
+		t.Fatalf("source copied bytes: %d / %d", cp1, cp8)
+	}
+	// Extra same-node targets cost one socketpair + one tee per chunk each.
+	perTarget := float64(sys8-sys1) / 7
+	if perTarget > 4 {
+		t.Fatalf("per-target source syscalls = %.1f, want <= 4", perTarget)
 	}
 }
 

@@ -97,8 +97,11 @@ func Quick() Options {
 // 16 replicas killed mid-load, pinned to proportional degradation);
 // version 7 added the hotpath experiment (aggregate small-transfer
 // throughput, 1..GOMAXPROCS workers, sharded run queues vs the
-// single-queue scheduler baseline).
-const SchemaVersion = 7
+// single-queue scheduler baseline); version 8 added the fanoutshare
+// experiment (same-node delivery throughput vs fan-out degree, shared
+// egress vs the per-target ablation, with the 3x speedup bound at
+// degree >= 8).
+const SchemaVersion = 8
 
 // Point is one (system, x) measurement carrying every panel of the paper's
 // figure grids.
@@ -259,23 +262,24 @@ const (
 
 // Registry maps experiment IDs to runners.
 var Registry = map[string]func(Options) (*Result, error){
-	"fig2a":     Fig2a,
-	"fig2b":     Fig2b,
-	"fig6":      Fig6,
-	"fig7":      Fig7,
-	"fig8":      Fig8,
-	"fig9":      Fig9,
-	"fig10":     Fig10,
-	"chancache": ChanCache,
-	"pipeline":  Pipeline,
-	"placement": Placement,
-	"failure":   Failure,
-	"hotpath":   Hotpath,
+	"fig2a":       Fig2a,
+	"fig2b":       Fig2b,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10,
+	"chancache":   ChanCache,
+	"pipeline":    Pipeline,
+	"placement":   Placement,
+	"failure":     Failure,
+	"hotpath":     Hotpath,
+	"fanoutshare": FanoutShare,
 }
 
 // IDs lists the experiment identifiers, paper figures first.
 func IDs() []string {
-	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement", "failure", "hotpath"}
+	return []string{"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10", "chancache", "pipeline", "placement", "failure", "hotpath", "fanoutshare"}
 }
 
 // RunAll executes every experiment and prints the results.

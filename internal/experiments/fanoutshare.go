@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	roadrunner "github.com/polaris-slo-cloud/roadrunner-go"
+)
+
+// System labels for the fanoutshare experiment.
+const (
+	SysSharedEgress = "Shared egress (tee group)"
+	SysPerTargetFan = "Per-target (ablation)"
+)
+
+// fanoutShareDegrees is the experiment's target-count axis: same-node
+// fan-out degrees from unicast-equivalent up to 16.
+var fanoutShareDegrees = []int{1, 2, 4, 8, 16}
+
+// fanoutShareSpeedupBound is the acceptance bar BENCH_9 pins on machines
+// with enough cores to run the tee group's drains in parallel: at
+// GOMAXPROCS >= fanoutShareEnforceCores, shared egress must deliver at
+// least this multiple of the per-target ablation's aggregate delivery
+// throughput at every degree >= fanoutShareEnforceFromDegree. Below that
+// core count the sweep still runs and records both systems, but the
+// drains time-slice instead of overlapping, the ratio collapses toward
+// the copy-count ratio alone, and the bound is not enforced.
+const fanoutShareSpeedupBound = 3.0
+
+// fanoutShareEnforceFromDegree is the fan-out degree from which the
+// speedup bound applies.
+const fanoutShareEnforceFromDegree = 8
+
+// fanoutShareEnforceCores is the GOMAXPROCS threshold above which the
+// speedup bound applies.
+const fanoutShareEnforceCores = 8
+
+// FanoutShare measures aggregate same-node delivery throughput as the
+// fan-out degree grows — the BENCH_9 shared-egress experiment (not a paper
+// figure; the paper's fan-out sweeps pre-date the tee group). Each point
+// runs one produce-once fan-out from a source sandbox to N target
+// sandboxes on one node: the shared-egress system serves all N targets
+// from a single vmsplice+tee pass over the source (zero source-side
+// payload copies, drains overlapped across target VMs), while the
+// per-target ablation (WithPerTargetFanout) pays N independent kernel
+// unicast transfers whose source-side copies serialize under the source VM
+// lock. On machines with GOMAXPROCS >= 8 the run errors if shared egress
+// is not at least 3x the ablation at every degree >= 8 — the bound that
+// keeps the fan-out path from silently regressing to O(N) source work.
+func FanoutShare(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	payload := opts.FanoutPayloadMB * MB
+	cores := runtime.GOMAXPROCS(0)
+	res := &Result{
+		ID:     "fanoutshare",
+		Mode:   "fanout-share",
+		Title:  fmt.Sprintf("Same-node fan-out, shared egress vs per-target, %d MB payload", opts.FanoutPayloadMB),
+		XLabel: "targets",
+	}
+
+	for _, degree := range fanoutShareDegrees {
+		shared, sharedCopies, err := fanoutSharePoint(SysSharedEgress, degree, payload, opts.Runs, false)
+		if err != nil {
+			return nil, fmt.Errorf("shared degree %d: %w", degree, err)
+		}
+		ablation, ablationCopies, err := fanoutSharePoint(SysPerTargetFan, degree, payload, opts.Runs, true)
+		if err != nil {
+			return nil, fmt.Errorf("per-target degree %d: %w", degree, err)
+		}
+		res.Points = append(res.Points, shared, ablation)
+		if ablation.RPS <= 0 || shared.RPS <= 0 {
+			return nil, fmt.Errorf("degenerate throughput at degree %d: shared %.1f rps, per-target %.1f rps", degree, shared.RPS, ablation.RPS)
+		}
+		speedup := shared.RPS / ablation.RPS
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"degree %d: %.0f vs %.0f deliveries/s (%.2fx); kernel-boundary copy bytes %d shared vs %d per-target",
+			degree, shared.RPS, ablation.RPS, speedup, sharedCopies, ablationCopies))
+		// The zero-copy invariant is structural, not statistical: the
+		// shared pass must never push payload across the kernel boundary,
+		// at any degree, on any machine.
+		if sharedCopies != 0 {
+			return nil, fmt.Errorf("degree %d: shared egress crossed the kernel boundary with %d payload bytes, want 0", degree, sharedCopies)
+		}
+		if degree >= fanoutShareEnforceFromDegree && cores >= fanoutShareEnforceCores && speedup < fanoutShareSpeedupBound {
+			return nil, fmt.Errorf("shared egress delivered %.2fx the per-target ablation at degree %d — below the %.1fx bound",
+				speedup, degree, fanoutShareSpeedupBound)
+		}
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"bound %.1fx enforced from degree %d at GOMAXPROCS>=%d (have %d)",
+		fanoutShareSpeedupBound, fanoutShareEnforceFromDegree, fanoutShareEnforceCores, cores))
+	return res, nil
+}
+
+// fanoutSharePoint drives one (system, degree) measurement: a fresh
+// platform with the source and degree single-replica targets on one node,
+// channels warmed by an untimed fan-out, then opts.Runs timed fan-outs.
+// Throughput is deliveries over the fan-out's wall clock; the returned
+// copy count is the kernel-boundary payload volume summed across the last
+// run's target reports (zero for the tee group, 2·payload per target for
+// the kernel unicast ablation).
+func fanoutSharePoint(system string, degree, payload, runs int, perTarget bool) (Point, int64, error) {
+	p := roadrunner.New(roadrunner.WithNodes("node"), roadrunner.WithWorkers(runtime.GOMAXPROCS(0)))
+	defer p.Close()
+	src, err := p.Deploy(roadrunner.FunctionSpec{Name: "src", Node: "node"})
+	if err != nil {
+		return Point{}, 0, err
+	}
+	targets := make([]*roadrunner.Function, degree)
+	for i := range targets {
+		if targets[i], err = p.Deploy(roadrunner.FunctionSpec{Name: fmt.Sprintf("t%d", i), Node: "node"}); err != nil {
+			return Point{}, 0, err
+		}
+	}
+	var xopts []roadrunner.TransferOption
+	if perTarget {
+		xopts = append(xopts, roadrunner.WithPerTargetFanout(true))
+	}
+
+	var (
+		kernelCopies int64
+		lastReports  []roadrunner.Report
+	)
+	run := func() (time.Duration, error) {
+		start := time.Now()
+		refs, reports, err := p.Fanout(src, targets, payload, xopts...)
+		wall := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		kernelCopies = 0
+		lastReports = reports
+		for i := range targets {
+			kernelCopies += reports[i].Usage.KernelCopyBytes
+			if err := targets[i].Release(refs[i]); err != nil {
+				return 0, err
+			}
+		}
+		si := src.Instance(0)
+		if out, oerr := si.Output(); oerr == nil {
+			if err := si.Release(out); err != nil {
+				return 0, err
+			}
+		}
+		return wall, nil
+	}
+	if _, err := run(); err != nil { // warm-up: channels established untimed
+		return Point{}, 0, err
+	}
+	var total time.Duration
+	for r := 0; r < runs; r++ {
+		wall, err := run()
+		if err != nil {
+			return Point{}, 0, err
+		}
+		total += wall
+	}
+	wall := total / time.Duration(runs)
+	if wall <= 0 {
+		return Point{}, 0, fmt.Errorf("degenerate wall clock %v", wall)
+	}
+	flats := make([]flatRep, len(lastReports))
+	for i, r := range lastReports {
+		flats[i] = flatFromPublic(r)
+	}
+	pt := fanoutPoint(system, degree, flats)
+	// Unlike the modeled Fig. 9 makespan, this sweep has a measured wall
+	// clock — latency is the fan-out's wall time and throughput is real
+	// deliveries per second, which is what the tee group's overlapped
+	// drains improve.
+	pt.Latency = wall
+	pt.RPS = float64(degree) * float64(time.Second) / float64(wall)
+	return pt, kernelCopies, nil
+}

@@ -39,14 +39,18 @@ import (
 // field and "cancelled" counter (per-operation context timeouts) and the
 // "plan" mode (a small Plan/Submit DAG per iteration); version 6 added the
 // "kills" field (replicas crashed mid-load per pool, served by
-// health-aware retry-with-exclusion routing).
-const SchemaVersion = 6
+// health-aware retry-with-exclusion routing); version 7 added the "fanout"
+// field (deliveries per execution) and the "fanout" mode (one shared-egress
+// same-node fan-out per iteration, one produce serving Targets sandboxes).
+const SchemaVersion = 7
 
 // Modes the generator can drive. Mixed chains one hop of each mechanism;
 // chain runs a Hops-deep line of functions alternating kernel and network
 // hops (the chain-depth scaling scenario for the staged pipeline); plan
 // submits a small DAG per iteration through the Plan/Submit plane (an
-// invoke feeding two parallel transfers).
+// invoke feeding two parallel transfers); fanout delivers one produce to
+// Targets same-node sandboxes per iteration through the shared-egress tee
+// group (one hop, Targets deliveries).
 const (
 	ModeMixed   = "mixed"
 	ModeUser    = "user"
@@ -54,6 +58,7 @@ const (
 	ModeNetwork = "network"
 	ModeChain   = "chain"
 	ModePlan    = "plan"
+	ModeFanout  = "fanout"
 )
 
 // Config parameterizes one load run.
@@ -104,6 +109,11 @@ type Config struct {
 	// (0 = none). Executions that trip it count in the result's "cancelled"
 	// counter, not as errors — cancellation is load shedding, not failure.
 	Deadline time.Duration
+	// Targets is the fan-out degree of every ModeFanout execution: the
+	// number of same-node target sandboxes one produce is delivered to
+	// through the shared-egress tee group. Default 4; ignored outside
+	// fanout mode.
+	Targets int
 	// Kills crashes this many replicas (the highest-indexed ones) in every
 	// function pool two data-plane syscalls into the run — the
 	// degrade-under-kill regime. The surviving replicas absorb the load
@@ -134,8 +144,16 @@ func (c Config) withDefaults() (Config, error) {
 	case ModeMixed, ModeUser, ModeKernel, ModeNetwork, ModeChain:
 	case ModePlan:
 		c.Hops = 3 // the DAG's shape is fixed: invoke + two transfers
+	case ModeFanout:
+		c.Hops = 1 // one shared-egress pass per execution
+		if c.Targets <= 0 {
+			c.Targets = 4
+		}
 	default:
 		return c, fmt.Errorf("workload: unknown mode %q", c.Mode)
+	}
+	if c.Mode != ModeFanout && c.Targets > 0 {
+		return c, fmt.Errorf("workload: -targets only applies to fanout mode, got mode %q", c.Mode)
 	}
 	if c.Hops <= 0 {
 		switch c.Mode {
@@ -222,6 +240,7 @@ type Result struct {
 	Placement     string `json:"placement"`   // invoker-plane routing policy
 	DeadlineNS    int64  `json:"deadline_ns"` // per-operation ctx timeout (0 = none)
 	Kills         int    `json:"kills"`       // replicas crashed mid-load per pool
+	Fanout        int    `json:"fanout"`      // deliveries per execution (fanout mode; 0 otherwise)
 
 	Ops       int64   `json:"ops"`       // completed workflow executions
 	Errors    int64   `json:"errors"`    // failed executions
@@ -237,7 +256,8 @@ type Result struct {
 	Latency     Percentiles  `json:"latency"`
 	ServiceOnly *Percentiles `json:"service_only,omitempty"`
 
-	// Transfers is the per-hop count: Ops × Hops when error-free.
+	// Transfers is the delivery count: Ops × Hops when error-free, or
+	// Ops × Fanout in fanout mode (one hop, Fanout deliveries).
 	Transfers int64 `json:"transfers"`
 }
 
@@ -278,7 +298,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.topts = append(r.topts, roadrunner.WithPhaseLocked(true))
 	}
 	for i := 0; i < cfg.Workflows; i++ {
-		inst, err := deployInstance(p, cfg.Mode, cfg.Hops, cfg.Replicas, i)
+		inst, err := deployInstance(p, cfg.Mode, cfg.Hops, cfg.Replicas, cfg.Targets, i)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -304,7 +324,7 @@ func (r *Runner) Close() { r.platform.Close() }
 // Platform exposes the underlying deployment (for tests).
 func (r *Runner) Platform() *roadrunner.Platform { return r.platform }
 
-func deployInstance(p *roadrunner.Platform, mode string, hops, replicas, i int) (*instance, error) {
+func deployInstance(p *roadrunner.Platform, mode string, hops, replicas, targets, i int) (*instance, error) {
 	wf := roadrunner.Workflow{Name: fmt.Sprintf("wf-%d", i), Tenant: "load"}
 	deploy := func(name, node string, share *roadrunner.Function) (*roadrunner.Function, error) {
 		// Replicated pools spread across both nodes starting at the
@@ -383,6 +403,16 @@ func deployInstance(p *roadrunner.Platform, mode string, hops, replicas, i int) 
 			return nil, err
 		}
 		fns = append(fns, b, c, d)
+	case ModeFanout:
+		// The shared-egress scenario: Targets dedicated sandboxes co-located
+		// with the head, all served by one tee group per execution.
+		for t := 0; t < targets; t++ {
+			f, err := deploy(fmt.Sprintf("t%d", t), "edge", nil)
+			if err != nil {
+				return nil, err
+			}
+			fns = append(fns, f)
+		}
 	case ModeChain:
 		// A hops-deep line of dedicated shims placed edge,edge,cloud,cloud,
 		// edge,… so the chain alternates kernel-space and network hops —
@@ -416,6 +446,9 @@ func (r *Runner) execute(inst *instance) error {
 	}
 	if r.cfg.Mode == ModePlan {
 		return r.executePlan(ctx, inst)
+	}
+	if r.cfg.Mode == ModeFanout {
+		return r.executeFanout(ctx, inst)
 	}
 	cfg := r.cfg
 	fns := inst.fns
@@ -478,6 +511,40 @@ func (r *Runner) execute(inst *instance) error {
 		}
 	}
 	return nil
+}
+
+// executeFanout runs one fanout-mode iteration: FanoutCtx produces the
+// payload at the head and delivers it to every target sandbox through the
+// shared-egress tee group (all targets are co-located with the head, so
+// the whole set rides one vmsplice+tee pass), then every landed region and
+// the head's produce are released so linear memory stays flat.
+func (r *Runner) executeFanout(ctx context.Context, inst *instance) error {
+	cfg := r.cfg
+	head, targets := inst.fns[0], inst.fns[1:]
+	refs, _, err := r.platform.FanoutCtx(ctx, head, targets, cfg.PayloadBytes, r.topts...)
+	if err != nil {
+		return err
+	}
+	var verr error
+	for t, ref := range refs {
+		target := targets[t].ActiveInstance()
+		if cfg.Verify && verr == nil {
+			sum, err := target.Checksum(ref)
+			switch {
+			case err != nil:
+				verr = fmt.Errorf("checksum target %d: %w", t, err)
+			case sum != roadrunner.ExpectedChecksum(cfg.PayloadBytes):
+				verr = fmt.Errorf("checksum mismatch at target %d: got %#x want %#x",
+					t, sum, roadrunner.ExpectedChecksum(cfg.PayloadBytes))
+			}
+		}
+		_ = target.Release(ref)
+	}
+	src := head.ActiveInstance()
+	if out, err := src.Output(); err == nil {
+		_ = src.Release(out)
+	}
+	return verr
 }
 
 // executePlan runs one plan-mode iteration: a Plan DAG — invoke a->b (the
@@ -646,14 +713,21 @@ func (r *Runner) result(loop string, rec *recorder, elapsed time.Duration, open 
 		Placement:     cfg.Placement,
 		DeadlineNS:    int64(cfg.Deadline),
 		Kills:         cfg.Kills,
+		Fanout:        cfg.Targets,
 		Ops:           rec.ops.Load(),
 		Errors:        rec.errs.Load(),
 		Cancelled:     rec.cancelled.Load(),
 		ElapsedNS:     int64(elapsed),
 		Latency:       percentiles(rec.latencies),
 	}
-	res.Bytes = res.Ops * int64(cfg.Hops) * int64(cfg.PayloadBytes)
-	res.Transfers = res.Ops * int64(cfg.Hops)
+	// A fanout execution is one hop delivering Targets copies; everything
+	// else delivers one copy per hop.
+	deliveries := int64(cfg.Hops)
+	if cfg.Mode == ModeFanout {
+		deliveries = int64(cfg.Targets)
+	}
+	res.Bytes = res.Ops * deliveries * int64(cfg.PayloadBytes)
+	res.Transfers = res.Ops * deliveries
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.OpsPerSec = float64(res.Ops) / sec
 		res.MBPerSec = float64(res.Bytes) / 1e6 / sec

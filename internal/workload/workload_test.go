@@ -41,6 +41,47 @@ func TestClosedLoopAllModes(t *testing.T) {
 	}
 }
 
+// TestFanoutMode drives the shared-egress fan-out regime: one produce per
+// execution delivered to Targets same-node sandboxes through the tee
+// group, checksummed at every target, with the schema v7 fanout tagging
+// and per-delivery byte accounting.
+func TestFanoutMode(t *testing.T) {
+	res, err := Run(Config{
+		Workflows:    2,
+		Requests:     8,
+		PayloadBytes: 8 << 10,
+		Mode:         ModeFanout,
+		Targets:      6,
+		Verify:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Cancelled != 0 {
+		t.Fatalf("%d failed, %d cancelled executions", res.Errors, res.Cancelled)
+	}
+	if res.Ops != 8 {
+		t.Fatalf("ops = %d, want 8", res.Ops)
+	}
+	if res.SchemaVersion != SchemaVersion || res.Fanout != 6 || res.Hops != 1 {
+		t.Fatalf("schema tagging: %+v", res)
+	}
+	// Every execution is one hop but six deliveries.
+	if want := res.Ops * 6; res.Transfers != want {
+		t.Fatalf("transfers = %d, want %d", res.Transfers, want)
+	}
+	if want := res.Ops * 6 * int64(res.PayloadBytes); res.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, want)
+	}
+	// Targets defaults in fanout mode and is rejected elsewhere.
+	if res, err := Run(Config{Workflows: 1, Requests: 2, Mode: ModeFanout}); err != nil || res.Fanout != 4 {
+		t.Fatalf("default targets: res=%+v err=%v", res, err)
+	}
+	if _, err := Run(Config{Mode: ModeKernel, Targets: 3}); err == nil {
+		t.Fatal("-targets outside fanout mode must be rejected")
+	}
+}
+
 // TestReplicatedPools drives the closed loop over replicated instance
 // pools under every placement policy, verifying checksums end to end and
 // the schema v4 replica/placement tagging.

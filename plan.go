@@ -288,11 +288,14 @@ func (n *PlanNode) check(p *Platform) error {
 func (n *PlanNode) checkOpts(cfg *transferConfig) error {
 	switch n.op {
 	case opCast:
-		if cfg.mode != ModeAuto && cfg.mode != ModeNetwork {
-			return n.fail(fmt.Errorf("multicast is network-path only, mode %v: %w", cfg.mode, ErrModeUnavailable))
+		if cfg.mode == ModeUserSpace {
+			return n.fail(fmt.Errorf("multicast shares kernel pages across VMs, mode %v: %w", cfg.mode, ErrModeUnavailable))
 		}
 		if cfg.dstInst != nil {
 			return n.fail(fmt.Errorf("multicast routes every target by policy, cannot pin one target instance: %w", ErrModeUnavailable))
+		}
+		if err := n.checkCastModeReachable(cfg); err != nil {
+			return err
 		}
 	case opFan:
 		if cfg.dstInst != nil {
@@ -381,6 +384,41 @@ func (n *PlanNode) checkModeReachable(cfg transferConfig) error {
 	}
 	return n.fail(fmt.Errorf("no instance pair of (%s, %s) reachable in mode %v: %w",
 		n.src.Name(), n.dst.Name(), cfg.mode, ErrModeUnavailable))
+}
+
+// checkCastModeReachable is checkModeReachable's multicast counterpart:
+// with a forced mode, every target pool must hold at least one instance the
+// source pool can reach that way — ModeKernelSpace needs a co-located
+// (different-shim) pair per target, ModeNetwork a cross-node one. Like the
+// unicast check it is static and conservative; health and concrete routing
+// stay with execution.
+func (n *PlanNode) checkCastModeReachable(cfg *transferConfig) error {
+	if cfg.mode != ModeKernelSpace && cfg.mode != ModeNetwork {
+		return nil
+	}
+	for _, t := range n.targets {
+		reachable := false
+		for _, si := range n.src.insts {
+			if cfg.srcInst != nil && si != cfg.srcInst {
+				continue
+			}
+			eligible := modeEligible(si, t, cfg.mode)
+			for j := range t.insts {
+				if eligible(j) {
+					reachable = true
+					break
+				}
+			}
+			if reachable {
+				break
+			}
+		}
+		if !reachable {
+			return n.fail(fmt.Errorf("no instance of target %s reachable from %s in mode %v: %w",
+				t.Name(), n.src.Name(), cfg.mode, ErrModeUnavailable))
+		}
+	}
+	return nil
 }
 
 // topoOrder returns node indices in dependency order, or a *PlanError on a

@@ -540,13 +540,14 @@ func (p *Platform) linkCost(a, b string) time.Duration {
 type TransferOption func(*transferConfig)
 
 type transferConfig struct {
-	mode        Mode
-	flows       int
-	coldChannel bool
-	phaseLocked bool
-	sourceRef   *DataRef
-	srcInst     *Instance
-	dstInst     *Instance
+	mode            Mode
+	flows           int
+	coldChannel     bool
+	phaseLocked     bool
+	perTargetFanout bool
+	sourceRef       *DataRef
+	srcInst         *Instance
+	dstInst         *Instance
 	// ctx is the operation's cancellation context, set by the ...Ctx entry
 	// points (never by a TransferOption); nil means never cancelled.
 	ctx context.Context
@@ -602,6 +603,17 @@ func WithChannelCache(on bool) TransferOption {
 // pipelined-vs-phase-locked comparisons.
 func WithPhaseLocked(on bool) TransferOption {
 	return func(c *transferConfig) { c.phaseLocked = on }
+}
+
+// WithPerTargetFanout forces (true) a Fanout (or plan Fan node) to deliver
+// to every target through an independent unicast transfer — the
+// pre-shared-egress behavior — instead of serving co-located targets from
+// one multicast tee group. It is the ablation baseline the fan-out
+// experiments compare the shared-egress path against; cross-node targets
+// always use per-target deliveries, so the option only changes how targets
+// on the source instance's node are served.
+func WithPerTargetFanout(on bool) TransferOption {
+	return func(c *transferConfig) { c.perTargetFanout = on }
 }
 
 // WithSourceRef pins the region the transfer reads from the source function
