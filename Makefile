@@ -73,7 +73,7 @@ perfgate:
 ## gofmt gate)
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/roadvet ./...
+	$(GO) run ./cmd/roadvet -budget ROADVET_BASELINE.json ./...
 
 ## staticcheck: static-analysis gate (CI's lint job; needs the binary or network)
 staticcheck:

@@ -191,7 +191,6 @@ func (p *Platform) FanoutAsync(src *Function, targets []*Function, n int) ([]*Tr
 		// No delivery will ever read the produced region; hand it back so
 		// a rejected fan-out leaves the source allocator at baseline, as
 		// the synchronous failure path does.
-		//roadvet:ignore regionrelease best-effort rewind: the produce error is what every future resolves with
 		_ = si.inner.Deallocate(out.Ptr)
 		for _, fut := range futs {
 			fut.resolve(DataRef{}, Report{}, err)

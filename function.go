@@ -280,7 +280,6 @@ func (p *Platform) chainWithCtx(ctx context.Context, n int, opts []TransferOptio
 	allocs := []chainAlloc{{head, ref}}
 	fail := func(err error) (DataRef, Report, *Instance, error) {
 		for i := len(allocs) - 1; i >= 0; i-- {
-			//roadvet:ignore regionrelease best-effort unwind of the chain's landed regions in reverse order; the hop's own error is what the caller sees
 			_ = allocs[i].inst.inner.Deallocate(allocs[i].ref.Ptr)
 		}
 		return DataRef{}, Report{}, nil, err
@@ -534,7 +533,6 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 		return nil, nil, err
 	}
 	fail := func(err error) ([]DataRef, []Report, error) {
-		//roadvet:ignore regionrelease best-effort rewind: the fan-out's primary error is what the caller sees
 		_ = si.inner.Deallocate(out.Ptr)
 		return nil, nil, err
 	}
@@ -628,7 +626,6 @@ func (p *Platform) fanoutCtx(ctx context.Context, src *Function, targets []*Func
 			}
 			sort.Slice(landed, func(a, b int) bool { return refs[landed[a]].Ptr > refs[landed[b]].Ptr })
 			for _, k := range landed {
-				//roadvet:ignore regionrelease best-effort top-down unwind of the landed deliveries; the failed target's error is surfaced through fail
 				_ = chosen[k].inner.Deallocate(refs[k].Ptr)
 			}
 			return fail(fmt.Errorf("fanout to %s: %w", targets[i].Name(), err))

@@ -38,11 +38,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"golang.org/x/tools/go/analysis"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/driver"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // Run applies the analyzer to each named fixture package under
@@ -69,6 +71,11 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
+	// Build the whole-program summary table over the fixture package and
+	// every sibling fixture it pulled in, so cross-package helper shapes
+	// resolve exactly as they do under the real driver.
+	summary.Install(summary.Build(driver.Units(imp.loaded)))
+	defer summary.Install(nil)
 	findings, err := driver.RunAnalyzers(pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
@@ -156,6 +163,7 @@ type fixtureImporter struct {
 	fset    *token.FileSet
 	cache   map[string]*types.Package
 	exports map[string]string
+	loaded  []*driver.Package
 }
 
 // load parses and type-checks one fixture package, returning it in the
@@ -190,7 +198,7 @@ func (imp *fixtureImporter) load(pkgPath string) (*driver.Package, error) {
 		return nil, fmt.Errorf("type-checking fixture %s: %w", pkgPath, err)
 	}
 	imp.cache[pkgPath] = tpkg
-	return &driver.Package{
+	pkg := &driver.Package{
 		PkgPath:   pkgPath,
 		Fset:      imp.fset,
 		Files:     files,
@@ -198,7 +206,9 @@ func (imp *fixtureImporter) load(pkgPath string) (*driver.Package, error) {
 		Types:     tpkg,
 		Info:      info,
 		Sizes:     types.SizesFor("gc", runtime.GOARCH),
-	}, nil
+	}
+	imp.loaded = append(imp.loaded, pkg)
+	return pkg, nil
 }
 
 // Import resolves an import: fixture packages first, then the standard
@@ -229,9 +239,32 @@ func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
 	return gc.Import(path)
 }
 
+// exportListCache shares resolved export-data paths across every importer
+// in the process, keyed by testdata root: the go tool runs once per tree,
+// not once per test case.
+var (
+	exportListMu    sync.Mutex
+	exportListCache = make(map[string]map[string]string)
+)
+
 // listExports resolves export data for every non-fixture import mentioned
-// anywhere under the testdata tree, in one go tool invocation.
+// anywhere under the testdata tree, in one go tool invocation per tree
+// per process.
 func (imp *fixtureImporter) listExports() error {
+	exportListMu.Lock()
+	defer exportListMu.Unlock()
+	if cached, ok := exportListCache[imp.root]; ok {
+		imp.exports = cached
+		return nil
+	}
+	if err := imp.listExportsUncached(); err != nil {
+		return err
+	}
+	exportListCache[imp.root] = imp.exports
+	return nil
+}
+
+func (imp *fixtureImporter) listExportsUncached() error {
 	paths := make(map[string]bool)
 	err := filepath.WalkDir(imp.root, func(p string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {

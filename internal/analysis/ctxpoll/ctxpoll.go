@@ -12,6 +12,7 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // procType and chunkSyscalls identify the kernel data-movement calls
@@ -22,21 +23,23 @@ var chunkSyscalls = []string{"Read", "Write", "Splice", "Vmsplice", "Tee", "Read
 
 // Analyzer is the ctxpoll pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "ctxpoll",
-	Doc:  "check that hose-chunk syscall loops poll the context at chunk granularity",
-	Run:  run,
+	Name:     "ctxpoll",
+	Doc:      "check that hose-chunk syscall loops poll the context at chunk granularity",
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	prog := summary.FromPass(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFunc(pass, fn.Body)
+					checkFunc(pass, prog, fn.Body)
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, fn.Body)
+				checkFunc(pass, prog, fn.Body)
 			}
 			return true
 		})
@@ -48,7 +51,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 // verifies its enclosing loop chain polls the context. Nested function
 // literals are separate functions: a loop cannot poll on behalf of a
 // closure it spawns, so traversal stops at FuncLit boundaries.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, prog *summary.Program, body *ast.BlockStmt) {
 	reported := make(map[ast.Node]bool)
 	var loops []ast.Node // enclosing for/range statements, outermost first
 	var walk func(n ast.Node)
@@ -64,7 +67,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			loops = loops[:len(loops)-1]
 			return
 		case *ast.CallExpr:
-			if isChunkSyscall(pass, s) && len(loops) > 0 && !anyLoopPolls(loops) {
+			if isChunkSyscall(pass, s) && len(loops) > 0 && !anyLoopPolls(pass, prog, loops) {
 				inner := loops[len(loops)-1]
 				if !reported[inner] {
 					reported[inner] = true
@@ -105,17 +108,18 @@ func isChunkSyscall(pass *analysis.Pass, call *ast.CallExpr) bool {
 }
 
 // anyLoopPolls reports whether any loop in the chain contains a context
-// poll (CtxErr helper or a .Err() method call) outside nested literals.
-func anyLoopPolls(loops []ast.Node) bool {
+// poll (CtxErr helper, a .Err() method call, or a call to a helper whose
+// summary proves it polls) outside nested literals.
+func anyLoopPolls(pass *analysis.Pass, prog *summary.Program, loops []ast.Node) bool {
 	for _, l := range loops {
-		if loopPolls(l) {
+		if loopPolls(pass, prog, l) {
 			return true
 		}
 	}
 	return false
 }
 
-func loopPolls(loop ast.Node) bool {
+func loopPolls(pass *analysis.Pass, prog *summary.Program, loop ast.Node) bool {
 	found := false
 	ast.Inspect(loop, func(n ast.Node) bool {
 		if found {
@@ -130,8 +134,27 @@ func loopPolls(loop ast.Node) bool {
 				found = true
 				return false
 			}
+			if callPolls(pass, prog, call) {
+				found = true
+				return false
+			}
 		}
 		return true
 	})
 	return found
+}
+
+// callPolls reports whether every statically known target of call polls
+// the context per its summary — the poll-split-into-a-helper shape.
+func callPolls(pass *analysis.Pass, prog *summary.Program, call *ast.CallExpr) bool {
+	sums := prog.CallSummaries(pass, call)
+	if len(sums) == 0 {
+		return false
+	}
+	for _, s := range sums {
+		if !s.PollsCtx {
+			return false
+		}
+	}
+	return true
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxPoll(t *testing.T) {
-	analyzertest.Run(t, "testdata", ctxpoll.Analyzer, "a")
+	analyzertest.Run(t, "testdata", ctxpoll.Analyzer, "a", "interproc")
 }

@@ -1,0 +1,66 @@
+// Package interproc exercises the summary-backed poll recognition: a
+// loop that polls through a helper — even a helper that itself delegates
+// to another polling helper — is compliant, while a helper that merely
+// looks like a guard earns nothing.
+package interproc
+
+import "context"
+
+type Proc struct{}
+
+func (p *Proc) Read(fd int, b []byte) (int, error) { return len(b), nil }
+
+func CtxErr(ctx context.Context) error { return ctx.Err() }
+
+// checkCancel polls via the CtxErr helper: its summary proves PollsCtx.
+func checkCancel(ctx context.Context) error {
+	return CtxErr(ctx)
+}
+
+// guardChunk delegates to checkCancel — the proof chains through two
+// helpers.
+func guardChunk(ctx context.Context, off int) error {
+	if off%4096 == 0 {
+		return checkCancel(ctx)
+	}
+	return CtxErr(ctx)
+}
+
+// noPoll inspects the context value without ever polling cancellation.
+func noPoll(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return nil
+}
+
+// helperPolledDrain polls per chunk through the helper chain; compliant.
+func helperPolledDrain(ctx context.Context, p *Proc, fd int, buf []byte) error {
+	for off := 0; off < len(buf); {
+		if err := guardChunk(ctx, off); err != nil {
+			return err
+		}
+		n, err := p.Read(fd, buf[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// fakeGuardDrain calls a helper that never polls: the loop is still an
+// unbounded-cancellation-latency bug.
+func fakeGuardDrain(ctx context.Context, p *Proc, fd int, buf []byte) error {
+	for off := 0; off < len(buf); { // want "does not poll the context"
+		if err := noPoll(ctx); err != nil {
+			return err
+		}
+		n, err := p.Read(fd, buf[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}

@@ -39,8 +39,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"golang.org/x/tools/go/analysis"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/callgraph"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -90,13 +94,39 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
+// loadCache memoizes Load by its pattern list: one process loads the
+// module graph once no matter how many analyzers or Vet entry points ask
+// for it. The go tool invocation itself pins GOFLAGS so repeated runs hit
+// the same build cache instead of re-deciding module mode per call.
+var (
+	loadMu    sync.Mutex
+	loadCache = make(map[string][]*Package)
+)
+
 // Load lists the packages matching patterns with the go tool, type-checks
 // the non-dependency matches against their dependencies' compiled export
 // data, and returns them ready for analysis. Test files are excluded, as
-// with the predecessor gates (cmd/ctxcheck, cmd/doccheck).
+// with the predecessor gates (cmd/ctxcheck, cmd/doccheck). Results are
+// memoized per pattern list for the life of the process.
 func Load(patterns []string) ([]*Package, error) {
+	key := strings.Join(patterns, "\x00")
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if pkgs, ok := loadCache[key]; ok {
+		return pkgs, nil
+	}
+	pkgs, err := load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	loadCache[key] = pkgs
+	return pkgs, nil
+}
+
+func load(patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=vendor")
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
@@ -179,6 +209,16 @@ func typecheck(t *listPackage, lookup func(string) (io.ReadCloser, error)) (*Pac
 		Info:      info,
 		Sizes:     types.SizesFor("gc", runtime.GOARCH),
 	}, nil
+}
+
+// Units adapts loaded packages to call-graph units for the whole-program
+// summary build.
+func Units(pkgs []*Package) []*callgraph.Pkg {
+	units := make([]*callgraph.Pkg, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &callgraph.Pkg{Fset: p.Fset, Files: p.Files, Info: p.Info, Types: p.Types}
+	}
+	return units
 }
 
 // NewInfo returns a types.Info with every map analyzers read allocated.
@@ -364,6 +404,7 @@ func Vet(analyzers []*analysis.Analyzer, patterns []string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	summary.Install(summary.Build(Units(pkgs)))
 	res := &Result{}
 	for _, pkg := range pkgs {
 		findings, err := RunAnalyzers(pkg, analyzers)

@@ -15,7 +15,9 @@ import (
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
 	"golang.org/x/tools/go/cfg"
 
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/callgraph"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // gaugeType is the named type whose Enter/Exit methods move the gauge.
@@ -25,21 +27,22 @@ const gaugeType = "State"
 var Analyzer = &analysis.Analyzer{
 	Name:     "gaugebalance",
 	Doc:      "check that every in-flight gauge Enter has an Exit on all paths of the function",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
 	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	prog := summary.FromPass(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFunc(pass, fn.Body, cfgs.FuncDecl(fn))
+					checkFunc(pass, prog, ownEnterKeys(pass, prog, fn), fn.Body, cfgs.FuncDecl(fn))
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, fn.Body, cfgs.FuncLit(fn))
+				checkFunc(pass, prog, nil, fn.Body, cfgs.FuncLit(fn))
 			}
 			return true
 		})
@@ -64,9 +67,58 @@ func keyOf(pass *analysis.Pass, call *ast.CallExpr, method string) (bracketKey, 
 	return bracketKey{recv: types.ExprString(recv), arg: types.ExprString(call.Args[0])}, true
 }
 
+// ownEnterKeys renders the brackets fn's own summary exports as net enter
+// obligations, in terms of fn's parameter names. An unexported enter
+// helper transfers its obligation to every caller through the summary
+// table, so flagging its body too would double-report; exported functions
+// keep the local diagnostic because out-of-program callers never see the
+// summary.
+func ownEnterKeys(pass *analysis.Pass, prog *summary.Program, fn *ast.FuncDecl) map[bracketKey]bool {
+	obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	s := prog.Summary(callgraph.Key(obj))
+	if s == nil || !s.Unexported {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	name := func(pos int) string {
+		if pos == 0 {
+			if r := sig.Recv(); r != nil {
+				return r.Name()
+			}
+			return ""
+		}
+		if i := pos - 1; i < sig.Params().Len() {
+			return sig.Params().At(i).Name()
+		}
+		return ""
+	}
+	out := make(map[bracketKey]bool)
+	for _, p := range netPairs(s.GaugeEnters, s.GaugeExits) {
+		key := bracketKey{recv: name(p.Recv)}
+		if key.recv == "" {
+			continue
+		}
+		if p.Arg < 0 {
+			key.arg = p.ArgLit
+		} else if key.arg = name(p.Arg); key.arg == "" {
+			continue
+		}
+		out[key] = true
+	}
+	return out
+}
+
 // checkFunc verifies every Enter in one function body (nested function
-// literals are their own functions and checked separately).
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+// literals are their own functions and checked separately). Brackets in
+// own are the function's summary-exported obligations — settled by the
+// callers, not here.
+func checkFunc(pass *analysis.Pass, prog *summary.Program, own map[bracketKey]bool, body *ast.BlockStmt, g *cfg.CFG) {
 	if g == nil {
 		return
 	}
@@ -80,7 +132,16 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 		switch s := n.(type) {
 		case *ast.CallExpr:
 			if key, ok := keyOf(pass, s, "Enter"); ok {
-				enters = append(enters, enterSite{call: s, key: key})
+				if !own[key] {
+					enters = append(enters, enterSite{call: s, key: key})
+				}
+			} else {
+				// A statically resolved helper that net-opens brackets on
+				// the caller's behalf creates the same obligation as a
+				// literal Enter here.
+				for key := range callEnterKeys(pass, prog, s) {
+					enters = append(enters, enterSite{call: s, key: key})
+				}
 			}
 		case *ast.DeferStmt:
 			// A deferred Exit — direct or anywhere inside a deferred
@@ -88,10 +149,16 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 			if key, ok := keyOf(pass, s.Call, "Exit"); ok {
 				deferred[key] = true
 			}
+			for key := range callExitKeys(pass, prog, s.Call) {
+				deferred[key] = true
+			}
 			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
 				ast.Inspect(lit.Body, func(m ast.Node) bool {
 					if call, ok := m.(*ast.CallExpr); ok {
 						if key, ok := keyOf(pass, call, "Exit"); ok {
+							deferred[key] = true
+						}
+						for key := range callExitKeys(pass, prog, call) {
 							deferred[key] = true
 						}
 					}
@@ -114,7 +181,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 		if deferred[e.key] {
 			continue
 		}
-		if !exitsOnAllPaths(pass, g, e.call, e.key) {
+		if !exitsOnAllPaths(pass, prog, g, e.call, e.key) {
 			pass.Reportf(e.call.Pos(), "%s.Enter(%s) is not balanced by an Exit on every path: the in-flight gauge leaks and least-loaded placement steers around a phantom invocation",
 				e.key.recv, e.key.arg)
 		}
@@ -123,7 +190,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 
 // exitsOnAllPaths walks the CFG from the Enter call and requires a
 // matching Exit before any function exit.
-func exitsOnAllPaths(pass *analysis.Pass, g *cfg.CFG, enter *ast.CallExpr, key bracketKey) bool {
+func exitsOnAllPaths(pass *analysis.Pass, prog *summary.Program, g *cfg.CFG, enter *ast.CallExpr, key bracketKey) bool {
 	var start *cfg.Block
 	startIdx := -1
 	for _, b := range g.Blocks {
@@ -161,7 +228,7 @@ func exitsOnAllPaths(pass *analysis.Pass, g *cfg.CFG, enter *ast.CallExpr, key b
 		}
 		for i := from; i < len(b.Nodes); i++ {
 			n := b.Nodes[i]
-			if !exited && nodeExits(pass, n, key) {
+			if !exited && nodeExits(pass, prog, n, key) {
 				exited = true
 			}
 			if _, isRet := n.(*ast.ReturnStmt); isRet {
@@ -187,7 +254,7 @@ func exitsOnAllPaths(pass *analysis.Pass, g *cfg.CFG, enter *ast.CallExpr, key b
 
 // nodeExits reports whether the node contains a matching Exit call
 // (outside nested function literals, which run at another time).
-func nodeExits(pass *analysis.Pass, n ast.Node, key bracketKey) bool {
+func nodeExits(pass *analysis.Pass, prog *summary.Program, n ast.Node, key bracketKey) bool {
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
 		if _, ok := m.(*ast.FuncLit); ok {
@@ -198,10 +265,114 @@ func nodeExits(pass *analysis.Pass, n ast.Node, key bracketKey) bool {
 				found = true
 				return false
 			}
+			if callExitKeys(pass, prog, call)[key] {
+				found = true
+				return false
+			}
 		}
 		return true
 	})
 	return found
+}
+
+// argExprAt maps a summary parameter position back to the caller-side
+// expression: position 0 is the method receiver, position i the argument
+// i-1.
+func argExprAt(call *ast.CallExpr, pos int) ast.Expr {
+	if pos == 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	i := pos - 1
+	if i < 0 || i >= len(call.Args) {
+		return nil
+	}
+	return call.Args[i]
+}
+
+// pairKeys renders one summary's gauge pairs as caller-side bracket keys
+// using the call's own argument expressions, so a helper's brackets pair
+// textually with the caller's literal Enter/Exit calls.
+func pairKeys(call *ast.CallExpr, pairs []summary.GaugePair) map[bracketKey]bool {
+	out := make(map[bracketKey]bool)
+	for _, p := range pairs {
+		recv := argExprAt(call, p.Recv)
+		if recv == nil {
+			continue
+		}
+		key := bracketKey{recv: types.ExprString(recv)}
+		if p.Arg < 0 {
+			key.arg = p.ArgLit
+		} else {
+			a := argExprAt(call, p.Arg)
+			if a == nil {
+				continue
+			}
+			key.arg = types.ExprString(a)
+		}
+		out[key] = true
+	}
+	return out
+}
+
+// netPairs returns the pairs of a not also present in b: a balanced
+// helper (Enter and Exit of the same bracket) neither credits nor
+// obligates its caller.
+func netPairs(a, b []summary.GaugePair) []summary.GaugePair {
+	in := make(map[summary.GaugePair]bool, len(b))
+	for _, p := range b {
+		in[p] = true
+	}
+	var out []summary.GaugePair
+	for _, p := range a {
+		if !in[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// callExitKeys returns the caller-side brackets every statically known
+// target of call closes on all paths (net of brackets it also opens) —
+// must-credit, so the keys are intersected across targets.
+func callExitKeys(pass *analysis.Pass, prog *summary.Program, call *ast.CallExpr) map[bracketKey]bool {
+	sums := prog.CallSummaries(pass, call)
+	if len(sums) == 0 {
+		return nil
+	}
+	var acc map[bracketKey]bool
+	for _, s := range sums {
+		keys := pairKeys(call, netPairs(s.GaugeExits, s.GaugeEnters))
+		if acc == nil {
+			acc = keys
+			continue
+		}
+		for k := range acc {
+			if !keys[k] {
+				delete(acc, k)
+			}
+		}
+	}
+	return acc
+}
+
+// callEnterKeys returns the caller-side brackets any statically known
+// target of call may open without closing — may-obligation, so the keys
+// are unioned across targets.
+func callEnterKeys(pass *analysis.Pass, prog *summary.Program, call *ast.CallExpr) map[bracketKey]bool {
+	sums := prog.CallSummaries(pass, call)
+	if len(sums) == 0 {
+		return nil
+	}
+	acc := make(map[bracketKey]bool)
+	for _, s := range sums {
+		for k := range pairKeys(call, netPairs(s.GaugeEnters, s.GaugeExits)) {
+			acc[k] = true
+		}
+	}
+	return acc
 }
 
 // containsNode reports whether outer contains (or is) the target node.

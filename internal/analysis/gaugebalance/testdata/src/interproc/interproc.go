@@ -1,0 +1,88 @@
+// Package interproc exercises the summary-based gauge pairing: helpers
+// that Enter or Exit a bracket on behalf of their parameters transfer
+// the obligation (or the credit) to their callers, so a bracket split
+// across functions still balances — and a helper-opened bracket with no
+// close still gets flagged, at the call that opened it.
+package interproc
+
+import "errors"
+
+type State struct{}
+
+func (st *State) Enter(i int) {}
+func (st *State) Exit(i int)  {}
+
+type fn struct {
+	route *State
+	index int
+}
+
+var errProduce = errors.New("produce failed")
+
+func produce(f *fn) (uint32, error) { return 0, errProduce }
+
+// open moves the gauge up on behalf of its caller: the obligation lands
+// at every call site through the summary, not here.
+func open(st *State, i int) { st.Enter(i) }
+
+// finish moves the gauge down on all paths: calling it counts as the
+// caller's Exit.
+func finish(st *State, i int) { st.Exit(i) }
+
+// bracket is balanced inside: it neither credits nor obligates callers.
+func bracket(st *State, i int, f *fn) (uint32, error) {
+	st.Enter(i)
+	defer st.Exit(i)
+	return produce(f)
+}
+
+// helperExitDeferred pairs a literal Enter with a deferred exit helper.
+func helperExitDeferred(f *fn) (uint32, error) {
+	f.route.Enter(f.index)
+	defer finish(f.route, f.index)
+	return produce(f)
+}
+
+// helperExitAllPaths pairs a literal Enter with the exit helper placed
+// before the error branch.
+func helperExitAllPaths(f *fn) (uint32, error) {
+	f.route.Enter(f.index)
+	out, err := produce(f)
+	finish(f.route, f.index)
+	if err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// helperEnterBalanced opens through the helper and closes literally.
+func helperEnterBalanced(f *fn) (uint32, error) {
+	open(f.route, f.index)
+	defer f.route.Exit(f.index)
+	return produce(f)
+}
+
+// helperEnterLeak opens through the helper and bails on the error path
+// without closing — the phantom-load bug with the Enter out-of-line.
+func helperEnterLeak(f *fn) (uint32, error) {
+	open(f.route, f.index) // want "not balanced"
+	out, err := produce(f)
+	if err != nil {
+		return 0, err
+	}
+	f.route.Exit(f.index)
+	return out, nil
+}
+
+// splitBracket opens and closes through helpers only.
+func splitBracket(f *fn) (uint32, error) {
+	open(f.route, f.index)
+	defer finish(f.route, f.index)
+	return produce(f)
+}
+
+// balancedHelperCall calls the internally balanced helper: no obligation
+// arrives here, nothing to flag.
+func balancedHelperCall(f *fn) (uint32, error) {
+	return bracket(f.route, f.index, f)
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockguard.Analyzer, "a")
+}

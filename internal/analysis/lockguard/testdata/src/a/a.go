@@ -1,0 +1,141 @@
+// Package a exercises the lockguard analyzer: guarded-field
+// declarations, the caller-lock/callee-access split the runtime uses
+// everywhere, RWMutex read/write modes, the unguarded escape hatch, and
+// the fail-closed cases.
+package a
+
+import "sync"
+
+// Shim mimics the core sidecar: mu is the VM lock.
+type Shim struct {
+	mu sync.Mutex
+	// functions is the loaded module table.
+	//roadvet:guards mu
+	functions []string
+	coldStart int // roadvet:guards mu
+}
+
+// Registry mimics the platform registry behind an RWMutex.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]int // roadvet:guards mu
+}
+
+// lockedAppend is the callee side of the split: its entry lock set is
+// inferred from its (locked) call sites, so the accesses prove without
+// any annotation here.
+func lockedAppend(s *Shim, name string) {
+	s.functions = append(s.functions, name)
+	s.coldStart++
+}
+
+// Register is the caller side: lock in the caller, access in the callee.
+func (s *Shim) Register(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lockedAppend(s, name)
+}
+
+// RegisterTwo shows a second locked call site; the intersection keeps
+// the inferred entry set.
+func (s *Shim) RegisterTwo(a, b string) {
+	s.mu.Lock()
+	lockedAppend(s, a)
+	lockedAppend(s, b)
+	s.mu.Unlock()
+}
+
+// direct takes and releases the lock around its own accesses.
+func (s *Shim) direct() int {
+	s.mu.Lock()
+	n := len(s.functions)
+	s.mu.Unlock()
+	return n
+}
+
+// bareTouch accesses without any lock: fail closed.
+func bareTouch(s *Shim) {
+	s.functions = nil // want "unguarded write of Shim.functions"
+}
+
+// unlockedTail releases too early: the access after Unlock is bare.
+func (s *Shim) unlockedTail() {
+	s.mu.Lock()
+	s.functions = nil
+	s.mu.Unlock()
+	s.coldStart = 0 // want "unguarded write of Shim.coldStart"
+}
+
+// oneBranchLocked locks on only one path: must-held fails at the join.
+func (s *Shim) oneBranchLocked(lock bool) {
+	if lock {
+		s.mu.Lock()
+	}
+	s.coldStart++ // want "unguarded write of Shim.coldStart"
+	if lock {
+		s.mu.Unlock()
+	}
+}
+
+// mixedCaller calls the helper once with and once without the lock: the
+// entry-set intersection is empty, so the helper's accesses are bare.
+type Leaky struct {
+	mu sync.Mutex
+	n  int // roadvet:guards mu
+}
+
+func leakyBump(l *Leaky) {
+	l.n++ // want "unguarded write of Leaky.n"
+}
+
+func useLeaky(l *Leaky) {
+	l.mu.Lock()
+	leakyBump(l)
+	l.mu.Unlock()
+	leakyBump(l)
+}
+
+// readLocked holds only the read side: reads pass, the write is flagged
+// with the write-lock message.
+func (r *Registry) readLocked(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := r.entries[k]
+	r.entries[k] = n + 1 // want "only the read side"
+	return n
+}
+
+// writeLocked upgrades properly.
+func (r *Registry) writeLocked(k string) {
+	r.mu.Lock()
+	r.entries[k]++
+	r.mu.Unlock()
+}
+
+// closureTouch shows that a literal gets no inherited lock set: the
+// goroutine may run after Unlock.
+func (s *Shim) closureTouch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.coldStart = 0 // want "unguarded write of Shim.coldStart"
+	}()
+}
+
+// staleHatch carries a hatch on an access the analysis proves: the
+// hatch itself is the finding, so escapes can only shrink.
+func (s *Shim) staleHatch() {
+	s.mu.Lock()
+	//roadvet:unguarded spurious: the lock is held right here
+	s.coldStart = 2 // want -1 "stale //roadvet:unguarded"
+	s.mu.Unlock()
+}
+
+// initBeforePublish is the single-goroutine escape hatch: the struct has
+// not escaped yet, so the write is safe and annotated.
+func initBeforePublish() *Shim {
+	s := &Shim{}
+	//roadvet:unguarded fresh Shim, not yet published to another goroutine
+	s.coldStart = 1
+	return s
+}

@@ -26,29 +26,40 @@ import (
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
 	"golang.org/x/tools/go/cfg"
 
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/callgraph"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // Analyzer is the poolreturn pass.
 var Analyzer = &analysis.Analyzer{
 	Name:     "poolreturn",
 	Doc:      "check that every object taken from a sync.Pool is recycled or handed off on every path",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
 	Run:      run,
+}
+
+// checker carries the per-run state: the pass, the whole-program summary
+// table, and the package-local put-helper map derived from it.
+type checker struct {
+	pass    *analysis.Pass
+	prog    *summary.Program
+	helpers map[types.Object]map[int]bool
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
-	helpers := collectPutHelpers(pass)
+	prog := summary.FromPass(pass)
+	c := &checker{pass: pass, prog: prog, helpers: collectPutHelpers(pass, prog)}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFunc(pass, fn.Body, cfgs.FuncDecl(fn), helpers)
+					c.checkFunc(fn.Body, cfgs.FuncDecl(fn))
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, fn.Body, cfgs.FuncLit(fn), helpers)
+				c.checkFunc(fn.Body, cfgs.FuncLit(fn))
 			}
 			return true
 		})
@@ -69,7 +80,8 @@ type getSite struct {
 // checkFunc runs the path analysis over one function body. Nested function
 // literals are analyzed by their own checkFunc call; their statements are
 // skipped here.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG, helpers map[types.Object]map[int]bool) {
+func (c *checker) checkFunc(body *ast.BlockStmt, g *cfg.CFG) {
+	pass := c.pass
 	if g == nil {
 		return
 	}
@@ -77,13 +89,13 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG, helpers map
 	if len(sites) == 0 {
 		return
 	}
-	releasers := collectPuttingClosures(pass, body, helpers)
+	releasers := c.collectPuttingClosures(body)
 
 	for _, site := range sites {
-		if releasedByDefer(pass, body, site, helpers, releasers) || escapesToStore(pass, body, site) {
+		if c.releasedByDefer(body, site, releasers) || escapesToStore(pass, body, site) {
 			continue
 		}
-		walk(pass, g, site, helpers, releasers)
+		c.walk(g, site, releasers)
 	}
 }
 
@@ -163,80 +175,48 @@ func isSyncPool(t types.Type) bool {
 	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
 }
 
-// collectPutHelpers maps package-level functions to the parameter indices
-// they recycle: a put-helper calls pool.Put on a parameter (possibly
-// after clearing it), or forwards the parameter to another put-helper.
-// The fixpoint loop resolves helper-calls-helper chains.
-func collectPutHelpers(pass *analysis.Pass) map[types.Object]map[int]bool {
+// collectPutHelpers derives the package-local put-helper map from the
+// whole-program summary table: a package-level function recycles declared
+// parameter idx when its summary consumes position idx+1 in the pool
+// domain (the summary convention reserves position 0 for the receiver).
+// Helper-calls-helper chains — including recursive ones — are already
+// resolved by the summary SCC fixpoint, and the credit is must-discharge:
+// a helper that only sometimes puts earns nothing.
+func collectPutHelpers(pass *analysis.Pass, prog *summary.Program) map[types.Object]map[int]bool {
 	helpers := make(map[types.Object]map[int]bool)
-	for changed := true; changed; {
-		changed = false
-		for _, f := range pass.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := matchutil.Obj(pass.TypesInfo, fd.Name).(*types.Func)
+			if obj == nil {
+				continue
+			}
+			s := prog.Summary(callgraph.Key(obj))
+			if s == nil {
+				continue
+			}
+			for i := range s.Consumes[summary.Pool] {
+				if i == 0 {
 					continue
 				}
-				obj := matchutil.Obj(pass.TypesInfo, fd.Name)
-				if obj == nil {
-					continue
+				if helpers[obj] == nil {
+					helpers[obj] = make(map[int]bool)
 				}
-				for idx, param := range paramObjects(pass, fd) {
-					if param == nil || helpers[obj][idx] {
-						continue
-					}
-					if bodyPuts(pass, fd.Body, param, helpers) {
-						if helpers[obj] == nil {
-							helpers[obj] = make(map[int]bool)
-						}
-						helpers[obj][idx] = true
-						changed = true
-					}
-				}
+				helpers[obj][i-1] = true
 			}
 		}
 	}
 	return helpers
 }
 
-// paramObjects flattens a function's parameter objects in declaration
-// order (grouped parameters share a type but are distinct objects).
-func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
-	var out []types.Object
-	for _, field := range fd.Type.Params.List {
-		if len(field.Names) == 0 {
-			out = append(out, nil) // unnamed parameter cannot be recycled
-			continue
-		}
-		for _, name := range field.Names {
-			out = append(out, matchutil.Obj(pass.TypesInfo, name))
-		}
-	}
-	return out
-}
-
-// bodyPuts reports whether any call under body recycles obj: a direct
-// pool.Put(obj) or a known put-helper taking obj at a recycled index.
-func bodyPuts(pass *analysis.Pass, body ast.Node, obj types.Object, helpers map[types.Object]map[int]bool) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if callPuts(pass, call, obj, helpers, nil) {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
 // collectPuttingClosures maps closure variables (name := func(...){...})
 // to the set of pooled objects their bodies recycle, so calling the
 // closure counts as the recycle — the abort-helper shape.
-func collectPuttingClosures(pass *analysis.Pass, body *ast.BlockStmt, helpers map[types.Object]map[int]bool) map[types.Object]map[types.Object]bool {
+func (c *checker) collectPuttingClosures(body *ast.BlockStmt) map[types.Object]map[types.Object]bool {
+	pass := c.pass
 	out := make(map[types.Object]map[types.Object]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -251,7 +231,7 @@ func collectPuttingClosures(pass *analysis.Pass, body *ast.BlockStmt, helpers ma
 		if !ok {
 			return true
 		}
-		put := putObjects(pass, lit.Body, helpers)
+		put := c.putObjects(lit.Body)
 		if len(put) > 0 {
 			out[matchutil.Obj(pass.TypesInfo, id)] = put
 		}
@@ -261,7 +241,8 @@ func collectPuttingClosures(pass *analysis.Pass, body *ast.BlockStmt, helpers ma
 }
 
 // putObjects collects the objects recycled by calls anywhere under n.
-func putObjects(pass *analysis.Pass, n ast.Node, helpers map[types.Object]map[int]bool) map[types.Object]bool {
+func (c *checker) putObjects(n ast.Node) map[types.Object]bool {
+	pass := c.pass
 	out := make(map[types.Object]bool)
 	ast.Inspect(n, func(m ast.Node) bool {
 		call, ok := m.(*ast.CallExpr)
@@ -279,7 +260,7 @@ func putObjects(pass *analysis.Pass, n ast.Node, helpers map[types.Object]map[in
 			record(call.Args[0])
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			if put := helpers[matchutil.Obj(pass.TypesInfo, id)]; put != nil {
+			if put := c.helpers[matchutil.Obj(pass.TypesInfo, id)]; put != nil {
 				for idx := range put {
 					if idx < len(call.Args) {
 						record(call.Args[idx])
@@ -294,11 +275,11 @@ func putObjects(pass *analysis.Pass, n ast.Node, helpers map[types.Object]map[in
 
 // releasedByDefer reports whether a defer statement in body recycles the
 // site's object — a defer covers every exit path at once.
-func releasedByDefer(pass *analysis.Pass, body *ast.BlockStmt, site *getSite, helpers map[types.Object]map[int]bool, releasers map[types.Object]map[types.Object]bool) bool {
+func (c *checker) releasedByDefer(body *ast.BlockStmt, site *getSite, releasers map[types.Object]map[types.Object]bool) bool {
 	found := false
 	inspectSkippingFuncLits(body, func(n ast.Node) {
 		d, ok := n.(*ast.DeferStmt)
-		if ok && callPuts(pass, d.Call, site.obj, helpers, releasers) {
+		if ok && c.callPuts(d.Call, site.obj, releasers) {
 			found = true
 		}
 	})
@@ -343,7 +324,8 @@ type pathState struct {
 
 // walk explores every path from the Get to a function exit and reports
 // paths that neither recycle the object nor pass ownership outward.
-func walk(pass *analysis.Pass, g *cfg.CFG, site *getSite, helpers map[types.Object]map[int]bool, releasers map[types.Object]map[types.Object]bool) {
+func (c *checker) walk(g *cfg.CFG, site *getSite, releasers map[types.Object]map[types.Object]bool) {
+	pass := c.pass
 	var start *cfg.Block
 	startIdx := -1
 	for _, b := range g.Blocks {
@@ -374,7 +356,7 @@ func walk(pass *analysis.Pass, g *cfg.CFG, site *getSite, helpers map[types.Obje
 		}
 		for i := from; i < len(b.Nodes); i++ {
 			n := b.Nodes[i]
-			if !released && nodeReleases(pass, n, site, helpers, releasers) {
+			if !released && c.nodeReleases(n, site, releasers) {
 				released = true
 			}
 			if ret, ok := n.(*ast.ReturnStmt); ok {
@@ -413,7 +395,8 @@ func walk(pass *analysis.Pass, g *cfg.CFG, site *getSite, helpers map[types.Obje
 // channel send of the object, or a goroutine launched with it. Function
 // literals are not descended into — defining a closure that would put is
 // not putting.
-func nodeReleases(pass *analysis.Pass, n ast.Node, site *getSite, helpers map[types.Object]map[int]bool, releasers map[types.Object]map[types.Object]bool) bool {
+func (c *checker) nodeReleases(n ast.Node, site *getSite, releasers map[types.Object]map[types.Object]bool) bool {
+	pass := c.pass
 	switch s := n.(type) {
 	case *ast.SendStmt:
 		// `ch <- v` hands the object to the consumer on the other side,
@@ -431,7 +414,7 @@ func nodeReleases(pass *analysis.Pass, n ast.Node, site *getSite, helpers map[ty
 	}
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
-		if call, ok := m.(*ast.CallExpr); ok && callPuts(pass, call, site.obj, helpers, releasers) {
+		if call, ok := m.(*ast.CallExpr); ok && c.callPuts(call, site.obj, releasers) {
 			found = true
 			return false
 		}
@@ -444,9 +427,12 @@ func nodeReleases(pass *analysis.Pass, n ast.Node, site *getSite, helpers map[ty
 }
 
 // callPuts reports whether one call recycles obj: pool.Put(obj), a
-// put-helper with obj in a recycled parameter slot, a putting closure, or
-// an immediately-invoked literal that puts.
-func callPuts(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, helpers map[types.Object]map[int]bool, releasers map[types.Object]map[types.Object]bool) bool {
+// put-helper with obj in a recycled parameter slot, a putting closure, an
+// immediately-invoked literal that puts, or — through the whole-program
+// summary table — any statically resolved call (method or cross-package)
+// whose every target consumes obj's position in the pool domain.
+func (c *checker) callPuts(call *ast.CallExpr, obj types.Object, releasers map[types.Object]map[types.Object]bool) bool {
+	pass := c.pass
 	if isPoolMethod(pass, call, "Put") && len(call.Args) == 1 {
 		if id, ok := call.Args[0].(*ast.Ident); ok && matchutil.Obj(pass.TypesInfo, id) == obj {
 			return true
@@ -454,7 +440,7 @@ func callPuts(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, helpers
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		fnObj := matchutil.Obj(pass.TypesInfo, id)
-		if put := helpers[fnObj]; put != nil {
+		if put := c.helpers[fnObj]; put != nil {
 			for idx := range put {
 				if idx < len(call.Args) {
 					if aid, ok := call.Args[idx].(*ast.Ident); ok && matchutil.Obj(pass.TypesInfo, aid) == obj {
@@ -468,11 +454,11 @@ func callPuts(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, helpers
 		}
 	}
 	if lit, ok := call.Fun.(*ast.FuncLit); ok {
-		if putObjects(pass, lit.Body, helpers)[obj] {
+		if c.putObjects(lit.Body)[obj] {
 			return true
 		}
 	}
-	return false
+	return c.prog.CallConsumes(pass, call, obj, summary.Pool)
 }
 
 // returnCarries reports whether the return's results mention the pooled

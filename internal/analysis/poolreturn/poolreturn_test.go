@@ -8,5 +8,5 @@ import (
 )
 
 func TestPoolReturn(t *testing.T) {
-	analyzertest.Run(t, "testdata", poolreturn.Analyzer, "a")
+	analyzertest.Run(t, "testdata", poolreturn.Analyzer, "a", "interproc")
 }

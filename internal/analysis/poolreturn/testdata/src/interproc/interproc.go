@@ -1,0 +1,64 @@
+// Package interproc exercises the summary-backed put-helper resolution:
+// recycles reached through methods — which the package-local ident-only
+// helper map cannot see — and must-discharge credit for helpers.
+package interproc
+
+import "sync"
+
+type state struct{ n int }
+
+var pool = sync.Pool{New: func() interface{} { return new(state) }}
+
+// recycler wraps the pool behind a method, the scheduler-shard shape.
+type recycler struct{ p *sync.Pool }
+
+// put recycles its argument through the wrapped pool on every path.
+func (r *recycler) put(s *state) {
+	s.n = 0
+	r.p.Put(s)
+}
+
+// methodRecycle hands the object to a method-valued helper: only the
+// summary table resolves it, so no diagnostic.
+func methodRecycle(r *recycler, fail bool) int {
+	s := pool.Get().(*state)
+	if fail {
+		r.put(s)
+		return 0
+	}
+	n := s.n
+	r.put(s)
+	return n
+}
+
+// maybePut recycles only when told to: its summary must NOT consume.
+func (r *recycler) maybePut(s *state, really bool) {
+	if really {
+		r.p.Put(s)
+	}
+}
+
+// conditionalHelperLeak leans on the sometimes-put helper; the leak is
+// kept.
+func conditionalHelperLeak(r *recycler, really bool) {
+	s := pool.Get().(*state)
+	r.maybePut(s, really)
+	return // want "may leak"
+}
+
+// chainPut forwards to the method helper — a helper-calls-method chain
+// resolved by the summary fixpoint.
+func chainPut(r *recycler, s *state) {
+	r.put(s)
+}
+
+func chainRecycle(r *recycler, fail bool) int {
+	s := pool.Get().(*state)
+	if fail {
+		chainPut(r, s)
+		return 0
+	}
+	n := s.n
+	chainPut(r, s)
+	return n
+}

@@ -44,13 +44,14 @@ import (
 	"golang.org/x/tools/go/cfg"
 
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // Analyzer is the refbalance pass.
 var Analyzer = &analysis.Analyzer{
 	Name:     "refbalance",
 	Doc:      "check that every acquired pagebuf page reference reaches Release/ReleaseAll or a handoff on every path",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
 	Run:      run,
 }
 
@@ -77,15 +78,16 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	prog := summary.FromPass(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFunc(pass, fn.Body, cfgs.FuncDecl(fn))
+					checkFunc(pass, prog, fn.Body, cfgs.FuncDecl(fn))
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, fn.Body, cfgs.FuncLit(fn))
+				checkFunc(pass, prog, fn.Body, cfgs.FuncLit(fn))
 			}
 			return true
 		})
@@ -107,7 +109,7 @@ type refSite struct {
 // checkFunc runs the path analysis over one function body. Nested function
 // literals are analyzed by their own checkFunc call; their statements are
 // skipped here.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+func checkFunc(pass *analysis.Pass, prog *summary.Program, body *ast.BlockStmt, g *cfg.CFG) {
 	if g == nil {
 		return
 	}
@@ -123,7 +125,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 			escapesToStore(pass, body, site) {
 			continue
 		}
-		walk(pass, g, site, releasers)
+		walk(pass, prog, g, site, releasers)
 	}
 }
 
@@ -363,7 +365,7 @@ type pathState struct {
 
 // walk explores every path from the acquire to a function exit and reports
 // paths that neither release the references nor pass ownership outward.
-func walk(pass *analysis.Pass, g *cfg.CFG, site *refSite, releasers map[types.Object]map[types.Object]bool) {
+func walk(pass *analysis.Pass, prog *summary.Program, g *cfg.CFG, site *refSite, releasers map[types.Object]map[types.Object]bool) {
 	var start *cfg.Block
 	startIdx := -1
 	for _, b := range g.Blocks {
@@ -394,7 +396,7 @@ func walk(pass *analysis.Pass, g *cfg.CFG, site *refSite, releasers map[types.Ob
 		}
 		for i := from; i < len(b.Nodes); i++ {
 			n := b.Nodes[i]
-			if !released && nodeReleases(pass, n, site, releasers) {
+			if !released && nodeReleases(pass, prog, n, site, releasers) {
 				released = true
 			}
 			if ret, ok := n.(*ast.ReturnStmt); ok {
@@ -443,7 +445,7 @@ func walk(pass *analysis.Pass, g *cfg.CFG, site *refSite, releasers map[types.Ob
 // argument, a channel send, or a goroutine launched with them. Function
 // literals are not descended into — defining a closure that would release
 // is not releasing.
-func nodeReleases(pass *analysis.Pass, n ast.Node, site *refSite, releasers map[types.Object]map[types.Object]bool) bool {
+func nodeReleases(pass *analysis.Pass, prog *summary.Program, n ast.Node, site *refSite, releasers map[types.Object]map[types.Object]bool) bool {
 	switch s := n.(type) {
 	case *ast.SendStmt:
 		// `ch <- refs` hands the references to the consumer on the other
@@ -460,7 +462,7 @@ func nodeReleases(pass *analysis.Pass, n ast.Node, site *refSite, releasers map[
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
 		if call, ok := m.(*ast.CallExpr); ok {
-			if callReleases(pass, call, site.obj, releasers) || callHandsOff(pass, call, site.obj) {
+			if callReleases(pass, call, site.obj, releasers) || callHandsOff(pass, prog, call, site.obj) {
 				found = true
 				return false
 			}
@@ -506,10 +508,20 @@ func callReleases(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, rel
 // appears in its arguments and the callee is a consumer, not a mere
 // inspector. append grows a run in place — the result (re)assignment is
 // its own acquire site — so only appending obj INTO another run counts.
-func callHandsOff(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+//
+// A statically resolved in-program callee gets no benefit of the doubt:
+// its summary must actually consume obj's position in the ref domain, or
+// the call is not a handoff — passing a run to a helper that merely reads
+// it no longer discharges the release obligation. Dynamic and
+// out-of-program calls keep the legacy mention-based credit, since their
+// bodies are invisible to the summary table.
+func callHandsOff(pass *analysis.Pass, prog *summary.Program, call *ast.CallExpr, obj types.Object) bool {
 	name := matchutil.CalleeName(call)
 	if inspectors[name] || name == "ReleaseAll" || name == "Release" {
 		return false
+	}
+	if prog.StaticallyResolved(pass, call) {
+		return prog.CallConsumes(pass, call, obj, summary.Ref)
 	}
 	args := call.Args
 	if name == "append" {

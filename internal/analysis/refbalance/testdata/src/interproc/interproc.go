@@ -1,0 +1,54 @@
+// Package interproc pins the summary-strengthened handoff rule: passing
+// a reference run to a statically known in-program helper is only a
+// discharge when the helper's summary actually consumes it. A helper
+// that merely measures the run earns nothing, so the old mention-based
+// credit — which hid exactly this leak shape — is gone.
+package interproc
+
+type Ref struct{ pages int }
+
+func (r Ref) Release() {}
+
+func ReleaseAll(refs []Ref) {}
+
+type Ring struct{ refs []Ref }
+
+func (r *Ring) Pop(max int) ([]Ref, error) { return nil, nil }
+
+// measure only reads the run: no consumption in its summary.
+func measure(refs []Ref) int {
+	n := 0
+	for _, r := range refs {
+		n += r.pages
+	}
+	return n
+}
+
+// drain releases every element: its summary consumes the run.
+func drain(refs []Ref) {
+	for _, r := range refs {
+		r.Release()
+	}
+}
+
+// measuredLeak hands the run to the read-only helper and returns — the
+// mention is not a handoff, the pages stay pinned.
+func measuredLeak(ring *Ring, max int) (int, error) {
+	refs, err := ring.Pop(max)
+	if err != nil {
+		return 0, err
+	}
+	n := measure(refs)
+	return n, nil // want "may leak"
+}
+
+// drainedOK discharges through the consuming helper.
+func drainedOK(ring *Ring, max int) (int, error) {
+	refs, err := ring.Pop(max)
+	if err != nil {
+		return 0, err
+	}
+	n := measure(refs)
+	drain(refs)
+	return n, nil
+}

@@ -1,0 +1,43 @@
+package regionrelease_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/analyzertest"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/regionrelease"
+)
+
+// TestReleaseSplitMutation is the summary table's teeth-check. The split
+// fixture replays the real ingress release re-factored into a helper;
+// unmutated it passes (TestRegionRelease runs it with zero expected
+// diagnostics). Here the helper's Deallocate is deleted and the analyzer
+// must report both caller paths — proving the pass on the unmutated tree
+// comes from actually tracking the obligation through the helper, not
+// from failing to look.
+func TestReleaseSplitMutation(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "split", "split.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const release = "if err := v.Deallocate(p); err != nil { // mutation target\n\t\t_ = err\n\t}"
+	mutated := strings.Replace(string(src), release, "_ = v\n\t_ = p", 1)
+	if mutated == string(src) {
+		t.Fatal("mutation target not found in split.go")
+	}
+	wanted := strings.ReplaceAll(mutated, "// MUT:leak", "// want `may leak`")
+	if wanted == mutated {
+		t.Fatal("MUT:leak markers not found in split.go")
+	}
+	dir := t.TempDir()
+	pkg := filepath.Join(dir, "src", "split")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkg, "split.go"), []byte(wanted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	analyzertest.Run(t, dir, regionrelease.Analyzer, "split")
+}

@@ -10,9 +10,22 @@
 // compile-time gate.
 //
 // It additionally flags Deallocate calls whose error result is discarded
-// (`_ = v.Deallocate(p)` or a bare call statement): a failed rewind is a
-// broken conservation baseline, so a discarded result needs either real
+// (`_ = v.Deallocate(p)` or a bare call statement) — unless the discard
+// provably executes only while failure handling is already in progress,
+// the best-effort-rewind discipline: there is no channel left to report a
+// rewind error on, so discarding is the correct shape. Three proof forms
+// are accepted: (a) the discard sits under a branch that established a
+// non-nil error, (b) the enclosing named function is error-path-only —
+// every one of its exhaustively known call sites passes a non-nil error
+// (summary.ErrPathOnly), or (c) the enclosing closure is an abort helper
+// whose every invocation passes a non-nil error. Anything else needs real
 // handling or a //roadvet:ignore justification at the site.
+//
+// The pass is interprocedural through the whole-program summary table:
+// a call to a helper whose summary consumes the region at the pointer's
+// position counts as the release, and an assignment from an unexported
+// helper whose summary returns a fresh region creates an obligation —
+// so a leak split across helpers is caught without annotations.
 package regionrelease
 
 import (
@@ -24,7 +37,9 @@ import (
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
 	"golang.org/x/tools/go/cfg"
 
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/callgraph"
 	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/summary"
 )
 
 // allocTypes are the receiver types whose Allocate acquires a guest
@@ -39,26 +54,27 @@ var (
 var Analyzer = &analysis.Analyzer{
 	Name:     "regionrelease",
 	Doc:      "check that every allocated guest region is released or returned on every path",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
 	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	prog := summary.FromPass(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFunc(pass, fn.Body, cfgs.FuncDecl(fn))
+					checkFunc(pass, prog, fn.Body, cfgs.FuncDecl(fn))
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, fn.Body, cfgs.FuncLit(fn))
+				checkFunc(pass, prog, fn.Body, cfgs.FuncLit(fn))
 			}
 			return true
 		})
 	}
-	checkDiscardedErrors(pass)
+	checkDiscardedErrors(pass, prog)
 	return nil, nil
 }
 
@@ -77,11 +93,11 @@ type allocSite struct {
 // checkFunc runs the path analysis over one function body. Nested
 // function literals are analyzed by their own checkFunc call; their
 // statements are skipped here.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+func checkFunc(pass *analysis.Pass, prog *summary.Program, body *ast.BlockStmt, g *cfg.CFG) {
 	if g == nil {
 		return
 	}
-	sites := collectAllocs(pass, body)
+	sites := collectAllocs(pass, prog, body)
 	if len(sites) == 0 {
 		return
 	}
@@ -93,16 +109,18 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 			continue
 		}
 		recordAliases(pass, body, site)
-		if releasedByDefer(pass, body, site, releasers) || escapesToStore(pass, body, site) {
+		if releasedByDefer(pass, prog, body, site, releasers) || escapesToStore(pass, body, site) {
 			continue
 		}
-		walk(pass, g, site, releasers)
+		walk(pass, prog, g, site, releasers)
 	}
 }
 
-// collectAllocs finds the Allocate assignments in body, excluding nested
-// function literals.
-func collectAllocs(pass *analysis.Pass, body *ast.BlockStmt) []*allocSite {
+// collectAllocs finds the region-acquiring assignments in body, excluding
+// nested function literals: a direct `p, err := v.Allocate(n)`, or the
+// same shape over an unexported helper whose summary returns a fresh
+// region at result 0 ("constructor hands ownership").
+func collectAllocs(pass *analysis.Pass, prog *summary.Program, body *ast.BlockStmt) []*allocSite {
 	var sites []*allocSite
 	inspectSkippingFuncLits(body, func(n ast.Node) {
 		as, ok := n.(*ast.AssignStmt)
@@ -114,7 +132,9 @@ func collectAllocs(pass *analysis.Pass, body *ast.BlockStmt) []*allocSite {
 			return
 		}
 		if _, ok := matchutil.MethodOnAny(pass.TypesInfo, call, allocTypes, "Allocate"); !ok {
-			return
+			if !prog.CallReturnsRegion(pass, call) {
+				return
+			}
 		}
 		site := &allocSite{stmt: n, pos: as.Pos()}
 		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
@@ -122,7 +142,9 @@ func collectAllocs(pass *analysis.Pass, body *ast.BlockStmt) []*allocSite {
 			site.ptrName = id.Name
 		}
 		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
-			site.err = matchutil.Obj(pass.TypesInfo, id)
+			if o := matchutil.Obj(pass.TypesInfo, id); o != nil && isErrorType(o.Type()) {
+				site.err = o
+			}
 		}
 		sites = append(sites, site)
 	})
@@ -180,11 +202,11 @@ func releasedObjects(pass *analysis.Pass, n ast.Node) map[types.Object]bool {
 
 // releasedByDefer reports whether a defer statement in body releases the
 // site's region — a defer covers every exit path at once.
-func releasedByDefer(pass *analysis.Pass, body *ast.BlockStmt, site *allocSite, releasers map[types.Object]map[types.Object]bool) bool {
+func releasedByDefer(pass *analysis.Pass, prog *summary.Program, body *ast.BlockStmt, site *allocSite, releasers map[types.Object]map[types.Object]bool) bool {
 	found := false
 	inspectSkippingFuncLits(body, func(n ast.Node) {
 		d, ok := n.(*ast.DeferStmt)
-		if ok && callReleases(pass, d.Call, site, releasers) {
+		if ok && callReleases(pass, prog, d.Call, site, releasers) {
 			found = true
 		}
 	})
@@ -232,7 +254,7 @@ type pathState struct {
 
 // walk explores every path from the allocation to a function exit and
 // reports paths that neither release the region nor pass it outward.
-func walk(pass *analysis.Pass, g *cfg.CFG, site *allocSite, releasers map[types.Object]map[types.Object]bool) {
+func walk(pass *analysis.Pass, prog *summary.Program, g *cfg.CFG, site *allocSite, releasers map[types.Object]map[types.Object]bool) {
 	// Locate the allocation's block and its index within the block.
 	var start *cfg.Block
 	startIdx := -1
@@ -264,7 +286,7 @@ func walk(pass *analysis.Pass, g *cfg.CFG, site *allocSite, releasers map[types.
 		}
 		for i := from; i < len(b.Nodes); i++ {
 			n := b.Nodes[i]
-			if !released && nodeReleases(pass, n, site, releasers) {
+			if !released && nodeReleases(pass, prog, n, site, releasers) {
 				released = true
 			}
 			if errValid && site.err != nil && n != site.stmt && assignsTo(pass, n, site.err) {
@@ -320,10 +342,10 @@ func walk(pass *analysis.Pass, g *cfg.CFG, site *allocSite, releasers map[types.
 // Function literals are not descended into — defining a closure that
 // would release is not releasing (callReleases still recognizes an
 // immediately-invoked literal through the CallExpr itself).
-func nodeReleases(pass *analysis.Pass, n ast.Node, site *allocSite, releasers map[types.Object]map[types.Object]bool) bool {
+func nodeReleases(pass *analysis.Pass, prog *summary.Program, n ast.Node, site *allocSite, releasers map[types.Object]map[types.Object]bool) bool {
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
-		if call, ok := m.(*ast.CallExpr); ok && callReleases(pass, call, site, releasers) {
+		if call, ok := m.(*ast.CallExpr); ok && callReleases(pass, prog, call, site, releasers) {
 			found = true
 			return false
 		}
@@ -335,8 +357,11 @@ func nodeReleases(pass *analysis.Pass, n ast.Node, site *allocSite, releasers ma
 	return found
 }
 
-// callReleases reports whether one call releases the site's region.
-func callReleases(pass *analysis.Pass, call *ast.CallExpr, site *allocSite, releasers map[types.Object]map[types.Object]bool) bool {
+// callReleases reports whether one call releases the site's region: a
+// matching Deallocate, a call to a releasing closure, or a call whose
+// statically known targets all consume the region at the pointer's
+// position ("helper releases its argument", via the summary table).
+func callReleases(pass *analysis.Pass, prog *summary.Program, call *ast.CallExpr, site *allocSite, releasers map[types.Object]map[types.Object]bool) bool {
 	if len(call.Args) == 1 {
 		if _, ok := matchutil.MethodOnAny(pass.TypesInfo, call, releaseTypes, "Deallocate"); ok {
 			if id, ok := call.Args[0].(*ast.Ident); ok && matchutil.Obj(pass.TypesInfo, id) == site.ptr {
@@ -354,7 +379,7 @@ func callReleases(pass *analysis.Pass, call *ast.CallExpr, site *allocSite, rele
 			return true
 		}
 	}
-	return false
+	return prog.CallConsumes(pass, call, site.ptr, summary.Region)
 }
 
 // returnCarries reports whether the return's results mention the region
@@ -482,10 +507,12 @@ func endsInNoReturnCall(b *cfg.Block) bool {
 }
 
 // checkDiscardedErrors flags Deallocate calls whose error result is
-// thrown away.
-func checkDiscardedErrors(pass *analysis.Pass) {
+// thrown away, unless the discard is a proven best-effort rewind — it can
+// only execute while failure handling is already in progress (see the
+// package comment's forms a, b, c).
+func checkDiscardedErrors(pass *analysis.Pass, prog *summary.Program) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
+		summary.WalkWithStack(f, func(n ast.Node, stack []ast.Node) {
 			var call *ast.CallExpr
 			switch s := n.(type) {
 			case *ast.AssignStmt:
@@ -498,14 +525,203 @@ func checkDiscardedErrors(pass *analysis.Pass) {
 				call, _ = s.X.(*ast.CallExpr)
 			}
 			if call == nil {
-				return true
+				return
 			}
-			if _, ok := matchutil.MethodOnAny(pass.TypesInfo, call, releaseTypes, "Deallocate"); ok {
-				pass.Reportf(call.Pos(), "Deallocate error discarded: a failed rewind breaks the conservation baseline; handle it or justify with //roadvet:ignore")
+			if _, ok := matchutil.MethodOnAny(pass.TypesInfo, call, releaseTypes, "Deallocate"); !ok {
+				return
 			}
-			return true
+			if onErrPath(pass, prog, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(), "Deallocate error discarded: a failed rewind breaks the conservation baseline; handle it or justify with //roadvet:ignore")
 		})
 	}
+}
+
+// onErrPath proves a discarded Deallocate error is a best-effort rewind.
+// stack is the discard statement's ancestor chain, outermost first.
+func onErrPath(pass *analysis.Pass, prog *summary.Program, stack []ast.Node) bool {
+	// Innermost function boundary: a guard outside a closure does not
+	// dominate the closure's body, so form (a) only looks inward of it.
+	bi := -1
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			bi = i
+		}
+		if bi >= 0 {
+			break
+		}
+	}
+	if bi < 0 {
+		return false
+	}
+	if errGuarded(pass, stack[bi:]) {
+		return true // form (a): discard under an established non-nil error
+	}
+	switch fn := stack[bi].(type) {
+	case *ast.FuncDecl:
+		// Form (b): the enclosing named function is error-path-only.
+		obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+		return obj != nil && prog.ErrPathOnly(callgraph.Key(obj))
+	case *ast.FuncLit:
+		// Form (c): the enclosing closure is an abort helper.
+		return abortClosure(pass, prog, stack, bi)
+	}
+	return false
+}
+
+// errGuarded reports whether the site sits inside a branch that
+// established some error value as non-nil: the then-branch of `X != nil`
+// or the else-branch of `X == nil`, with X of type error. The scan stops
+// at a function-literal boundary — a guard outside a closure does not
+// dominate the closure body's execution.
+func errGuarded(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		if _, ok := stack[i-1].(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := stack[i-1].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+			continue
+		}
+		var checked ast.Expr
+		switch {
+		case isNilIdent(bin.Y):
+			checked = bin.X
+		case isNilIdent(bin.X):
+			checked = bin.Y
+		default:
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(checked); t == nil || !isErrorType(t) {
+			continue
+		}
+		inThen := stack[i] == ast.Node(ifs.Body)
+		inElse := stack[i] == ifs.Else
+		if (bin.Op == token.NEQ && inThen) || (bin.Op == token.EQL && inElse) {
+			return true
+		}
+	}
+	return false
+}
+
+// abortClosure proves form (c): the function literal at stack[li] is an
+// abort helper, in one of two shapes. Either it declares exactly one
+// error parameter and every invocation (the immediate call of an invoked
+// literal, or every use of the variable it is bound to) passes a provably
+// non-nil error there; or it declares no error parameter and every
+// invocation site itself sits under an established non-nil error — the
+// release-the-landed-work unwind closure.
+func abortClosure(pass *analysis.Pass, prog *summary.Program, stack []ast.Node, li int) bool {
+	if prog == nil || li == 0 {
+		return false
+	}
+	lit := stack[li].(*ast.FuncLit)
+	argIdx := errParamIndex(pass, lit)
+	pkg := summary.PassPkg(pass)
+	// Immediately invoked literal: judge the one call in place.
+	if call, ok := stack[li-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Expr(lit) {
+		if argIdx < 0 {
+			return errGuarded(pass, stack[:li-1])
+		}
+		return argIdx < len(call.Args) && prog.NonNilError(pkg, stack[:li-1], call.Args[argIdx])
+	}
+	// Variable-bound closure: `fail := func(err error) ...`. Every use of
+	// the variable in the enclosing declaration must be a direct call with
+	// a non-nil error argument; any other use means the closure escapes
+	// and the proof fails closed.
+	as, ok := stack[li-1].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != ast.Expr(lit) {
+		return false
+	}
+	def, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := matchutil.Obj(pass.TypesInfo, def)
+	if obj == nil {
+		return false
+	}
+	var root ast.Node
+	for i := 0; i <= li; i++ {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			root = fd
+			break
+		}
+	}
+	if root == nil {
+		return false
+	}
+	calls, sound := 0, true
+	summary.WalkWithStack(root, func(n ast.Node, st []ast.Node) {
+		use, isID := n.(*ast.Ident)
+		if !isID || use == def || matchutil.Obj(pass.TypesInfo, use) != obj {
+			return
+		}
+		if len(st) == 0 {
+			sound = false
+			return
+		}
+		call, isCall := st[len(st)-1].(*ast.CallExpr)
+		if !isCall || ast.Unparen(call.Fun) != ast.Expr(use) {
+			sound = false
+			return
+		}
+		calls++
+		if argIdx < 0 {
+			if !errGuarded(pass, st) {
+				sound = false
+			}
+			return
+		}
+		if argIdx >= len(call.Args) || !prog.NonNilError(pkg, st, call.Args[argIdx]) {
+			sound = false
+		}
+	})
+	return sound && calls > 0
+}
+
+// errParamIndex returns the 0-based argument position of the literal's
+// single error parameter, or -1 when it has none or more than one.
+func errParamIndex(pass *analysis.Pass, lit *ast.FuncLit) int {
+	if lit.Type.Params == nil {
+		return -1
+	}
+	idx, found := 0, -1
+	for _, f := range lit.Type.Params.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pass.TypesInfo.TypeOf(f.Type)
+		isErr := t != nil && isErrorType(t)
+		for k := 0; k < n; k++ {
+			if isErr {
+				if found != -1 {
+					return -1
+				}
+				found = idx
+			}
+			idx++
+		}
+	}
+	return found
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // inspectSkippingFuncLits walks the body, visiting every node except

@@ -8,5 +8,5 @@ import (
 )
 
 func TestRegionRelease(t *testing.T) {
-	analyzertest.Run(t, "testdata", regionrelease.Analyzer, "a")
+	analyzertest.Run(t, "testdata", regionrelease.Analyzer, "a", "interproc", "xpkg", "split")
 }

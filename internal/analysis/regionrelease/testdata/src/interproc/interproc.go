@@ -1,0 +1,152 @@
+// Package interproc exercises the whole-program summary table under
+// regionrelease: releases and acquisitions split across helper functions
+// must be tracked without annotations — the exact decomposition that hid
+// the PR 5/6 ingress leaks from the intra-function analyzer.
+package interproc
+
+// View mimics abi.View's bump allocator.
+type View struct{}
+
+func (v *View) Allocate(n uint32) (uint32, error) { return 0, nil }
+func (v *View) Deallocate(p uint32) error         { return nil }
+func (v *View) Write(b []byte, p uint32) error    { return nil }
+
+// Ref mimics core.InboundRef.
+type Ref struct{ Ptr, Len uint32 }
+
+var data []byte
+
+// rewind is a helper that releases its argument on every path.
+func rewind(v *View, p uint32) {
+	if err := v.Deallocate(p); err != nil {
+		_ = err
+	}
+}
+
+// helperReleases hands the region to rewind on the failure path: the
+// helper's summary consumes position 2, so no leak is reported.
+func helperReleases(v *View, n uint32) (Ref, error) {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		rewind(v, p)
+		return Ref{}, err
+	}
+	return Ref{Ptr: p, Len: n}, nil
+}
+
+// grab is an unexported constructor: its summary returns a fresh region
+// at result 0, creating an obligation at every call site.
+func grab(v *View, n uint32) (uint32, error) {
+	return v.Allocate(n)
+}
+
+// constructorLeak acquires through the constructor and leaks on the
+// write-failure path — caught through the helper's Returns summary.
+func constructorLeak(v *View, n uint32) (Ref, error) {
+	p, err := grab(v, n)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		return Ref{}, err // want "may leak"
+	}
+	return Ref{Ptr: p, Len: n}, nil
+}
+
+// constructorFixed pairs the constructor with the releasing helper.
+func constructorFixed(v *View, n uint32) (Ref, error) {
+	p, err := grab(v, n)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		rewind(v, p)
+		return Ref{}, err
+	}
+	return Ref{Ptr: p, Len: n}, nil
+}
+
+// splitLeak replays the ingress leak with BOTH ends split into helpers:
+// the acquisition hides in grab, the release that should cover the
+// failure path is missing entirely.
+func splitLeak(v *View, n uint32) (Ref, error) {
+	p, err := grab(v, n)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := v.Write(data, p); err != nil {
+		return Ref{}, err // want "may leak"
+	}
+	ref := Ref{Ptr: p, Len: n}
+	_ = ref
+	return Ref{}, nil // want "may leak"
+}
+
+// partialHelper only releases on one of its own paths, so its summary
+// must NOT consume — the caller's failure return stays a leak.
+func partialHelper(v *View, p uint32, cond bool) {
+	if cond {
+		if err := v.Deallocate(p); err != nil {
+			_ = err
+		}
+	}
+}
+
+func partialLeak(v *View, n uint32, cond bool) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(data, p); err != nil {
+		partialHelper(v, p, cond)
+		return err // want "may leak"
+	}
+	return v.Deallocate(p)
+}
+
+// relSplit releases recursively: the guard-exempt base case and the
+// recursive call converge on a consuming summary via the SCC fixpoint.
+func relSplit(v *View, p uint32, n uint32) {
+	if n <= 1 {
+		if err := v.Deallocate(p); err != nil {
+			_ = err
+		}
+		return
+	}
+	relSplit(v, p, n/2)
+}
+
+// recursiveRelease discharges through the recursive helper; no
+// diagnostic.
+func recursiveRelease(v *View, n uint32) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(data, p); err != nil {
+		relSplit(v, p, n)
+		return err
+	}
+	return v.Deallocate(p)
+}
+
+// passThrough returns its region argument: a round-trip, not a release —
+// its summary must not consume, and the caller still leaks.
+func passThrough(v *View, p uint32) uint32 {
+	return p
+}
+
+func passThroughLeak(v *View, n uint32) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(data, p); err != nil {
+		_ = passThrough(v, p)
+		return err // want "may leak"
+	}
+	return v.Deallocate(p)
+}

@@ -1,0 +1,38 @@
+// Package split replays the PR 5/6 ingress-release shape with the
+// release re-factored into a helper — the exact decomposition that hid
+// the original leak from the intra-function analyzer. The unmutated
+// package is leak-free and runs under TestRegionRelease; the mutation
+// test (mutation_test.go) deletes the helper's Deallocate and asserts
+// roadvet then reports the caller's paths.
+package split
+
+// View mimics abi.View's bump allocator.
+type View struct{}
+
+func (v *View) Allocate(n uint32) (uint32, error) { return 0, nil }
+func (v *View) Deallocate(p uint32) error         { return nil }
+func (v *View) Read(p uint32) ([]byte, error)     { return nil, nil }
+
+// releaseOut rewinds one produced region — the factored-out release the
+// mutation test deletes.
+func releaseOut(v *View, p uint32) {
+	if err := v.Deallocate(p); err != nil { // mutation target
+		_ = err
+	}
+}
+
+// ingress replays the fan-out produce path: allocate, read, release
+// through the helper on both the failure and the success path.
+func ingress(v *View, n uint32) ([]byte, error) {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return nil, err
+	}
+	b, rerr := v.Read(p)
+	if rerr != nil {
+		releaseOut(v, p)
+		return nil, rerr // MUT:leak
+	}
+	releaseOut(v, p)
+	return b, nil // MUT:leak
+}

@@ -1,0 +1,33 @@
+// Package xpkg exercises cross-package summary resolution: the release
+// lives in the sibling package rhelp.
+package xpkg
+
+import "rhelp"
+
+var data []byte
+
+// crossFixed releases through the sibling package's helper; no
+// diagnostic.
+func crossFixed(v *rhelp.View, n uint32) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(data, p); err != nil {
+		rhelp.Rewind(v, p)
+		return err
+	}
+	return v.Deallocate(p)
+}
+
+// crossLeak omits the helper: the failure path still leaks.
+func crossLeak(v *rhelp.View, n uint32) error {
+	p, err := v.Allocate(n)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(data, p); err != nil {
+		return err // want "may leak"
+	}
+	return v.Deallocate(p)
+}

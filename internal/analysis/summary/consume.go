@@ -1,0 +1,661 @@
+package summary
+
+// consume.go holds the per-function evaluation: the CFG must-discharge
+// walker behind Consumes, the domain release matchers (mirroring the
+// analyzers' own structural matching so summaries apply equally to the
+// data-plane packages and to analyzertest fixtures that stub them), and
+// the Returns / PollsCtx / gauge-pair scans.
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/callgraph"
+	"github.com/polaris-slo-cloud/roadrunner-go/internal/analysis/matchutil"
+)
+
+// regionTypes are the receivers whose Deallocate releases a region;
+// gaugeType is the invoker in-flight gauge (mirroring regionrelease and
+// gaugebalance).
+var regionTypes = []string{"View", "Function", "Instance"}
+
+const gaugeType = "State"
+
+// builder carries the per-Build state: the table under construction and a
+// CFG cache (one CFG per function, reused across every param × domain
+// query and fixpoint iteration).
+type builder struct {
+	prog *Program
+	cfgs map[*callgraph.Node]*cfg.CFG
+}
+
+func (b *builder) cfgOf(n *callgraph.Node) *cfg.CFG {
+	if g, ok := b.cfgs[n]; ok {
+		return g
+	}
+	var g *cfg.CFG
+	if n.Decl != nil && n.Decl.Body != nil {
+		g = cfg.New(n.Decl.Body, func(call *ast.CallExpr) bool {
+			id, ok := call.Fun.(*ast.Ident)
+			return !ok || id.Name != "panic"
+		})
+	}
+	b.cfgs[n] = g
+	return g
+}
+
+// consumes reports whether fn discharges param p's domain-d obligation:
+// every path out of the function either discharges it (a domain release,
+// a statically resolved call to a consuming callee, a store into a
+// non-local structure, a channel send, a goroutine handoff) or is
+// guard-exempt — it branched on a condition mentioning p (the `p == nil` /
+// `len(ps) == 0` base case, where there is nothing to release) and never
+// touched p otherwise. At least one path must actually discharge. A path
+// that touches p without discharging — including returning it to the
+// caller, which round-trips the obligation rather than settling it —
+// refutes the fact.
+func (b *builder) consumes(n *callgraph.Node, p types.Object, d Domain) bool {
+	g := b.cfgOf(n)
+	if g == nil || len(g.Blocks) == 0 {
+		return false
+	}
+	rangeX := b.rangeDischarges(n, p, d)
+
+	type state struct {
+		blk                          int32
+		touched, discharged, guarded bool
+	}
+	seen := make(map[state]bool)
+	ok, any := true, false
+	var visit func(blk *cfg.Block, touched, discharged, guarded bool)
+	visit = func(blk *cfg.Block, touched, discharged, guarded bool) {
+		st := state{blk.Index, touched, discharged, guarded}
+		if seen[st] || !ok {
+			return
+		}
+		seen[st] = true
+		for i, node := range blk.Nodes {
+			disch, ment := b.classify(n, node, p, d, rangeX)
+			if disch {
+				discharged = true
+				continue
+			}
+			if ment {
+				if i == len(blk.Nodes)-1 && len(blk.Succs) == 2 {
+					// Branch condition mentioning p: both sides are
+					// p-guarded, and the mention itself is not a touch.
+					guarded = true
+					continue
+				}
+				touched = true
+			}
+		}
+		if len(blk.Succs) == 0 {
+			switch {
+			case discharged:
+				any = true
+			case guarded && !touched:
+				// Guard-exempt exit: the p-trivial base case.
+			default:
+				ok = false
+			}
+			return
+		}
+		for _, s := range blk.Succs {
+			visit(s, touched, discharged, guarded)
+		}
+	}
+	visit(g.Blocks[0], false, false, false)
+	return ok && any
+}
+
+// classify inspects one CFG node: does it discharge p's obligation in
+// domain d, and does it otherwise mention p? Function literals are not
+// descended into for discharge credit — defining a closure that would
+// release is not releasing — but a capture still counts as a mention.
+func (b *builder) classify(n *callgraph.Node, node ast.Node, p types.Object, d Domain, rangeX map[ast.Node]bool) (discharge, mention bool) {
+	info := n.Pkg.Info
+	var insp func(m ast.Node) bool
+	insp = func(m ast.Node) bool {
+		if discharge {
+			return false
+		}
+		if rangeX[m] {
+			discharge = true
+			return false
+		}
+		switch s := m.(type) {
+		case *ast.FuncLit:
+			if mentionsObj(info, s, p) {
+				mention = true
+			}
+			return false
+		case *ast.GoStmt:
+			if mentionsObj(info, s.Call, p) {
+				discharge = true
+			}
+			return false
+		case *ast.DeferStmt:
+			// A deferred release covers every path at once; a deferred
+			// call that merely mentions p does not.
+			if b.subtreeReleases(n, s.Call, p, d) {
+				discharge = true
+			} else if mentionsObj(info, s.Call, p) {
+				mention = true
+			}
+			return false
+		case *ast.CallExpr:
+			if b.callDischarges(n, s, p, d) {
+				discharge = true
+				return false
+			}
+			return true
+		case *ast.AssignStmt:
+			if storeHandoff(info, s, p) {
+				discharge = true
+				return false
+			}
+			return true
+		case *ast.SendStmt:
+			if mentionsObj(info, s.Value, p) {
+				discharge = true
+			}
+			return false
+		case *ast.Ident:
+			if matchutil.Obj(info, s) == p {
+				mention = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(node, insp)
+	if discharge {
+		mention = false
+	}
+	return discharge, mention
+}
+
+// callDischarges reports whether one call settles p's obligation: a
+// domain release mentioning p, or a statically resolved callee that
+// consumes at p's position.
+func (b *builder) callDischarges(n *callgraph.Node, call *ast.CallExpr, p types.Object, d Domain) bool {
+	info := n.Pkg.Info
+	if releaseMentions(info, call, p, d) {
+		return true
+	}
+	positions := objPositions(info, call, p)
+	if len(positions) == 0 {
+		return false
+	}
+	targets, dynamic := b.prog.Graph.ResolveCall(n.Pkg, call)
+	if dynamic || len(targets) == 0 {
+		return false
+	}
+	for _, t := range targets {
+		s := b.prog.Summaries[t.Key]
+		if s == nil {
+			return false
+		}
+		hit := false
+		for _, pos := range positions {
+			if s.Consumes[d][pos] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// subtreeReleases reports a domain release (or consuming static call) of
+// p anywhere under node, descending into function literals — used for
+// defer, where the literal body runs on this function's exit paths.
+func (b *builder) subtreeReleases(n *callgraph.Node, node ast.Node, p types.Object, d Domain) bool {
+	found := false
+	ast.Inspect(node, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && b.callDischarges(n, call, p, d) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// releaseMentions reports whether call is a domain-d release whose
+// released operand mentions p: Deallocate on a region owner, sync.Pool
+// Put, Ref.Release (receiver), or ReleaseAll (arguments).
+func releaseMentions(info *types.Info, call *ast.CallExpr, p types.Object, d Domain) bool {
+	switch d {
+	case Region:
+		if _, ok := matchutil.MethodOnAny(info, call, regionTypes, "Deallocate"); ok {
+			return argsMention(info, call.Args, p)
+		}
+	case Pool:
+		if isSyncPoolPut(info, call) {
+			return argsMention(info, call.Args, p)
+		}
+	case Ref:
+		if recv, ok := matchutil.Method(info, call, "Ref", "Release"); ok {
+			return mentionsObj(info, recv, p)
+		}
+		if matchutil.CalleeName(call) == "ReleaseAll" {
+			return argsMention(info, call.Args, p)
+		}
+	}
+	return false
+}
+
+// isSyncPoolPut matches (*sync.Pool).Put by defining package, mirroring
+// poolreturn's scope (pagebuf and sched pools have their own ownership
+// disciplines).
+func isSyncPoolPut(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var obj *types.TypeName
+	switch n := t.(type) {
+	case *types.Named:
+		obj = n.Obj()
+	case *types.Alias:
+		obj = n.Obj()
+	default:
+		return false
+	}
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// storeHandoff reports an assignment that writes p into a non-local
+// structure (field, element, or pointee): ownership moves to whoever owns
+// the structure.
+func storeHandoff(info *types.Info, as *ast.AssignStmt, p types.Object) bool {
+	rhs := false
+	for _, r := range as.Rhs {
+		if mentionsObj(info, r, p) {
+			rhs = true
+			break
+		}
+	}
+	if !rhs {
+		return false
+	}
+	for _, l := range as.Lhs {
+		switch l.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+	}
+	return false
+}
+
+// objPositions returns the summary parameter positions p occupies in the
+// call: 0 when p is the receiver, i+1 when p is argument i.
+func objPositions(info *types.Info, call *ast.CallExpr, p types.Object) []int {
+	var out []int
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && matchutil.Obj(info, id) == p {
+			out = append(out, 0)
+		}
+	}
+	for i, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok && matchutil.Obj(info, id) == p {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// rangeDischarges finds `for _, v := range p { ... v.Release() ... }`
+// shapes: the range's X expression becomes a discharge node for p when
+// the body releases the element variable. The CFG materializes X as an
+// ordinary node in the pre-loop block, so tagging it is enough.
+func (b *builder) rangeDischarges(n *callgraph.Node, p types.Object, d Domain) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		rs, ok := m.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		xid, ok := rs.X.(*ast.Ident)
+		if !ok || matchutil.Obj(info, xid) != p {
+			return true
+		}
+		vid, ok := rs.Value.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		vObj := matchutil.Obj(info, vid)
+		if vObj == nil {
+			return true
+		}
+		released := false
+		ast.Inspect(rs.Body, func(q ast.Node) bool {
+			if released {
+				return false
+			}
+			if call, ok := q.(*ast.CallExpr); ok && releaseMentions(info, call, vObj, d) {
+				released = true
+			}
+			return true
+		})
+		if released {
+			out[rs.X] = true
+		}
+		return true
+	})
+	return out
+}
+
+// mentionsObj reports whether any identifier under node resolves to obj.
+func mentionsObj(info *types.Info, node ast.Node, obj types.Object) bool {
+	if obj == nil || node == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && matchutil.Obj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returns records the result positions of fn that may carry a fresh
+// region obligation to the caller: a returned variable bound from
+// View.Allocate, the Allocate call returned directly, or the same
+// propagated through a statically resolved callee's Returns.
+func (b *builder) returns(n *callgraph.Node, s *Summary) {
+	info := n.Pkg.Info
+	regionVars := make(map[types.Object]bool)
+	inspectSkippingFuncLits(n.Decl.Body, func(m ast.Node) {
+		as, ok := m.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, k := range b.callReturnsRegion(n, call) {
+			if k < len(as.Lhs) {
+				if id, ok := as.Lhs[k].(*ast.Ident); ok && id.Name != "_" {
+					if o := matchutil.Obj(info, id); o != nil {
+						regionVars[o] = true
+					}
+				}
+			}
+		}
+	})
+	inspectSkippingFuncLits(n.Decl.Body, func(m ast.Node) {
+		ret, ok := m.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(ret.Results) == 1 {
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				for _, k := range b.callReturnsRegion(n, call) {
+					s.Returns[Region][k] = true
+				}
+			}
+		}
+		for k, r := range ret.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && regionVars[matchutil.Obj(info, id)] {
+				s.Returns[Region][k] = true
+			}
+		}
+	})
+}
+
+// callReturnsRegion returns the result positions of call that carry a
+// region: Allocate's result 0, or every position a statically resolved
+// callee's summary marks.
+func (b *builder) callReturnsRegion(n *callgraph.Node, call *ast.CallExpr) []int {
+	info := n.Pkg.Info
+	if _, ok := matchutil.MethodOnAny(info, call, regionTypes, "Allocate"); ok {
+		return []int{0}
+	}
+	targets, dynamic := b.prog.Graph.ResolveCall(n.Pkg, call)
+	if dynamic || len(targets) == 0 {
+		return nil
+	}
+	var out []int
+	common := make(map[int]int)
+	for _, t := range targets {
+		s := b.prog.Summaries[t.Key]
+		if s == nil {
+			return nil
+		}
+		for k := range s.Returns[Region] {
+			common[k]++
+		}
+	}
+	for k, c := range common {
+		if c == len(targets) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// pollsCtx reports whether fn observes ctx cancellation: a CtxErr/Err
+// call in its own body (outside nested literals, mirroring ctxpoll), or a
+// statically resolved call all of whose targets poll.
+func (b *builder) pollsCtx(n *callgraph.Node) bool {
+	found := false
+	inspectSkippingFuncLits(n.Decl.Body, func(m ast.Node) {
+		if found {
+			return
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch matchutil.CalleeName(call) {
+		case "CtxErr", "Err":
+			found = true
+			return
+		}
+		targets, dynamic := b.prog.Graph.ResolveCall(n.Pkg, call)
+		if dynamic || len(targets) == 0 {
+			return
+		}
+		for _, t := range targets {
+			s := b.prog.Summaries[t.Key]
+			if s == nil || !s.PollsCtx {
+				return
+			}
+		}
+		found = true
+	})
+	return found
+}
+
+// gaugePairs collects the State.Enter/Exit brackets fn moves on behalf of
+// its parameters. Exits must hold on all paths (or be deferred) to count;
+// Enters count anywhere, since they create an obligation.
+func (b *builder) gaugePairs(n *callgraph.Node, params []types.Object) (exits, enters []GaugePair) {
+	info := n.Pkg.Info
+	paramIdx := make(map[types.Object]int)
+	for i, p := range params {
+		if p != nil {
+			paramIdx[p] = i
+		}
+	}
+	pairOf := func(call *ast.CallExpr, method string) (GaugePair, bool) {
+		recv, ok := matchutil.Method(info, call, gaugeType, method)
+		if !ok || len(call.Args) == 0 {
+			return GaugePair{}, false
+		}
+		rid, ok := ast.Unparen(recv).(*ast.Ident)
+		if !ok {
+			return GaugePair{}, false
+		}
+		ri, ok := paramIdx[matchutil.Obj(info, rid)]
+		if !ok {
+			return GaugePair{}, false
+		}
+		switch a := ast.Unparen(call.Args[0]).(type) {
+		case *ast.Ident:
+			if ai, ok := paramIdx[matchutil.Obj(info, a)]; ok {
+				return GaugePair{Recv: ri, Arg: ai}, true
+			}
+		case *ast.BasicLit:
+			return GaugePair{Recv: ri, Arg: -1, ArgLit: a.Value}, true
+		}
+		return GaugePair{}, false
+	}
+
+	seenExit := make(map[GaugePair]bool)
+	seenEnter := make(map[GaugePair]bool)
+	deferred := make(map[GaugePair]bool)
+	inspectSkippingFuncLits(n.Decl.Body, func(m ast.Node) {
+		switch s := m.(type) {
+		case *ast.DeferStmt:
+			ast.Inspect(s.Call, func(q ast.Node) bool {
+				if call, ok := q.(*ast.CallExpr); ok {
+					if pr, ok := pairOf(call, "Exit"); ok {
+						deferred[pr] = true
+					}
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			if pr, ok := pairOf(s, "Exit"); ok && !seenExit[pr] {
+				seenExit[pr] = true
+			}
+			if pr, ok := pairOf(s, "Enter"); ok && !seenEnter[pr] {
+				seenEnter[pr] = true
+				enters = append(enters, pr)
+			}
+		}
+	})
+	for pr := range deferred {
+		if !seenExit[pr] {
+			seenExit[pr] = true
+		}
+	}
+	for pr := range seenExit {
+		if deferred[pr] || b.allPathsExit(n, pr, pairOf) {
+			exits = append(exits, pr)
+		}
+	}
+	sortPairs(exits)
+	sortPairs(enters)
+	return exits, enters
+}
+
+// allPathsExit reports that every path from entry to exit contains a
+// matching Exit call.
+func (b *builder) allPathsExit(n *callgraph.Node, pr GaugePair, pairOf func(*ast.CallExpr, string) (GaugePair, bool)) bool {
+	g := b.cfgOf(n)
+	if g == nil || len(g.Blocks) == 0 {
+		return false
+	}
+	type state struct {
+		blk int32
+		hit bool
+	}
+	seen := make(map[state]bool)
+	ok := true
+	var visit func(blk *cfg.Block, hit bool)
+	visit = func(blk *cfg.Block, hit bool) {
+		st := state{blk.Index, hit}
+		if seen[st] || !ok {
+			return
+		}
+		seen[st] = true
+		for _, node := range blk.Nodes {
+			if hit {
+				break
+			}
+			ast.Inspect(node, func(q ast.Node) bool {
+				if hit {
+					return false
+				}
+				if _, isLit := q.(*ast.FuncLit); isLit {
+					return false
+				}
+				if call, isCall := q.(*ast.CallExpr); isCall {
+					if got, isPair := pairOf(call, "Exit"); isPair && got == pr {
+						hit = true
+					}
+				}
+				return true
+			})
+		}
+		if len(blk.Succs) == 0 {
+			if !hit {
+				ok = false
+			}
+			return
+		}
+		for _, s := range blk.Succs {
+			visit(s, hit)
+		}
+	}
+	visit(g.Blocks[0], false)
+	return ok
+}
+
+func sortPairs(ps []GaugePair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && pairLess(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func pairLess(a, b GaugePair) bool {
+	if a.Recv != b.Recv {
+		return a.Recv < b.Recv
+	}
+	if a.Arg != b.Arg {
+		return a.Arg < b.Arg
+	}
+	return a.ArgLit < b.ArgLit
+}
+
+// argsMention reports whether any argument mentions p.
+func argsMention(info *types.Info, args []ast.Expr, p types.Object) bool {
+	for _, a := range args {
+		if mentionsObj(info, a, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks node, skipping nested function literals.
+func inspectSkippingFuncLits(node ast.Node, fn func(ast.Node)) {
+	ast.Inspect(node, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}

@@ -358,7 +358,6 @@ func MulticastTransfer(src *Function, dsts []*Function, opts MulticastOptions) (
 			if !opts.PhaseLocked {
 				ds.mu.Lock()
 			}
-			//roadvet:ignore regionrelease best-effort top-down unwind of the landed drains under each destination's VM lock; the multicast's first error wins
 			_ = dsts[i].view.Deallocate(drains[i].ref.Ptr)
 			if !opts.PhaseLocked {
 				ds.mu.Unlock()
@@ -476,7 +475,6 @@ func receiveFromPair(dst *Function, ch *channel, n uint32, ctx context.Context) 
 	// point — cancellation or a faulted syscall — hands it back so an
 	// aborted ingress leaves the target's bump heap where it found it.
 	abort := func(err error) (InboundRef, metrics.Breakdown, error) {
-		//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
 		_ = dst.view.Deallocate(dstPtr)
 		return InboundRef{}, bd, err
 	}
@@ -538,7 +536,6 @@ func receiveFromHose(dst *Function, ch *channel, n uint32, ctx context.Context) 
 	// point — cancellation or a faulted syscall — hands it back so an
 	// aborted ingress leaves the target's bump heap where it found it.
 	abort := func(err error) (InboundRef, metrics.Breakdown, error) {
-		//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
 		_ = dst.view.Deallocate(dstPtr)
 		return InboundRef{}, bd, err
 	}

@@ -95,18 +95,26 @@ type Shim struct {
 	// and every view over the VM's linear memory (including Function.out).
 	mu sync.Mutex
 
-	module    []byte
+	module []byte
+	//roadvet:guards mu
 	functions []*Function
+	//roadvet:guards mu
 	coldStart time.Duration
 
 	// Channel-cache registry (see channels.go). chanMu is a leaf lock: it
 	// is never held while acquiring any other lock.
-	chanMu        sync.Mutex
-	channels      map[chanKey]*channel  // persistent hoses this shim originates
-	inbound       map[*channel]struct{} // persistent hoses targeting this shim
-	pairMu        map[chanKey]*sync.Mutex
-	chanHits      int64
-	chanMisses    int64
+	chanMu sync.Mutex
+	//roadvet:guards chanMu
+	channels map[chanKey]*channel // persistent hoses this shim originates
+	//roadvet:guards chanMu
+	inbound map[*channel]struct{} // persistent hoses targeting this shim
+	//roadvet:guards chanMu
+	pairMu map[chanKey]*sync.Mutex
+	//roadvet:guards chanMu
+	chanHits int64
+	//roadvet:guards chanMu
+	chanMisses int64
+	//roadvet:guards chanMu
 	chanEvictions int64
 	chanIdle      time.Duration
 	chanCap       int
@@ -208,6 +216,7 @@ func NewShim(cfg ShimConfig) (*Shim, error) {
 			},
 		},
 	}
+	//roadvet:unguarded fresh Shim: not yet published to any other goroutine
 	s.coldStart = sw.Lap()
 	return s, nil
 }

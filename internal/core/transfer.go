@@ -25,7 +25,6 @@ type InboundRef struct {
 // target's bump heap where the transfer found it. Shared by every ingress
 // failure path — cancellation, a faulted syscall, a dead channel.
 func ingressAbort(f *Function, dstPtr uint32, err error) (InboundRef, error) {
-	//roadvet:ignore regionrelease best-effort rewind inside the abort helper; the aborting error is what the ingress surfaces
 	_ = f.view.Deallocate(dstPtr)
 	return InboundRef{}, err
 }

@@ -59,7 +59,8 @@ type State struct {
 	hcfg     HealthConfig
 	degraded atomic.Bool
 	hmu      sync.Mutex
-	health   []healthSlot
+	//roadvet:guards hmu
+	health []healthSlot
 }
 
 type slot struct {

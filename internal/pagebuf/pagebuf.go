@@ -112,7 +112,8 @@ func (r Ref) Slice(from, to int) Ref {
 // each shard on its own cache line so two cores recycling pages do not
 // false-share.
 type poolShard struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//roadvet:guards mu
 	free []*page
 	_    [32]byte
 }

@@ -20,7 +20,8 @@ type SingleQueuePool struct {
 	workers int
 	wg      sync.WaitGroup // worker goroutines
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//roadvet:guards mu
 	closed   bool
 	inflight sync.WaitGroup // submitted, not yet finished tasks
 

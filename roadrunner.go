@@ -163,16 +163,18 @@ func ParsePlacement(s string) (PlacementPolicy, error) { return invoke.ParsePoli
 // internal/core), and the registry below is only consulted on the
 // deploy/teardown path, never while payload bytes move.
 type Platform struct {
-	mu      sync.RWMutex // guards kernels and shims (registry, not transfers)
-	topo    *netsim.Topology
+	mu   sync.RWMutex // guards kernels and shims (registry, not transfers)
+	topo *netsim.Topology
+	//roadvet:guards mu
 	kernels map[string]*kernel.Kernel
 	module  []byte
 	now     func() time.Time
-	shims   []*core.Shim
-	hose    int
-	state   *core.StateStore
-	place   PlacementPolicy
-	health  HealthConfig
+	//roadvet:guards mu
+	shims  []*core.Shim
+	hose   int
+	state  *core.StateStore
+	place  PlacementPolicy
+	health HealthConfig
 
 	workers  int
 	poolOnce sync.Once
@@ -184,6 +186,7 @@ type Platform struct {
 	// write side (after draining the worker pool) before tearing shims
 	// down, so post-Close calls get ErrClosed instead of racing teardown.
 	life sync.RWMutex
+	//roadvet:guards life
 	torn bool
 }
 
@@ -1002,7 +1005,6 @@ func (p *Platform) invokeOnce(si, di *Instance, n int, cfg *transferConfig) (*In
 		// The invocation owns the region it produced; hand it back to the
 		// guest allocator so an aborted (cancelled, faulted) attempt leaves
 		// the source instance's linear memory where it found it.
-		//roadvet:ignore regionrelease best-effort rewind: the transfer's own error is what the invocation surfaces
 		_ = si.inner.Deallocate(out.Ptr)
 		return nil, err
 	}
